@@ -1,0 +1,76 @@
+"""Ablation — τ sweep on the mesh (Theorem 3 / Corollary 1 tradeoff).
+
+τ controls the clustering granularity: more clusters mean smaller radius,
+hence fewer growing steps (rounds), at the price of a larger quotient
+graph.  On the mesh (doubling dimension 2, the Corollary 1 family) the
+round count should drop well below the unweighted diameter Ψ(G) — the
+floor for Δ-stepping under linear space — once τ is polynomial.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.analysis.ell import hop_radius
+from repro.bench.reporting import format_table
+from repro.core.config import ClusterConfig
+from repro.core.diameter import approximate_diameter
+from repro.exact import exact_diameter
+from repro.generators import mesh
+
+TAUS = (2, 8, 32, 128)
+
+
+@pytest.fixture(scope="module")
+def tau_graph():
+    return mesh(48, seed=33)
+
+
+@pytest.mark.parametrize("tau", TAUS)
+def test_tau_sweep(benchmark, tau_graph, tau):
+    cfg = ClusterConfig(seed=33, stage_threshold_factor=1.0)
+    est = benchmark.pedantic(
+        lambda: approximate_diameter(tau_graph, tau=tau, config=cfg),
+        rounds=1,
+        iterations=1,
+    )
+    assert est.value > 0
+
+
+def test_ablation_tau_report(benchmark, tau_graph):
+    true = exact_diameter(tau_graph)
+    psi = hop_radius(tau_graph, 0)  # ≥ Ψ(G)/2
+
+    def sweep():
+        rows = []
+        for tau in TAUS:
+            cfg = ClusterConfig(seed=33, stage_threshold_factor=1.0)
+            est = approximate_diameter(tau_graph, tau=tau, config=cfg)
+            rows.append(
+                {
+                    "tau": tau,
+                    "rounds": est.counters.rounds,
+                    "radius": est.radius,
+                    "clusters": est.num_clusters,
+                    "ratio": est.value / true,
+                    "psi_floor": psi,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "ablation_tau.txt",
+        format_table(
+            rows,
+            title="Ablation: tau sweep on mesh(48) "
+            "(psi_floor = unweighted hop radius, the delta-stepping floor)",
+        ),
+    )
+    # Corollary 1 shape: round count beats the unweighted-diameter floor
+    # at every tau, and the radius is nonincreasing in tau.
+    radii = [r["radius"] for r in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(radii, radii[1:]))
+    assert all(r["rounds"] < r["psi_floor"] for r in rows)
+    assert all(r["ratio"] < 2.0 for r in rows)

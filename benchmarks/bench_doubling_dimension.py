@@ -1,0 +1,80 @@
+"""Extension bench — Corollary 1's dependence on the doubling dimension.
+
+Corollary 1 predicts CL-DIAM's round complexity on a bounded-``b`` family
+scales like ``Ψ / τ^{1/b}``: for a fixed τ, the higher the dimension, the
+*smaller* the speedup exponent.  This bench runs the estimator on three
+families of known dimension — path (b = 1), mesh (b = 2), 3-D grid
+(b = 3) — sized for comparable node counts, and reports rounds against
+the Ψ floor, plus the library's empirical dimension estimate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.analysis.doubling import doubling_dimension_estimate
+from repro.analysis.ell import hop_radius
+from repro.bench.reporting import format_table
+from repro.core.config import ClusterConfig
+from repro.core.diameter import approximate_diameter
+from repro.generators import mesh, path_graph
+from repro.generators.spatial import grid3d
+
+CFG = ClusterConfig(seed=123, stage_threshold_factor=1.0)
+TAU = 27  # 27 = 3^3: integral tau^(1/b) points for b = 1, 2, 3
+
+FAMILIES = {
+    "path(1728)": (lambda: path_graph(1728, weights="uniform", seed=123), 1),
+    "mesh(42)": (lambda: mesh(42, seed=123), 2),
+    "grid3d(12)": (lambda: grid3d(12, seed=123), 3),
+}
+
+
+@pytest.mark.parametrize("name", list(FAMILIES))
+def test_family(benchmark, name):
+    factory, _b = FAMILIES[name]
+    graph = factory()
+    est = benchmark.pedantic(
+        lambda: approximate_diameter(graph, tau=TAU, config=CFG),
+        rounds=1,
+        iterations=1,
+    )
+    assert est.value > 0
+
+
+def test_doubling_dimension_report(benchmark):
+    def sweep():
+        rows = []
+        for name, (factory, b) in FAMILIES.items():
+            graph = factory()
+            est = approximate_diameter(graph, tau=TAU, config=CFG)
+            psi = hop_radius(graph, 0)
+            b_hat = doubling_dimension_estimate(graph, radius=3, sample=5, seed=123)
+            rows.append(
+                {
+                    "family": name,
+                    "b": b,
+                    "b_estimate": b_hat,
+                    "n": graph.num_nodes,
+                    "psi_floor": psi,
+                    "rounds": est.counters.rounds,
+                    "speedup": psi / max(est.counters.rounds, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "doubling_dimension.txt",
+        format_table(
+            rows,
+            title=f"Corollary 1 across doubling dimensions (tau = {TAU}; "
+            "speedup = psi_floor / rounds)",
+        ),
+    )
+    # Shape: every family beats the psi floor; the empirical dimension
+    # estimates order the families correctly.
+    assert all(r["rounds"] < r["psi_floor"] for r in rows)
+    estimates = [r["b_estimate"] for r in rows]
+    assert estimates == sorted(estimates)

@@ -1,0 +1,28 @@
+"""Figure 2 — MapReduce rounds (log scale): CL-DIAM vs Δ-stepping.
+
+The paper's Figure 2 is the headline systems result: CL-DIAM needs one to
+three orders of magnitude fewer rounds than Δ-stepping, which — rounds
+being the dominant cost in MapReduce — explains the running-time gap.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.bench.reporting import format_bar_chart
+
+
+def test_fig2_report(benchmark, comparison_records):
+    def build_chart():
+        values = {}
+        for name, (cl, ds, _lb) in comparison_records.items():
+            values[f"{name} CL-DIAM"] = float(cl.rounds)
+            values[f"{name} delta-step"] = float(ds.rounds)
+        return values
+
+    values = benchmark.pedantic(build_chart, rounds=1, iterations=1)
+    write_result(
+        "fig2_rounds.txt",
+        format_bar_chart(values, title="Figure 2: rounds", log=True),
+    )
+    for name, (cl, ds, _lb) in comparison_records.items():
+        assert cl.rounds * 4 <= ds.rounds, name

@@ -1,0 +1,91 @@
+"""Extension bench — runtime scaling with graph size (Table 3's claim).
+
+The paper argues CL-DIAM "scales well with the graph size on the same
+machine configuration" (running instances 32-57x larger at roughly
+proportional cost).  This bench sweeps both synthetic families over a
+16x size range and checks the measured wall-clock grows subquadratically
+(near-linearly) in the edge count, while the round count stays flat —
+the two properties that make billion-edge runs feasible.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import write_result
+from repro.bench.reporting import format_table
+from repro.core.config import ClusterConfig
+from repro.core.diameter import approximate_diameter
+from repro.generators import rmat, roads
+from repro.graph.ops import largest_connected_component
+
+CFG = ClusterConfig(seed=31, stage_threshold_factor=1.0)
+
+RMAT_SCALES = (11, 13, 15)
+ROADS_S = (1, 4, 8)
+
+
+def _rmat_graph(scale):
+    return largest_connected_component(rmat(scale, edge_factor=8, seed=31))[0]
+
+
+def _roads_graph(s):
+    return roads(s, base_side=40, seed=31)
+
+
+@pytest.mark.parametrize("scale", RMAT_SCALES)
+def test_rmat_scaling(benchmark, scale):
+    graph = _rmat_graph(scale)
+    est = benchmark.pedantic(
+        lambda: approximate_diameter(graph, tau=32, config=CFG),
+        rounds=1,
+        iterations=1,
+    )
+    assert est.value > 0
+
+
+def test_scaling_report(benchmark):
+    def sweep():
+        rows = []
+        for family, sizes, build, tau in (
+            ("R-MAT", RMAT_SCALES, _rmat_graph, 32),
+            ("roads", ROADS_S, _roads_graph, 16),
+        ):
+            for size in sizes:
+                graph = build(size)
+                start = time.perf_counter()
+                est = approximate_diameter(graph, tau=tau, config=CFG)
+                elapsed = time.perf_counter() - start
+                rows.append(
+                    {
+                        "family": family,
+                        "size_param": size,
+                        "n": graph.num_nodes,
+                        "m": graph.num_edges,
+                        "time_s": elapsed,
+                        "rounds": est.counters.rounds,
+                        "us_per_edge": 1e6 * elapsed / max(graph.num_edges, 1),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "scaling_size.txt",
+        format_table(
+            rows,
+            title="Runtime scaling with graph size "
+            "(us_per_edge flat => linear scaling)",
+        ),
+    )
+    for family in ("R-MAT", "roads"):
+        series = [r for r in rows if r["family"] == family]
+        small, big = series[0], series[-1]
+        growth = big["time_s"] / max(small["time_s"], 1e-9)
+        size_ratio = big["m"] / max(small["m"], 1)
+        # Subquadratic: time grows no faster than m^1.5 across the sweep.
+        assert growth <= size_ratio**1.5 + 1.0, family
+        # Rounds stay flat (within 4x) as size grows.
+        assert big["rounds"] <= 4 * max(small["rounds"], 1), family

@@ -1,0 +1,89 @@
+"""Table 2 — CL-DIAM vs Δ-stepping: ratio, time, rounds, work.
+
+Regenerates the paper's headline comparison on the scaled suite.  The
+Δ-stepping entry sweeps Δ ∈ {mean, max, inf} and keeps the round-minimal
+run, following the paper's tuning methodology.  The benchmark fixture
+times the two estimators end-to-end on each graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.harness import modeled_mr_time, run_cl_diam, run_delta_stepping_diameter
+from repro.bench.reporting import format_table
+from repro.bench.workloads import BENCHMARK_SUITE
+from repro.core.config import ClusterConfig
+from repro.core.diameter import approximate_diameter
+
+
+@pytest.mark.parametrize("name", list(BENCHMARK_SUITE))
+def test_cl_diam(benchmark, suite_graphs, name):
+    """Wall-clock CL-DIAM per suite graph."""
+    graph = suite_graphs[name]
+    wl = BENCHMARK_SUITE[name]
+    cfg = ClusterConfig(seed=42, stage_threshold_factor=1.0)
+    est = benchmark.pedantic(
+        lambda: approximate_diameter(graph, tau=wl.tau, config=cfg),
+        rounds=2,
+        iterations=1,
+    )
+    assert est.value > 0
+
+
+@pytest.mark.parametrize("name", list(BENCHMARK_SUITE))
+def test_delta_stepping(benchmark, suite_graphs, name):
+    """Wall-clock Δ-stepping 2-approximation (best-Δ re-run)."""
+    from repro.baselines.sssp_diameter import sssp_diameter_approx
+
+    graph = suite_graphs[name]
+    res = benchmark.pedantic(
+        lambda: sssp_diameter_approx(graph, delta="mean", seed=42),
+        rounds=2,
+        iterations=1,
+    )
+    assert res.estimate > 0
+
+
+def test_table2_report(benchmark, comparison_records):
+    """Assemble the Table 2 analogue and check the paper's shape claims."""
+
+    def build_rows():
+        rows = []
+        for name, (cl, ds, lb) in comparison_records.items():
+            rows.append(
+                {
+                    "graph": name,
+                    "CL_ratio": cl.ratio,
+                    "DS_ratio": ds.ratio,
+                    "CL_mrtime": modeled_mr_time(cl.rounds, cl.messages),
+                    "DS_mrtime": modeled_mr_time(ds.rounds, ds.messages),
+                    "CL_rounds": cl.rounds,
+                    "DS_rounds": ds.rounds,
+                    "CL_work": cl.work,
+                    "DS_work": ds.work,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    write_result(
+        "table2_comparison.txt",
+        format_table(
+            rows,
+            title="Table 2: CL-DIAM vs delta-stepping "
+            "(ratio vs multi-sweep lower bound; best-delta DS runs; "
+            "mrtime = modelled MapReduce time, see modeled_mr_time)",
+        ),
+    )
+    # Shape assertions mirroring the paper's conclusions:
+    for row in rows:
+        # Approximation comparable and bounded (paper: < 1.4; slack 2.0
+        # at this scale).
+        assert row["CL_ratio"] < 2.0
+        # Rounds: CL-DIAM at least 4x fewer on every graph (paper: 1-3
+        # orders of magnitude).
+        assert row["CL_rounds"] * 4 <= row["DS_rounds"]
+        # Modelled MapReduce time follows the rounds gap.
+        assert row["CL_mrtime"] < row["DS_mrtime"]

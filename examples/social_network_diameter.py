@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Social-network scenario: diameter of power-law graphs under random weights.
+
+The paper's livejournal/twitter experiments assign uniform random weights
+in (0, 1] to born-unweighted social graphs and measure the weighted
+diameter.  This example builds both of the library's social stand-ins
+(R-MAT and preferential attachment), restricts to the giant component
+(as the experiments do for twitter), and compares CL-DIAM against the
+SSSP 2-approximation — including the cluster-size profile that explains
+why so few rounds suffice on small-diameter graphs.
+
+Run:  python examples/social_network_diameter.py
+"""
+
+from repro import ClusterConfig, powerlaw_cluster_like, rmat
+from repro.analysis import cluster_radius_stats
+from repro.baselines.sssp_diameter import sssp_diameter_approx
+from repro.baselines.double_sweep import diameter_lower_bound
+from repro.bench import format_table
+from repro.core.diameter import approximate_diameter
+from repro.graph.ops import largest_connected_component
+
+
+def analyze(name: str, graph) -> dict:
+    graph, _ = largest_connected_component(graph)
+    config = ClusterConfig(seed=11, stage_threshold_factor=1.0)
+
+    lb = diameter_lower_bound(graph, seed=11)
+    est = approximate_diameter(graph, tau=32, config=config)
+    sssp = sssp_diameter_approx(graph, delta="mean", seed=11)
+
+    stats = cluster_radius_stats(est.clustering)
+    print(f"\n=== {name}: n={graph.num_nodes} m={graph.num_edges} ===")
+    print(f"  certified diameter lower bound : {lb:.4f}")
+    print(f"  CL-DIAM estimate               : {est.value:.4f} "
+          f"(ratio {est.value / lb:.3f}, {est.counters.rounds} rounds)")
+    print(f"  SSSP 2-approx estimate         : {sssp.estimate:.4f} "
+          f"(ratio {sssp.estimate / lb:.3f}, {sssp.counters.rounds} rounds)")
+    print(f"  clusters: {stats.num_clusters}  max radius {stats.radius:.3f}  "
+          f"mean size {stats.mean_cluster_size:.1f}")
+    return {
+        "graph": name,
+        "CL_ratio": est.value / lb,
+        "SSSP_ratio": sssp.estimate / lb,
+        "CL_rounds": est.counters.rounds,
+        "SSSP_rounds": sssp.counters.rounds,
+        "CL_work": est.counters.work,
+        "SSSP_work": sssp.counters.work,
+    }
+
+
+def main() -> None:
+    rows = [
+        analyze("R-MAT(12) [twitter-like]", rmat(12, edge_factor=16, seed=5)),
+        analyze(
+            "pref-attach(4000) [livejournal-like]",
+            powerlaw_cluster_like(4000, attach=8, seed=6),
+        ),
+    ]
+    print()
+    print(format_table(rows, title="Summary (ratios vs certified lower bound)"))
+    print(
+        "\nNote: on small-diameter social graphs a handful of growing steps"
+        "\ncover the graph, so CL-DIAM's round count is almost independent"
+        "\nof graph size — the property that makes it practical at 10^9 edges."
+    )
+
+
+if __name__ == "__main__":
+    main()

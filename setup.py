@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment is offline and has setuptools without the ``wheel``
+package, so PEP 517 editable installs (which require ``bdist_wheel``)
+fail.  This shim enables ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

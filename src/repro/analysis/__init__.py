@@ -1,0 +1,36 @@
+"""Analysis helpers linking the theory to measurable graph quantities.
+
+* :mod:`~repro.analysis.ell` — the path-hop parameter ``ℓ_Δ`` that governs
+  round complexity (Theorems 1 and 3).
+* :mod:`~repro.analysis.radius` — clustering-radius statistics and a greedy
+  2-approximation of the optimal ``R_G(τ)``.
+* :mod:`~repro.analysis.doubling` — empirical doubling-dimension estimates
+  (Definition 2 / Corollary 1).
+"""
+
+from repro.analysis.ell import ell_delta, hop_radius, sssp_with_hops
+from repro.analysis.radius import cluster_radius_stats, gonzalez_radius, RadiusStats
+from repro.analysis.doubling import doubling_dimension_estimate, ball_sizes
+from repro.analysis.distances import (
+    DistanceProfile,
+    distance_profile,
+    effective_weighted_diameter,
+    sample_distances,
+)
+from repro.analysis.validation import validate_clustering
+
+__all__ = [
+    "ell_delta",
+    "hop_radius",
+    "sssp_with_hops",
+    "cluster_radius_stats",
+    "gonzalez_radius",
+    "RadiusStats",
+    "doubling_dimension_estimate",
+    "ball_sizes",
+    "DistanceProfile",
+    "distance_profile",
+    "effective_weighted_diameter",
+    "sample_distances",
+    "validate_clustering",
+]

@@ -1,0 +1,97 @@
+"""Clustering-radius diagnostics and the optimal-radius reference.
+
+``R_G(τ)`` — the best achievable radius of any τ-clustering — appears in
+every bound of the paper but is NP-hard to compute exactly (it is the
+weighted k-center objective).  :func:`gonzalez_radius` provides the
+classical greedy farthest-point 2-approximation, which the ablation
+benches use to put the measured CLUSTER radius (Theorem 1:
+``O(R_G(τ) log n)``) in context.  :func:`cluster_radius_stats` summarizes
+an actual clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.core.cluster import Clustering
+from repro.graph.csr import CSRGraph
+
+__all__ = ["gonzalez_radius", "cluster_radius_stats", "RadiusStats"]
+
+
+def gonzalez_radius(graph: CSRGraph, tau: int, *, start: int = 0) -> float:
+    """Greedy farthest-point k-center radius (2-approximation of R_G(τ)).
+
+    Repeatedly adds the node farthest from the current center set, then
+    reports the final farthest distance.  Runs ``τ`` Dijkstras via scipy's
+    multi-source mode.
+
+    For disconnected graphs the radius refers to reachable nodes only
+    (unreachable ones would force R = ∞ for any τ smaller than the number
+    of components).
+    """
+    from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+    n = graph.num_nodes
+    tau = min(max(1, tau), n)
+    sp = graph.to_scipy()
+
+    centers = [start]
+    dist = dijkstra_sssp(graph, start)
+    for _ in range(tau - 1):
+        finite = np.isfinite(dist)
+        if not finite.any():
+            break
+        far = int(np.argmax(np.where(finite, dist, -1.0)))
+        if dist[far] == 0.0:
+            break  # all reachable nodes are centers already
+        centers.append(far)
+        new_dist = _csgraph_dijkstra(sp, directed=False, indices=far)
+        np.minimum(dist, new_dist, out=dist)
+    finite = dist[np.isfinite(dist)]
+    return float(finite.max()) if len(finite) else 0.0
+
+
+@dataclass(frozen=True)
+class RadiusStats:
+    """Summary statistics of one clustering's geometry."""
+
+    num_clusters: int
+    radius: float
+    mean_radius: float
+    median_radius: float
+    max_cluster_size: int
+    mean_cluster_size: float
+    singleton_clusters: int
+
+    def as_dict(self) -> dict:
+        return {
+            "num_clusters": self.num_clusters,
+            "radius": self.radius,
+            "mean_radius": self.mean_radius,
+            "median_radius": self.median_radius,
+            "max_cluster_size": self.max_cluster_size,
+            "mean_cluster_size": self.mean_cluster_size,
+            "singleton_clusters": self.singleton_clusters,
+        }
+
+
+def cluster_radius_stats(clustering: Clustering) -> RadiusStats:
+    """Per-cluster radius and size statistics of a decomposition."""
+    ids = clustering.cluster_ids()
+    k = clustering.num_clusters
+    sizes = np.bincount(ids, minlength=k)
+    radii = np.zeros(k, dtype=np.float64)
+    np.maximum.at(radii, ids, clustering.dist_to_center)
+    return RadiusStats(
+        num_clusters=k,
+        radius=float(radii.max()) if k else 0.0,
+        mean_radius=float(radii.mean()) if k else 0.0,
+        median_radius=float(np.median(radii)) if k else 0.0,
+        max_cluster_size=int(sizes.max()) if k else 0,
+        mean_cluster_size=float(sizes.mean()) if k else 0.0,
+        singleton_clusters=int(np.count_nonzero(sizes == 1)),
+    )

@@ -1,0 +1,79 @@
+"""Library-level clustering soundness checking.
+
+``Clustering.validate()`` checks the *structural* invariants (partition,
+centers self-assigned, finite distances).  This module adds the
+*metric* check — that every reported distance-to-center really upper
+bounds the true shortest-path distance — by running Dijkstra from a
+sample of centers.  It is the check the test-suite applies everywhere,
+promoted to a public API so downstream users can audit persisted or
+third-party clusterings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.core.cluster import Clustering
+from repro.errors import GraphValidationError
+from repro.graph.csr import CSRGraph
+from repro.util import as_rng
+
+__all__ = ["validate_clustering"]
+
+
+def validate_clustering(
+    graph: CSRGraph,
+    clustering: Clustering,
+    *,
+    sample: Optional[int] = 16,
+    seed: Union[int, None] = 0,
+    tolerance: float = 1e-9,
+) -> None:
+    """Raise :class:`GraphValidationError` unless ``clustering`` is sound
+    for ``graph``.
+
+    Checks, per sampled center: every member's ``dist_to_center`` is at
+    least the true shortest-path distance (soundness of the radius and of
+    every quotient weight built from it) and every member is actually
+    reachable from its center.  ``sample=None`` checks every center
+    (O(k) Dijkstras).
+
+    Structural invariants are re-checked first via
+    :meth:`Clustering.validate`.
+    """
+    clustering.validate()
+    if len(clustering.center) != graph.num_nodes:
+        raise GraphValidationError(
+            "clustering size does not match the graph "
+            f"({len(clustering.center)} vs {graph.num_nodes} nodes)"
+        )
+    if np.any(clustering.center >= graph.num_nodes):
+        raise GraphValidationError("cluster center id out of range")
+
+    centers = clustering.centers
+    if sample is not None and sample < len(centers):
+        rng = as_rng(seed)
+        centers = rng.choice(centers, size=sample, replace=False)
+
+    for center_id in centers:
+        true = dijkstra_sssp(graph, int(center_id))
+        members = np.flatnonzero(clustering.center == center_id)
+        unreachable = members[~np.isfinite(true[members])]
+        if len(unreachable):
+            raise GraphValidationError(
+                f"node {int(unreachable[0])} is assigned to center "
+                f"{int(center_id)} but unreachable from it"
+            )
+        bad = members[
+            clustering.dist_to_center[members] < true[members] - tolerance
+        ]
+        if len(bad):
+            node = int(bad[0])
+            raise GraphValidationError(
+                f"node {node}: recorded distance "
+                f"{clustering.dist_to_center[node]} underestimates true "
+                f"distance {true[node]} to center {int(center_id)}"
+            )

@@ -1,0 +1,42 @@
+"""Baseline algorithms the paper compares against (or uses as references).
+
+* :mod:`~repro.baselines.dijkstra` — sequential SSSP (heap-based and a
+  scipy wrapper), the correctness oracle for every other SSSP.
+* :mod:`~repro.baselines.bellman_ford` — round-synchronous Bellman–Ford,
+  the "Δ = ∞" extreme of the Δ-stepping tradeoff.
+* :mod:`~repro.baselines.delta_stepping` — the Meyer–Sanders Δ-stepping
+  algorithm with bucket phases and MR round/work accounting: the paper's
+  only practical linear-space competitor.
+* :mod:`~repro.baselines.sssp_diameter` — the SSSP-based diameter
+  2-approximation (twice the heaviest shortest-path weight).
+* :mod:`~repro.baselines.double_sweep` — iterated farthest-node SSSP
+  producing the diameter *lower bound* the paper's approximation ratios
+  are measured against (caption of Table 2).
+"""
+
+from repro.baselines.dijkstra import dijkstra_sssp, dijkstra_sssp_reference
+from repro.baselines.dial import dial_sssp
+from repro.baselines.bellman_ford import bellman_ford_sssp
+from repro.baselines.delta_stepping import delta_stepping_sssp, DeltaSteppingResult
+from repro.baselines.sssp_diameter import sssp_diameter_approx, SSSPDiameterResult
+from repro.baselines.double_sweep import diameter_lower_bound
+from repro.baselines.paths import (
+    approximate_diametral_path,
+    dijkstra_with_parents,
+    extract_path,
+)
+
+__all__ = [
+    "dijkstra_with_parents",
+    "extract_path",
+    "approximate_diametral_path",
+    "dijkstra_sssp",
+    "dijkstra_sssp_reference",
+    "dial_sssp",
+    "bellman_ford_sssp",
+    "delta_stepping_sssp",
+    "DeltaSteppingResult",
+    "sssp_diameter_approx",
+    "SSSPDiameterResult",
+    "diameter_lower_bound",
+]

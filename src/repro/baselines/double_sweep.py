@@ -1,0 +1,70 @@
+"""Iterated farthest-node sweeps: the diameter lower bound of Table 2.
+
+The paper expresses approximation ratios "in terms of a lower bound to the
+true diameter computed by running the sequential SSSP algorithm multiple
+times, each time starting from the farthest node reached by the previous
+run".  Every eccentricity observed is a valid lower bound on the diameter,
+and the farthest-node restart heuristic (a multi-sweep generalization of
+the classical double sweep) converges to tight bounds quickly in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.graph.csr import CSRGraph
+from repro.util import as_rng
+
+__all__ = ["diameter_lower_bound"]
+
+
+def diameter_lower_bound(
+    graph: CSRGraph,
+    *,
+    sweeps: int = 4,
+    seed: Optional[int] = 0,
+    source: Optional[int] = None,
+) -> float:
+    """Lower-bound the weighted diameter by iterated farthest-node SSSP.
+
+    Parameters
+    ----------
+    graph:
+        Input graph; on disconnected graphs the sweep stays within the
+        start component, so callers comparing against the global diameter
+        should pass the largest component (as the experiments do).
+    sweeps:
+        Number of SSSP runs; each starts from the farthest node the
+        previous run reached.  4 sweeps match the convergence behaviour
+        reported in the diameter-estimation literature.
+    seed, source:
+        Starting node (random with ``seed`` when ``source`` is ``None``).
+
+    Returns
+    -------
+    float
+        ``max`` eccentricity observed — a certified lower bound on Φ(G).
+    """
+    n = graph.num_nodes
+    if n <= 1:
+        return 0.0
+    if source is None:
+        rng = as_rng(seed)
+        source = int(rng.integers(n))
+    best = 0.0
+    current = source
+    for _ in range(max(1, sweeps)):
+        dist = dijkstra_sssp(graph, current)
+        finite_mask = np.isfinite(dist)
+        if not finite_mask.any():
+            break
+        far = int(np.argmax(np.where(finite_mask, dist, -1.0)))
+        ecc = float(dist[far])
+        if ecc <= best and best > 0.0:
+            break  # converged: restarting cannot improve the bound
+        best = max(best, ecc)
+        current = far
+    return best

@@ -1,0 +1,29 @@
+"""Experiment harness: workload suite, runners, and report formatting.
+
+This package regenerates the paper's evaluation (§5): Table 1's graph
+inventory, Table 2 / Figures 1-3's CL-DIAM vs Δ-stepping comparison,
+Table 3's big-graph runs, Figure 4's scalability curve, and the
+initial-Δ experiment — all at laptop scale with the substitutions
+documented in DESIGN.md.
+"""
+
+from repro.bench.workloads import BENCHMARK_SUITE, Workload, load_workload
+from repro.bench.harness import (
+    ExperimentRecord,
+    run_cl_diam,
+    run_delta_stepping_diameter,
+    compare_algorithms,
+)
+from repro.bench.reporting import format_table, format_bar_chart
+
+__all__ = [
+    "BENCHMARK_SUITE",
+    "Workload",
+    "load_workload",
+    "ExperimentRecord",
+    "run_cl_diam",
+    "run_delta_stepping_diameter",
+    "compare_algorithms",
+    "format_table",
+    "format_bar_chart",
+]

@@ -1,0 +1,97 @@
+"""Plain-text report formatting: tables (Tables 1-3) and log-scale bar
+charts (Figures 1-4) rendered in ASCII so benchmark output is readable in
+a terminal and diffable in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_bar_chart"]
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: Sequence[str] = None,
+    *,
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned monospace table.
+
+    ``columns`` fixes order/selection; default is the first row's keys.
+    Floats are shown with 4 significant digits, large ints in scientific
+    notation (like the paper's work column).
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, int):
+            return f"{value:.2e}" if abs(value) >= 10_000_000 else str(value)
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "nan"
+            if abs(value) >= 10_000_000:
+                return f"{value:.2e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    table: List[List[str]] = [[fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in table))
+        for i, col in enumerate(columns)
+    ]
+    sep = "  "
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep.join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in table:
+        lines.append(sep.join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: Dict[str, float],
+    *,
+    title: str = "",
+    log: bool = False,
+    width: int = 50,
+) -> str:
+    """Horizontal ASCII bar chart (log scale optional, like Figures 2-3)."""
+    if not values:
+        return f"{title}\n(empty)" if title else "(empty)"
+    label_w = max(len(k) for k in values)
+
+    finite = [v for v in values.values() if v > 0] or [1.0]
+    if log:
+        lo = math.log10(min(finite)) - 0.2
+        hi = math.log10(max(finite))
+        span = max(hi - lo, 1e-9)
+
+        def scale(v: float) -> int:
+            if v <= 0:
+                return 0
+            return max(1, int(round(width * (math.log10(v) - lo) / span)))
+
+    else:
+        hi = max(finite)
+
+        def scale(v: float) -> int:
+            return max(0, int(round(width * v / hi)))
+
+    lines = []
+    if title:
+        lines.append(title + ("  [log scale]" if log else ""))
+    for key, value in values.items():
+        bar = "#" * scale(value)
+        shown = f"{value:.3g}" if isinstance(value, float) else str(value)
+        lines.append(f"{key.ljust(label_w)} | {bar} {shown}")
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""The benchmark graph suite (Table 1, scaled to laptop size).
+
+Every family of the paper appears with the same topology class and weight
+model; sizes are reduced per DESIGN.md's substitution table (the paper
+itself argues the comparison is about *relative* performance, §5).  Real
+DIMACS/SNAP files can replace the starred synthetic stand-ins via
+:func:`repro.graph.io.read_dimacs` / ``read_edge_list`` when available.
+
+Suite entries (``name → Workload``):
+
+==================  =============================================  =========
+name                construction                                   paper row
+==================  =============================================  =========
+roads-USA*          road_network(side=90)                          roads-USA
+roads-CAL*          road_network(side=40)                          roads-CAL
+livejournal*        powerlaw_cluster_like(n=4000, attach=8)        livejournal
+twitter*            rmat(12, edge_factor=16), giant component      twitter
+mesh                mesh(64), uniform weights                      mesh(S)
+R-MAT(12)           rmat(12, edge_factor=8), giant component       R-MAT(S)
+roads(3)            path(3) × road_network(side=40)                roads(S)
+==================  =============================================  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.graph.csr import CSRGraph
+from repro.graph.ops import largest_connected_component
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named benchmark graph with its construction recipe.
+
+    Attributes
+    ----------
+    name:
+        Suite key (starred names are synthetic stand-ins for real data).
+    paper_name:
+        The Table 1 row this corresponds to.
+    factory:
+        Zero-argument callable building the graph.
+    tau:
+        The τ used by CL-DIAM runs on this graph (sized for a quotient of
+        a few hundred to a few thousand nodes, mirroring the paper's
+        "quotient ≤ 100 000 nodes" policy at scale).
+    description:
+        Human-readable note for reports.
+    """
+
+    name: str
+    paper_name: str
+    factory: Callable[[], CSRGraph]
+    tau: int
+    description: str
+
+    def build(self) -> CSRGraph:
+        """Materialize the graph (always the largest connected component)."""
+        graph = self.factory()
+        giant, _ = largest_connected_component(graph)
+        return giant
+
+
+def _roads_usa() -> CSRGraph:
+    from repro.generators import road_network
+
+    return road_network(90, seed=101, extra_edge_fraction=0.22)
+
+
+def _roads_cal() -> CSRGraph:
+    from repro.generators import road_network
+
+    return road_network(40, seed=102, extra_edge_fraction=0.22)
+
+
+def _livejournal() -> CSRGraph:
+    from repro.generators import powerlaw_cluster_like
+
+    return powerlaw_cluster_like(4000, attach=8, seed=103)
+
+
+def _twitter() -> CSRGraph:
+    from repro.generators import rmat
+
+    return rmat(12, edge_factor=16, seed=104)
+
+
+def _mesh() -> CSRGraph:
+    from repro.generators import mesh
+
+    return mesh(64, seed=105)
+
+
+def _rmat() -> CSRGraph:
+    from repro.generators import rmat
+
+    return rmat(12, edge_factor=8, seed=106)
+
+
+def _roads_s3() -> CSRGraph:
+    from repro.generators import roads
+
+    return roads(3, base_side=40, seed=107)
+
+
+BENCHMARK_SUITE: Dict[str, Workload] = {
+    "roads-USA*": Workload(
+        "roads-USA*",
+        "roads-USA",
+        _roads_usa,
+        tau=24,
+        description="synthetic road network, 90x90 footprint, integer weights",
+    ),
+    "roads-CAL*": Workload(
+        "roads-CAL*",
+        "roads-CAL",
+        _roads_cal,
+        tau=16,
+        description="synthetic road network, 40x40 footprint, integer weights",
+    ),
+    "livejournal*": Workload(
+        "livejournal*",
+        "livejournal",
+        _livejournal,
+        tau=48,
+        description="preferential attachment, power-law degrees, uniform weights",
+    ),
+    "twitter*": Workload(
+        "twitter*",
+        "twitter",
+        _twitter,
+        tau=48,
+        description="R-MAT scale 12, edge factor 16 (dense social stand-in)",
+    ),
+    "mesh": Workload(
+        "mesh",
+        "mesh(S)",
+        _mesh,
+        tau=24,
+        description="64x64 mesh, doubling dimension 2, uniform weights",
+    ),
+    "R-MAT(12)": Workload(
+        "R-MAT(12)",
+        "R-MAT(S)",
+        _rmat,
+        tau=48,
+        description="R-MAT scale 12, power-law, small diameter",
+    ),
+    "roads(3)": Workload(
+        "roads(3)",
+        "roads(S)",
+        _roads_s3,
+        tau=24,
+        description="path(3) x road_network(40): the paper's cartesian family",
+    ),
+}
+
+
+def load_workload(name: str) -> CSRGraph:
+    """Build the named suite graph (largest connected component)."""
+    return BENCHMARK_SUITE[name].build()

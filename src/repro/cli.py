@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info <file>``
+    Print a graph's basic statistics (n, m, weight range, components).
+``generate <family> -o out.gr [params]``
+    Write a benchmark-family graph in DIMACS format.
+``diameter <file> [--tau N] [--exact] [--seed S]``
+    Run CL-DIAM on a DIMACS/edge-list file and report the estimate,
+    certified lower bound, rounds and work.
+``sssp <file> --source U [--delta D]``
+    Run Δ-stepping SSSP and report eccentricity/rounds/work.
+``compare <file> [--tau N]``
+    One Table-2-style row: CL-DIAM vs best-Δ Δ-stepping.
+
+The CLI is a thin veneer over the library; each command returns an exit
+status (0 success) and prints human-readable text to stdout, making the
+package usable from shell pipelines without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(path: str):
+    """Load a graph file by extension (.gr/.gr.gz = DIMACS, else edge list)."""
+    from repro.graph.io import read_dimacs, read_edge_list
+
+    name = Path(path).name
+    if ".gr" in name:
+        return read_dimacs(path)
+    return read_edge_list(path)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Diameter approximation of massive weighted graphs "
+        "(Ceccarello et al., IPPS 2016 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print graph statistics")
+    p_info.add_argument("file")
+
+    p_gen = sub.add_parser("generate", help="generate a benchmark graph")
+    p_gen.add_argument(
+        "family",
+        choices=["mesh", "rmat", "road", "roads", "gnm", "powerlaw"],
+    )
+    p_gen.add_argument("-o", "--output", required=True)
+    p_gen.add_argument("--size", type=int, default=32,
+                       help="side/scale/S/n depending on family")
+    p_gen.add_argument("--edges", type=int, default=None,
+                       help="edge count (gnm only)")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--weights", default="uniform",
+                       choices=["uniform", "unit"])
+
+    p_diam = sub.add_parser("diameter", help="estimate the weighted diameter")
+    p_diam.add_argument("file")
+    p_diam.add_argument("--tau", type=int, default=None)
+    p_diam.add_argument("--seed", type=int, default=0)
+    p_diam.add_argument("--exact", action="store_true",
+                        help="also compute the exact diameter (small graphs)")
+    p_diam.add_argument("--cluster2", action="store_true",
+                        help="use CLUSTER2 (Algorithm 2) for the decomposition")
+
+    p_sssp = sub.add_parser("sssp", help="run delta-stepping SSSP")
+    p_sssp.add_argument("file")
+    p_sssp.add_argument("--source", type=int, default=0)
+    p_sssp.add_argument("--delta", default="mean")
+
+    p_cmp = sub.add_parser("compare", help="CL-DIAM vs delta-stepping")
+    p_cmp.add_argument("file")
+    p_cmp.add_argument("--tau", type=int, default=None)
+    p_cmp.add_argument("--seed", type=int, default=0)
+
+    p_ecc = sub.add_parser(
+        "eccentricity", help="certified per-node eccentricity bounds"
+    )
+    p_ecc.add_argument("file")
+    p_ecc.add_argument("--tau", type=int, default=None)
+    p_ecc.add_argument("--seed", type=int, default=0)
+    p_ecc.add_argument("--top", type=int, default=5,
+                       help="show the nodes with the largest upper bounds")
+
+    p_comp = sub.add_parser(
+        "components", help="per-component diameter estimates"
+    )
+    p_comp.add_argument("file")
+    p_comp.add_argument("--tau", type=int, default=None)
+    p_comp.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_info(args) -> int:
+    from repro.graph.ops import connected_components
+
+    graph = _load_graph(args.file)
+    count, labels = connected_components(graph)
+    print(f"nodes        : {graph.num_nodes}")
+    print(f"edges        : {graph.num_edges}")
+    print(f"components   : {count}")
+    print(f"weight range : [{graph.min_weight:.6g}, {graph.max_weight:.6g}]")
+    print(f"mean weight  : {graph.mean_weight:.6g}")
+    print(f"max degree   : {graph.degrees.max() if graph.num_nodes else 0}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.generators import (
+        gnm_random_graph,
+        mesh,
+        powerlaw_cluster_like,
+        rmat,
+        road_network,
+        roads,
+    )
+    from repro.graph.io import write_dimacs
+
+    size, seed, weights = args.size, args.seed, args.weights
+    if args.family == "mesh":
+        graph = mesh(size, seed=seed, weights=weights)
+    elif args.family == "rmat":
+        graph = rmat(size, seed=seed, weights=weights)
+    elif args.family == "road":
+        graph = road_network(size, seed=seed)
+    elif args.family == "roads":
+        graph = roads(size, seed=seed)
+    elif args.family == "gnm":
+        m = args.edges if args.edges is not None else 4 * size
+        graph = gnm_random_graph(size, m, seed=seed, weights=weights, connect=True)
+    else:  # powerlaw
+        graph = powerlaw_cluster_like(size, seed=seed, weights=weights)
+    write_dimacs(graph, args.output, comment=f"repro generate {args.family}")
+    print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {args.output}")
+    return 0
+
+
+def _cmd_diameter(args) -> int:
+    from repro.baselines.double_sweep import diameter_lower_bound
+    from repro.core.config import ClusterConfig
+    from repro.core.diameter import approximate_diameter
+
+    graph = _load_graph(args.file)
+    config = ClusterConfig(
+        seed=args.seed, stage_threshold_factor=1.0, use_cluster2=args.cluster2
+    )
+    est = approximate_diameter(graph, tau=args.tau, config=config)
+    lb = diameter_lower_bound(graph, seed=args.seed)
+    print(f"estimate     : {est.value:.6g}")
+    print(f"lower bound  : {lb:.6g}")
+    print(f"ratio (<=)   : {est.value / lb if lb > 0 else float('inf'):.4f}")
+    print(f"radius       : {est.radius:.6g}")
+    print(f"clusters     : {est.num_clusters}")
+    print(f"rounds       : {est.counters.rounds}")
+    print(f"work         : {est.counters.work}")
+    if args.exact:
+        from repro.exact import exact_diameter
+
+        exact = exact_diameter(graph)
+        print(f"exact        : {exact:.6g}")
+        print(f"true ratio   : {est.value / exact if exact > 0 else 1.0:.4f}")
+    return 0
+
+
+def _cmd_sssp(args) -> int:
+    import numpy as np
+
+    from repro.baselines.delta_stepping import delta_stepping_sssp
+
+    graph = _load_graph(args.file)
+    try:
+        delta = float(args.delta)
+    except ValueError:
+        delta = args.delta
+    result = delta_stepping_sssp(graph, args.source, delta)
+    finite = result.dist[np.isfinite(result.dist)]
+    print(f"source        : {args.source}")
+    print(f"delta         : {result.delta:.6g}")
+    print(f"reached       : {len(finite)} / {graph.num_nodes}")
+    print(f"eccentricity  : {finite.max() if len(finite) else 0:.6g}")
+    print(f"buckets       : {result.num_buckets}")
+    print(f"rounds        : {result.counters.rounds}")
+    print(f"work          : {result.counters.work}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.bench.harness import compare_algorithms
+    from repro.bench.reporting import format_table
+    from repro.core.config import ClusterConfig
+
+    graph = _load_graph(args.file)
+    cl, ds, lb = compare_algorithms(
+        graph,
+        graph_name=Path(args.file).name,
+        tau=args.tau,
+        config=ClusterConfig(seed=args.seed, stage_threshold_factor=1.0),
+        lb_seed=args.seed,
+    )
+    print(format_table([cl.as_row(), ds.as_row()],
+                       title=f"lower bound = {lb:.6g}"))
+    return 0
+
+
+def _cmd_eccentricity(args) -> int:
+    import numpy as np
+
+    from repro.core.cluster import cluster
+    from repro.core.config import ClusterConfig
+    from repro.core.eccentricity import eccentricity_bounds
+
+    graph = _load_graph(args.file)
+    config = ClusterConfig(seed=args.seed, stage_threshold_factor=1.0)
+    clustering = cluster(graph, tau=args.tau, config=config)
+    bounds = eccentricity_bounds(graph, clustering)
+    lo, hi = bounds.diameter_bounds()
+    print(f"diameter bracket : [{lo:.6g}, {hi:.6g}]")
+    order = np.argsort(-bounds.upper)[: max(args.top, 0)]
+    for node in order:
+        print(
+            f"node {int(node):>8}: ecc in [{bounds.lower[node]:.6g}, "
+            f"{bounds.upper[node]:.6g}]"
+        )
+    return 0
+
+
+def _cmd_components(args) -> int:
+    from repro.core.components import per_component_diameters
+    from repro.core.config import ClusterConfig
+
+    graph = _load_graph(args.file)
+    config = ClusterConfig(seed=args.seed, stage_threshold_factor=1.0)
+    results = per_component_diameters(graph, tau=args.tau, config=config)
+    print(f"components   : {len(results)}")
+    for r in results[:10]:
+        print(
+            f"component {r.component:>4}: size {r.size:>8}  "
+            f"diameter <= {r.estimate:.6g}"
+        )
+    if len(results) > 10:
+        print(f"... and {len(results) - 10} more")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "generate": _cmd_generate,
+    "diameter": _cmd_diameter,
+    "sssp": _cmd_sssp,
+    "compare": _cmd_compare,
+    "eccentricity": _cmd_eccentricity,
+    "components": _cmd_components,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # surface library errors with a clean message
+        from repro.errors import ReproError
+
+        if isinstance(exc, ReproError):
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        raise
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's core contribution: weighted graph decomposition and CL-DIAM.
+
+Layout
+------
+* :mod:`~repro.core.config` — tunables (τ, initial-Δ strategy, caps).
+* :mod:`~repro.core.state` — per-node ``(c_u, d_u)`` state arrays.
+* :mod:`~repro.core.growing` — the vectorized Δ-growing step.
+* :mod:`~repro.core.contract` — Contract / Contract2 as freeze operations.
+* :mod:`~repro.core.cluster` — Algorithm 1, ``CLUSTER(G, τ)``.
+* :mod:`~repro.core.cluster2` — Algorithm 2, ``CLUSTER2(G, τ)``.
+* :mod:`~repro.core.quotient` — the weighted quotient graph.
+* :mod:`~repro.core.diameter` — CL-DIAM: ``Φ_approx = Φ(G_C) + 2·R``.
+"""
+
+from repro.core.config import ClusterConfig
+from repro.core.cluster import cluster, Clustering
+from repro.core.cluster2 import cluster2
+from repro.core.quotient import quotient_graph
+from repro.core.diameter import (
+    approximate_diameter,
+    diameter_from_clustering,
+    DiameterEstimate,
+)
+from repro.core.eccentricity import eccentricity_bounds, EccentricityBounds
+from repro.core.tuning import tune_tau, TauTuningResult
+from repro.core.components import per_component_diameters, ComponentDiameter
+
+__all__ = [
+    "ClusterConfig",
+    "cluster",
+    "cluster2",
+    "Clustering",
+    "quotient_graph",
+    "approximate_diameter",
+    "diameter_from_clustering",
+    "DiameterEstimate",
+    "eccentricity_bounds",
+    "EccentricityBounds",
+    "tune_tau",
+    "TauTuningResult",
+    "per_component_diameters",
+    "ComponentDiameter",
+]

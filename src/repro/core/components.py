@@ -1,0 +1,82 @@
+"""Per-component diameter estimation for disconnected graphs.
+
+The paper defines the diameter of a disconnected graph as the largest
+distance within a connected component.  ``approximate_diameter`` already
+honours that definition globally (the quotient inherits the component
+structure), but callers analysing fragmented graphs usually want the
+breakdown: which component is the diametral one, and how large each is.
+This module runs the estimator per component and assembles the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import ClusterConfig
+from repro.core.diameter import approximate_diameter
+from repro.graph.csr import CSRGraph
+from repro.graph.ops import connected_components, induced_subgraph
+
+__all__ = ["per_component_diameters", "ComponentDiameter"]
+
+
+@dataclass
+class ComponentDiameter:
+    """One component's estimate.
+
+    ``nodes`` are original node ids; ``estimate`` is the CL-DIAM upper
+    bound for the component's diameter (0 for singleton components).
+    """
+
+    component: int
+    size: int
+    estimate: float
+    num_clusters: int
+    nodes: np.ndarray
+
+
+def per_component_diameters(
+    graph: CSRGraph,
+    tau: Optional[int] = None,
+    config: Optional[ClusterConfig] = None,
+    *,
+    min_size: int = 2,
+) -> List[ComponentDiameter]:
+    """Estimate every component's diameter (descending by estimate).
+
+    Components below ``min_size`` are reported with estimate 0 without
+    running the estimator (a singleton's diameter is 0 by definition).
+    The global diameter estimate is ``max(r.estimate for r in result)``.
+    """
+    config = config or ClusterConfig()
+    count, labels = connected_components(graph)
+    results: List[ComponentDiameter] = []
+    for comp in range(count):
+        nodes = np.flatnonzero(labels == comp)
+        if len(nodes) < min_size:
+            results.append(
+                ComponentDiameter(
+                    component=comp,
+                    size=len(nodes),
+                    estimate=0.0,
+                    num_clusters=len(nodes),
+                    nodes=nodes,
+                )
+            )
+            continue
+        sub = induced_subgraph(graph, nodes)
+        est = approximate_diameter(sub, tau=tau, config=config)
+        results.append(
+            ComponentDiameter(
+                component=comp,
+                size=len(nodes),
+                estimate=est.value,
+                num_clusters=est.num_clusters,
+                nodes=nodes,
+            )
+        )
+    results.sort(key=lambda r: (-r.estimate, -r.size))
+    return results

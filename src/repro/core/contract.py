@@ -1,0 +1,121 @@
+"""Contract / Contract2 and their frozen-mask simulation.
+
+The paper contracts the graph after every stage: covered nodes are removed
+(except centers) and boundary edges are re-attached to centers —
+
+* **Contract** (CLUSTER): edge ``(u, v)`` with ``u`` covered, ``v``
+  uncovered becomes ``(c_u, v)`` with weight ``w(u, v)``;
+* **Contract2** (CLUSTER2): the same edge becomes ``(c_u, v)`` with
+  *rescaled* weight ``d_u + w(u, v) − 2·R_CL`` (edges heavier than
+  ``2·R_CL`` are never used).
+
+The production implementation never materializes the contracted graph; it
+freezes covered nodes in :class:`~repro.core.state.ClusterState` and lets
+them propagate with an effective distance that reproduces the contracted
+edge weights exactly (see the state module's docstring for the argument).
+:func:`materialize_contracted_graph` builds the *literal* contracted graph
+of the paper, and exists so tests can verify the simulation against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.state import ClusterState
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+
+__all__ = ["contract", "contract2", "materialize_contracted_graph"]
+
+
+def contract(state: ClusterState, iteration: int = 0) -> np.ndarray:
+    """Apply Contract: freeze all currently assigned nodes.
+
+    Returns the newly frozen node ids.  Frozen nodes subsequently propagate
+    with effective distance 0, which is exactly the contracted edge
+    ``(c_u, v)`` of weight ``w(u, v)``.
+    """
+    return state.freeze_assigned(iteration)
+
+
+def contract2(state: ClusterState, iteration: int) -> np.ndarray:
+    """Apply Contract2: freeze assigned nodes, recording the iteration.
+
+    The recorded iteration feeds the per-iteration ``−2·R_CL`` weight
+    rescaling in :meth:`~repro.core.state.ClusterState.effective_dist`.
+    """
+    return state.freeze_assigned(iteration)
+
+
+def materialize_contracted_graph(
+    graph: CSRGraph, state: ClusterState
+) -> Tuple[CSRGraph, Dict[int, int], np.ndarray]:
+    """Build the literal Contract output (CLUSTER semantics) for testing.
+
+    Nodes of the contracted graph are: the distinct centers of frozen
+    nodes, followed by all non-frozen nodes.  Edges follow the paper's
+    three cases (both covered → dropped; both uncovered → kept; boundary →
+    re-attached to the center with the original weight, parallel edges
+    collapsing to the minimum).
+
+    Returns
+    -------
+    (contracted, old_to_new, new_to_old):
+        The contracted graph, a dict mapping surviving original ids to
+        contracted ids, and the inverse array.
+    """
+    frozen = state.frozen
+    centers = np.unique(state.center[frozen]) if frozen.any() else np.empty(0, np.int64)
+    others = np.flatnonzero(~frozen)
+    new_to_old = np.concatenate([centers, others])
+    old_to_new: Dict[int, int] = {int(o): i for i, o in enumerate(new_to_old)}
+
+    src = graph.arc_sources()
+    dst = graph.indices
+    w = graph.weights
+    keep_one_dir = src < dst  # each undirected edge once
+
+    u = src[keep_one_dir]
+    v = dst[keep_one_dir]
+    ww = w[keep_one_dir]
+
+    u_frozen = frozen[u]
+    v_frozen = frozen[v]
+
+    out_u = []
+    out_v = []
+    out_w = []
+
+    # Both uncovered: kept verbatim.
+    both_open = ~u_frozen & ~v_frozen
+    out_u.append(u[both_open])
+    out_v.append(v[both_open])
+    out_w.append(ww[both_open])
+
+    # Boundary: re-attach the covered endpoint to its center.
+    ub = u_frozen & ~v_frozen
+    out_u.append(state.center[u[ub]])
+    out_v.append(v[ub])
+    out_w.append(ww[ub])
+
+    vb = ~u_frozen & v_frozen
+    out_u.append(u[vb])
+    out_v.append(state.center[v[vb]])
+    out_w.append(ww[vb])
+
+    cu = np.concatenate(out_u)
+    cv = np.concatenate(out_v)
+    cw = np.concatenate(out_w)
+
+    # Remap to contracted ids; drop accidental self-loops (edges between two
+    # members of the same cluster crossing the boundary case never arise,
+    # but a boundary edge into the cluster's own center does).
+    remap = np.full(graph.num_nodes, -1, dtype=np.int64)
+    remap[new_to_old] = np.arange(len(new_to_old), dtype=np.int64)
+    cu = remap[cu]
+    cv = remap[cv]
+    keep = cu != cv
+    contracted = from_edges(cu[keep], cv[keep], cw[keep], len(new_to_old))
+    return contracted, old_to_new, new_to_old

@@ -1,0 +1,214 @@
+"""The Δ-growing step and PartialGrowth loops (vectorized).
+
+A **Δ-growing step** (paper §3) performs, in parallel for every node ``u``
+with ``d_u < Δ`` and every light edge ``(u, v)`` (weight ≤ Δ): if
+``d_u + w(u, v) ≤ Δ`` and ``d_v > d_u + w(u, v)``, update
+``(c_v, d_v) ← (c_u, d_u + w(u, v))``; among competing updates the one with
+the smallest ``d_v`` wins, ties broken towards the smallest center index.
+
+The implementation is a single synchronous (Jacobi-style) NumPy pass:
+
+1. gather all arcs out of the active sources with
+   :func:`~repro.util.expand_ranges`;
+2. filter to light arcs whose candidate distance passes the Δ and
+   improvement tests against the *old* state (synchronous semantics);
+3. resolve competition per target with one ``np.lexsort`` over
+   ``(target, candidate_distance, candidate_center)`` and a
+   first-per-group selection — exactly the paper's tie-breaking rule,
+   deterministically.
+
+Frontier maintenance: after the first full step, only nodes whose state
+changed can generate new improvements (frozen nodes' contributions never
+change), so subsequent steps scan only the previous step's updated set.
+This matches what a real MapReduce implementation sends and is the basis
+of the work counts (messages = light arcs scanned from active sources).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.state import NO_CENTER, ClusterState
+from repro.graph.csr import CSRGraph
+from repro.mr.metrics import Counters
+from repro.util import expand_ranges, first_occurrence
+
+__all__ = ["delta_growing_step", "partial_growth", "GrowthResult"]
+
+
+def delta_growing_step(
+    graph: CSRGraph,
+    state: ClusterState,
+    delta: float,
+    counters: Counters,
+    *,
+    sources: Optional[np.ndarray] = None,
+    iteration: int = 0,
+    rescale: float = 0.0,
+) -> Tuple[np.ndarray, int]:
+    """Execute one synchronous Δ-growing step.
+
+    Parameters
+    ----------
+    graph, state:
+        The input graph and the mutable per-node state.
+    delta:
+        Current Δ (light-edge threshold and growth radius bound).
+    counters:
+        Accumulates one round, plus messages/updates/relaxations.
+    sources:
+        Candidate source nodes; ``None`` means "all assigned nodes"
+        (required on the first step of a stage or after Δ changes).
+    iteration, rescale:
+        Contract2 rescaling parameters (see
+        :meth:`~repro.core.state.ClusterState.effective_dist`); leave at
+        defaults for CLUSTER semantics.
+
+    Returns
+    -------
+    (updated, newly_assigned):
+        Node ids whose state improved this step, and how many of them had
+        no center before the step.
+    """
+    if sources is None:
+        cand_src = np.flatnonzero(state.assigned_mask())
+    else:
+        cand_src = np.asarray(sources, dtype=np.int64)
+        cand_src = cand_src[state.center[cand_src] != NO_CENTER]
+
+    # Effective source distances (frozen nodes propagate as contracted edges).
+    eff = state.dist[cand_src].copy()
+    frozen_mask = state.frozen[cand_src]
+    if rescale == 0.0:
+        eff[frozen_mask] = 0.0
+    else:
+        fidx = np.flatnonzero(frozen_mask)
+        eff[fidx] -= rescale * (iteration - state.frozen_iter[cand_src[fidx]])
+
+    active = eff < delta
+    srcs = cand_src[active]
+    eff = eff[active]
+    counters.growing_steps += 1
+    if srcs.size == 0:
+        counters.record_round(messages=0, updates=0)
+        return np.empty(0, dtype=np.int64), 0
+
+    # Gather all arcs out of the active sources.
+    starts = graph.indptr[srcs]
+    counts = graph.indptr[srcs + 1] - starts
+    arc_idx = expand_ranges(starts, counts)
+    tgt = graph.indices[arc_idx]
+    w = graph.weights[arc_idx]
+    src_rep = np.repeat(srcs, counts)
+    eff_rep = np.repeat(eff, counts)
+
+    # Messages = light arcs that exist in the *contracted* graph: arcs
+    # into frozen targets were removed by Contract (both endpoints covered
+    # → edge dropped; boundary edges point outward only), so a real
+    # implementation never sends along them.
+    light = w <= delta
+    open_target = ~state.frozen[tgt]
+    messages = int(np.count_nonzero(light & open_target))
+
+    nd = eff_rep + w
+    ok = light & (nd <= delta) & open_target & (nd < state.dist[tgt])
+    if not ok.any():
+        counters.record_round(messages=messages, updates=0)
+        return np.empty(0, dtype=np.int64), 0
+
+    cand_t = tgt[ok]
+    cand_d = nd[ok]
+    cand_c = state.center[src_rep[ok]]
+    cand_acc = state.dist_acc[src_rep[ok]] + w[ok]
+    relaxations = len(cand_t)
+
+    # Winner per target: smallest distance, then smallest center index.
+    order = np.lexsort((cand_c, cand_d, cand_t))
+    sel = order[first_occurrence(cand_t[order])]
+    upd = cand_t[sel]
+
+    newly_assigned = int(np.count_nonzero(state.center[upd] == NO_CENTER))
+    state.dist[upd] = cand_d[sel]
+    state.center[upd] = cand_c[sel]
+    state.dist_acc[upd] = cand_acc[sel]
+
+    counters.record_round(messages=messages, updates=len(upd), relaxations=relaxations)
+    return upd, newly_assigned
+
+
+class GrowthResult:
+    """Outcome of a PartialGrowth loop.
+
+    Attributes
+    ----------
+    steps:
+        Δ-growing steps executed.
+    newly_covered:
+        Previously-unassigned nodes that received a center.
+    reached_fixpoint:
+        ``True`` when the loop stopped because no state changed.
+    hit_cap:
+        ``True`` when the §4.1 growing-step cap stopped the loop.
+    """
+
+    __slots__ = ("steps", "newly_covered", "reached_fixpoint", "hit_cap")
+
+    def __init__(self, steps: int, newly_covered: int, reached_fixpoint: bool, hit_cap: bool):
+        self.steps = steps
+        self.newly_covered = newly_covered
+        self.reached_fixpoint = reached_fixpoint
+        self.hit_cap = hit_cap
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GrowthResult(steps={self.steps}, newly_covered={self.newly_covered}, "
+            f"fixpoint={self.reached_fixpoint}, capped={self.hit_cap})"
+        )
+
+
+def partial_growth(
+    graph: CSRGraph,
+    state: ClusterState,
+    delta: float,
+    counters: Counters,
+    *,
+    cover_target: Optional[int] = None,
+    step_cap: Optional[int] = None,
+    iteration: int = 0,
+    rescale: float = 0.0,
+) -> GrowthResult:
+    """Run Δ-growing steps to (near) fixpoint — Procedures PartialGrowth/2.
+
+    Stops when a step produces no update (fixpoint; this happens after at
+    most ``ℓ_Δ`` steps by the Bellman–Ford argument of Theorem 1), when
+    ``cover_target`` newly covered nodes have been reached (PartialGrowth's
+    half-coverage early exit), or when ``step_cap`` steps have run (§4.1's
+    round-limiting variant).
+
+    The first step scans all assigned nodes (frozen representatives
+    included); later steps scan only the previous step's updated frontier.
+    """
+    frontier: Optional[np.ndarray] = None  # None = all assigned sources
+    steps = 0
+    newly_covered = 0
+    while True:
+        updated, assigned_now = delta_growing_step(
+            graph,
+            state,
+            delta,
+            counters,
+            sources=frontier,
+            iteration=iteration,
+            rescale=rescale,
+        )
+        steps += 1
+        newly_covered += assigned_now
+        if updated.size == 0:
+            return GrowthResult(steps, newly_covered, True, False)
+        if cover_target is not None and newly_covered >= cover_target:
+            return GrowthResult(steps, newly_covered, False, False)
+        if step_cap is not None and steps >= step_cap:
+            return GrowthResult(steps, newly_covered, False, True)
+        frontier = updated

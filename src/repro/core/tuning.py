@@ -1,0 +1,101 @@
+"""τ auto-tuning (the paper's quotient-size policy, automated).
+
+The paper sets τ "to yield a number of nodes in the quotient graph
+≤ 100 000 ... to ensure that the final diameter computation would not
+dominate the running time" (§5).  The mapping τ → cluster count depends on
+the graph (Theorem 1 only gives O(τ log² n) w.h.p.), so this module tunes
+τ empirically: exponential search over τ, probing each candidate with a
+real (cheap) CLUSTER run and keeping the largest τ whose quotient stays
+within budget.  The probe runs are full decompositions — on the scaled
+instances this library targets they are fast; at extreme scale callers
+would sample instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.cluster import cluster
+from repro.core.config import ClusterConfig
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["tune_tau", "TauTuningResult"]
+
+
+@dataclass
+class TauTuningResult:
+    """Outcome of :func:`tune_tau`.
+
+    ``tau`` is the selected value; ``probes`` records every
+    ``(tau, clusters)`` pair examined (useful for reports).
+    """
+
+    tau: int
+    clusters: int
+    probes: List[tuple]
+
+
+def tune_tau(
+    graph: CSRGraph,
+    max_quotient_nodes: int,
+    *,
+    config: Optional[ClusterConfig] = None,
+    max_probes: int = 12,
+) -> TauTuningResult:
+    """Largest τ whose decomposition keeps the quotient within budget.
+
+    Exponential search: doubles τ while the cluster count stays within
+    ``max_quotient_nodes``, then binary-refines between the last good and
+    first bad values.  Monotonicity holds in expectation (Theorem 1), and
+    the occasional randomness-induced violation only costs optimality,
+    never the budget: the returned τ's own probe satisfied it.
+    """
+    if max_quotient_nodes < 1:
+        raise ConfigurationError("max_quotient_nodes must be >= 1")
+    config = config or ClusterConfig()
+    n = graph.num_nodes
+    if n == 0:
+        raise ConfigurationError("cannot tune on the empty graph")
+
+    probes: List[tuple] = []
+
+    def probe(tau: int) -> int:
+        count = cluster(graph, tau=tau, config=config).num_clusters
+        probes.append((tau, count))
+        return count
+
+    # Exponential phase.
+    tau = 1
+    count = probe(tau)
+    if count > max_quotient_nodes:
+        # Even τ = 1 busts the budget (tiny budget or singleton regime):
+        # report τ = 1, the smallest legal value.
+        return TauTuningResult(tau=1, clusters=count, probes=probes)
+    best = (tau, count)
+    used = 1
+    while used < max_probes and tau < n:
+        candidate = min(tau * 2, n)
+        count = probe(candidate)
+        used += 1
+        if count <= max_quotient_nodes:
+            best = (candidate, count)
+            if candidate == n:
+                break
+            tau = candidate
+        else:
+            # Binary refinement between tau (good) and candidate (bad).
+            lo, hi = tau, candidate
+            while used < max_probes and hi - lo > 1:
+                mid = (lo + hi) // 2
+                count = probe(mid)
+                used += 1
+                if count <= max_quotient_nodes:
+                    best = (mid, count)
+                    lo = mid
+                else:
+                    hi = mid
+            break
+
+    return TauTuningResult(tau=best[0], clusters=best[1], probes=probes)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "GraphValidationError",
+    "MemoryLimitExceeded",
+    "ConfigurationError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when parsing a graph file fails (bad header, bad record, ...)."""
+
+
+class GraphValidationError(ReproError):
+    """Raised when a graph violates a structural invariant.
+
+    Examples include negative edge weights, out-of-range endpoints, or an
+    inconsistent CSR layout.
+    """
+
+
+class MemoryLimitExceeded(ReproError):
+    """Raised by the MR engine when a reducer exceeds its local memory M_L.
+
+    The MR(M_T, M_L) model of Pietracaprina et al. requires every reducer to
+    work within ``M_L`` memory words.  The simulator enforces the constraint
+    and raises this error so that violations are caught in tests rather than
+    silently ignored.
+    """
+
+    def __init__(self, used: int, limit: int, key: object = None):
+        self.used = int(used)
+        self.limit = int(limit)
+        self.key = key
+        suffix = f" (reducer key {key!r})" if key is not None else ""
+        super().__init__(
+            f"reducer used {used} memory words, exceeding local limit M_L={limit}{suffix}"
+        )
+
+
+class ConfigurationError(ReproError):
+    """Raised when algorithm parameters are invalid or inconsistent."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative algorithm fails to converge within its budget."""

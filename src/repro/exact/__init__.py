@@ -1,0 +1,12 @@
+"""Exact reference computations (small-graph ground truth for tests/benches)."""
+
+from repro.exact.apsp import exact_diameter, apsp_matrix
+from repro.exact.eccentricity import eccentricities, eccentricity, radius
+
+__all__ = [
+    "exact_diameter",
+    "apsp_matrix",
+    "eccentricities",
+    "eccentricity",
+    "radius",
+]

@@ -1,0 +1,61 @@
+"""Benchmark graph generators (Table 1's synthetic families and stand-ins).
+
+* :func:`mesh` — the paper's ``mesh(S)``: an S×S grid, the canonical
+  bounded-doubling-dimension family (b = 2) for Corollary 1.
+* :func:`rmat` — the paper's ``R-MAT(S)``: power-law, small-diameter graphs
+  standing in for social networks (and, at suitable scale, for the
+  livejournal/twitter real datasets that cannot be downloaded offline).
+* :func:`road_network` / :func:`roads` — synthetic road networks (perturbed
+  near-planar grids with integer travel-time weights) replacing the DIMACS
+  roads-USA/roads-CAL inputs, and the paper's ``roads(S)`` cartesian-product
+  family built on top of them.
+* :func:`gnm_random_graph` / :func:`powerlaw_cluster_like` — generic random
+  families used by tests.
+* :mod:`~repro.generators.weights` — weight assignment strategies (uniform
+  (0,1], integer ranges, the bimodal {1, 1e-6} mix of the initial-Δ
+  experiment).
+"""
+
+from repro.generators.mesh import mesh, torus
+from repro.generators.rmat import rmat
+from repro.generators.roads import road_network, roads
+from repro.generators.random_graphs import (
+    gnm_random_graph,
+    path_graph,
+    cycle_graph,
+    star_graph,
+    complete_graph,
+    random_tree,
+    powerlaw_cluster_like,
+)
+from repro.generators.spatial import grid3d, random_geometric, watts_strogatz
+from repro.generators.weights import (
+    uniform_weights,
+    integer_weights,
+    bimodal_weights,
+    unit_weights,
+    reweighted,
+)
+
+__all__ = [
+    "mesh",
+    "torus",
+    "rmat",
+    "road_network",
+    "roads",
+    "gnm_random_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "random_tree",
+    "powerlaw_cluster_like",
+    "grid3d",
+    "random_geometric",
+    "watts_strogatz",
+    "uniform_weights",
+    "integer_weights",
+    "bimodal_weights",
+    "unit_weights",
+    "reweighted",
+]

@@ -1,0 +1,98 @@
+"""Mesh (grid) generators.
+
+``mesh(S)`` is the paper's S×S square mesh: n = S², m = 2S(S-1).  It is
+included in the benchmark suite because its doubling dimension is known
+(b = 2), so it is the family on which Corollary 1's round-complexity
+speedup can be observed directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+from repro.generators.weights import uniform_weights, unit_weights
+from repro.util import as_rng
+
+__all__ = ["mesh", "torus"]
+
+Seed = Optional[Union[int, np.random.Generator]]
+
+
+def _grid_edges(rows: int, cols: int):
+    """Endpoint arrays of the rows×cols grid (horizontal then vertical)."""
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    hu = ids[:, :-1].ravel()
+    hv = ids[:, 1:].ravel()
+    vu = ids[:-1, :].ravel()
+    vv = ids[1:, :].ravel()
+    return np.concatenate([hu, vu]), np.concatenate([hv, vv])
+
+
+def mesh(
+    side: int,
+    *,
+    weights: str = "uniform",
+    seed: Seed = None,
+    rows: int = None,
+) -> CSRGraph:
+    """The paper's ``mesh(S)``: a ``side × side`` grid.
+
+    Parameters
+    ----------
+    side:
+        Grid side length ``S`` (so ``n = S^2`` unless ``rows`` overrides).
+    weights:
+        ``"uniform"`` for random uniform weights in (0, 1] (the paper's
+        default for born-unweighted graphs), or ``"unit"`` for all-ones.
+    seed:
+        RNG seed for the weights.
+    rows:
+        Optional row count to build a rectangular ``rows × side`` mesh.
+
+    Returns
+    -------
+    CSRGraph
+        ``n = rows*side`` nodes, ``m = rows*(side-1) + (rows-1)*side`` edges.
+    """
+    if side < 1:
+        raise ConfigurationError("mesh side must be >= 1")
+    rows = side if rows is None else rows
+    if rows < 1:
+        raise ConfigurationError("mesh rows must be >= 1")
+    u, v = _grid_edges(rows, side)
+    m = len(u)
+    if weights == "uniform":
+        w = uniform_weights(m, seed)
+    elif weights == "unit":
+        w = unit_weights(m)
+    else:
+        raise ConfigurationError(f"unknown weights mode {weights!r}")
+    return from_edges(u, v, w, rows * side)
+
+
+def torus(side: int, *, weights: str = "uniform", seed: Seed = None) -> CSRGraph:
+    """A ``side × side`` torus (mesh with wraparound edges).
+
+    Like the mesh, it has doubling dimension 2, but no boundary effects:
+    useful in tests for checking radius bounds without corner cases.
+    """
+    if side < 3:
+        raise ConfigurationError("torus side must be >= 3 (avoid parallel edges)")
+    ids = np.arange(side * side, dtype=np.int64).reshape(side, side)
+    right = np.roll(ids, -1, axis=1)
+    down = np.roll(ids, -1, axis=0)
+    u = np.concatenate([ids.ravel(), ids.ravel()])
+    v = np.concatenate([right.ravel(), down.ravel()])
+    m = len(u)
+    if weights == "uniform":
+        w = uniform_weights(m, seed)
+    elif weights == "unit":
+        w = unit_weights(m)
+    else:
+        raise ConfigurationError(f"unknown weights mode {weights!r}")
+    return from_edges(u, v, w, side * side)

@@ -1,0 +1,182 @@
+"""Generic random and deterministic graph families.
+
+These are not benchmark families from the paper; they are the controlled
+topologies the test suite uses to check invariants (paths and cycles have
+known diameters, stars have known radii, trees have known `ℓ_Δ`, ...) plus
+a preferential-attachment family used as an additional social-network-like
+workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+from repro.generators.weights import uniform_weights, unit_weights
+from repro.util import as_rng
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "random_tree",
+    "gnm_random_graph",
+    "powerlaw_cluster_like",
+]
+
+Seed = Optional[Union[int, np.random.Generator]]
+
+
+def _make_weights(m: int, weights: str, seed: Seed) -> np.ndarray:
+    if weights == "uniform":
+        return uniform_weights(m, seed)
+    if weights == "unit":
+        return unit_weights(m)
+    raise ConfigurationError(f"unknown weights mode {weights!r}")
+
+
+def path_graph(n: int, *, weights: str = "unit", seed: Seed = None) -> CSRGraph:
+    """Path on ``n`` nodes (diameter = sum of weights)."""
+    if n < 1:
+        raise ConfigurationError("path needs n >= 1")
+    u = np.arange(n - 1, dtype=np.int64)
+    return from_edges(u, u + 1, _make_weights(n - 1, weights, seed), n)
+
+
+def cycle_graph(n: int, *, weights: str = "unit", seed: Seed = None) -> CSRGraph:
+    """Cycle on ``n`` nodes (``n >= 3``)."""
+    if n < 3:
+        raise ConfigurationError("cycle needs n >= 3")
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    return from_edges(u, v, _make_weights(n, weights, seed), n)
+
+
+def star_graph(n: int, *, weights: str = "unit", seed: Seed = None) -> CSRGraph:
+    """Star with centre 0 and ``n - 1`` leaves."""
+    if n < 2:
+        raise ConfigurationError("star needs n >= 2")
+    u = np.zeros(n - 1, dtype=np.int64)
+    v = np.arange(1, n, dtype=np.int64)
+    return from_edges(u, v, _make_weights(n - 1, weights, seed), n)
+
+
+def complete_graph(n: int, *, weights: str = "unit", seed: Seed = None) -> CSRGraph:
+    """Complete graph K_n."""
+    if n < 2:
+        raise ConfigurationError("complete graph needs n >= 2")
+    iu = np.triu_indices(n, k=1)
+    u = iu[0].astype(np.int64)
+    v = iu[1].astype(np.int64)
+    return from_edges(u, v, _make_weights(len(u), weights, seed), n)
+
+
+def random_tree(n: int, *, weights: str = "uniform", seed: Seed = None) -> CSRGraph:
+    """Uniform random labelled tree via a random Prüfer-like attachment.
+
+    Each node ``i >= 1`` attaches to a uniformly random earlier node, which
+    yields a random recursive tree — O(log n) expected height, handy for
+    low-diameter tree tests.
+    """
+    if n < 1:
+        raise ConfigurationError("tree needs n >= 1")
+    rng = as_rng(seed)
+    if n == 1:
+        return from_edges(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0), 1
+        )
+    v = np.arange(1, n, dtype=np.int64)
+    u = (rng.random(n - 1) * v).astype(np.int64)  # uniform in [0, v)
+    return from_edges(u, v, _make_weights(n - 1, weights, rng), n)
+
+
+def gnm_random_graph(
+    n: int, m: int, *, weights: str = "uniform", seed: Seed = None, connect: bool = False
+) -> CSRGraph:
+    """Erdős–Rényi G(n, m): ``m`` edges sampled uniformly without repetition.
+
+    With ``connect=True`` a random spanning path is added first so the
+    result is connected (useful for diameter tests, where disconnected
+    pairs are excluded by definition).
+    """
+    if n < 1:
+        raise ConfigurationError("gnm needs n >= 1")
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ConfigurationError(f"m={m} exceeds max {max_edges} for n={n}")
+    rng = as_rng(seed)
+
+    us = []
+    vs = []
+    if connect and n > 1:
+        perm = rng.permutation(n).astype(np.int64)
+        us.append(perm[:-1])
+        vs.append(perm[1:])
+
+    if m > 0:
+        # Rejection-free sampling of edge ranks in the upper triangle.
+        ranks = rng.choice(max_edges, size=m, replace=False)
+        # Invert rank -> (u, v): rank = u*n - u*(u+1)/2 + (v - u - 1).
+        u = np.floor(
+            ((2 * n - 1) - np.sqrt((2 * n - 1) ** 2 - 8.0 * ranks)) / 2.0
+        ).astype(np.int64)
+        # Guard against floating-point boundary error.
+        base = u * n - u * (u + 1) // 2
+        overshoot = base > ranks
+        u[overshoot] -= 1
+        base = u * n - u * (u + 1) // 2
+        v = ranks - base + u + 1
+        us.append(u)
+        vs.append(v.astype(np.int64))
+
+    if not us:
+        return from_edges(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0), n
+        )
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    return from_edges(u, v, _make_weights(len(u), weights, rng), n)
+
+
+def powerlaw_cluster_like(
+    n: int, attach: int = 4, *, weights: str = "uniform", seed: Seed = None
+) -> CSRGraph:
+    """Barabási–Albert-style preferential attachment.
+
+    Each new node attaches to ``attach`` endpoints drawn from the current
+    arc list (which is proportional-to-degree sampling), producing a
+    power-law degree distribution and small diameter — an alternative
+    social-network stand-in to R-MAT that is connected by construction.
+    """
+    if attach < 1:
+        raise ConfigurationError("attach must be >= 1")
+    if n < attach + 1:
+        raise ConfigurationError("need n >= attach + 1")
+    rng = as_rng(seed)
+
+    # Seed clique on attach + 1 nodes.
+    core = attach + 1
+    iu = np.triu_indices(core, k=1)
+    us = [iu[0].astype(np.int64)]
+    vs = [iu[1].astype(np.int64)]
+    # Arc endpoint pool for degree-proportional sampling.
+    pool = np.concatenate([iu[0], iu[1]]).astype(np.int64).tolist()
+
+    for new in range(core, n):
+        targets = set()
+        while len(targets) < attach:
+            targets.add(pool[int(rng.integers(len(pool)))])
+        t = np.fromiter(targets, dtype=np.int64)
+        us.append(np.full(len(t), new, dtype=np.int64))
+        vs.append(t)
+        pool.extend(t.tolist())
+        pool.extend([new] * len(t))
+
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    return from_edges(u, v, _make_weights(len(u), weights, rng), n)

@@ -1,0 +1,172 @@
+"""Synthetic road networks and the paper's ``roads(S)`` family.
+
+The paper benchmarks on the DIMACS roads-USA / roads-CAL networks, which
+cannot be fetched in an offline environment.  :func:`road_network` builds a
+synthetic stand-in reproducing the structural properties that drive the
+experiments:
+
+* **near-planar, bounded degree** (≤ 4 before shortcuts): generated as a
+  uniform random spanning tree of a grid (a "maze"), plus a fraction of the
+  remaining grid edges re-added, so local connectivity resembles a road
+  mesh with dead ends, loops and sparse cross streets;
+* **huge weighted diameter** relative to n (road networks are the
+  high-diameter extreme of the benchmark suite);
+* **positive integer weights** (travel times), like the DIMACS inputs.
+
+``roads(S)`` is then the cartesian product of a linear array of ``S`` nodes
+(unit weights) with a road network — exactly the paper's construction,
+which scales the instance size by S while preserving road-like topology.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.ops import cartesian_product
+from repro.generators.random_graphs import path_graph
+from repro.util import as_rng
+
+__all__ = ["road_network", "roads"]
+
+Seed = Optional[Union[int, np.random.Generator]]
+
+
+def _maze_spanning_tree(rows: int, cols: int, rng) -> np.ndarray:
+    """Uniform-ish random spanning tree of the grid via randomized DFS.
+
+    Returns an array of grid-edge ids (see :func:`_grid_edge_ids`) forming
+    a spanning tree.  Randomized DFS ("recursive backtracker") produces the
+    long-corridor structure typical of road networks.
+    """
+    n = rows * cols
+    visited = np.zeros(n, dtype=bool)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    start = int(rng.integers(n))
+    stack = [start]
+    visited[start] = True
+    h_count = rows * (cols - 1)
+
+    while stack:
+        u = stack[-1]
+        r, c = divmod(u, cols)
+        # Enumerate unvisited grid neighbours with their edge ids.
+        options = []
+        if c + 1 < cols and not visited[u + 1]:
+            options.append((u + 1, r * (cols - 1) + c))
+        if c - 1 >= 0 and not visited[u - 1]:
+            options.append((u - 1, r * (cols - 1) + (c - 1)))
+        if r + 1 < rows and not visited[u + cols]:
+            options.append((u + cols, h_count + r * cols + c))
+        if r - 1 >= 0 and not visited[u - cols]:
+            options.append((u - cols, h_count + (r - 1) * cols + c))
+        if not options:
+            stack.pop()
+            continue
+        v, edge_id = options[int(rng.integers(len(options)))]
+        visited[v] = True
+        parent_edge[v] = edge_id
+        stack.append(v)
+
+    return parent_edge[parent_edge >= 0]
+
+
+def _grid_edge_endpoints(rows: int, cols: int):
+    """Endpoint arrays for all grid edges, indexed by grid-edge id.
+
+    Ids ``0 .. rows*(cols-1)-1`` are horizontal edges in row-major order;
+    the rest are vertical edges in row-major order.
+    """
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    hu = ids[:, :-1].ravel()
+    hv = ids[:, 1:].ravel()
+    vu = ids[:-1, :].ravel()
+    vv = ids[1:, :].ravel()
+    return np.concatenate([hu, vu]), np.concatenate([hv, vv])
+
+
+def road_network(
+    side: int,
+    *,
+    extra_edge_fraction: float = 0.25,
+    weight_low: int = 100,
+    weight_high: int = 5000,
+    seed: Seed = None,
+    rows: int = None,
+) -> CSRGraph:
+    """Synthetic road network on a ``rows × side`` grid footprint.
+
+    Parameters
+    ----------
+    side:
+        Grid columns (and rows, unless ``rows`` is given).
+    extra_edge_fraction:
+        Fraction of non-tree grid edges re-added as cross streets.  0 gives
+        a tree (maximal diameter); 1 gives the full grid.
+    weight_low, weight_high:
+        Integer travel-time range, mimicking DIMACS road weights.
+    seed:
+        RNG seed.
+
+    Returns
+    -------
+    CSRGraph
+        A connected graph with n = rows*side nodes, average degree about
+        ``2 + 2 * extra_edge_fraction``, and positive integer weights.
+    """
+    if side < 2:
+        raise ConfigurationError("road_network side must be >= 2")
+    rows = side if rows is None else rows
+    if rows < 2:
+        raise ConfigurationError("road_network rows must be >= 2")
+    if not 0.0 <= extra_edge_fraction <= 1.0:
+        raise ConfigurationError("extra_edge_fraction must lie in [0, 1]")
+    rng = as_rng(seed)
+
+    tree_edges = _maze_spanning_tree(rows, side, rng)
+    all_u, all_v = _grid_edge_endpoints(rows, side)
+    num_edges = len(all_u)
+
+    in_tree = np.zeros(num_edges, dtype=bool)
+    in_tree[tree_edges] = True
+    non_tree = np.flatnonzero(~in_tree)
+    extra_count = int(round(extra_edge_fraction * len(non_tree)))
+    extra = (
+        rng.choice(non_tree, size=extra_count, replace=False)
+        if extra_count
+        else np.empty(0, dtype=np.int64)
+    )
+
+    chosen = np.concatenate([tree_edges, extra])
+    u, v = all_u[chosen], all_v[chosen]
+    w = rng.integers(weight_low, weight_high + 1, size=len(chosen)).astype(np.float64)
+    return from_edges(u, v, w, rows * side)
+
+
+def roads(
+    s: int,
+    *,
+    base_side: int = 48,
+    seed: Seed = None,
+    **road_kwargs,
+) -> CSRGraph:
+    """The paper's ``roads(S)``: a linear array of ``S`` nodes × a road network.
+
+    The paper crosses a unit-weight path of S nodes with roads-USA,
+    yielding ``≈ S · 2.3e7`` nodes; here the base network is a synthetic
+    :func:`road_network` of side ``base_side`` (n = base_side² nodes), so
+    the instance grows linearly in S with road-like topology preserved.
+    The path's unit edge weights are kept, matching the construction.
+    """
+    if s < 1:
+        raise ConfigurationError("roads(S) requires S >= 1")
+    rng = as_rng(seed)
+    base = road_network(base_side, seed=rng, **road_kwargs)
+    if s == 1:
+        return base
+    line = path_graph(s, weights="unit")
+    return cartesian_product(line, base)

@@ -1,0 +1,89 @@
+"""Edge-weight assignment strategies.
+
+The paper's graphs either come with native integer weights (DIMACS road
+networks) or are "born unweighted", in which case uniform random weights in
+``(0, 1]`` are assigned "according to the approach commonly adopted in the
+literature" (§5).  The initial-Δ experiment additionally uses a bimodal
+distribution: weight 1 with probability 0.1, weight 1e-6 otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+from repro.util import as_rng
+
+__all__ = [
+    "uniform_weights",
+    "integer_weights",
+    "bimodal_weights",
+    "unit_weights",
+    "reweighted",
+]
+
+Seed = Optional[Union[int, np.random.Generator]]
+
+
+def uniform_weights(m: int, seed: Seed = None) -> np.ndarray:
+    """``m`` i.i.d. weights uniform in ``(0, 1]`` (never exactly 0)."""
+    rng = as_rng(seed)
+    # random() yields [0, 1); reflect to (0, 1].
+    return 1.0 - rng.random(m)
+
+
+def integer_weights(m: int, low: int = 1, high: int = 1000, seed: Seed = None) -> np.ndarray:
+    """``m`` i.i.d. integer weights uniform in ``[low, high]``.
+
+    Matches the paper's model assumption of positive integral weights
+    polynomial in ``n`` (Corollary 1 draws them uniformly from a polynomial
+    range).
+    """
+    if low < 1:
+        raise ValueError("integer weights must be >= 1")
+    if high < low:
+        raise ValueError("high must be >= low")
+    rng = as_rng(seed)
+    return rng.integers(low, high + 1, size=m).astype(np.float64)
+
+
+def bimodal_weights(
+    m: int,
+    heavy: float = 1.0,
+    light: float = 1e-6,
+    heavy_prob: float = 0.1,
+    seed: Seed = None,
+) -> np.ndarray:
+    """The initial-Δ experiment's distribution: ``heavy`` w.p. ``heavy_prob``.
+
+    With high probability the graph can be covered by clusters using only
+    light edges; a too-large initial Δ drags heavy edges into clusters and
+    inflates the radius (paper §5).
+    """
+    rng = as_rng(seed)
+    w = np.full(m, light, dtype=np.float64)
+    w[rng.random(m) < heavy_prob] = heavy
+    return w
+
+
+def unit_weights(m: int) -> np.ndarray:
+    """All-ones weights (the unweighted case as a weighted instance)."""
+    return np.ones(m, dtype=np.float64)
+
+
+def reweighted(graph: CSRGraph, weights: np.ndarray) -> CSRGraph:
+    """Return a copy of ``graph`` with its undirected edges reweighted.
+
+    ``weights`` must have one entry per undirected edge, ordered as
+    :meth:`~repro.graph.csr.CSRGraph.edge_arrays` returns them.
+    """
+    u, v, _ = graph.edge_arrays()
+    weights = np.asarray(weights, dtype=np.float64)
+    if len(weights) != len(u):
+        raise ValueError(
+            f"need {len(u)} weights (one per undirected edge), got {len(weights)}"
+        )
+    return from_edges(u, v, weights, graph.num_nodes)

@@ -1,0 +1,42 @@
+"""Weighted-graph substrate: CSR storage, construction, I/O, and operations."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import from_edges, from_edge_list, symmetrized
+from repro.graph.io import read_dimacs, write_dimacs, read_edge_list, write_edge_list
+from repro.graph.serialize import (
+    load_clustering,
+    load_graph,
+    save_clustering,
+    save_graph,
+)
+from repro.graph.ops import (
+    connected_components,
+    largest_connected_component,
+    induced_subgraph,
+    degree_histogram,
+    total_weight,
+    cartesian_product,
+)
+from repro.graph.validate import validate_graph
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_edge_list",
+    "symmetrized",
+    "read_dimacs",
+    "write_dimacs",
+    "read_edge_list",
+    "write_edge_list",
+    "save_graph",
+    "load_graph",
+    "save_clustering",
+    "load_clustering",
+    "connected_components",
+    "largest_connected_component",
+    "induced_subgraph",
+    "degree_histogram",
+    "total_weight",
+    "cartesian_product",
+    "validate_graph",
+]

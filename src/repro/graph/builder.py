@@ -1,0 +1,127 @@
+"""Builders that turn raw edge data into a canonical :class:`CSRGraph`.
+
+Canonical form means: self-loops dropped, parallel edges deduplicated to the
+minimum weight (the only one shortest paths can use), both directions
+stored, and each adjacency list sorted by neighbour id.  Every generator and
+reader in the library funnels through :func:`from_edges` so that any two
+representations of the same graph compare equal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import GraphValidationError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["from_edges", "from_edge_list", "symmetrized"]
+
+
+def from_edges(
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+    num_nodes: int,
+    *,
+    dedup: str = "min",
+) -> CSRGraph:
+    """Build a canonical undirected :class:`CSRGraph` from parallel arrays.
+
+    Parameters
+    ----------
+    u, v:
+        Integer endpoint arrays.  Each pair ``(u[i], v[i])`` denotes one
+        undirected edge; orientation and duplicates are irrelevant.
+    w:
+        Positive weights, parallel to ``u``/``v``.
+    num_nodes:
+        Number of nodes ``n``; endpoints must lie in ``[0, n)``.
+    dedup:
+        Policy for parallel edges: ``"min"`` (default) keeps the lightest
+        copy — the only one relevant to shortest paths — while ``"error"``
+        raises :class:`GraphValidationError` when duplicates exist.
+
+    Returns
+    -------
+    CSRGraph
+    """
+    u = np.asarray(u, dtype=np.int64).ravel()
+    v = np.asarray(v, dtype=np.int64).ravel()
+    w = np.asarray(w, dtype=np.float64).ravel()
+    if not (len(u) == len(v) == len(w)):
+        raise GraphValidationError("u, v, w must have equal length")
+    n = int(num_nodes)
+    if n < 0:
+        raise GraphValidationError("num_nodes must be non-negative")
+    if len(u):
+        lo = min(u.min(), v.min())
+        hi = max(u.max(), v.max())
+        if lo < 0 or hi >= n:
+            raise GraphValidationError(
+                f"edge endpoint out of range [0, {n}): saw [{lo}, {hi}]"
+            )
+        if w.min() <= 0:
+            raise GraphValidationError("edge weights must be strictly positive")
+        if not np.all(np.isfinite(w)):
+            raise GraphValidationError("edge weights must be finite")
+
+    # Drop self-loops: they never participate in shortest paths.
+    keep = u != v
+    u, v, w = u[keep], v[keep], w[keep]
+
+    # Normalize orientation so duplicates collide, then deduplicate.
+    a = np.minimum(u, v)
+    b = np.maximum(u, v)
+    if len(a):
+        order = np.lexsort((w, b, a))
+        a, b, w = a[order], b[order], w[order]
+        new_group = np.empty(len(a), dtype=bool)
+        new_group[0] = True
+        np.logical_or(a[1:] != a[:-1], b[1:] != b[:-1], out=new_group[1:])
+        if dedup == "error" and not new_group.all():
+            raise GraphValidationError("duplicate edges present and dedup='error'")
+        first = np.flatnonzero(new_group)
+        a, b, w = a[first], b[first], w[first]  # lightest copy per pair
+
+    # Symmetrize: store each edge in both directions and sort into CSR.
+    src = np.concatenate([a, b])
+    dst = np.concatenate([b, a])
+    ww = np.concatenate([w, w])
+    order = np.lexsort((dst, src))
+    src, dst, ww = src[order], dst[order], ww[order]
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CSRGraph(indptr, dst, ww)
+
+
+def from_edge_list(
+    edges: Iterable[Tuple[int, int, float]], num_nodes: int, **kwargs
+) -> CSRGraph:
+    """Build a graph from an iterable of ``(u, v, w)`` triples.
+
+    Convenience wrapper over :func:`from_edges` for tests and small inputs.
+    """
+    triples = list(edges)
+    if not triples:
+        return from_edges(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0), num_nodes
+        )
+    u, v, w = map(np.asarray, zip(*triples))
+    return from_edges(u, v, w, num_nodes, **kwargs)
+
+
+def symmetrized(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray, num_nodes: int
+) -> CSRGraph:
+    """Build an undirected graph from a *directed* edge list.
+
+    This mirrors the paper's treatment of the twitter graph ("originally
+    directed, has been symmetrized"): every arc becomes an undirected edge,
+    and anti-parallel arcs with different weights collapse to the lighter
+    one.
+    """
+    return from_edges(u, v, w, num_nodes, dedup="min")

@@ -1,0 +1,242 @@
+"""Graph file I/O.
+
+Two formats are supported:
+
+* **DIMACS shortest-path format** (``.gr``), the format of the 9th DIMACS
+  Implementation Challenge road networks the paper benchmarks on
+  (roads-USA, roads-CAL).  Reading a real DIMACS file drops this library
+  straight onto the paper's actual inputs when they are available.
+* A plain **whitespace-separated edge list** (``u v w`` per line, ``#``
+  comments), convenient for interchange with SNAP-style datasets
+  (livejournal, twitter).
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "read_dimacs",
+    "write_dimacs",
+    "read_edge_list",
+    "write_edge_list",
+    "read_metis",
+    "write_metis",
+]
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike, mode: str = "rt"):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+def read_dimacs(path: PathLike) -> CSRGraph:
+    """Read a graph in DIMACS ``.gr`` format (gzip transparently handled).
+
+    The format uses 1-based node ids; they are shifted to 0-based.  Arc
+    records appearing in both directions (as DIMACS road files do) collapse
+    into single undirected edges.
+
+    Raises
+    ------
+    GraphFormatError
+        On a missing/duplicate problem line or malformed records.
+    """
+    n = None
+    us: List[int] = []
+    vs: List[int] = []
+    ws: List[float] = []
+    with _open_text(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if n is not None:
+                    raise GraphFormatError(f"line {lineno}: duplicate problem line")
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise GraphFormatError(f"line {lineno}: expected 'p sp n m'")
+                n = int(parts[2])
+            elif parts[0] == "a":
+                if n is None:
+                    raise GraphFormatError(f"line {lineno}: arc before problem line")
+                if len(parts) != 4:
+                    raise GraphFormatError(f"line {lineno}: expected 'a u v w'")
+                us.append(int(parts[1]) - 1)
+                vs.append(int(parts[2]) - 1)
+                ws.append(float(parts[3]))
+            else:
+                raise GraphFormatError(
+                    f"line {lineno}: unknown record type {parts[0]!r}"
+                )
+    if n is None:
+        raise GraphFormatError("missing problem line ('p sp n m')")
+    return from_edges(
+        np.asarray(us, np.int64), np.asarray(vs, np.int64), np.asarray(ws), n
+    )
+
+
+def write_dimacs(graph: CSRGraph, path: PathLike, comment: str = "") -> None:
+    """Write a graph in DIMACS ``.gr`` format (both arc directions, 1-based)."""
+    u, v, w = graph.edge_arrays()
+    with _open_text(path, "wt") as fh:
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"c {line}\n")
+        fh.write(f"p sp {graph.num_nodes} {graph.num_arcs}\n")
+        for a, b, x in zip(u, v, w):
+            # Integer weights are written without a trailing ".0" so that
+            # files round-trip byte-identically through integer parsers.
+            x_repr = int(x) if float(x).is_integer() else x
+            fh.write(f"a {a + 1} {b + 1} {x_repr}\n")
+            fh.write(f"a {b + 1} {a + 1} {x_repr}\n")
+
+
+def read_edge_list(path: PathLike, *, num_nodes: int = None) -> CSRGraph:
+    """Read a whitespace-separated ``u v w`` edge list (0-based ids).
+
+    Lines starting with ``#`` are comments.  A missing third column gets
+    weight 1 (unweighted input).  ``num_nodes`` defaults to
+    ``1 + max(endpoint)``.
+    """
+    us: List[int] = []
+    vs: List[int] = []
+    ws: List[float] = []
+    with _open_text(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(f"line {lineno}: expected 'u v [w]'")
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+            ws.append(float(parts[2]) if len(parts) == 3 else 1.0)
+    if not us:
+        return from_edges(
+            np.empty(0, np.int64),
+            np.empty(0, np.int64),
+            np.empty(0),
+            num_nodes or 0,
+        )
+    u = np.asarray(us, np.int64)
+    v = np.asarray(vs, np.int64)
+    n = num_nodes if num_nodes is not None else int(max(u.max(), v.max())) + 1
+    return from_edges(u, v, np.asarray(ws), n)
+
+
+def read_metis(path: PathLike) -> CSRGraph:
+    """Read a graph in METIS format.
+
+    Header line ``n m [fmt]``; each subsequent non-comment line lists node
+    ``i``'s neighbours (1-based).  ``fmt`` ending in ``1`` means each
+    neighbour id is followed by an edge weight; unweighted files get unit
+    weights.  Vertex weights (``fmt`` = ``1x`` / ncon) are not supported.
+    """
+    us: List[int] = []
+    vs: List[int] = []
+    ws: List[float] = []
+    n = None
+    declared_m = None
+    has_edge_weights = False
+    node = 0
+    with _open_text(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if line.startswith("%"):
+                continue
+            if not line:
+                if n is None:
+                    continue  # leading blank lines before the header
+                # A blank body line is a node with an empty adjacency list
+                # (METIS writes one line per node, neighbours or not).
+                node += 1
+                if node > n:
+                    raise GraphFormatError(
+                        f"line {lineno}: more node lines than n={n}"
+                    )
+                continue
+            parts = line.split()
+            if n is None:
+                if len(parts) < 2:
+                    raise GraphFormatError(
+                        f"line {lineno}: METIS header needs 'n m [fmt]'"
+                    )
+                n = int(parts[0])
+                declared_m = int(parts[1])
+                if len(parts) >= 3:
+                    fmt = parts[2]
+                    if fmt.endswith("1"):
+                        has_edge_weights = True
+                    if len(fmt) > 1 and fmt[-2] == "1" or len(parts) >= 4:
+                        raise GraphFormatError(
+                            f"line {lineno}: vertex weights not supported"
+                        )
+                continue
+            node += 1
+            if node > n:
+                raise GraphFormatError(f"line {lineno}: more node lines than n={n}")
+            step = 2 if has_edge_weights else 1
+            if has_edge_weights and len(parts) % 2:
+                raise GraphFormatError(
+                    f"line {lineno}: odd token count in weighted adjacency"
+                )
+            for i in range(0, len(parts), step):
+                us.append(node - 1)
+                vs.append(int(parts[i]) - 1)
+                ws.append(float(parts[i + 1]) if has_edge_weights else 1.0)
+    if n is None:
+        raise GraphFormatError("missing METIS header line")
+    if node != n:
+        raise GraphFormatError(f"expected {n} node lines, found {node}")
+    graph = from_edges(
+        np.asarray(us, np.int64), np.asarray(vs, np.int64), np.asarray(ws), n
+    )
+    if declared_m is not None and graph.num_edges != declared_m:
+        raise GraphFormatError(
+            f"header declares m={declared_m} edges but file encodes {graph.num_edges}"
+        )
+    return graph
+
+
+def write_metis(graph: CSRGraph, path: PathLike, comment: str = "") -> None:
+    """Write a graph in METIS format with edge weights (fmt ``001``).
+
+    METIS requires integral weights ≥ 1; floats are written as-is, which
+    standard METIS tools reject but :func:`read_metis` round-trips.
+    """
+    with _open_text(path, "wt") as fh:
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{graph.num_nodes} {graph.num_edges} 001\n")
+        for u in range(graph.num_nodes):
+            nbrs, ws = graph.neighbors(u)
+            tokens = []
+            for v, w in zip(nbrs, ws):
+                w_repr = int(w) if float(w).is_integer() else float(w)
+                tokens.append(f"{v + 1} {w_repr}")
+            fh.write(" ".join(tokens) + "\n")
+
+
+def write_edge_list(graph: CSRGraph, path: PathLike) -> None:
+    """Write each undirected edge once as ``u v w`` (0-based ids)."""
+    u, v, w = graph.edge_arrays()
+    with _open_text(path, "wt") as fh:
+        fh.write(f"# nodes {graph.num_nodes} edges {graph.num_edges}\n")
+        for a, b, x in zip(u, v, w):
+            fh.write(f"{a} {b} {float(x)!r}\n")

@@ -1,0 +1,91 @@
+"""Binary (NumPy ``.npz``) serialization for graphs and clusterings.
+
+DIMACS/edge-list text formats are interchange formats; for repeated
+experiments the binary CSR dump is 10-50x faster to load and preserves
+float weights exactly.  Clusterings serialize alongside so a decomposition
+computed once (expensive at scale) can be re-analyzed without recomputing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["save_graph", "load_graph", "save_clustering", "load_clustering"]
+
+PathLike = Union[str, Path]
+
+_GRAPH_MAGIC = "repro-csr-v1"
+_CLUSTERING_MAGIC = "repro-clustering-v1"
+
+
+def save_graph(graph: CSRGraph, path: PathLike) -> None:
+    """Write a graph as a compressed ``.npz`` CSR dump."""
+    np.savez_compressed(
+        path,
+        magic=np.array(_GRAPH_MAGIC),
+        indptr=graph.indptr,
+        indices=graph.indices,
+        weights=graph.weights,
+    )
+
+
+def load_graph(path: PathLike) -> CSRGraph:
+    """Load a graph written by :func:`save_graph`.
+
+    Raises
+    ------
+    GraphFormatError
+        If the file is not a v1 CSR dump.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        if "magic" not in data or str(data["magic"]) != _GRAPH_MAGIC:
+            raise GraphFormatError(f"{path}: not a {_GRAPH_MAGIC} file")
+        return CSRGraph(data["indptr"], data["indices"], data["weights"])
+
+
+def save_clustering(clustering, path: PathLike) -> None:
+    """Write a :class:`~repro.core.cluster.Clustering` as ``.npz``.
+
+    Persists the assignment arrays and scalar metadata; the per-stage
+    diagnostics and counters are execution artifacts and are not stored.
+    """
+    np.savez_compressed(
+        path,
+        magic=np.array(_CLUSTERING_MAGIC),
+        center=clustering.center,
+        dist_to_center=clustering.dist_to_center,
+        centers=clustering.centers,
+        scalars=np.array(
+            [clustering.radius, clustering.delta_end, float(clustering.tau),
+             float(clustering.singleton_count)]
+        ),
+    )
+
+
+def load_clustering(path: PathLike):
+    """Load a clustering written by :func:`save_clustering`."""
+    from repro.core.cluster import Clustering
+    from repro.mr.metrics import Counters
+
+    with np.load(path, allow_pickle=False) as data:
+        if "magic" not in data or str(data["magic"]) != _CLUSTERING_MAGIC:
+            raise GraphFormatError(f"{path}: not a {_CLUSTERING_MAGIC} file")
+        radius, delta_end, tau, singletons = data["scalars"]
+        clustering = Clustering(
+            center=data["center"],
+            dist_to_center=data["dist_to_center"],
+            centers=data["centers"],
+            radius=float(radius),
+            delta_end=float(delta_end),
+            tau=int(tau),
+            counters=Counters(),
+            singleton_count=int(singletons),
+        )
+    clustering.validate()
+    return clustering

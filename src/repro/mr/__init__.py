@@ -1,0 +1,40 @@
+"""Simulator of the MR(M_T, M_L) MapReduce model of Pietracaprina et al.
+
+The paper analyses its algorithms on the MR(M_T, M_L) model: computation
+proceeds in *rounds*; in each round a multiset of key-value pairs is
+transformed by applying a reducer independently to each same-key group,
+subject to a total-memory budget ``M_T`` and a per-reducer local-memory
+budget ``M_L``.  This package provides:
+
+* :class:`~repro.mr.model.MRSpec` — the ``(M_T, M_L)`` parameters;
+* :class:`~repro.mr.engine.MREngine` — a round-by-round executor that
+  enforces the memory budgets and counts rounds and messages;
+* :mod:`~repro.mr.primitives` — the sorting and (segmented) prefix-sum
+  primitives of Fact 1, each running in ``O(log_{M_L} n)`` rounds;
+* :mod:`~repro.mr.metrics` — the platform-independent counters the paper
+  reports (rounds, work = node updates + messages);
+* :mod:`~repro.mr.executor` — serial and multiprocessing backends.
+"""
+
+from repro.mr.model import MRSpec
+from repro.mr.metrics import Counters
+from repro.mr.trace import RoundTrace, RoundRecord
+from repro.mr.engine import MREngine
+from repro.mr.partitioner import hash_partition, range_partition
+from repro.mr.primitives import mr_sort, mr_prefix_sum, mr_segmented_prefix_sum
+from repro.mr.executor import SerialExecutor, MultiprocessingExecutor
+
+__all__ = [
+    "MRSpec",
+    "Counters",
+    "RoundTrace",
+    "RoundRecord",
+    "MREngine",
+    "hash_partition",
+    "range_partition",
+    "mr_sort",
+    "mr_prefix_sum",
+    "mr_segmented_prefix_sum",
+    "SerialExecutor",
+    "MultiprocessingExecutor",
+]

@@ -1,0 +1,175 @@
+"""Round-by-round executor for the MR(M_T, M_L) model.
+
+A round transforms a multiset of ``(key, value)`` pairs by grouping on the
+key and applying a reducer function to every group independently.  The
+engine enforces the model's memory budgets, counts rounds and messages,
+and — through a pluggable executor — simulates the per-round critical path
+of a ``num_workers``-machine platform (the quantity Figure 4's scalability
+experiment measures).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.errors import MemoryLimitExceeded
+from repro.mr.executor import SerialExecutor
+from repro.mr.metrics import Counters
+from repro.mr.model import MRSpec
+from repro.mr.partitioner import hash_partition
+
+__all__ = ["MREngine", "Pair", "Reducer"]
+
+Pair = Tuple[Hashable, object]
+#: A reducer maps ``(key, values)`` to an iterable of output pairs.
+Reducer = Callable[[Hashable, List[object]], Iterable[Pair]]
+
+
+def _pair_words(value: object) -> int:
+    """Approximate memory footprint of one pair in machine words.
+
+    A pair costs one word for the key plus one word per scalar in the
+    value.  Tuples/lists are costed by length; everything else is one word.
+    This coarse model is exactly what the MR(M_T, M_L) analysis assumes.
+    """
+    if isinstance(value, (tuple, list)):
+        return 1 + len(value)
+    return 2
+
+
+class MREngine:
+    """Executes MR rounds under an :class:`MRSpec` with full accounting.
+
+    Parameters
+    ----------
+    spec:
+        Memory/worker parameters.
+    executor:
+        Strategy that applies reducers to key groups; defaults to
+        :class:`~repro.mr.executor.SerialExecutor`.
+    enforce_memory:
+        When ``True`` (default) a reducer whose input exceeds ``M_L`` words,
+        or a round whose pairs exceed ``M_T`` words, raises
+        :class:`~repro.errors.MemoryLimitExceeded`.
+
+    Attributes
+    ----------
+    counters:
+        Aggregated :class:`~repro.mr.metrics.Counters`; ``rounds`` and
+        ``messages`` are maintained by the engine, ``updates`` by the
+        algorithms layered on top.
+    simulated_time:
+        Sum over rounds of the busiest worker's load (input + output
+        pairs), i.e. the critical-path cost on ``spec.num_workers``
+        machines.  This is the scalability metric of Figure 4.
+    """
+
+    def __init__(
+        self,
+        spec: MRSpec,
+        executor=None,
+        *,
+        enforce_memory: bool = True,
+    ):
+        self.spec = spec
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.enforce_memory = enforce_memory
+        self.counters = Counters()
+        self.simulated_time = 0
+
+    # ------------------------------------------------------------------ #
+
+    def round(
+        self,
+        pairs: Sequence[Pair],
+        reducer: Reducer,
+        *,
+        combiner: Reducer = None,
+    ) -> List[Pair]:
+        """Execute one MR round and return the output multiset.
+
+        Grouping is stable: values arrive at the reducer in input order,
+        which lets deterministic algorithms avoid spurious tie-break
+        differences between runs.
+
+        ``combiner``, when given, is applied per key *before* the shuffle
+        (the classic map-side aggregation optimization): the engine counts
+        only the combined pairs as shuffled messages, and the local-memory
+        check applies to the combined groups.  The combiner must be
+        semantically idempotent with respect to the reducer
+        (``reducer ∘ combiner ≡ reducer``); word-count's ``sum`` is the
+        canonical example.
+        """
+        if combiner is not None:
+            pre: Dict[Hashable, List[object]] = {}
+            for key, value in pairs:
+                pre.setdefault(key, []).append(value)
+            combined: List[Pair] = []
+            for key, values in pre.items():
+                combined.extend(combiner(key, values))
+            pairs = combined
+
+        groups: Dict[Hashable, List[object]] = {}
+        total_words = 0
+        for key, value in pairs:
+            groups.setdefault(key, []).append(value)
+            total_words += _pair_words(value)
+
+        if self.enforce_memory and total_words > self.spec.total_memory:
+            raise MemoryLimitExceeded(total_words, self.spec.total_memory)
+        if self.enforce_memory:
+            for key, values in groups.items():
+                words = sum(_pair_words(v) for v in values)
+                if words > self.spec.local_memory:
+                    raise MemoryLimitExceeded(words, self.spec.local_memory, key)
+
+        output, worker_loads = self.executor.run(
+            groups, reducer, self.spec.num_workers
+        )
+
+        self.counters.record_round(messages=len(pairs), updates=0)
+        self.simulated_time += max(worker_loads) if worker_loads else 0
+        return output
+
+    def run_rounds(
+        self, pairs: Sequence[Pair], reducers: Sequence[Reducer]
+    ) -> List[Pair]:
+        """Thread ``pairs`` through a fixed pipeline of reducers."""
+        for reducer in reducers:
+            pairs = self.round(pairs, reducer)
+        return list(pairs)
+
+    def run_until_fixpoint(
+        self,
+        pairs: Sequence[Pair],
+        reducer: Reducer,
+        *,
+        max_rounds: int = 10_000,
+        key=None,
+    ) -> List[Pair]:
+        """Apply ``reducer`` repeatedly until the output stabilizes.
+
+        Stability is judged on the sorted pair multiset (using ``key`` for
+        ordering if pairs are not naturally comparable).  Raises
+        :class:`~repro.errors.ConvergenceError` after ``max_rounds``.
+        """
+        from repro.errors import ConvergenceError
+
+        def canon(ps):
+            return sorted(ps, key=key) if key else sorted(ps)
+
+        current = list(pairs)
+        current_canon = canon(current)
+        for _ in range(max_rounds):
+            nxt = self.round(current, reducer)
+            nxt_canon = canon(nxt)
+            if nxt_canon == current_canon:
+                return nxt
+            current, current_canon = nxt, nxt_canon
+        raise ConvergenceError(f"no fixpoint within {max_rounds} rounds")
+
+    # ------------------------------------------------------------------ #
+
+    def worker_of(self, key: Hashable) -> int:
+        """Worker a key would be routed to (exposed for tests/inspection)."""
+        return hash_partition(key, self.spec.num_workers)

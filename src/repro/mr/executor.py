@@ -1,0 +1,128 @@
+"""Execution backends for the MR engine.
+
+The engine hands an executor a mapping ``{key: [values]}``; the executor
+partitions the key groups across ``num_workers`` simulated machines,
+applies the reducer to every group, and reports per-worker loads so the
+engine can accumulate the round's critical-path cost.
+
+Two backends are provided:
+
+* :class:`SerialExecutor` — applies reducers in one process.  This is the
+  default and, on a single-core host, also the fastest; worker loads are
+  still tracked so the critical-path *model* reflects a multi-machine
+  platform.
+* :class:`MultiprocessingExecutor` — fans worker shards out to a process
+  pool.  Reducers must be picklable (module-level functions).  On
+  multi-core hosts this provides real parallel speedup; it exists mainly
+  to demonstrate that the engine's contract supports genuine parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Tuple
+
+from repro.mr.partitioner import hash_partition
+
+__all__ = ["SerialExecutor", "MultiprocessingExecutor"]
+
+Reducer = Callable[[Hashable, List[object]], Iterable[Tuple[Hashable, object]]]
+
+
+def _apply_shard(args):
+    """Run a reducer over one worker's shard of key groups (picklable)."""
+    shard, reducer = args
+    out: List[Tuple[Hashable, object]] = []
+    load = 0
+    for key, values in shard:
+        load += len(values)
+        produced = list(reducer(key, values))
+        load += len(produced)
+        out.extend(produced)
+    return out, load
+
+
+def _shard_groups(
+    groups: Dict[Hashable, List[object]], num_workers: int
+) -> List[List[Tuple[Hashable, List[object]]]]:
+    shards: List[List[Tuple[Hashable, List[object]]]] = [
+        [] for _ in range(num_workers)
+    ]
+    for key, values in groups.items():
+        shards[hash_partition(key, num_workers)].append((key, values))
+    return shards
+
+
+class SerialExecutor:
+    """Apply all reducers in-process, modelling ``num_workers`` machines."""
+
+    def run(
+        self,
+        groups: Dict[Hashable, List[object]],
+        reducer: Reducer,
+        num_workers: int,
+    ) -> Tuple[List[Tuple[Hashable, object]], List[int]]:
+        shards = _shard_groups(groups, num_workers)
+        output: List[Tuple[Hashable, object]] = []
+        loads: List[int] = []
+        for shard in shards:
+            out, load = _apply_shard((shard, reducer))
+            output.extend(out)
+            loads.append(load)
+        return output, loads
+
+
+class MultiprocessingExecutor:
+    """Apply reducers through a :mod:`multiprocessing` pool.
+
+    Parameters
+    ----------
+    processes:
+        Pool size; defaults to ``num_workers`` passed at run time (capped
+        at the host CPU count by the pool itself).
+
+    Notes
+    -----
+    The pool is created lazily on first use and reused across rounds; call
+    :meth:`close` (or use the instance as a context manager) when done.
+    """
+
+    def __init__(self, processes: int = None):
+        self.processes = processes
+        self._pool = None
+
+    def _ensure_pool(self, num_workers: int):
+        if self._pool is None:
+            import multiprocessing
+
+            size = self.processes or num_workers
+            self._pool = multiprocessing.Pool(processes=size)
+        return self._pool
+
+    def run(
+        self,
+        groups: Dict[Hashable, List[object]],
+        reducer: Reducer,
+        num_workers: int,
+    ) -> Tuple[List[Tuple[Hashable, object]], List[int]]:
+        shards = _shard_groups(groups, num_workers)
+        pool = self._ensure_pool(num_workers)
+        results = pool.map(_apply_shard, [(shard, reducer) for shard in shards])
+        output: List[Tuple[Hashable, object]] = []
+        loads: List[int] = []
+        for out, load in results:
+            output.extend(out)
+            loads.append(load)
+        return output, loads
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

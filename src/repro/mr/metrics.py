@@ -1,0 +1,93 @@
+"""Platform-independent performance counters.
+
+The paper's experimental comparison (Table 2, Figures 2-3) reports, besides
+wall-clock time, two implementation-independent metrics:
+
+* **rounds** — MapReduce rounds executed;
+* **work** — "the sum of node updates and messages generated".
+
+:class:`Counters` accumulates both, plus finer-grained statistics that the
+ablation benchmarks use (growing steps, edge relaxations attempted, and the
+largest single-round message volume, which bounds shuffle pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["Counters"]
+
+
+@dataclass
+class Counters:
+    """Mutable accumulator of rounds/messages/updates.
+
+    Attributes
+    ----------
+    rounds:
+        MapReduce rounds.  For the vectorized executors each Δ-growing step
+        or Δ-stepping phase counts as one round, matching §4.1's
+        observation that a growing step takes O(1) rounds.
+    messages:
+        Relaxation requests sent across edges (one per light edge scanned
+        out of an active node).
+    updates:
+        Node-state improvements actually applied.
+    relaxations:
+        Candidate relaxations that passed the weight/threshold filters
+        (messages that reached the reduce side).
+    growing_steps:
+        Δ-growing steps (CL-DIAM) or bucket phases (Δ-stepping).
+    peak_round_messages:
+        Maximum messages generated in a single round; proxies the maximum
+        shuffle volume and therefore M_T pressure.
+    """
+
+    rounds: int = 0
+    messages: int = 0
+    updates: int = 0
+    relaxations: int = 0
+    growing_steps: int = 0
+    peak_round_messages: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def work(self) -> int:
+        """The paper's work metric: node updates + messages generated."""
+        return self.messages + self.updates
+
+    def record_round(self, messages: int, updates: int, relaxations: int = 0) -> None:
+        """Account one round's traffic in a single call."""
+        self.rounds += 1
+        self.messages += int(messages)
+        self.updates += int(updates)
+        self.relaxations += int(relaxations)
+        self.peak_round_messages = max(self.peak_round_messages, int(messages))
+
+    def merge(self, other: "Counters") -> "Counters":
+        """Accumulate ``other`` into ``self`` (returns ``self`` for chaining)."""
+        self.rounds += other.rounds
+        self.messages += other.messages
+        self.updates += other.updates
+        self.relaxations += other.relaxations
+        self.growing_steps += other.growing_steps
+        self.peak_round_messages = max(
+            self.peak_round_messages, other.peak_round_messages
+        )
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + value
+        return self
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict view (for reports and JSON serialization)."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "updates": self.updates,
+            "relaxations": self.relaxations,
+            "growing_steps": self.growing_steps,
+            "peak_round_messages": self.peak_round_messages,
+            "work": self.work,
+            **self.extra,
+        }

@@ -1,0 +1,50 @@
+"""Partitioners: assign reducer keys to simulated workers.
+
+In the MR model the assignment of keys to physical machines is abstracted
+away; it matters here only for the executor's critical-path time model
+(a round costs as much as its most loaded worker) and for exercising the
+multiprocessing backend.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Hashable, List, Sequence
+
+__all__ = ["hash_partition", "range_partition"]
+
+
+def hash_partition(key: Hashable, num_workers: int) -> int:
+    """Stable hash partitioner.
+
+    Uses a Fibonacci-style multiplicative mix of the builtin hash so that
+    consecutive integer keys (the common case: node ids) spread across
+    workers instead of landing in residue-class stripes.
+    """
+    h = hash(key)
+    h ^= h >> 16
+    return (h * 2654435761) % (2**32) % num_workers
+
+
+def range_partition(
+    key, splitters: Sequence, num_workers: int
+) -> int:
+    """Range partitioner against sorted ``splitters``.
+
+    ``splitters`` must be a sorted sequence of ``num_workers - 1`` boundary
+    keys, as produced by sample-sort pivots; keys below ``splitters[0]`` go
+    to worker 0, and so on.  This is the partitioner the O(log_{M_L} n)
+    sorting primitive uses.
+    """
+    if len(splitters) != num_workers - 1:
+        raise ValueError("need exactly num_workers - 1 splitters")
+    return bisect_right(list(splitters), key)
+
+
+def make_splitters(sorted_sample: Sequence, num_workers: int) -> List:
+    """Pick ``num_workers - 1`` evenly spaced pivots from a sorted sample."""
+    if num_workers <= 1 or not sorted_sample:
+        return []
+    step = len(sorted_sample) / num_workers
+    return [sorted_sample[min(int((i + 1) * step), len(sorted_sample) - 1)]
+            for i in range(num_workers - 1)]

@@ -1,0 +1,28 @@
+"""Literal MR(M_T, M_L) implementations of the paper's algorithms.
+
+The production code path (:mod:`repro.core`) executes Δ-growing steps as
+vectorized NumPy kernels that *account* MR rounds.  This package expresses
+the same algorithms as actual reducer programs on the
+:class:`~repro.mr.engine.MREngine`, with the graph distributed as
+key-value pairs and one engine round per growing step.  It is deliberately
+simple and slow; its purpose is cross-validation — the integration tests
+check that both implementations produce identical clusterings from the
+same seed — and demonstrating that every step really fits the model's
+memory budgets (the engine enforces ``M_L``/``M_T``).
+"""
+
+from repro.mrimpl.growing_mr import graph_to_pairs, mr_growing_step, extract_states
+from repro.mrimpl.cluster_mr import mr_cluster
+from repro.mrimpl.cluster2_mr import mr_cluster2
+from repro.mrimpl.diameter_mr import mr_approximate_diameter
+from repro.mrimpl.quotient_mr import mr_quotient_graph
+
+__all__ = [
+    "graph_to_pairs",
+    "mr_growing_step",
+    "extract_states",
+    "mr_cluster",
+    "mr_cluster2",
+    "mr_approximate_diameter",
+    "mr_quotient_graph",
+]

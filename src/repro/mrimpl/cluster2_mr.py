@@ -1,0 +1,164 @@
+"""``CLUSTER2(G, τ)`` as a driver program over the MR engine.
+
+Mirrors :func:`repro.core.cluster2.cluster2` iteration for iteration —
+same RNG stream (``seed + 1`` after the base CLUSTER run, as in the
+vectorized path), same selection probabilities ``2^i / n``, same
+PartialGrowth2-to-fixpoint growth — with every growing step an engine
+round carrying the Contract2 ``(rescale, iteration)`` parameters.  From a
+shared seed the vectorized and MR clusterings must be identical, which
+the cross-validation tests assert; this closes the loop on the one piece
+of the paper's machinery (weight rescaling) the CLUSTER cross-check does
+not exercise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.cluster import Clustering
+from repro.core.config import ClusterConfig
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.mr.engine import MREngine
+from repro.mr.model import MRSpec
+from repro.mrimpl.cluster_mr import mr_cluster
+from repro.mrimpl.growing_mr import (
+    NO_CENTER,
+    extract_states,
+    graph_to_pairs,
+    mr_growing_step,
+    states_to_pairs,
+)
+from repro.util import as_rng
+
+__all__ = ["mr_cluster2"]
+
+
+def mr_cluster2(
+    graph: CSRGraph,
+    tau: Optional[int] = None,
+    config: Optional[ClusterConfig] = None,
+    *,
+    engine: Optional[MREngine] = None,
+) -> Clustering:
+    """Run Algorithm 2 on the MR engine (validation path).
+
+    Returns a :class:`~repro.core.cluster.Clustering` equal to the
+    vectorized :func:`repro.core.cluster2.cluster2` result for the same
+    seed.
+    """
+    config = config or ClusterConfig()
+    if tau is not None:
+        config = config.with_(tau=tau)
+    n = graph.num_nodes
+    if n == 0:
+        raise ConfigurationError("cannot cluster the empty graph")
+
+    if engine is None:
+        ml = max(64, 8 * (int(graph.degrees.max()) if n else 1) + 64)
+        spec = MRSpec(
+            total_memory=max(16 * graph.memory_words(), ml), local_memory=ml
+        )
+        engine = MREngine(spec)
+
+    # Phase 1: base CLUSTER for R_CL (same engine, so rounds accumulate).
+    base = mr_cluster(graph, config=config, engine=engine)
+    r_cl = base.radius
+    if r_cl <= 0.0:
+        base.counters.extra["cluster2_iterations"] = 0
+        return base
+
+    delta = 2.0 * r_cl
+    rng = as_rng(None if config.seed is None else config.seed + 1)
+    pairs = graph_to_pairs(graph)
+    num_iterations = max(1, math.ceil(math.log2(max(n, 2))))
+
+    for i in range(1, num_iterations + 1):
+        states = extract_states(pairs, n)
+        uncovered = np.array(
+            sorted(u for u in range(n) if not states[u][3]), dtype=np.int64
+        )
+        if len(uncovered) == 0:
+            break
+        probability = min(1.0, (2.0**i) / n)
+        picks = uncovered[rng.random(len(uncovered)) < probability]
+        if i == num_iterations:
+            picks = uncovered  # probability 1 on the last iteration
+
+        # Iteration init: reset non-frozen nodes, install new centers.
+        updates = {}
+        for u in range(n):
+            if states[u][3]:
+                continue
+            updates[u] = (
+                "S", NO_CENTER, float("inf"), False, float("inf"), False, 0
+            )
+        for u in picks:
+            updates[int(u)] = ("S", int(u), 0.0, False, 0.0, False, 0)
+        pairs = states_to_pairs(pairs, updates)
+
+        # PartialGrowth2: grow to fixpoint under Contract2 rescaling.
+        force = True
+        steps = 0
+        while True:
+            pairs, updated, _newly = mr_growing_step(
+                engine,
+                pairs,
+                delta,
+                force=force,
+                num_nodes=n,
+                rescale=delta,
+                iteration=i,
+            )
+            force = False
+            steps += 1
+            in_flight = any(p[1][0] == "C" for p in pairs)
+            if updated == 0 and not in_flight:
+                break
+            if config.growing_step_cap is not None and steps >= config.growing_step_cap + 1:
+                pairs = [p for p in pairs if p[1][0] != "C"]
+                break
+
+        # Contract2: freeze assigned nodes, recording the iteration.
+        states = extract_states(pairs, n)
+        updates = {}
+        for u in range(n):
+            c, d, frozen, dacc = (
+                states[u][1], states[u][2], states[u][3], states[u][4],
+            )
+            if c != NO_CENTER and not frozen:
+                updates[u] = ("S", c, d, True, dacc, False, i)
+        pairs = states_to_pairs(pairs, updates)
+
+    # Singletons for anything unreachable (disconnected inputs only).
+    states = extract_states(pairs, n)
+    leftover = [u for u in range(n) if not states[u][3]]
+    updates = {
+        u: ("S", u, 0.0, True, 0.0, False, num_iterations + 1) for u in leftover
+    }
+    pairs = states_to_pairs(pairs, updates)
+    states = extract_states(pairs, n)
+
+    center = np.array([states[u][1] for u in range(n)], dtype=np.int64)
+    dacc = np.array([states[u][4] for u in range(n)], dtype=np.float64)
+    engine.counters.extra["cluster2_iterations"] = num_iterations
+    engine.counters.extra["cluster2_base_radius"] = (
+        int(round(r_cl)) if r_cl >= 1 else 0
+    )
+
+    clustering = Clustering(
+        center=center,
+        dist_to_center=dacc,
+        centers=np.unique(center),
+        radius=float(dacc.max()) if n else 0.0,
+        delta_end=delta,
+        tau=base.tau,
+        counters=engine.counters,
+        stages=base.stages,
+        singleton_count=len(leftover),
+    )
+    clustering.validate()
+    return clustering

@@ -1,0 +1,234 @@
+"""``CLUSTER(G, τ)`` as a driver program over the MR engine.
+
+Mirrors :func:`repro.core.cluster.cluster` stage for stage — same RNG
+stream, same center-selection order, same Δ-doubling policy — but executes
+every Δ-growing step as an engine round with the model's memory limits
+enforced.  From the same seed the two implementations must return the
+*identical* clustering (an integration test asserts this), which is the
+strongest evidence that the vectorized kernels implement the pseudocode.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.cluster import Clustering, StageInfo
+from repro.core.config import ClusterConfig
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.graph.ops import total_weight
+from repro.mr.engine import MREngine
+from repro.mr.model import MRSpec
+from repro.mrimpl.growing_mr import (
+    NO_CENTER,
+    extract_states,
+    graph_to_pairs,
+    mr_growing_step,
+    states_to_pairs,
+)
+from repro.util import as_rng
+
+__all__ = ["mr_cluster"]
+
+
+def _uncovered_nodes(states, n) -> np.ndarray:
+    return np.array(
+        sorted(u for u in range(n) if not states[u][3]), dtype=np.int64
+    )
+
+
+def mr_cluster(
+    graph: CSRGraph,
+    tau: Optional[int] = None,
+    config: Optional[ClusterConfig] = None,
+    *,
+    engine: Optional[MREngine] = None,
+) -> Clustering:
+    """Run Algorithm 1 on the MR engine.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (small: this path is for validation, not scale).
+    tau, config:
+        As in :func:`repro.core.cluster.cluster`.
+    engine:
+        Optional pre-configured engine; defaults to
+        ``MREngine(MRSpec.for_input_size(...))`` with enough local memory
+        for the densest node's reducer group.
+
+    Returns
+    -------
+    Clustering
+        With counters taken from the engine (rounds = engine rounds).
+    """
+    config = config or ClusterConfig()
+    if tau is not None:
+        config = config.with_(tau=tau)
+    n = graph.num_nodes
+    if n == 0:
+        raise ConfigurationError("cannot cluster the empty graph")
+    tau_val = config.resolve_tau(n)
+
+    if engine is None:
+        # A reducer group holds a node's adjacency plus incoming candidates:
+        # size ≤ 4·(deg+2) words is a safe envelope.
+        ml = max(64, 8 * (int(graph.degrees.max()) if n else 1) + 64)
+        spec = MRSpec(
+            total_memory=max(16 * graph.memory_words(), ml), local_memory=ml
+        )
+        engine = MREngine(spec)
+
+    rng = as_rng(config.seed)
+    pairs = graph_to_pairs(graph)
+
+    if graph.num_edges == 0:
+        centers = np.arange(n, dtype=np.int64)
+        return Clustering(
+            center=centers.copy(),
+            dist_to_center=np.zeros(n),
+            centers=centers,
+            radius=0.0,
+            delta_end=0.0,
+            tau=tau_val,
+            counters=engine.counters,
+            singleton_count=n,
+        )
+
+    delta = config.resolve_initial_delta(graph.min_weight, graph.mean_weight)
+    threshold = config.stage_threshold(n, tau_val)
+    delta_ceiling = max(2.0 * total_weight(graph), delta)
+    gamma_tau_log = config.gamma * tau_val * math.log(max(n, 2))
+
+    stages: List[StageInfo] = []
+    stage_index = 0
+
+    while True:
+        states = extract_states(pairs, n)
+        uncovered = _uncovered_nodes(states, n)
+        num_uncovered = len(uncovered)
+        if num_uncovered == 0 or num_uncovered < threshold:
+            break
+        stage_index += 1
+        probability = min(1.0, gamma_tau_log / num_uncovered)
+        picks = uncovered[rng.random(num_uncovered) < probability]
+        if len(picks) == 0:
+            picks = np.array(
+                [uncovered[int(rng.integers(num_uncovered))]], dtype=np.int64
+            )
+
+        # Stage initialization: reset non-frozen nodes, install centers.
+        updates = {}
+        for u in range(n):
+            if states[u][3]:  # frozen
+                continue
+            updates[u] = (
+                "S", NO_CENTER, float("inf"), False, float("inf"), False, 0
+            )
+        for u in picks:
+            updates[int(u)] = ("S", int(u), 0.0, False, 0.0, False, 0)
+        pairs = states_to_pairs(pairs, updates)
+
+        delta_start = delta
+        steps_this_stage = 0
+        cover_target = -(-num_uncovered // 2)
+        covered_so_far = len(picks)
+        doublings = 0
+        while True:
+            # PartialGrowth: forced first round (emit from all assigned),
+            # then changed-only rounds.  Engine round r+1 merges the
+            # candidates of vectorized growing step r, so termination
+            # checks against the vectorized semantics only apply from the
+            # second round on.
+            force = True
+            newly_in_growth = 0
+            rounds_in_growth = 0
+            while True:
+                pairs, updated, newly = mr_growing_step(
+                    engine, pairs, delta, force=force, num_nodes=n
+                )
+                steps_this_stage += 1
+                rounds_in_growth += 1
+                force = False
+                newly_in_growth += newly
+                in_flight = any(p[1][0] == "C" for p in pairs)
+                if updated == 0 and not in_flight:
+                    break
+                if (
+                    rounds_in_growth >= 2
+                    and covered_so_far + newly_in_growth >= cover_target
+                ):
+                    # Early exit: candidates emitted this round correspond
+                    # to a growing step the vectorized algorithm never
+                    # executes — discard them (see the off-by-one note in
+                    # mr_growing_step) so both implementations freeze the
+                    # same node set.
+                    pairs = [p for p in pairs if p[1][0] != "C"]
+                    break
+                if (
+                    config.growing_step_cap is not None
+                    and rounds_in_growth >= config.growing_step_cap + 1
+                ):
+                    # cap + 1 engine rounds = cap vectorized steps.
+                    pairs = [p for p in pairs if p[1][0] != "C"]
+                    break
+            covered_so_far += newly_in_growth
+            if covered_so_far >= cover_target:
+                break
+            if config.growing_step_cap is not None:
+                break
+            if delta >= delta_ceiling:
+                break
+            doublings += 1
+            if doublings > config.max_delta_doublings:
+                raise ConfigurationError("exceeded max_delta_doublings in mr_cluster")
+            delta *= 2.0
+
+        # Contract: freeze every assigned node.
+        states = extract_states(pairs, n)
+        updates = {}
+        newly_frozen = 0
+        for u in range(n):
+            c, d, frozen, dacc = (states[u][1], states[u][2],
+                                  states[u][3], states[u][4])
+            if c != NO_CENTER and not frozen:
+                updates[u] = ("S", c, d, True, dacc, False, stage_index)
+                newly_frozen += 1
+        pairs = states_to_pairs(pairs, updates)
+        stages.append(
+            StageInfo(
+                stage=stage_index,
+                uncovered_before=num_uncovered,
+                new_centers=len(picks),
+                delta_start=delta_start,
+                delta_end=delta,
+                growing_steps=steps_this_stage,
+                newly_covered=newly_frozen,
+            )
+        )
+
+    # Singletons.
+    states = extract_states(pairs, n)
+    leftover = [u for u in range(n) if not states[u][3]]
+    updates = {u: ("S", u, 0.0, True, 0.0, False, 0) for u in leftover}
+    pairs = states_to_pairs(pairs, updates)
+    states = extract_states(pairs, n)
+
+    center = np.array([states[u][1] for u in range(n)], dtype=np.int64)
+    dacc = np.array([states[u][4] for u in range(n)], dtype=np.float64)
+    clustering = Clustering(
+        center=center,
+        dist_to_center=dacc,
+        centers=np.unique(center),
+        radius=float(dacc.max()) if n else 0.0,
+        delta_end=delta,
+        tau=tau_val,
+        counters=engine.counters,
+        stages=stages,
+        singleton_count=len(leftover),
+    )
+    clustering.validate()
+    return clustering

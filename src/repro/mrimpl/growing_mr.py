@@ -1,0 +1,181 @@
+"""One Δ-growing step as a MapReduce reducer program.
+
+Data layout (all pairs keyed by node id ``u``):
+
+* ``("A", ((v, w), ...))`` — adjacency list, persistent across rounds;
+* ``("S", center, dist, frozen, dacc, changed[, frozen_iter])`` — node
+  state: cluster center (or -1), stage-local distance, frozen flag
+  (Contract applied), accumulated true distance to the center, whether
+  the state changed in the previous round, and — for CLUSTER2's Contract2
+  rescaling — the iteration at which the node froze (defaults to 0 and is
+  ignored under CLUSTER semantics);
+* ``("C", nd, center, dacc)`` — a relaxation candidate delivered to this
+  node.
+
+One growing step is **one engine round**: the reducer for node ``u``
+merges incoming candidates into the state (the paper's tie-break: smallest
+distance, then smallest center index) and, if the node's contribution is
+new (state changed, or the driver forces a full broadcast after Δ changes
+or a stage starts), emits candidates to its light neighbours.  Frozen
+nodes propagate with effective distance 0, reproducing Contract exactly
+as in the vectorized path.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.mr.engine import MREngine, Pair
+
+__all__ = ["graph_to_pairs", "mr_growing_step", "extract_states", "states_to_pairs"]
+
+NO_CENTER = -1
+
+
+def graph_to_pairs(graph: CSRGraph) -> List[Pair]:
+    """Distribute ``graph`` as adjacency pairs plus blank states."""
+    pairs: List[Pair] = []
+    for u in range(graph.num_nodes):
+        nbrs, ws = graph.neighbors(u)
+        adj = tuple((int(v), float(w)) for v, w in zip(nbrs, ws))
+        pairs.append((u, ("A", adj)))
+        pairs.append(
+            (u, ("S", NO_CENTER, float("inf"), False, float("inf"), False, 0))
+        )
+    return pairs
+
+
+def extract_states(pairs: List[Pair], num_nodes: int) -> Dict[int, Tuple]:
+    """Driver-side view of the current state records."""
+    states: Dict[int, Tuple] = {}
+    for key, value in pairs:
+        if value[0] == "S":
+            states[key] = value
+    if len(states) != num_nodes:
+        missing = num_nodes - len(states)
+        raise RuntimeError(f"{missing} node states missing from pair multiset")
+    return states
+
+
+def states_to_pairs(pairs: List[Pair], updates: Dict[int, Tuple]) -> List[Pair]:
+    """Replace the state records of the nodes in ``updates`` (driver step).
+
+    Used by the driver for center installation and freezing — operations
+    the paper also performs outside the growing steps.
+    """
+    out: List[Pair] = []
+    for key, value in pairs:
+        if value[0] == "S" and key in updates:
+            out.append((key, updates[key]))
+        else:
+            out.append((key, value))
+    return out
+
+
+def _growing_reducer(
+    key,
+    values,
+    delta: float = 0.0,
+    force: bool = False,
+    rescale: float = 0.0,
+    iteration: int = 0,
+):
+    """Reducer implementing one node's share of a Δ-growing step."""
+    adj = ()
+    state = None
+    best_nd = float("inf")
+    best_center = None
+    best_dacc = float("inf")
+    for v in values:
+        tag = v[0]
+        if tag == "A":
+            adj = v[1]
+        elif tag == "S":
+            state = v
+        elif tag == "C":
+            _, nd, center, dacc = v
+            if (
+                best_center is None
+                or nd < best_nd
+                or (nd == best_nd and center < best_center)
+            ):
+                best_nd, best_center, best_dacc = nd, center, dacc
+    if state is None:
+        raise RuntimeError(f"node {key} received no state record")
+    center, dist, frozen, dacc = state[1], state[2], state[3], state[4]
+    frozen_iter = state[6] if len(state) > 6 else 0
+
+    changed = False
+    if (not frozen) and best_center is not None and best_nd < dist:
+        center, dist, dacc = best_center, best_nd, best_dacc
+        changed = True
+
+    out = [
+        (key, ("A", adj)),
+        (key, ("S", center, dist, frozen, dacc, changed, frozen_iter)),
+    ]
+
+    # Emit candidates when this node's contribution is new.  Frozen nodes
+    # and fresh centers contribute on forced rounds (stage start / Δ
+    # change); otherwise only a change propagates.
+    if center != NO_CENTER and (changed or force):
+        if frozen:
+            # Contract (rescale = 0): boundary edges re-attach at weight
+            # w; Contract2: weights shrink by `rescale` per elapsed
+            # iteration (see repro/core/state.py for the equivalence).
+            eff = dist - rescale * (iteration - frozen_iter) if rescale else 0.0
+        else:
+            eff = dist
+        if eff < delta:
+            for nbr, w in adj:
+                if w <= delta and eff + w <= delta:
+                    out.append((nbr, ("C", eff + w, center, dacc + w)))
+    return out
+
+
+def mr_growing_step(
+    engine: MREngine,
+    pairs: List[Pair],
+    delta: float,
+    *,
+    force: bool = False,
+    num_nodes: int,
+    rescale: float = 0.0,
+    iteration: int = 0,
+) -> Tuple[List[Pair], int, int]:
+    """Run one Δ-growing step (= one engine round).
+
+    Returns ``(pairs, num_updated, num_newly_assigned)``.
+
+    Note the off-by-one in message timing relative to the vectorized path:
+    candidates emitted in round *t* are merged in round *t+1*, so a
+    "growing step" in the paper's sense spans the emit/merge boundary.
+    The driver therefore runs one extra flush round at the end of each
+    PartialGrowth; rounds and updates still match the vectorized
+    implementation step for step (tests assert this).
+    """
+    before = extract_states(pairs, num_nodes)
+    reducer = partial(
+        _growing_reducer,
+        delta=delta,
+        force=force,
+        rescale=rescale,
+        iteration=iteration,
+    )
+    out = engine.round(pairs, reducer)
+    after = extract_states(out, num_nodes)
+
+    updated = 0
+    newly_assigned = 0
+    for node, state in after.items():
+        if state[5]:  # changed flag
+            updated += 1
+            if before[node][1] == NO_CENTER:
+                newly_assigned += 1
+    engine.counters.updates += updated
+    engine.counters.growing_steps += 1
+    return out, updated, newly_assigned

@@ -1,0 +1,27 @@
+"""Probabilistic-counting baseline: HyperLogLog and the ANF/HyperANF family.
+
+The paper's related-work section credits HyperANF [BRV11] as the state of
+the art for *unweighted* diameter approximation, while noting it "cannot
+be adapted to deal with weighted graphs", needs a non-constant memory
+blow-up, and has a critical path equal to the diameter.  This package
+implements the machinery — a vectorized HyperLogLog register bank and the
+iterated neighbourhood-function computation — so those claims are
+demonstrable rather than rhetorical: the benches run it next to CL-DIAM
+on unit-weight graphs (where it works, with Ψ rounds) and show there is
+no analogous weighted variant.
+"""
+
+from repro.sketch.hll import HyperLogLog, splitmix64
+from repro.sketch.anf import (
+    neighborhood_function,
+    effective_diameter,
+    hyperanf_hop_diameter,
+)
+
+__all__ = [
+    "HyperLogLog",
+    "splitmix64",
+    "neighborhood_function",
+    "effective_diameter",
+    "hyperanf_hop_diameter",
+]

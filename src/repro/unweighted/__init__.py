@@ -1,0 +1,23 @@
+"""The unweighted predecessor algorithm (Ceccarello et al., SPAA 2015).
+
+The paper generalizes its earlier *unweighted* decomposition ([CPPU15]):
+grow clusters from progressively selected random center batches, adding
+**all** nodes adjacent to cluster frontiers in every step (pure BFS — no
+Δ cap, because every edge "weighs" one hop).  This package implements that
+algorithm both as a baseline in its own right (unweighted diameter
+approximation) and to demonstrate the paper's §1 claim that running it
+**weight-obliviously** on a weighted graph forfeits the approximation
+guarantee: hop-ball clusters can have enormous weighted radii.
+"""
+
+from repro.unweighted.decomposition import bfs_cluster
+from repro.unweighted.diameter import (
+    unweighted_approximate_diameter,
+    weight_oblivious_diameter,
+)
+
+__all__ = [
+    "bfs_cluster",
+    "unweighted_approximate_diameter",
+    "weight_oblivious_diameter",
+]

@@ -1,0 +1,232 @@
+"""BFS-batched graph decomposition — the [CPPU15] unweighted algorithm.
+
+Structure mirrors ``CLUSTER`` (Algorithm 1) with the weighted machinery
+stripped out: in each stage a fresh batch of random centers is selected
+among uncovered nodes, then every growing step absorbs *all* uncovered
+neighbours of the current cluster frontiers (one BFS level per step, one
+MR round per step) until at least half of the stage's uncovered nodes are
+covered.  Covered nodes freeze (Contract) exactly as in the weighted case.
+
+Two distances are tracked per node: the **hop** distance to its center
+(the quantity the unweighted analysis bounds) and the **weighted** length
+of the BFS path actually used (needed by the weight-oblivious experiment
+to expose how large the weighted radius of a hop-ball can get).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.cluster import Clustering, StageInfo
+from repro.core.config import ClusterConfig
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.mr.metrics import Counters
+from repro.util import as_rng, expand_ranges, first_occurrence
+
+__all__ = ["bfs_cluster", "UnweightedDecomposition"]
+
+
+@dataclass
+class UnweightedDecomposition:
+    """Result of :func:`bfs_cluster`.
+
+    Attributes
+    ----------
+    clustering:
+        The decomposition with **hop** distances in ``dist_to_center``
+        and the hop radius in ``radius``.
+    weighted_dist:
+        float64[n]; the weighted length of the BFS path each node was
+        reached through — an upper bound on the weighted distance to its
+        center, and the quantity the weight-oblivious experiment exposes.
+    """
+
+    clustering: Clustering
+    weighted_dist: np.ndarray
+
+    @property
+    def weighted_radius(self) -> float:
+        """Largest weighted path length to any center (can vastly exceed
+        the hop radius times the mean weight on skewed inputs)."""
+        return float(self.weighted_dist.max()) if len(self.weighted_dist) else 0.0
+
+
+def _bfs_growing_step(
+    graph: CSRGraph,
+    center: np.ndarray,
+    hops: np.ndarray,
+    wdist: np.ndarray,
+    frozen: np.ndarray,
+    sources: Optional[np.ndarray],
+    counters: Counters,
+) -> np.ndarray:
+    """One synchronous BFS step from ``sources`` (``None`` = all assigned).
+
+    Mirrors the Δ-growing step with hop-count relaxation: an uncovered
+    node joins the cluster of the neighbouring frontier node whose center
+    index is smallest (deterministic tie-break); frozen nodes propagate as
+    contracted representatives at hop distance 0.
+    """
+    if sources is None:
+        cand_src = np.flatnonzero(center >= 0)
+    else:
+        cand_src = np.asarray(sources, dtype=np.int64)
+        cand_src = cand_src[center[cand_src] >= 0]
+    counters.growing_steps += 1
+    if cand_src.size == 0:
+        counters.record_round(messages=0, updates=0)
+        return np.empty(0, dtype=np.int64)
+
+    starts = graph.indptr[cand_src]
+    counts = graph.indptr[cand_src + 1] - starts
+    arc_idx = expand_ranges(starts, counts)
+    tgt = graph.indices[arc_idx]
+    w = graph.weights[arc_idx]
+    src_rep = np.repeat(cand_src, counts)
+
+    src_hops = hops[src_rep].copy()
+    src_w = wdist[src_rep].copy()
+    fr = frozen[src_rep]
+    src_hops[fr] = 0  # contracted representatives restart at the center
+
+    open_target = ~frozen[tgt] & (center[tgt] < 0)
+    messages = int(np.count_nonzero(~frozen[tgt]))
+    if not open_target.any():
+        counters.record_round(messages=messages, updates=0)
+        return np.empty(0, dtype=np.int64)
+
+    cand_t = tgt[open_target]
+    cand_h = src_hops[open_target] + 1
+    cand_c = center[src_rep[open_target]]
+    cand_w = src_w[open_target] + w[open_target]
+
+    order = np.lexsort((cand_c, cand_h, cand_t))
+    sel = order[first_occurrence(cand_t[order])]
+    upd = cand_t[sel]
+    center[upd] = cand_c[sel]
+    hops[upd] = cand_h[sel]
+    wdist[upd] = cand_w[sel]
+
+    counters.record_round(messages=messages, updates=len(upd), relaxations=len(cand_t))
+    return upd
+
+
+def bfs_cluster(
+    graph: CSRGraph,
+    tau: Optional[int] = None,
+    config: Optional[ClusterConfig] = None,
+    *,
+    counters: Optional[Counters] = None,
+) -> UnweightedDecomposition:
+    """Decompose ``graph`` with the unweighted [CPPU15] strategy.
+
+    Edge weights are **ignored for growth** (every edge is one hop); the
+    embedded :class:`~repro.core.cluster.Clustering` reports *hop*
+    distances in ``dist_to_center`` and the hop radius in ``radius``,
+    while :attr:`UnweightedDecomposition.weighted_dist` records the
+    weighted length of every node's BFS path for the weight-oblivious
+    analysis.
+
+    Parameters mirror :func:`repro.core.cluster.cluster`; ``initial_delta``
+    and the doubling machinery are unused (there is no Δ here).
+    """
+    config = config or ClusterConfig()
+    if tau is not None:
+        config = config.with_(tau=tau)
+    n = graph.num_nodes
+    if n == 0:
+        raise ConfigurationError("cannot cluster the empty graph")
+    tau_val = config.resolve_tau(n)
+    counters = counters if counters is not None else Counters()
+    rng = as_rng(config.seed)
+
+    center = np.full(n, -1, dtype=np.int64)
+    hops = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    wdist = np.full(n, np.inf, dtype=np.float64)
+    frozen = np.zeros(n, dtype=bool)
+
+    threshold = config.stage_threshold(n, tau_val)
+    gamma_tau_log = config.gamma * tau_val * math.log(max(n, 2))
+    stages: List[StageInfo] = []
+    stage_index = 0
+
+    while True:
+        uncovered = np.flatnonzero(~frozen)
+        num_uncovered = len(uncovered)
+        if num_uncovered == 0 or num_uncovered < threshold:
+            break
+        stage_index += 1
+        probability = min(1.0, gamma_tau_log / num_uncovered)
+        picks = uncovered[rng.random(num_uncovered) < probability]
+        if len(picks) == 0:
+            picks = np.array(
+                [uncovered[int(rng.integers(num_uncovered))]], dtype=np.int64
+            )
+
+        # Stage init: reset non-frozen nodes, install the new centers.
+        thaw = ~frozen
+        center[thaw] = -1
+        hops[thaw] = np.iinfo(np.int64).max
+        wdist[thaw] = np.inf
+        center[picks] = picks
+        hops[picks] = 0
+        wdist[picks] = 0.0
+
+        cover_target = -(-num_uncovered // 2)
+        covered = len(picks)
+        steps = 0
+        frontier: Optional[np.ndarray] = None
+        while covered < cover_target:
+            upd = _bfs_growing_step(
+                graph, center, hops, wdist, frozen, frontier, counters
+            )
+            steps += 1
+            if upd.size == 0:
+                break  # stage exhausted its reachable set
+            covered += len(upd)
+            frontier = upd
+            if config.growing_step_cap and steps >= config.growing_step_cap:
+                break
+
+        newly = np.flatnonzero((center >= 0) & ~frozen)
+        frozen[newly] = True
+        stages.append(
+            StageInfo(
+                stage=stage_index,
+                uncovered_before=num_uncovered,
+                new_centers=len(picks),
+                delta_start=float(steps),
+                delta_end=float(steps),
+                growing_steps=steps,
+                newly_covered=len(newly),
+            )
+        )
+
+    leftover = np.flatnonzero(~frozen)
+    if len(leftover):
+        center[leftover] = leftover
+        hops[leftover] = 0
+        wdist[leftover] = 0.0
+        frozen[leftover] = True
+
+    hop_dist = hops.astype(np.float64)
+    max_hops = float(hop_dist.max()) if n else 0.0
+
+    clustering = Clustering(
+        center=center.copy(),
+        dist_to_center=hop_dist,
+        centers=np.unique(center),
+        radius=max_hops,
+        delta_end=max_hops,
+        tau=tau_val,
+        counters=counters,
+        stages=stages,
+        singleton_count=len(leftover),
+    )
+    clustering.validate()
+    return UnweightedDecomposition(clustering=clustering, weighted_dist=wdist.copy())

@@ -1,0 +1,101 @@
+"""Small vectorized helpers shared across the library.
+
+These routines implement common "ragged array" idioms on top of NumPy so
+that hot loops in the clustering and SSSP kernels never fall back to
+per-node Python iteration (see the optimization guide: vectorize, avoid
+copies, operate in place where safe).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["expand_ranges", "repeat_by_counts", "first_occurrence", "as_rng"]
+
+
+def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s + c) for s, c in zip(starts, counts)]`` without a loop.
+
+    This is the standard trick for gathering the CSR edge slices of an
+    arbitrary set of source nodes in one shot.
+
+    Parameters
+    ----------
+    starts:
+        Integer array of range starts.
+    counts:
+        Integer array of range lengths (same shape as ``starts``).
+
+    Returns
+    -------
+    numpy.ndarray
+        A 1-D int64 array of length ``counts.sum()``.
+
+    Examples
+    --------
+    >>> expand_ranges(np.array([0, 10]), np.array([3, 2]))
+    array([ 0,  1,  2, 10, 11])
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if starts.shape != counts.shape:
+        raise ValueError("starts and counts must have the same shape")
+    if counts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Offsets of each range inside the output array.
+    out_offsets = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=out_offsets[1:])
+    # Position within the output, minus position at the start of its range,
+    # plus the range start, yields the absolute index.
+    idx = np.arange(total, dtype=np.int64)
+    idx -= np.repeat(out_offsets, counts)
+    idx += np.repeat(starts, counts)
+    return idx
+
+
+def repeat_by_counts(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Alias of :func:`numpy.repeat` with shape validation.
+
+    Kept as a named helper so the kernels read as intent
+    (``repeat_by_counts(srcs, degrees)``) rather than mechanics.
+    """
+    values = np.asarray(values)
+    counts = np.asarray(counts, dtype=np.int64)
+    if values.shape != counts.shape:
+        raise ValueError("values and counts must have the same shape")
+    return np.repeat(values, counts)
+
+
+def first_occurrence(sorted_keys: np.ndarray) -> np.ndarray:
+    """Indices of the first occurrence of each distinct key in a sorted array.
+
+    Used to implement "pick the winning candidate per target node" after a
+    lexicographic sort: the first row of each key group is the winner.
+
+    Returns an int64 index array into ``sorted_keys``.
+    """
+    sorted_keys = np.asarray(sorted_keys)
+    if sorted_keys.size == 0:
+        return np.empty(0, dtype=np.int64)
+    mask = np.empty(len(sorted_keys), dtype=bool)
+    mask[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=mask[1:])
+    return np.flatnonzero(mask)
+
+
+def as_rng(seed: Optional[Union[int, np.random.Generator]]) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged, so callers can share a stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

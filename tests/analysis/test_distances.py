@@ -1,0 +1,74 @@
+"""Tests for sampled distance statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distances import (
+    distance_profile,
+    effective_weighted_diameter,
+    sample_distances,
+)
+from repro.exact import exact_diameter
+from repro.generators import gnm_random_graph, mesh, path_graph
+from repro.graph.builder import from_edge_list
+
+
+class TestSampleDistances:
+    def test_all_positive_finite(self, small_mesh):
+        pool = sample_distances(small_mesh, sources=4, seed=1)
+        assert pool.size > 0
+        assert np.all(pool > 0)
+        assert np.all(np.isfinite(pool))
+
+    def test_bounded_by_diameter(self, small_mesh):
+        pool = sample_distances(small_mesh, sources=4, seed=2)
+        assert pool.max() <= exact_diameter(small_mesh) + 1e-9
+
+    def test_trivial_graph(self):
+        assert sample_distances(from_edge_list([], 1)).size == 0
+
+    def test_full_sampling_path(self):
+        g = path_graph(6)
+        pool = sample_distances(g, sources=6, seed=3)
+        assert pool.size == 6 * 5  # all ordered pairs once per source
+
+
+class TestDistanceProfile:
+    def test_percentiles_ordered(self, random_connected):
+        prof = distance_profile(random_connected, sources=6, seed=4)
+        assert prof.median <= prof.p90 <= prof.p99 <= prof.max_seen
+
+    def test_as_dict(self, small_mesh):
+        d = distance_profile(small_mesh, seed=5).as_dict()
+        assert set(d) == {"samples", "mean", "median", "p90", "p99", "max_seen"}
+
+    def test_empty(self):
+        prof = distance_profile(from_edge_list([], 1))
+        assert prof.samples == 0
+
+
+class TestEffectiveWeightedDiameter:
+    def test_below_diameter(self, random_connected):
+        eff = effective_weighted_diameter(random_connected, alpha=0.9, seed=6)
+        assert 0 < eff <= exact_diameter(random_connected) + 1e-9
+
+    def test_monotone_in_alpha(self, small_mesh):
+        e50 = effective_weighted_diameter(small_mesh, alpha=0.5, seed=7)
+        e95 = effective_weighted_diameter(small_mesh, alpha=0.95, seed=7)
+        assert e50 <= e95 + 1e-12
+
+    def test_invalid_alpha(self, small_mesh):
+        with pytest.raises(ValueError):
+            effective_weighted_diameter(small_mesh, alpha=1.5)
+
+    def test_road_vs_social_profile_shape(self):
+        """Road-like graphs have relatively heavier distance tails than
+        social-like graphs — the property the workload suite relies on."""
+        from repro.generators import powerlaw_cluster_like, road_network
+
+        road = road_network(16, seed=8)
+        social = powerlaw_cluster_like(256, attach=4, seed=8)
+        r = distance_profile(road, sources=6, seed=8)
+        s = distance_profile(social, sources=6, seed=8)
+        # Normalized spread: road p99/median far above social's.
+        assert r.p99 / r.median > s.p99 / s.median

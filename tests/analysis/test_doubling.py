@@ -1,0 +1,52 @@
+"""Tests for doubling-dimension estimation."""
+
+import pytest
+
+from repro.analysis.doubling import ball_sizes, doubling_dimension_estimate
+from repro.generators import mesh, path_graph, star_graph
+
+
+class TestBallSizes:
+    def test_path_ball(self):
+        g = path_graph(20, weights="unit")
+        sizes = ball_sizes(g, radius=2, sample=20, seed=1)
+        # Interior nodes see 5 nodes within 2 hops, ends see at least 3.
+        assert sizes.max() == 5
+        assert sizes.min() >= 3
+
+    def test_radius_zero(self):
+        g = path_graph(5)
+        assert set(ball_sizes(g, 0, sample=5, seed=2)) == {1}
+
+    def test_mesh_ball_grows_quadratically(self):
+        g = mesh(21, weights="unit")
+        small = ball_sizes(g, 2, sample=10, seed=3).max()
+        big = ball_sizes(g, 4, sample=10, seed=3).max()
+        # |B(2R)| / |B(R)| ≈ 4 for doubling dimension 2.
+        assert 2.5 <= big / small <= 6.0
+
+
+class TestDoublingDimension:
+    def test_path_is_one_dimensional(self):
+        g = path_graph(200, weights="unit")
+        b = doubling_dimension_estimate(g, radius=4, sample=6, seed=4)
+        assert b <= 2.5
+
+    def test_mesh_is_two_dimensional(self):
+        g = mesh(30, weights="unit")
+        b = doubling_dimension_estimate(g, radius=3, sample=6, seed=5)
+        assert 1.0 <= b <= 4.5
+
+    def test_star_is_flat(self, star7):
+        b = doubling_dimension_estimate(star7, radius=1, sample=4, seed=6)
+        assert b >= 0.0
+
+    def test_mesh_below_star_like_blowup(self):
+        """Sanity ordering: mesh dimension below a dense R-MAT's."""
+        from repro.generators import rmat
+
+        m = doubling_dimension_estimate(mesh(25, weights="unit"), radius=3, sample=5, seed=7)
+        r = doubling_dimension_estimate(
+            rmat(9, edge_factor=8, seed=8, connect=True), radius=1, sample=5, seed=7
+        )
+        assert m < r

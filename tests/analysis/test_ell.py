@@ -1,0 +1,76 @@
+"""Tests for ℓ_Δ estimation and hop radii."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ell import ell_delta, hop_radius, sssp_with_hops
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.generators import cycle_graph, gnm_random_graph, mesh, path_graph
+from repro.graph.builder import from_edge_list
+
+
+class TestSsspWithHops:
+    def test_distances_match_dijkstra(self, random_connected):
+        dist, _ = sssp_with_hops(random_connected, 0)
+        assert np.allclose(dist, dijkstra_sssp(random_connected, 0))
+
+    def test_hops_minimal_among_shortest(self):
+        """Two shortest paths of equal weight: report the fewer-hop one."""
+        g = from_edge_list(
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.0)], 3
+        )
+        dist, hops = sssp_with_hops(g, 0)
+        assert dist[2] == pytest.approx(2.0)
+        assert hops[2] == 1  # direct edge, not the 2-hop route
+
+    def test_unreachable_hops(self, disconnected_graph):
+        _, hops = sssp_with_hops(disconnected_graph, 0)
+        assert hops[3] == -1
+
+    def test_source_hops_zero(self, path5):
+        _, hops = sssp_with_hops(path5, 2)
+        assert hops[2] == 0
+
+
+class TestEllDelta:
+    def test_unit_path_exact(self):
+        """On a unit path, ℓ_Δ = ⌊Δ⌋ (each hop costs 1)."""
+        g = path_graph(10, weights="unit")
+        assert ell_delta(g, 3.0, sample=None) == 3
+        assert ell_delta(g, 9.0, sample=None) == 9
+
+    def test_nondecreasing_in_delta(self, small_mesh):
+        values = [ell_delta(small_mesh, d, sample=None) for d in (0.2, 0.6, 2.0)]
+        assert values == sorted(values)
+
+    def test_sample_lower_bounds_exact(self, small_mesh):
+        exact = ell_delta(small_mesh, 1.0, sample=None)
+        sampled = ell_delta(small_mesh, 1.0, sample=4, seed=1)
+        assert sampled <= exact
+
+    def test_zero_delta(self, small_mesh):
+        assert ell_delta(small_mesh, 0.0, sample=4) == 0
+
+    def test_heavy_edges_shorten_ell(self):
+        """With one heavy shortcut, light Δ caps path hops."""
+        g = from_edge_list(
+            [(0, 1, 0.25), (1, 2, 0.25), (2, 3, 0.25), (0, 3, 10.0)], 4
+        )
+        assert ell_delta(g, 0.75, sample=None) == 3
+        assert ell_delta(g, 10.0, sample=None) == 3  # direct edge has 1 hop
+        # but dist(0,3)=0.75 via 3 hops is the min-weight path.
+
+
+class TestHopRadius:
+    def test_path_ends(self):
+        g = path_graph(8, weights="uniform", seed=1)
+        assert hop_radius(g, 0) == 7
+        assert hop_radius(g, 3) == 4
+
+    def test_mesh_corner(self):
+        g = mesh(5, seed=2)
+        assert hop_radius(g, 0) == 8  # manhattan distance to far corner
+
+    def test_isolated(self):
+        g = from_edge_list([(0, 1, 1.0)], 3)
+        assert hop_radius(g, 2) == 0

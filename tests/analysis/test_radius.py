@@ -1,0 +1,62 @@
+"""Tests for radius statistics and the Gonzalez k-center reference."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.radius import cluster_radius_stats, gonzalez_radius
+from repro.core.cluster import cluster
+from repro.core.config import ClusterConfig
+from repro.exact import exact_diameter, radius as graph_radius
+from repro.generators import gnm_random_graph, mesh, path_graph, star_graph
+
+
+class TestGonzalezRadius:
+    def test_tau_one_is_eccentricity(self, star7):
+        # One center (the start node 0 = hub): radius = ecc(hub) = 1.
+        assert gonzalez_radius(star7, 1, start=0) == pytest.approx(1.0)
+
+    def test_nonincreasing_in_tau(self):
+        g = mesh(12, seed=1)
+        radii = [gonzalez_radius(g, t) for t in (1, 2, 4, 8, 16)]
+        assert all(a >= b - 1e-12 for a, b in zip(radii, radii[1:]))
+
+    def test_tau_n_gives_zero(self, path5):
+        assert gonzalez_radius(path5, 5) == 0.0
+
+    def test_two_approximation(self):
+        """Greedy ≤ 2·OPT; here checked as greedy ≤ diameter (since
+        OPT ≤ radius ≤ diameter and greedy ≤ 2·OPT ≤ 2·radius)."""
+        g = gnm_random_graph(40, 100, seed=2, connect=True)
+        assert gonzalez_radius(g, 2) <= 2 * graph_radius(g) + 1e-9
+
+    def test_path_split(self):
+        # Unit path of 9 nodes, τ=2, starting at an end: optimal-ish split.
+        g = path_graph(9, weights="unit")
+        r = gonzalez_radius(g, 2, start=0)
+        assert r <= 4.0
+
+
+class TestClusterRadiusStats:
+    def test_consistency_with_clustering(self, small_mesh):
+        c = cluster(
+            small_mesh, tau=4, config=ClusterConfig(seed=3, stage_threshold_factor=1.0)
+        )
+        stats = cluster_radius_stats(c)
+        assert stats.num_clusters == c.num_clusters
+        assert stats.radius == pytest.approx(c.radius)
+        assert stats.mean_radius <= stats.radius + 1e-12
+        assert stats.max_cluster_size >= 1
+        assert stats.mean_cluster_size == pytest.approx(
+            small_mesh.num_nodes / c.num_clusters
+        )
+
+    def test_singletons_counted(self, path5):
+        c = cluster(path5, tau=100, config=ClusterConfig(seed=4))
+        stats = cluster_radius_stats(c)
+        assert stats.singleton_clusters == 5
+        assert stats.radius == 0.0
+
+    def test_as_dict_keys(self, small_mesh):
+        c = cluster(small_mesh, tau=4, config=ClusterConfig(seed=5))
+        d = cluster_radius_stats(c).as_dict()
+        assert set(d) >= {"num_clusters", "radius", "mean_radius"}

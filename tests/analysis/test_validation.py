@@ -1,0 +1,65 @@
+"""Tests for the public clustering validator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import validate_clustering
+from repro.core.cluster import Clustering, cluster
+from repro.core.config import ClusterConfig
+from repro.errors import GraphValidationError
+from repro.generators import mesh
+from repro.mr.metrics import Counters
+
+CFG = ClusterConfig(seed=1, stage_threshold_factor=1.0)
+
+
+def forged(center, dacc):
+    center = np.asarray(center, dtype=np.int64)
+    dacc = np.asarray(dacc, dtype=np.float64)
+    return Clustering(
+        center=center,
+        dist_to_center=dacc,
+        centers=np.unique(center),
+        radius=float(dacc.max()),
+        delta_end=1.0,
+        tau=1,
+        counters=Counters(),
+    )
+
+
+class TestValidateClustering:
+    def test_genuine_clustering_passes(self, small_mesh):
+        c = cluster(small_mesh, tau=4, config=CFG)
+        validate_clustering(small_mesh, c, sample=None)
+
+    def test_cluster2_passes(self, small_mesh):
+        from repro.core.cluster2 import cluster2
+
+        c = cluster2(small_mesh, tau=4, config=CFG)
+        validate_clustering(small_mesh, c, sample=None)
+
+    def test_underestimated_distance_caught(self, weighted_path):
+        # True dist(0, 4) = 10, forge 0.5.
+        bad = forged([0, 0, 0, 0, 0], [0.0, 1.0, 3.0, 6.0, 0.5])
+        with pytest.raises(GraphValidationError, match="underestimates"):
+            validate_clustering(weighted_path, bad, sample=None)
+
+    def test_unreachable_member_caught(self, disconnected_graph):
+        # Node 3 is in a different component from center 0.
+        bad = forged([0, 0, 0, 0, 4], [0.0, 1.0, 2.5, 5.0, 0.0])
+        with pytest.raises(GraphValidationError, match="unreachable"):
+            validate_clustering(disconnected_graph, bad, sample=None)
+
+    def test_size_mismatch_caught(self, small_mesh, weighted_path):
+        c = cluster(weighted_path, tau=1, config=ClusterConfig(seed=2, stage_threshold_factor=0.1))
+        with pytest.raises(GraphValidationError, match="size"):
+            validate_clustering(small_mesh, c)
+
+    def test_sampling_subset(self, small_mesh):
+        c = cluster(small_mesh, tau=4, config=CFG)
+        validate_clustering(small_mesh, c, sample=2, seed=3)
+
+    def test_honest_overestimates_pass(self, weighted_path):
+        """Distances are upper bounds; inflating them is legal."""
+        ok = forged([0, 0, 0, 0, 0], [0.0, 2.0, 4.0, 7.0, 11.0])
+        validate_clustering(weighted_path, ok, sample=None)

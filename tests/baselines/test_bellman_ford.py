@@ -1,0 +1,42 @@
+"""Tests for round-synchronous Bellman–Ford."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bellman_ford import bellman_ford_sssp
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.generators import gnm_random_graph, path_graph
+from repro.mr.metrics import Counters
+
+
+class TestBellmanFord:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dijkstra(self, seed):
+        g = gnm_random_graph(40, 110, seed=seed, connect=True)
+        dist, _ = bellman_ford_sssp(g, 0)
+        assert np.allclose(dist, dijkstra_sssp(g, 0))
+
+    def test_rounds_equal_hop_eccentricity_on_unit_path(self):
+        """On a unit path, rounds = hop depth + 1 (final quiescence check)."""
+        g = path_graph(10, weights="unit")
+        _, counters = bellman_ford_sssp(g, 0)
+        assert counters.rounds in (9, 10)
+
+    def test_unreachable(self, disconnected_graph):
+        dist, _ = bellman_ford_sssp(disconnected_graph, 0)
+        assert np.isinf(dist[4])
+
+    def test_work_accounting(self, star7):
+        _, counters = bellman_ford_sssp(star7, 0)
+        # Round 1: 6 spokes scanned, 6 updates; round 2: leaves re-scan
+        # the hub (6 messages, 0 updates).
+        assert counters.messages == 12
+        assert counters.updates == 6
+        assert counters.work == 18
+
+    def test_external_counters_accumulated(self, path5):
+        shared = Counters()
+        bellman_ford_sssp(path5, 0, counters=shared)
+        before = shared.rounds
+        bellman_ford_sssp(path5, 4, counters=shared)
+        assert shared.rounds > before

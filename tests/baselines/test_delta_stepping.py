@@ -1,0 +1,94 @@
+"""Tests for Δ-stepping: correctness against Dijkstra and the tradeoff."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.delta_stepping import delta_stepping_sssp
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.errors import ConfigurationError
+from repro.generators import gnm_random_graph, mesh, path_graph, star_graph
+from repro.graph.builder import from_edge_list
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("delta", [0.05, 0.3, 1.0, 10.0])
+    def test_matches_dijkstra_across_deltas(self, seed, delta):
+        g = gnm_random_graph(40, 100, seed=seed, connect=True)
+        result = delta_stepping_sssp(g, 0, delta)
+        assert np.allclose(result.dist, dijkstra_sssp(g, 0))
+
+    def test_weighted_path(self, weighted_path):
+        result = delta_stepping_sssp(weighted_path, 0, 2.0)
+        assert result.dist.tolist() == [0.0, 1.0, 3.0, 6.0, 10.0]
+
+    def test_unreachable(self, disconnected_graph):
+        result = delta_stepping_sssp(disconnected_graph, 0, 1.0)
+        assert np.isinf(result.dist[3])
+
+    def test_mesh_all_sources_spotcheck(self):
+        g = mesh(7, seed=5)
+        for src in (0, 24, 48):
+            result = delta_stepping_sssp(g, src, 0.4)
+            assert np.allclose(result.dist, dijkstra_sssp(g, src))
+
+    def test_reinsertion_case(self):
+        """A node settled in a bucket then improved within the same bucket
+        must be re-expanded (the Meyer–Sanders reinsertion rule)."""
+        # With Δ = 10 all edges are light and in bucket 0: 0→2 direct (5)
+        # is improved later via 0→1→2 (3); node 2's expansion must rerun.
+        g = from_edge_list([(0, 1, 2.0), (1, 2, 1.0), (0, 2, 5.0), (2, 3, 1.0)], 4)
+        result = delta_stepping_sssp(g, 0, 10.0)
+        assert result.dist.tolist() == [0.0, 2.0, 3.0, 4.0]
+
+    @given(st.integers(0, 10_000), st.floats(0.02, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_random_graph_random_delta(self, seed, delta):
+        g = gnm_random_graph(25, 60, seed=seed, connect=True)
+        result = delta_stepping_sssp(g, 0, delta)
+        assert np.allclose(result.dist, dijkstra_sssp(g, 0))
+
+
+class TestTradeoff:
+    def test_small_delta_means_many_buckets(self):
+        g = mesh(12, seed=6)
+        fine = delta_stepping_sssp(g, 0, 0.05)
+        coarse = delta_stepping_sssp(g, 0, 50.0)
+        assert fine.num_buckets > coarse.num_buckets
+        assert coarse.num_buckets == 1
+
+    def test_large_delta_increases_work_on_weighted_graphs(self):
+        """Bellman–Ford regime re-relaxes nodes; Dijkstra regime doesn't."""
+        g = gnm_random_graph(60, 220, seed=7, connect=True)
+        fine = delta_stepping_sssp(g, 0, 0.05)
+        coarse = delta_stepping_sssp(g, 0, 100.0)
+        assert coarse.counters.updates >= fine.counters.updates
+
+    def test_rounds_counted(self, small_mesh):
+        result = delta_stepping_sssp(small_mesh, 0, 0.3)
+        assert result.counters.rounds == result.light_phases + result.heavy_phases
+        assert result.counters.rounds > 0
+
+
+class TestDeltaResolution:
+    def test_named_strategies(self, small_mesh):
+        for name in ("mean", "max", "min", "degree"):
+            result = delta_stepping_sssp(small_mesh, 0, name)
+            assert np.allclose(result.dist, dijkstra_sssp(small_mesh, 0))
+
+    def test_bad_strategy(self, small_mesh):
+        with pytest.raises(ConfigurationError):
+            delta_stepping_sssp(small_mesh, 0, "median")
+
+    def test_nonpositive_delta(self, small_mesh):
+        with pytest.raises(ConfigurationError):
+            delta_stepping_sssp(small_mesh, 0, 0.0)
+
+    def test_bad_source(self, small_mesh):
+        with pytest.raises(ConfigurationError):
+            delta_stepping_sssp(small_mesh, 99999, 1.0)
+
+    def test_reported_delta(self, small_mesh):
+        result = delta_stepping_sssp(small_mesh, 0, 0.25)
+        assert result.delta == 0.25

@@ -1,0 +1,48 @@
+"""Tests for the Dijkstra oracle implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_sssp, dijkstra_sssp_reference
+from repro.generators import gnm_random_graph, mesh, path_graph
+
+
+class TestDijkstra:
+    def test_weighted_path(self, weighted_path):
+        dist = dijkstra_sssp(weighted_path, 0)
+        assert dist.tolist() == [0.0, 1.0, 3.0, 6.0, 10.0]
+
+    def test_triangle_uses_shorter_route(self, triangle):
+        # 0->2 direct weighs 4; via 1 weighs 3.
+        assert dijkstra_sssp(triangle, 0)[2] == pytest.approx(3.0)
+
+    def test_unreachable_is_inf(self, disconnected_graph):
+        dist = dijkstra_sssp(disconnected_graph, 0)
+        assert np.isinf(dist[3]) and np.isinf(dist[4])
+
+    def test_source_zero_distance(self, small_mesh):
+        assert dijkstra_sssp(small_mesh, 5)[5] == 0.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_reference_matches_scipy(self, seed):
+        g = gnm_random_graph(50, 140, seed=seed, connect=True)
+        for src in (0, 17, 49):
+            fast = dijkstra_sssp(g, src)
+            ref = dijkstra_sssp_reference(g, src)
+            assert np.allclose(fast, ref)
+
+    def test_reference_handles_unreachable(self, disconnected_graph):
+        ref = dijkstra_sssp_reference(disconnected_graph, 0)
+        assert np.isinf(ref[3])
+
+    def test_symmetric_distances(self, small_mesh):
+        d0 = dijkstra_sssp(small_mesh, 0)
+        d9 = dijkstra_sssp(small_mesh, 9)
+        assert d0[9] == pytest.approx(d9[0])
+
+    def test_triangle_inequality_holds(self):
+        g = mesh(6, seed=3)
+        d0 = dijkstra_sssp(g, 0)
+        d1 = dijkstra_sssp(g, 1)
+        # d(0, x) ≤ d(0, 1) + d(1, x) for all x.
+        assert np.all(d0 <= d0[1] + d1 + 1e-12)

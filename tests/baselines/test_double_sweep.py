@@ -1,0 +1,46 @@
+"""Tests for the multi-sweep diameter lower bound."""
+
+import pytest
+
+from repro.baselines.double_sweep import diameter_lower_bound
+from repro.exact import exact_diameter
+from repro.generators import cycle_graph, gnm_random_graph, mesh, path_graph
+
+
+class TestDiameterLowerBound:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_is_lower_bound(self, seed):
+        g = gnm_random_graph(70, 180, seed=seed, connect=True)
+        lb = diameter_lower_bound(g, seed=seed)
+        assert lb <= exact_diameter(g) + 1e-9
+
+    def test_exact_on_paths(self):
+        """A sweep from anywhere lands on an endpoint: the second sweep is
+        tight on trees."""
+        g = path_graph(15, weights="uniform", seed=1)
+        assert diameter_lower_bound(g, seed=2) == pytest.approx(exact_diameter(g))
+
+    def test_tight_on_mesh(self):
+        g = mesh(10, seed=3)
+        lb = diameter_lower_bound(g, seed=4, sweeps=4)
+        assert lb >= 0.8 * exact_diameter(g)
+
+    def test_monotone_in_sweeps(self):
+        g = gnm_random_graph(50, 120, seed=5, connect=True)
+        lb1 = diameter_lower_bound(g, seed=6, sweeps=1)
+        lb4 = diameter_lower_bound(g, seed=6, sweeps=4)
+        assert lb4 >= lb1 - 1e-12
+
+    def test_trivial_graphs(self):
+        from repro.graph.builder import from_edge_list
+
+        assert diameter_lower_bound(from_edge_list([], 1)) == 0.0
+        assert diameter_lower_bound(from_edge_list([], 0)) == 0.0
+
+    def test_explicit_source(self, small_mesh):
+        lb = diameter_lower_bound(small_mesh, source=0)
+        assert lb > 0
+
+    def test_disconnected_stays_in_component(self, disconnected_graph):
+        lb = diameter_lower_bound(disconnected_graph, source=0)
+        assert lb == pytest.approx(2.5)  # within component {0,1,2}

@@ -1,0 +1,92 @@
+"""Tests for SSSP path reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.baselines.paths import (
+    approximate_diametral_path,
+    dijkstra_with_parents,
+    extract_path,
+)
+from repro.errors import ConfigurationError
+from repro.exact import exact_diameter
+from repro.generators import gnm_random_graph, mesh, path_graph
+
+
+class TestDijkstraWithParents:
+    def test_distances_match_plain_dijkstra(self, random_connected):
+        dist, _ = dijkstra_with_parents(random_connected, 0)
+        assert np.allclose(dist, dijkstra_sssp(random_connected, 0))
+
+    def test_parents_form_shortest_path_tree(self, small_mesh):
+        dist, parent = dijkstra_with_parents(small_mesh, 0)
+        # Every non-source reachable node: dist[v] = dist[parent] + w(parent, v).
+        for v in range(1, small_mesh.num_nodes):
+            p = parent[v]
+            assert p >= 0
+            nbrs, ws = small_mesh.neighbors(int(p))
+            w = float(ws[nbrs == v][0])
+            assert dist[v] == pytest.approx(dist[p] + w)
+
+    def test_unreachable_parent(self, disconnected_graph):
+        dist, parent = dijkstra_with_parents(disconnected_graph, 0)
+        assert parent[3] == -1 and np.isinf(dist[3])
+
+    def test_bad_source(self, small_mesh):
+        with pytest.raises(ConfigurationError):
+            dijkstra_with_parents(small_mesh, -1)
+
+
+class TestExtractPath:
+    def test_path_on_path_graph(self):
+        g = path_graph(6)
+        _, parent = dijkstra_with_parents(g, 0)
+        assert extract_path(parent, 5) == [0, 1, 2, 3, 4, 5]
+
+    def test_source_path_is_singleton(self):
+        g = path_graph(4)
+        _, parent = dijkstra_with_parents(g, 2)
+        assert extract_path(parent, 2) == [2]
+
+    def test_path_weight_equals_distance(self, random_connected):
+        dist, parent = dijkstra_with_parents(random_connected, 0)
+        target = int(np.argmax(np.where(np.isfinite(dist), dist, -1)))
+        path = extract_path(parent, target)
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            nbrs, ws = random_connected.neighbors(a)
+            total += float(ws[nbrs == b][0])
+        assert total == pytest.approx(dist[target])
+
+    def test_cycle_detected(self):
+        parent = np.array([1, 0])
+        with pytest.raises(ValueError):
+            extract_path(parent, 0)
+
+
+class TestDiametralPath:
+    def test_weight_is_lower_bound(self):
+        g = gnm_random_graph(60, 150, seed=1, connect=True)
+        path, weight = approximate_diametral_path(g, seed=1)
+        assert weight <= exact_diameter(g) + 1e-9
+        assert len(path) >= 2
+
+    def test_exact_on_path_graph(self):
+        g = path_graph(12, weights="uniform", seed=2)
+        path, weight = approximate_diametral_path(g, seed=3)
+        assert weight == pytest.approx(exact_diameter(g))
+        assert path[0] in (0, 11) and path[-1] in (0, 11)
+
+    def test_path_is_valid_walk(self):
+        g = mesh(8, seed=4)
+        path, _ = approximate_diametral_path(g, seed=4)
+        for a, b in zip(path, path[1:]):
+            nbrs, _ = g.neighbors(a)
+            assert b in nbrs
+
+    def test_trivial_graph(self):
+        from repro.graph.builder import from_edge_list
+
+        path, weight = approximate_diametral_path(from_edge_list([], 1))
+        assert path == [] and weight == 0.0

@@ -1,0 +1,46 @@
+"""Tests for the SSSP-based diameter 2-approximation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sssp_diameter import sssp_diameter_approx
+from repro.exact import exact_diameter
+from repro.generators import gnm_random_graph, mesh, path_graph
+
+
+class TestSSSPDiameter:
+    def test_sandwich_bounds(self):
+        """ecc(s) ≤ Φ ≤ 2·ecc(s): the estimate brackets the diameter."""
+        g = gnm_random_graph(60, 150, seed=1, connect=True)
+        true = exact_diameter(g)
+        res = sssp_diameter_approx(g, source=0)
+        assert res.eccentricity <= true + 1e-9
+        assert res.estimate >= true - 1e-9
+        assert res.estimate <= 2 * true + 1e-9
+
+    def test_path_from_end_is_exact_times_two(self):
+        g = path_graph(10, weights="unit")
+        res = sssp_diameter_approx(g, source=0)
+        assert res.estimate == pytest.approx(18.0)  # 2 * ecc(end) = 2 * 9
+
+    def test_path_from_middle(self):
+        g = path_graph(11, weights="unit")
+        res = sssp_diameter_approx(g, source=5)
+        assert res.estimate == pytest.approx(10.0)  # 2 * 5 — tight here
+
+    def test_random_source_seeded(self, small_mesh):
+        a = sssp_diameter_approx(small_mesh, seed=3)
+        b = sssp_diameter_approx(small_mesh, seed=3)
+        assert a.source == b.source
+        assert a.estimate == b.estimate
+
+    def test_counters_exposed(self, small_mesh):
+        res = sssp_diameter_approx(small_mesh, source=0)
+        assert res.counters.rounds > 0
+        assert res.counters.work > 0
+
+    def test_mesh_ratio_below_two(self):
+        g = mesh(12, seed=4)
+        true = exact_diameter(g)
+        res = sssp_diameter_approx(g, seed=5)
+        assert res.estimate / true <= 2.0 + 1e-9

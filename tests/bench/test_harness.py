@@ -1,0 +1,87 @@
+"""Tests for the experiment harness and workload suite."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentRecord,
+    compare_algorithms,
+    run_cl_diam,
+    run_delta_stepping_diameter,
+)
+from repro.bench.workloads import BENCHMARK_SUITE, load_workload
+from repro.core.config import ClusterConfig
+from repro.generators import mesh
+
+
+class TestExperimentRecord:
+    def test_ratio(self):
+        rec = ExperimentRecord(
+            graph="g", algorithm="a", estimate=12.0, lower_bound=10.0,
+            time_s=1.0, rounds=5, work=100, messages=90, updates=10,
+        )
+        assert rec.ratio == pytest.approx(1.2)
+
+    def test_ratio_zero_lower_bound(self):
+        rec = ExperimentRecord(
+            graph="g", algorithm="a", estimate=0.0, lower_bound=0.0,
+            time_s=0.0, rounds=0, work=0, messages=0, updates=0,
+        )
+        assert rec.ratio == 1.0
+
+    def test_as_row(self):
+        rec = ExperimentRecord(
+            graph="g", algorithm="a", estimate=12.0, lower_bound=10.0,
+            time_s=1.5, rounds=5, work=100, messages=90, updates=10,
+        )
+        row = rec.as_row()
+        assert row["graph"] == "g" and row["rounds"] == 5
+
+
+class TestRunners:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return mesh(16, seed=1)
+
+    def test_run_cl_diam(self, graph):
+        rec = run_cl_diam(
+            graph, graph_name="m", tau=6,
+            config=ClusterConfig(seed=1, stage_threshold_factor=1.0),
+        )
+        assert rec.algorithm == "CL-DIAM"
+        assert rec.ratio >= 1.0 - 1e-9
+        assert rec.extra["clusters"] >= 1
+
+    def test_run_delta_stepping_sweeps(self, graph):
+        rec = run_delta_stepping_diameter(graph, deltas=(0.1, "mean", "inf"))
+        assert rec.algorithm == "delta-stepping"
+        # The min-rounds pick can never exceed the Bellman–Ford regime's
+        # work-optimal alternatives in rounds.
+        alt = run_delta_stepping_diameter(graph, deltas=(0.1,))
+        assert rec.rounds <= alt.rounds
+
+    def test_shared_lower_bound(self, graph):
+        cl, ds, lb = compare_algorithms(
+            graph, tau=6, config=ClusterConfig(seed=2, stage_threshold_factor=1.0)
+        )
+        assert cl.lower_bound == ds.lower_bound == lb
+
+
+class TestWorkloads:
+    def test_suite_keys_cover_paper_families(self):
+        names = set(BENCHMARK_SUITE)
+        assert {"roads-USA*", "mesh", "R-MAT(12)", "roads(3)"} <= names
+
+    def test_workload_builds_connected(self):
+        from repro.graph.ops import connected_components
+
+        g = load_workload("roads-CAL*")
+        count, _ = connected_components(g)
+        assert count == 1
+
+    def test_workload_deterministic(self):
+        a = load_workload("mesh")
+        b = load_workload("mesh")
+        assert a == b
+
+    def test_tau_positive(self):
+        assert all(w.tau >= 1 for w in BENCHMARK_SUITE.values())

@@ -1,0 +1,63 @@
+"""Tests for report formatting."""
+
+from repro.bench.reporting import format_bar_chart, format_table
+
+
+class TestFormatTable:
+    def test_basic(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in lines[3]
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        out = format_table(rows, columns=["c", "a"])
+        assert out.splitlines()[0].split() == ["c", "a"]
+        assert "2" not in out.splitlines()[2]
+
+    def test_title(self):
+        out = format_table([{"x": 1}], title="Table 2")
+        assert out.startswith("Table 2")
+
+    def test_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_large_numbers_scientific(self):
+        out = format_table([{"work": 1_350_000_000_00}])
+        assert "e+" in out
+
+    def test_float_formatting(self):
+        out = format_table([{"r": 1.23456789}])
+        assert "1.235" in out
+
+    def test_missing_key_blank(self):
+        out = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert out  # no KeyError
+
+
+class TestFormatBarChart:
+    def test_basic(self):
+        out = format_bar_chart({"x": 10.0, "y": 5.0})
+        lines = out.splitlines()
+        assert lines[0].startswith("x")
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_log_scale_compresses(self):
+        out_lin = format_bar_chart({"a": 1.0, "b": 10000.0}, width=50)
+        out_log = format_bar_chart({"a": 1.0, "b": 10000.0}, log=True, width=50)
+        a_lin = out_lin.splitlines()[0].count("#")
+        a_log = out_log.splitlines()[0].count("#")
+        assert a_log > a_lin  # log scale keeps the small bar visible
+
+    def test_title_and_log_marker(self):
+        out = format_bar_chart({"a": 1.0}, title="Figure 2", log=True)
+        assert "Figure 2" in out and "[log scale]" in out
+
+    def test_empty(self):
+        assert "(empty)" in format_bar_chart({})
+
+    def test_zero_values_handled(self):
+        out = format_bar_chart({"a": 0.0, "b": 3.0}, log=True)
+        assert "a" in out

@@ -1,0 +1,42 @@
+"""Tests for the BSP MapReduce time model."""
+
+import pytest
+
+from repro.bench.harness import modeled_mr_time
+
+
+class TestModeledMrTime:
+    def test_rounds_dominate_at_spark_latency(self):
+        """With L = 1 s, a 10-round job beats a 1000-round job regardless
+        of message volume differences at these scales."""
+        fast = modeled_mr_time(10, 10_000_000)
+        slow = modeled_mr_time(1000, 1_000_000)
+        assert fast < slow
+
+    def test_monotone_in_both_inputs(self):
+        base = modeled_mr_time(10, 1000)
+        assert modeled_mr_time(11, 1000) > base
+        assert modeled_mr_time(10, 2000) > base
+
+    def test_more_workers_cut_shuffle_term(self):
+        t1 = modeled_mr_time(5, 10**8, workers=1)
+        t16 = modeled_mr_time(5, 10**8, workers=16)
+        assert t16 < t1
+        # The latency term is worker-independent.
+        assert t16 >= 5.0
+
+    def test_paper_calibration(self):
+        """roads-USA in the paper: 11 268 rounds, 14 982 s on 16 machines
+        with 1.35e11 work.  L ≈ 1.3 s/round explains the runtime; check
+        the model lands within 2x of the measured time at L = 1.3."""
+        t = modeled_mr_time(
+            11_268,
+            1.35e11,
+            workers=16,
+            round_latency_s=1.3,
+            msgs_per_second_per_worker=1e6,
+        )
+        assert 14_982 / 2 <= t <= 14_982 * 2
+
+    def test_zero_rounds(self):
+        assert modeled_mr_time(0, 0) == 0.0

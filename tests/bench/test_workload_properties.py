@@ -1,0 +1,73 @@
+"""Structural validation of the full benchmark suite.
+
+The substitution argument in DESIGN.md rests on the synthetic families
+reproducing the structural properties that drive the experiments; these
+tests pin those properties so a generator change that silently breaks a
+family's character fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import BENCHMARK_SUITE
+from repro.graph.validate import validate_graph
+
+
+@pytest.fixture(scope="module")
+def built_suite():
+    return {name: wl.build() for name, wl in BENCHMARK_SUITE.items()}
+
+
+class TestSuiteStructure:
+    def test_all_graphs_canonical(self, built_suite):
+        for name, graph in built_suite.items():
+            validate_graph(graph)
+
+    def test_all_connected(self, built_suite):
+        from repro.graph.ops import connected_components
+
+        for name, graph in built_suite.items():
+            count, _ = connected_components(graph)
+            assert count == 1, name
+
+    def test_road_families_bounded_degree(self, built_suite):
+        for name in ("roads-USA*", "roads-CAL*"):
+            assert built_suite[name].degrees.max() <= 4, name
+
+    def test_road_families_integer_weights(self, built_suite):
+        for name in ("roads-USA*", "roads-CAL*"):
+            w = built_suite[name].weights
+            assert np.all(w == np.round(w)), name
+            assert w.min() >= 1, name
+
+    def test_social_families_skewed_degrees(self, built_suite):
+        for name in ("livejournal*", "twitter*", "R-MAT(12)"):
+            degrees = built_suite[name].degrees
+            assert degrees.max() > 4 * degrees.mean(), name
+
+    def test_social_families_unit_interval_weights(self, built_suite):
+        for name in ("livejournal*", "twitter*", "R-MAT(12)"):
+            w = built_suite[name].weights
+            assert w.min() > 0 and w.max() <= 1.0, name
+
+    def test_mesh_regularity(self, built_suite):
+        mesh = built_suite["mesh"]
+        assert mesh.degrees.max() == 4
+        assert mesh.num_nodes == 64 * 64
+
+    def test_roads_s_contains_unit_path_edges(self, built_suite):
+        assert (built_suite["roads(3)"].weights == 1.0).any()
+
+    def test_diameter_regime_separation(self, built_suite):
+        """Road families sit orders of magnitude above social families in
+        weighted diameter — the spread Table 1 relies on."""
+        from repro.baselines.double_sweep import diameter_lower_bound
+
+        road = diameter_lower_bound(built_suite["roads-CAL*"], seed=1, sweeps=2)
+        social = diameter_lower_bound(built_suite["R-MAT(12)"], seed=1, sweeps=2)
+        assert road > 1000 * social
+
+    def test_sizes_within_laptop_budget(self, built_suite):
+        for name, graph in built_suite.items():
+            assert graph.num_nodes <= 100_000, name
+            assert graph.num_edges <= 500_000, name

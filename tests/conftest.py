@@ -1,0 +1,71 @@
+"""Shared fixtures: small graphs with known properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    cycle_graph,
+    gnm_random_graph,
+    mesh,
+    path_graph,
+    star_graph,
+)
+from repro.graph.builder import from_edge_list
+
+
+@pytest.fixture
+def triangle():
+    """Weighted triangle: 0-1 (1), 1-2 (2), 0-2 (4); diameter = 3 (0->1->2)."""
+    return from_edge_list([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)], 3)
+
+
+@pytest.fixture
+def path5():
+    """Unit path 0-1-2-3-4; diameter 4."""
+    return path_graph(5, weights="unit")
+
+
+@pytest.fixture
+def weighted_path():
+    """Path with weights 1, 2, 3, 4; diameter 10."""
+    return from_edge_list(
+        [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0)], 5
+    )
+
+
+@pytest.fixture
+def star7():
+    """Star on 7 nodes with unit spokes; diameter 2."""
+    return star_graph(7, weights="unit")
+
+
+@pytest.fixture
+def cycle8():
+    """Unit 8-cycle; diameter 4."""
+    return cycle_graph(8, weights="unit")
+
+
+@pytest.fixture
+def small_mesh():
+    """8x8 mesh with seeded uniform weights."""
+    return mesh(8, seed=11)
+
+
+@pytest.fixture
+def random_connected():
+    """Connected G(60, 150) with uniform weights."""
+    return gnm_random_graph(60, 150, seed=12, connect=True)
+
+
+@pytest.fixture
+def disconnected_graph():
+    """Two components: a weighted path 0-1-2 and an edge 3-4."""
+    return from_edge_list([(0, 1, 1.0), (1, 2, 1.5), (3, 4, 2.0)], 5)
+
+
+def _assert_valid_distances(dist: np.ndarray, n: int, source: int):
+    assert dist.shape == (n,)
+    assert dist[source] == 0.0
+    assert np.all(dist[np.isfinite(dist)] >= 0.0)

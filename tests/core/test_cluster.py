@@ -1,0 +1,221 @@
+"""Tests for Algorithm 1 (CLUSTER)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.core.cluster import cluster
+from repro.core.config import ClusterConfig
+from repro.errors import ConfigurationError
+from repro.generators import gnm_random_graph, mesh, path_graph, star_graph
+from repro.graph.builder import from_edge_list
+
+
+class TestBasicProperties:
+    def test_partition_covers_all_nodes(self, small_mesh):
+        c = cluster(small_mesh, tau=4, config=ClusterConfig(seed=1))
+        assert np.all(c.center >= 0)
+        assert len(c.center) == small_mesh.num_nodes
+
+    def test_centers_self_assigned(self, small_mesh):
+        c = cluster(small_mesh, tau=4, config=ClusterConfig(seed=2))
+        assert np.all(c.center[c.centers] == c.centers)
+        assert np.all(c.dist_to_center[c.centers] == 0.0)
+
+    def test_validate_passes(self, random_connected):
+        cluster(random_connected, tau=5, config=ClusterConfig(seed=3)).validate()
+
+    def test_radius_matches_max_distance(self, small_mesh):
+        c = cluster(small_mesh, tau=4, config=ClusterConfig(seed=4))
+        assert c.radius == pytest.approx(c.dist_to_center.max())
+
+    def test_cluster_ids_dense(self, small_mesh):
+        c = cluster(small_mesh, tau=4, config=ClusterConfig(seed=5))
+        ids = c.cluster_ids()
+        assert ids.min() == 0
+        assert ids.max() == c.num_clusters - 1
+        assert c.cluster_sizes().sum() == small_mesh.num_nodes
+
+    def test_deterministic_under_seed(self, small_mesh):
+        cfg = ClusterConfig(seed=6, stage_threshold_factor=1.0)
+        a = cluster(small_mesh, tau=4, config=cfg)
+        b = cluster(small_mesh, tau=4, config=cfg)
+        assert np.array_equal(a.center, b.center)
+        assert np.allclose(a.dist_to_center, b.dist_to_center)
+
+    def test_different_seeds_differ(self, small_mesh):
+        # stage_threshold_factor=1 keeps the graph out of the all-singleton
+        # regime (8·τ·ln n > n on a 64-node mesh) so seeds actually matter.
+        a = cluster(small_mesh, tau=4, config=ClusterConfig(seed=6, stage_threshold_factor=1.0))
+        b = cluster(small_mesh, tau=4, config=ClusterConfig(seed=7, stage_threshold_factor=1.0))
+        assert not np.array_equal(a.center, b.center)
+
+
+class TestDistanceSoundness:
+    def test_dacc_upper_bounds_true_distance(self, random_connected):
+        """dist_to_center[u] ≥ dist(center[u], u) — radius is conservative."""
+        c = cluster(
+            random_connected,
+            tau=6,
+            config=ClusterConfig(seed=8, stage_threshold_factor=1.0),
+        )
+        for center_id in c.centers:
+            true = dijkstra_sssp(random_connected, int(center_id))
+            members = np.flatnonzero(c.center == center_id)
+            assert np.all(c.dist_to_center[members] >= true[members] - 1e-9)
+
+    def test_nodes_connected_to_their_center(self, random_connected):
+        """Every node's dist_to_center is finite ⇒ a real path exists."""
+        c = cluster(random_connected, tau=6, config=ClusterConfig(seed=9))
+        for center_id in c.centers:
+            true = dijkstra_sssp(random_connected, int(center_id))
+            members = np.flatnonzero(c.center == center_id)
+            assert np.all(np.isfinite(true[members]))
+
+
+class TestEdgeCases:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cluster(from_edge_list([], 0), tau=1)
+
+    def test_single_node(self):
+        c = cluster(from_edge_list([], 1), tau=1)
+        assert c.num_clusters == 1
+        assert c.radius == 0.0
+
+    def test_edgeless_graph_all_singletons(self):
+        c = cluster(from_edge_list([], 6), tau=2)
+        assert c.num_clusters == 6
+        assert c.singleton_count == 6
+
+    def test_two_nodes_one_edge(self):
+        g = from_edge_list([(0, 1, 2.0)], 2)
+        c = cluster(g, tau=1, config=ClusterConfig(seed=0, stage_threshold_factor=0.1))
+        c.validate()
+
+    def test_disconnected_graph_terminates(self, disconnected_graph):
+        c = cluster(
+            disconnected_graph,
+            tau=1,
+            config=ClusterConfig(seed=1, stage_threshold_factor=0.1),
+        )
+        c.validate()
+        assert c.num_clusters >= 2  # at least one per component
+
+    def test_star_small_radius(self, star7):
+        c = cluster(star7, tau=1, config=ClusterConfig(seed=2, stage_threshold_factor=0.1))
+        # Star diameter 2: no cluster radius should exceed it.
+        assert c.radius <= 2.0
+
+    def test_tau_ge_n_gives_all_singletons(self, path5):
+        c = cluster(path5, tau=100, config=ClusterConfig(seed=3))
+        assert c.num_clusters == 5
+        assert c.radius == 0.0
+
+
+class TestTheorem1Shape:
+    """Statistical shape checks of the Theorem 1 guarantees."""
+
+    def test_cluster_count_scales_with_tau(self):
+        g = mesh(30, seed=10)
+        cfg = ClusterConfig(seed=11, stage_threshold_factor=1.0)
+        k_small = cluster(g, tau=2, config=cfg).num_clusters
+        k_large = cluster(g, tau=16, config=cfg).num_clusters
+        assert k_small < k_large
+
+    def test_radius_shrinks_with_tau(self):
+        g = mesh(30, seed=12)
+        cfg = ClusterConfig(seed=13, stage_threshold_factor=1.0)
+        r_small_tau = cluster(g, tau=2, config=cfg).radius
+        r_large_tau = cluster(g, tau=32, config=cfg).radius
+        assert r_large_tau < r_small_tau
+
+    def test_delta_end_tracks_optimal_radius(self):
+        """Lemma 1: Δ_end = O(R_G(τ)) — compare against the greedy
+        2-approximation of R_G(τ) with generous constant slack."""
+        from repro.analysis import gonzalez_radius
+
+        g = mesh(20, seed=14)
+        tau = 8
+        c = cluster(
+            g, tau=tau, config=ClusterConfig(seed=15, stage_threshold_factor=1.0)
+        )
+        rg_2approx = gonzalez_radius(g, tau)
+        # Δ_end ≤ 4 · R_G(τ) in the lemma; R_G(τ) ≥ rg_2approx / 2.
+        # Allow an extra factor for the mean-weight initial Δ.
+        assert c.delta_end <= max(16 * rg_2approx, g.mean_weight * 2)
+
+    def test_growing_steps_bounded(self, small_mesh):
+        c = cluster(
+            small_mesh,
+            tau=4,
+            config=ClusterConfig(seed=16, stage_threshold_factor=1.0),
+        )
+        n = small_mesh.num_nodes
+        # O(ℓ log n) with ℓ ≤ n: extremely loose sanity ceiling.
+        assert 0 < c.counters.growing_steps <= 10 * n
+
+    def test_stage_info_consistent(self, small_mesh):
+        c = cluster(
+            small_mesh,
+            tau=4,
+            config=ClusterConfig(seed=17, stage_threshold_factor=1.0),
+        )
+        for st in c.stages:
+            assert st.newly_covered >= 0
+            assert st.delta_end >= st.delta_start
+            assert st.growing_steps >= 1
+        covered_by_stages = sum(st.newly_covered for st in c.stages)
+        assert covered_by_stages + c.singleton_count == small_mesh.num_nodes
+
+
+class TestGrowingStepCap:
+    def test_cap_respected_per_invocation(self):
+        """§4.1 variant: no PartialGrowth invocation exceeds the cap.
+
+        Per stage, PartialGrowth runs once per Δ guess, so the stage's
+        total growing steps are at most cap · (1 + #doublings)."""
+        import math
+
+        g = path_graph(300, weights="unit")
+        cap = 3
+        cfg = ClusterConfig(
+            seed=18, stage_threshold_factor=0.5, gamma=0.3, growing_step_cap=cap
+        )
+        c = cluster(g, tau=2, config=cfg)
+        c.validate()
+        for st in c.stages:
+            doublings = (
+                0
+                if st.delta_end == st.delta_start
+                else int(round(math.log2(st.delta_end / st.delta_start)))
+            )
+            assert st.growing_steps <= cap * (doublings + 1)
+
+    def test_capped_clustering_still_valid(self, random_connected):
+        c = cluster(
+            random_connected,
+            tau=4,
+            config=ClusterConfig(seed=19, growing_step_cap=2),
+        )
+        c.validate()
+
+
+class TestInitialDelta:
+    def test_explicit_initial_delta(self, small_mesh):
+        c = cluster(
+            small_mesh,
+            tau=4,
+            config=ClusterConfig(seed=20, initial_delta=0.5),
+        )
+        assert c.delta_end >= 0.5
+
+    def test_min_strategy_starts_lower(self, small_mesh):
+        cfg_min = ClusterConfig(seed=21, initial_delta="min", stage_threshold_factor=1.0)
+        cfg_mean = ClusterConfig(seed=21, initial_delta="mean", stage_threshold_factor=1.0)
+        c_min = cluster(small_mesh, tau=4, config=cfg_min)
+        c_mean = cluster(small_mesh, tau=4, config=cfg_mean)
+        # Both legal clusterings; the min strategy needs at least as many
+        # doublings (tracked implicitly through growing steps ≥).
+        c_min.validate()
+        c_mean.validate()

@@ -1,0 +1,55 @@
+"""Tests for per-component diameter estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.components import per_component_diameters
+from repro.core.config import ClusterConfig
+from repro.exact import exact_diameter
+from repro.generators import mesh
+from repro.graph.builder import from_edge_list
+
+CFG = ClusterConfig(seed=1, stage_threshold_factor=0.3)
+
+
+class TestPerComponentDiameters:
+    def test_two_components(self, disconnected_graph):
+        results = per_component_diameters(disconnected_graph, tau=1, config=CFG)
+        assert len(results) == 2
+        # Components: path 0-1-2 (diameter 2.5) and edge 3-4 (2.0).
+        assert results[0].estimate >= 2.5 - 1e-9
+        assert results[0].size == 3
+        assert results[1].size == 2
+
+    def test_global_estimate_dominates_true_diameter(self, disconnected_graph):
+        results = per_component_diameters(disconnected_graph, tau=1, config=CFG)
+        best = max(r.estimate for r in results)
+        assert best >= exact_diameter(disconnected_graph) - 1e-9
+
+    def test_singletons_zero(self):
+        g = from_edge_list([(0, 1, 3.0)], 4)  # nodes 2, 3 isolated
+        results = per_component_diameters(g, tau=1, config=CFG)
+        sizes = sorted(r.size for r in results)
+        assert sizes == [1, 1, 2]
+        for r in results:
+            if r.size == 1:
+                assert r.estimate == 0.0
+
+    def test_connected_graph_single_entry(self, small_mesh):
+        results = per_component_diameters(small_mesh, tau=4, config=CFG)
+        assert len(results) == 1
+        assert results[0].size == small_mesh.num_nodes
+
+    def test_nodes_partition_graph(self):
+        g = from_edge_list([(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)], 6)
+        results = per_component_diameters(g, tau=1, config=CFG)
+        all_nodes = np.sort(np.concatenate([r.nodes for r in results]))
+        assert all_nodes.tolist() == list(range(6))
+
+    def test_sorted_by_estimate(self):
+        g = from_edge_list(
+            [(0, 1, 10.0), (2, 3, 1.0), (3, 4, 1.0)], 5
+        )
+        results = per_component_diameters(g, tau=1, config=CFG)
+        estimates = [r.estimate for r in results]
+        assert estimates == sorted(estimates, reverse=True)

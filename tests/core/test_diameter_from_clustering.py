@@ -1,0 +1,47 @@
+"""Tests for diameter estimation from precomputed/persisted clusterings."""
+
+import pytest
+
+from repro.core.cluster import cluster
+from repro.core.config import ClusterConfig
+from repro.core.diameter import approximate_diameter, diameter_from_clustering
+from repro.exact import exact_diameter
+from repro.generators import mesh
+
+
+CFG = ClusterConfig(seed=3, stage_threshold_factor=1.0)
+
+
+class TestDiameterFromClustering:
+    def test_matches_full_pipeline(self, small_mesh):
+        full = approximate_diameter(small_mesh, tau=4, config=CFG)
+        pre = cluster(small_mesh, tau=4, config=CFG)
+        split = diameter_from_clustering(small_mesh, pre)
+        assert split.value == pytest.approx(full.value)
+        assert split.num_clusters == full.num_clusters
+
+    def test_conservative(self, random_connected):
+        pre = cluster(random_connected, tau=5, config=CFG)
+        est = diameter_from_clustering(random_connected, pre)
+        assert est.value >= exact_diameter(random_connected) - 1e-9
+
+    def test_quotient_mode_override(self, small_mesh):
+        pre = cluster(small_mesh, tau=4, config=CFG)
+        exact = diameter_from_clustering(small_mesh, pre, quotient_mode="exact")
+        sweep = diameter_from_clustering(small_mesh, pre, quotient_mode="sweep")
+        assert exact.quotient_exact
+        assert not sweep.quotient_exact
+        # Both conservative; the sweep bound dominates the exact one.
+        assert sweep.value >= exact.value - 1e-9
+
+    def test_persisted_clustering_pipeline(self, tmp_path, small_mesh):
+        """save → load → estimate equals the in-memory path."""
+        from repro.graph.serialize import load_clustering, save_clustering
+
+        pre = cluster(small_mesh, tau=4, config=CFG)
+        path = tmp_path / "c.npz"
+        save_clustering(pre, path)
+        loaded = load_clustering(path)
+        a = diameter_from_clustering(small_mesh, pre)
+        b = diameter_from_clustering(small_mesh, loaded)
+        assert a.value == pytest.approx(b.value)

@@ -1,0 +1,71 @@
+"""Tests for clustering-derived per-node eccentricity bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import cluster
+from repro.core.config import ClusterConfig
+from repro.core.eccentricity import eccentricity_bounds
+from repro.exact import eccentricities, exact_diameter
+from repro.generators import gnm_random_graph, mesh, star_graph
+
+CFG = ClusterConfig(seed=5, stage_threshold_factor=1.0)
+
+
+class TestBoundsSoundness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bounds_bracket_true_eccentricities(self, seed):
+        g = gnm_random_graph(70, 180, seed=seed, connect=True)
+        cl = cluster(g, tau=5, config=ClusterConfig(seed=seed, stage_threshold_factor=1.0))
+        bounds = eccentricity_bounds(g, cl)
+        true = eccentricities(g)
+        assert np.all(bounds.upper >= true - 1e-9)
+        assert np.all(bounds.lower <= true + 1e-9)
+
+    def test_mesh(self):
+        g = mesh(14, seed=3)
+        cl = cluster(g, tau=6, config=CFG)
+        bounds = eccentricity_bounds(g, cl)
+        true = eccentricities(g)
+        assert np.all(bounds.upper >= true - 1e-9)
+        assert np.all(bounds.lower <= true + 1e-9)
+
+    def test_diameter_bounds(self):
+        g = gnm_random_graph(60, 150, seed=4, connect=True)
+        cl = cluster(g, tau=5, config=CFG)
+        lo, hi = eccentricity_bounds(g, cl).diameter_bounds()
+        true = exact_diameter(g)
+        assert lo <= true + 1e-9 <= hi + 2e-9
+
+    def test_upper_bound_not_vacuous(self):
+        """The upper bound should be within a small factor of the truth on
+        a well-clustered mesh, not merely finite."""
+        g = mesh(16, seed=6)
+        cl = cluster(g, tau=8, config=CFG)
+        bounds = eccentricity_bounds(g, cl)
+        true = eccentricities(g)
+        assert np.all(bounds.upper <= 4.0 * true + 1e-9)
+
+    def test_all_singletons(self, weighted_path):
+        cl = cluster(weighted_path, tau=100, config=ClusterConfig(seed=7))
+        bounds = eccentricity_bounds(weighted_path, cl)
+        true = eccentricities(weighted_path)
+        # Singleton clustering: quotient = G, so bounds are near-exact.
+        assert np.all(bounds.upper >= true - 1e-9)
+        assert np.all(bounds.lower <= true + 1e-9)
+
+    def test_disconnected(self, disconnected_graph):
+        cl = cluster(
+            disconnected_graph,
+            tau=1,
+            config=ClusterConfig(seed=8, stage_threshold_factor=0.1),
+        )
+        bounds = eccentricity_bounds(disconnected_graph, cl)
+        true = eccentricities(disconnected_graph)
+        assert np.all(bounds.upper >= true - 1e-9)
+
+    def test_star_single_cluster(self, star7):
+        cl = cluster(star7, tau=1, config=ClusterConfig(seed=9, stage_threshold_factor=0.1))
+        bounds = eccentricity_bounds(star7, cl)
+        true = eccentricities(star7)
+        assert np.all(bounds.upper >= true - 1e-9)

@@ -1,0 +1,97 @@
+"""Tests for the weighted quotient graph."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import cluster
+from repro.core.config import ClusterConfig
+from repro.core.quotient import quotient_graph
+from repro.exact import exact_diameter
+from repro.graph.builder import from_edge_list
+from repro.graph.validate import validate_graph
+
+
+def manual_clustering(graph, center, dacc):
+    """Build a Clustering record by hand for precise quotient checks."""
+    from repro.core.cluster import Clustering
+    from repro.mr.metrics import Counters
+
+    center = np.asarray(center, dtype=np.int64)
+    dacc = np.asarray(dacc, dtype=np.float64)
+    return Clustering(
+        center=center,
+        dist_to_center=dacc,
+        centers=np.unique(center),
+        radius=float(dacc.max()),
+        delta_end=0.0,
+        tau=1,
+        counters=Counters(),
+    )
+
+
+class TestQuotientConstruction:
+    def test_edge_weight_formula(self):
+        """Quotient weight = w(u,v) + d_u + d_v (§4)."""
+        g = from_edge_list([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0)], 4)
+        # Clusters: {0,1} centered 0 (d_1 = 1), {2,3} centered 3 (d_2 = 1).
+        cl = manual_clustering(g, [0, 0, 3, 3], [0.0, 1.0, 1.0, 0.0])
+        qg, centers = quotient_graph(g, cl)
+        assert centers.tolist() == [0, 3]
+        assert qg.num_nodes == 2
+        assert qg.num_edges == 1
+        # Crossing edge (1,2) of weight 2: 2 + 1 + 1 = 4.
+        assert qg.weights[0] == pytest.approx(4.0)
+
+    def test_parallel_quotient_edges_keep_min(self):
+        g = from_edge_list(
+            [(0, 1, 1.0), (2, 3, 1.0), (0, 2, 10.0), (1, 3, 2.0)], 4
+        )
+        cl = manual_clustering(g, [0, 0, 2, 2], [0.0, 1.0, 0.0, 1.0])
+        qg, _ = quotient_graph(g, cl)
+        assert qg.num_edges == 1
+        # Candidates: 10 + 0 + 0 = 10 and 2 + 1 + 1 = 4 → min 4.
+        assert qg.weights[0] == pytest.approx(4.0)
+
+    def test_intra_cluster_edges_dropped(self, triangle):
+        cl = manual_clustering(triangle, [0, 0, 0], [0.0, 1.0, 3.0])
+        qg, centers = quotient_graph(triangle, cl)
+        assert qg.num_nodes == 1
+        assert qg.num_edges == 0
+
+    def test_canonical_output(self, small_mesh):
+        cl = cluster(small_mesh, tau=4, config=ClusterConfig(seed=1))
+        qg, _ = quotient_graph(small_mesh, cl)
+        validate_graph(qg)
+
+    def test_singletons_reproduce_graph(self, weighted_path):
+        """All-singleton clustering ⇒ quotient is (isomorphic to) G."""
+        n = weighted_path.num_nodes
+        cl = manual_clustering(weighted_path, list(range(n)), [0.0] * n)
+        qg, centers = quotient_graph(weighted_path, cl)
+        assert qg == weighted_path
+
+
+class TestQuotientDistanceDomination:
+    def test_center_distances_dominated(self, random_connected):
+        """dist_{G_C}(cluster(a), cluster(b)) ≥ dist_G(a, b) for centers —
+        quotient distances never undershoot (the conservativeness core)."""
+        from repro.baselines.dijkstra import dijkstra_sssp
+
+        cl = cluster(
+            random_connected, tau=5, config=ClusterConfig(seed=2, stage_threshold_factor=1.0)
+        )
+        qg, centers = quotient_graph(random_connected, cl)
+        for qi, c in enumerate(centers[: min(4, len(centers))]):
+            true = dijkstra_sssp(random_connected, int(c))
+            qdist = dijkstra_sssp(qg, qi)
+            for qj, c2 in enumerate(centers):
+                if np.isfinite(qdist[qj]):
+                    assert qdist[qj] >= true[int(c2)] - 1e-9
+
+    def test_quotient_diameter_plus_2r_covers_diameter(self, random_connected):
+        cl = cluster(
+            random_connected, tau=5, config=ClusterConfig(seed=3, stage_threshold_factor=1.0)
+        )
+        qg, _ = quotient_graph(random_connected, cl)
+        approx = exact_diameter(qg) + 2 * cl.radius
+        assert approx >= exact_diameter(random_connected) - 1e-9

@@ -1,0 +1,47 @@
+"""Tests for the τ auto-tuner."""
+
+import pytest
+
+from repro.core.cluster import cluster
+from repro.core.config import ClusterConfig
+from repro.core.tuning import tune_tau
+from repro.errors import ConfigurationError
+from repro.generators import mesh
+
+CFG = ClusterConfig(seed=2, stage_threshold_factor=1.0)
+
+
+class TestTuneTau:
+    def test_budget_respected(self):
+        g = mesh(24, seed=1)
+        result = tune_tau(g, 300, config=CFG)
+        assert result.clusters <= 300
+        # Verify against a fresh run at the chosen tau.
+        check = cluster(g, tau=result.tau, config=CFG)
+        assert check.num_clusters == result.clusters
+
+    def test_larger_budget_larger_tau(self):
+        g = mesh(24, seed=1)
+        small = tune_tau(g, 100, config=CFG)
+        large = tune_tau(g, 500, config=CFG)
+        assert large.tau >= small.tau
+
+    def test_huge_budget_reaches_n(self):
+        g = mesh(8, seed=3)
+        result = tune_tau(g, 10_000, config=CFG)
+        assert result.tau == g.num_nodes
+
+    def test_tiny_budget_returns_tau_one(self):
+        g = mesh(16, seed=4)
+        result = tune_tau(g, 1, config=CFG)
+        assert result.tau == 1
+
+    def test_probe_log_recorded(self):
+        g = mesh(16, seed=5)
+        result = tune_tau(g, 200, config=CFG)
+        assert len(result.probes) >= 2
+        assert all(t >= 1 and c >= 1 for t, c in result.probes)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            tune_tau(mesh(4), 0)

@@ -1,0 +1,56 @@
+"""Tests for exact APSP / diameter references."""
+
+import numpy as np
+import pytest
+
+from repro.exact.apsp import apsp_matrix, exact_diameter
+from repro.generators import cycle_graph, gnm_random_graph, mesh, path_graph, star_graph
+from repro.graph.builder import from_edge_list
+
+
+class TestApspMatrix:
+    def test_symmetric(self, small_mesh):
+        d = apsp_matrix(small_mesh)
+        assert np.allclose(d, d.T)
+
+    def test_zero_diagonal(self, small_mesh):
+        d = apsp_matrix(small_mesh)
+        assert np.all(np.diag(d) == 0.0)
+
+    def test_restricted_sources(self, small_mesh):
+        d = apsp_matrix(small_mesh, indices=[0, 3])
+        assert d.shape == (2, small_mesh.num_nodes)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = gnm_random_graph(25, 60, seed=1, connect=True)
+        d = apsp_matrix(g)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.num_nodes))
+        for u, v, w in g.iter_edges():
+            nxg.add_edge(u, v, weight=w)
+        nx_d = dict(nx.all_pairs_dijkstra_path_length(nxg))
+        for u in range(g.num_nodes):
+            for v in range(g.num_nodes):
+                assert d[u, v] == pytest.approx(nx_d[u][v])
+
+
+class TestExactDiameter:
+    def test_known_families(self):
+        assert exact_diameter(path_graph(7)) == pytest.approx(6.0)
+        assert exact_diameter(cycle_graph(10)) == pytest.approx(5.0)
+        assert exact_diameter(star_graph(9)) == pytest.approx(2.0)
+        assert exact_diameter(mesh(4, weights="unit")) == pytest.approx(6.0)
+
+    def test_trivial(self):
+        assert exact_diameter(from_edge_list([], 0)) == 0.0
+        assert exact_diameter(from_edge_list([], 1)) == 0.0
+
+    def test_disconnected_uses_per_component(self, disconnected_graph):
+        # Components: path 0-1-2 (diameter 2.5), edge 3-4 (2.0).
+        assert exact_diameter(disconnected_graph) == pytest.approx(2.5)
+
+    def test_chunking_invariant(self):
+        g = gnm_random_graph(40, 90, seed=2, connect=True)
+        assert exact_diameter(g, chunk=7) == pytest.approx(exact_diameter(g, chunk=512))

@@ -1,0 +1,55 @@
+"""Tests for eccentricities and radius."""
+
+import numpy as np
+import pytest
+
+from repro.exact.eccentricity import eccentricities, eccentricity, radius
+from repro.exact.apsp import exact_diameter
+from repro.generators import cycle_graph, gnm_random_graph, path_graph, star_graph
+from repro.graph.builder import from_edge_list
+
+
+class TestEccentricity:
+    def test_path_endpoints(self):
+        g = path_graph(6)
+        assert eccentricity(g, 0) == pytest.approx(5.0)
+        assert eccentricity(g, 3) == pytest.approx(3.0)
+
+    def test_star_center_vs_leaf(self, star7):
+        assert eccentricity(star7, 0) == pytest.approx(1.0)
+        assert eccentricity(star7, 1) == pytest.approx(2.0)
+
+    def test_isolated_node(self):
+        g = from_edge_list([(0, 1, 1.0)], 3)
+        assert eccentricity(g, 2) == 0.0
+
+
+class TestEccentricities:
+    def test_matches_single_queries(self, small_mesh):
+        eccs = eccentricities(small_mesh)
+        for v in (0, 10, 33):
+            assert eccs[v] == pytest.approx(eccentricity(small_mesh, v))
+
+    def test_max_is_diameter(self):
+        g = gnm_random_graph(40, 100, seed=1, connect=True)
+        assert eccentricities(g).max() == pytest.approx(exact_diameter(g))
+
+    def test_chunking_invariant(self):
+        g = gnm_random_graph(30, 70, seed=2, connect=True)
+        assert np.allclose(eccentricities(g, chunk=5), eccentricities(g, chunk=512))
+
+    def test_trivial(self):
+        assert eccentricities(from_edge_list([], 1)).tolist() == [0.0]
+
+
+class TestRadius:
+    def test_cycle_radius_equals_diameter(self):
+        g = cycle_graph(8)
+        assert radius(g) == pytest.approx(4.0)
+
+    def test_star_radius(self, star7):
+        assert radius(star7) == pytest.approx(1.0)
+
+    def test_radius_le_diameter(self):
+        g = gnm_random_graph(35, 90, seed=3, connect=True)
+        assert radius(g) <= exact_diameter(g) + 1e-12

@@ -1,0 +1,97 @@
+"""Tests for mesh/torus generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.generators import mesh, torus
+from repro.graph.ops import connected_components
+from repro.graph.validate import validate_graph
+
+
+class TestMesh:
+    def test_paper_counts(self):
+        # Table 1: mesh(S) has S^2 nodes and 2S(S-1) edges.
+        for s in (2, 5, 9):
+            g = mesh(s, weights="unit")
+            assert g.num_nodes == s * s
+            assert g.num_edges == 2 * s * (s - 1)
+
+    def test_single_node(self):
+        g = mesh(1)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+
+    def test_connected(self):
+        count, _ = connected_components(mesh(7, seed=1))
+        assert count == 1
+
+    def test_rectangular(self):
+        g = mesh(5, rows=3, weights="unit")
+        assert g.num_nodes == 15
+        assert g.num_edges == 3 * 4 + 2 * 5
+
+    def test_degrees_bounded_by_four(self):
+        g = mesh(6, seed=2)
+        assert g.degrees.max() <= 4
+        # Corners have degree 2.
+        assert g.degree(0) == 2
+
+    def test_uniform_weights_in_unit_interval(self):
+        g = mesh(10, seed=3)
+        assert g.weights.min() > 0.0
+        assert g.weights.max() <= 1.0
+
+    def test_unit_weights(self):
+        g = mesh(4, weights="unit")
+        assert np.all(g.weights == 1.0)
+
+    def test_seed_determinism(self):
+        assert mesh(6, seed=9) == mesh(6, seed=9)
+        assert mesh(6, seed=9) != mesh(6, seed=10)
+
+    def test_canonical(self):
+        validate_graph(mesh(5, seed=0))
+
+    def test_invalid_side(self):
+        with pytest.raises(ConfigurationError):
+            mesh(0)
+
+    def test_invalid_rows(self):
+        with pytest.raises(ConfigurationError):
+            mesh(3, rows=0)
+
+    def test_invalid_weights_mode(self):
+        with pytest.raises(ConfigurationError):
+            mesh(3, weights="bogus")
+
+    def test_unit_mesh_diameter(self):
+        # Manhattan diameter of an SxS unit grid is 2(S-1).
+        from repro.exact import exact_diameter
+
+        assert exact_diameter(mesh(5, weights="unit")) == pytest.approx(8.0)
+
+
+class TestTorus:
+    def test_counts(self):
+        g = torus(5, weights="unit")
+        assert g.num_nodes == 25
+        assert g.num_edges == 50  # 2 edges per node
+
+    def test_four_regular(self):
+        g = torus(6, seed=1)
+        assert np.all(g.degrees == 4)
+
+    def test_connected(self):
+        count, _ = connected_components(torus(4, seed=2))
+        assert count == 1
+
+    def test_min_side(self):
+        with pytest.raises(ConfigurationError):
+            torus(2)
+
+    def test_unit_diameter(self):
+        from repro.exact import exact_diameter
+
+        # Unit torus diameter = 2 * floor(S/2).
+        assert exact_diameter(torus(6, weights="unit")) == pytest.approx(6.0)

@@ -1,0 +1,121 @@
+"""Tests for the generic random/deterministic graph families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.exact import exact_diameter
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    path_graph,
+    powerlaw_cluster_like,
+    random_tree,
+    star_graph,
+)
+from repro.graph.ops import connected_components
+from repro.graph.validate import validate_graph
+
+
+class TestDeterministicFamilies:
+    def test_path_diameter(self):
+        assert exact_diameter(path_graph(6)) == pytest.approx(5.0)
+
+    def test_path_single_node(self):
+        g = path_graph(1)
+        assert g.num_nodes == 1 and g.num_edges == 0
+
+    def test_cycle_diameter(self):
+        assert exact_diameter(cycle_graph(8)) == pytest.approx(4.0)
+        assert exact_diameter(cycle_graph(9)) == pytest.approx(4.0)
+
+    def test_cycle_min_size(self):
+        with pytest.raises(ConfigurationError):
+            cycle_graph(2)
+
+    def test_star_diameter(self):
+        assert exact_diameter(star_graph(10)) == pytest.approx(2.0)
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert exact_diameter(g) == pytest.approx(1.0)
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_path_edge_count(self, n):
+        assert path_graph(n).num_edges == n - 1
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        g = random_tree(50, seed=1)
+        assert g.num_edges == 49
+        count, _ = connected_components(g)
+        assert count == 1
+
+    def test_single_node(self):
+        assert random_tree(1).num_nodes == 1
+
+    def test_determinism(self):
+        assert random_tree(30, seed=5) == random_tree(30, seed=5)
+
+
+class TestGnm:
+    def test_edge_count_exact(self):
+        g = gnm_random_graph(30, 80, seed=1)
+        assert g.num_edges == 80
+
+    def test_connect_flag(self):
+        g = gnm_random_graph(40, 10, seed=2, connect=True)
+        count, _ = connected_components(g)
+        assert count == 1
+
+    def test_m_zero(self):
+        g = gnm_random_graph(10, 0, seed=3)
+        assert g.num_edges == 0
+
+    def test_max_edges(self):
+        g = gnm_random_graph(6, 15, seed=4)
+        assert g.num_edges == 15  # complete graph
+
+    def test_m_too_large(self):
+        with pytest.raises(ConfigurationError):
+            gnm_random_graph(5, 11)
+
+    def test_no_duplicates_or_loops(self):
+        g = gnm_random_graph(25, 100, seed=5)
+        validate_graph(g)
+
+    @given(st.integers(2, 25), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_rank_inversion_correct(self, n, data):
+        """The closed-form rank → (u, v) inversion covers the full range."""
+        max_m = n * (n - 1) // 2
+        m = data.draw(st.integers(0, min(max_m, 40)))
+        g = gnm_random_graph(n, m, seed=data.draw(st.integers(0, 1000)))
+        assert g.num_edges == m
+        validate_graph(g)
+
+
+class TestPowerlaw:
+    def test_connected(self):
+        g = powerlaw_cluster_like(200, attach=3, seed=1)
+        count, _ = connected_components(g)
+        assert count == 1
+
+    def test_degree_skew(self):
+        g = powerlaw_cluster_like(400, attach=4, seed=2)
+        assert g.degrees.max() > 3 * g.degrees.mean()
+
+    def test_min_degree(self):
+        g = powerlaw_cluster_like(100, attach=3, seed=3)
+        assert g.degrees.min() >= 3
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            powerlaw_cluster_like(3, attach=4)
+        with pytest.raises(ConfigurationError):
+            powerlaw_cluster_like(10, attach=0)

@@ -1,0 +1,74 @@
+"""Tests for the R-MAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.generators import rmat
+from repro.graph.ops import connected_components, largest_connected_component
+from repro.graph.validate import validate_graph
+
+
+class TestRmat:
+    def test_node_count(self):
+        g = rmat(8, seed=1)
+        assert g.num_nodes == 256
+
+    def test_edge_budget(self):
+        # 16 * 2^S arcs sampled; dedup/symmetrization can only shrink.
+        g = rmat(8, edge_factor=16, seed=1)
+        assert 0 < g.num_edges <= 16 * 256
+
+    def test_seed_determinism(self):
+        assert rmat(7, seed=5) == rmat(7, seed=5)
+        assert rmat(7, seed=5) != rmat(7, seed=6)
+
+    def test_canonical(self):
+        validate_graph(rmat(7, seed=2))
+
+    def test_skewed_degrees(self):
+        # The default quadrant probabilities produce a heavy-tailed degree
+        # distribution: the max degree should far exceed the mean.
+        g = rmat(10, edge_factor=8, seed=3)
+        degrees = g.degrees
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_uniform_quadrants_are_not_skewed(self):
+        g = rmat(10, edge_factor=8, a=0.25, b=0.25, c=0.25, seed=3)
+        degrees = g.degrees.astype(float)
+        assert degrees.max() < 6 * max(degrees.mean(), 1.0)
+
+    def test_connect_flag(self):
+        g = rmat(7, seed=4, connect=True)
+        count, _ = connected_components(g)
+        assert count == 1
+
+    def test_giant_component_exists(self):
+        g = rmat(10, edge_factor=16, seed=5)
+        giant, _ = largest_connected_component(g)
+        assert giant.num_nodes > 0.5 * g.num_nodes
+
+    def test_weights_uniform(self):
+        g = rmat(7, seed=6)
+        assert g.weights.min() > 0.0
+        assert g.weights.max() <= 1.0
+
+    def test_unit_weights(self):
+        g = rmat(6, weights="unit", seed=7)
+        assert np.all(g.weights == 1.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            rmat(0)
+
+    def test_invalid_edge_factor(self):
+        with pytest.raises(ConfigurationError):
+            rmat(4, edge_factor=0)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            rmat(4, a=0.9, b=0.9, c=0.9)
+
+    def test_invalid_weights_mode(self):
+        with pytest.raises(ConfigurationError):
+            rmat(4, weights="nope")

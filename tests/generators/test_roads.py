@@ -1,0 +1,88 @@
+"""Tests for the synthetic road-network generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.generators import road_network, roads
+from repro.graph.ops import connected_components
+from repro.graph.validate import validate_graph
+
+
+class TestRoadNetwork:
+    def test_connected_by_construction(self):
+        for frac in (0.0, 0.3, 1.0):
+            g = road_network(12, extra_edge_fraction=frac, seed=1)
+            count, _ = connected_components(g)
+            assert count == 1
+
+    def test_tree_when_no_extras(self):
+        g = road_network(10, extra_edge_fraction=0.0, seed=2)
+        assert g.num_edges == g.num_nodes - 1
+
+    def test_full_grid_when_all_extras(self):
+        s = 8
+        g = road_network(s, extra_edge_fraction=1.0, seed=3)
+        assert g.num_edges == 2 * s * (s - 1)
+
+    def test_integer_weights_in_range(self):
+        g = road_network(10, weight_low=5, weight_high=9, seed=4)
+        assert np.all(g.weights == np.round(g.weights))
+        assert g.weights.min() >= 5
+        assert g.weights.max() <= 9
+
+    def test_bounded_degree(self):
+        g = road_network(15, seed=5)
+        assert g.degrees.max() <= 4
+
+    def test_rectangular_footprint(self):
+        g = road_network(10, rows=4, seed=6)
+        assert g.num_nodes == 40
+
+    def test_seed_determinism(self):
+        assert road_network(9, seed=7) == road_network(9, seed=7)
+
+    def test_high_diameter_vs_grid(self):
+        # A sparse road network should have a larger hop diameter than the
+        # full grid on the same footprint.
+        from repro.analysis import hop_radius
+
+        sparse = road_network(12, extra_edge_fraction=0.1, seed=8)
+        full = road_network(12, extra_edge_fraction=1.0, seed=8)
+        assert hop_radius(sparse, 0) > hop_radius(full, 0)
+
+    def test_invalid_side(self):
+        with pytest.raises(ConfigurationError):
+            road_network(1)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            road_network(5, extra_edge_fraction=1.5)
+
+
+class TestRoadsFamily:
+    def test_size_scales_linearly(self):
+        g1 = roads(1, base_side=6, seed=1)
+        g3 = roads(3, base_side=6, seed=1)
+        assert g3.num_nodes == 3 * g1.num_nodes
+
+    def test_s1_is_base_network(self):
+        g = roads(1, base_side=7, seed=2)
+        assert g.num_nodes == 49
+
+    def test_connected(self):
+        g = roads(2, base_side=6, seed=3)
+        count, _ = connected_components(g)
+        assert count == 1
+
+    def test_canonical(self):
+        validate_graph(roads(2, base_side=5, seed=4))
+
+    def test_invalid_s(self):
+        with pytest.raises(ConfigurationError):
+            roads(0)
+
+    def test_unit_path_edges_present(self):
+        # The cartesian construction adds unit-weight path edges.
+        g = roads(2, base_side=5, seed=5)
+        assert (g.weights == 1.0).any()

@@ -1,0 +1,110 @@
+"""Tests for the spatial/small-world generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exact import exact_diameter
+from repro.generators.spatial import grid3d, random_geometric, watts_strogatz
+from repro.graph.ops import connected_components
+from repro.graph.validate import validate_graph
+
+
+class TestGrid3d:
+    def test_counts(self):
+        g = grid3d(4, weights="unit")
+        assert g.num_nodes == 64
+        assert g.num_edges == 3 * 16 * 3
+
+    def test_degree_bound(self):
+        g = grid3d(5, seed=1)
+        assert g.degrees.max() <= 6
+
+    def test_connected(self):
+        count, _ = connected_components(grid3d(3, seed=2))
+        assert count == 1
+
+    def test_unit_diameter(self):
+        # Manhattan diameter of a side^3 unit grid = 3(side-1).
+        assert exact_diameter(grid3d(4, weights="unit")) == pytest.approx(9.0)
+
+    def test_doubling_dimension_above_mesh(self):
+        from repro.analysis import doubling_dimension_estimate
+        from repro.generators import mesh
+
+        b2 = doubling_dimension_estimate(mesh(20, weights="unit"), radius=3, sample=5, seed=3)
+        b3 = doubling_dimension_estimate(grid3d(9, weights="unit"), radius=3, sample=5, seed=3)
+        assert b3 > b2
+
+    def test_invalid_side(self):
+        with pytest.raises(ConfigurationError):
+            grid3d(0)
+
+
+class TestRandomGeometric:
+    def test_connected_flag(self):
+        g = random_geometric(150, 0.08, seed=4, connect=True)
+        count, _ = connected_components(g)
+        assert count == 1
+
+    def test_weights_are_distances(self):
+        g = random_geometric(100, 0.2, seed=5, connect=False)
+        # Weights bounded by the connection radius (non-chain edges).
+        assert g.num_edges > 0
+        assert g.weights.min() > 0
+
+    def test_canonical(self):
+        validate_graph(random_geometric(80, 0.15, seed=6))
+
+    def test_deterministic(self):
+        assert random_geometric(60, 0.2, seed=7) == random_geometric(60, 0.2, seed=7)
+
+    def test_grid_index_matches_bruteforce(self):
+        """The spatial index must find exactly the pairs within radius."""
+        from repro.util import as_rng
+
+        rng = as_rng(8)
+        n, radius = 70, 0.25
+        g = random_geometric(n, radius, seed=8, connect=False)
+        pts = as_rng(8).random((n, 2))  # same stream as the generator
+        expected = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                d2 = ((pts[i] - pts[j]) ** 2).sum()
+                if 0 < d2 <= radius * radius:
+                    expected += 1
+        assert g.num_edges == expected
+
+    def test_invalid_radius(self):
+        with pytest.raises(ConfigurationError):
+            random_geometric(10, 0.0)
+        with pytest.raises(ConfigurationError):
+            random_geometric(10, 2.0)
+
+
+class TestWattsStrogatz:
+    def test_beta_zero_is_lattice(self):
+        g = watts_strogatz(30, 4, 0.0, weights="unit")
+        assert g.num_edges == 60
+        assert np.all(g.degrees == 4)
+
+    def test_rewiring_shrinks_diameter(self):
+        lattice = watts_strogatz(200, 4, 0.0, weights="unit", seed=9)
+        rewired = watts_strogatz(200, 4, 0.3, weights="unit", seed=9)
+        from repro.graph.ops import largest_connected_component
+
+        rewired_cc, _ = largest_connected_component(rewired)
+        assert exact_diameter(rewired_cc) < exact_diameter(lattice)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(10, 3)  # odd
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(10, 10)  # >= n
+
+    def test_invalid_beta(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(10, 2, 1.5)
+
+    def test_canonical(self):
+        validate_graph(watts_strogatz(50, 6, 0.2, seed=10))

@@ -1,0 +1,78 @@
+"""Tests for weight-assignment strategies."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    bimodal_weights,
+    integer_weights,
+    path_graph,
+    reweighted,
+    uniform_weights,
+    unit_weights,
+)
+
+
+class TestUniformWeights:
+    def test_range_is_half_open_at_zero(self):
+        w = uniform_weights(10_000, seed=1)
+        assert w.min() > 0.0
+        assert w.max() <= 1.0
+
+    def test_determinism(self):
+        assert np.array_equal(uniform_weights(50, seed=3), uniform_weights(50, seed=3))
+
+    def test_zero_length(self):
+        assert uniform_weights(0, seed=1).size == 0
+
+
+class TestIntegerWeights:
+    def test_integrality_and_range(self):
+        w = integer_weights(1000, low=3, high=7, seed=2)
+        assert np.all(w == np.round(w))
+        assert w.min() >= 3 and w.max() <= 7
+
+    def test_degenerate_range(self):
+        w = integer_weights(10, low=4, high=4, seed=1)
+        assert np.all(w == 4)
+
+    def test_invalid_low(self):
+        with pytest.raises(ValueError):
+            integer_weights(5, low=0)
+
+    def test_inverted_range(self):
+        with pytest.raises(ValueError):
+            integer_weights(5, low=5, high=2)
+
+
+class TestBimodalWeights:
+    def test_two_levels_only(self):
+        w = bimodal_weights(5000, seed=4)
+        assert set(np.unique(w)) <= {1e-6, 1.0}
+
+    def test_heavy_fraction(self):
+        w = bimodal_weights(20_000, heavy_prob=0.1, seed=5)
+        frac = np.mean(w == 1.0)
+        assert 0.07 < frac < 0.13
+
+    def test_custom_levels(self):
+        w = bimodal_weights(100, heavy=9.0, light=0.5, heavy_prob=1.0, seed=6)
+        assert np.all(w == 9.0)
+
+
+class TestUnitWeights:
+    def test_all_ones(self):
+        assert np.all(unit_weights(7) == 1.0)
+
+
+class TestReweighted:
+    def test_topology_preserved(self):
+        g = path_graph(5, weights="unit")
+        g2 = reweighted(g, np.array([2.0, 3.0, 4.0, 5.0]))
+        assert g2.num_edges == g.num_edges
+        assert sorted(w for _, _, w in g2.iter_edges()) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_wrong_length(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            reweighted(g, np.array([1.0]))

@@ -1,0 +1,117 @@
+"""Tests for :mod:`repro.graph.builder` (canonicalization rules)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GraphValidationError
+from repro.graph.builder import from_edge_list, from_edges, symmetrized
+from repro.graph.validate import validate_graph
+
+
+class TestFromEdges:
+    def test_self_loops_dropped(self):
+        g = from_edge_list([(0, 0, 1.0), (0, 1, 2.0)], 2)
+        assert g.num_edges == 1
+
+    def test_duplicate_edges_keep_min(self):
+        g = from_edge_list([(0, 1, 5.0), (1, 0, 2.0), (0, 1, 3.0)], 2)
+        assert g.num_edges == 1
+        assert g.weights[0] == 2.0
+
+    def test_duplicate_edges_error_mode(self):
+        with pytest.raises(GraphValidationError):
+            from_edges(
+                np.array([0, 1]), np.array([1, 0]), np.array([1.0, 2.0]), 2,
+                dedup="error",
+            )
+
+    def test_orientation_irrelevant(self):
+        a = from_edge_list([(0, 1, 1.0), (2, 1, 3.0)], 3)
+        b = from_edge_list([(1, 0, 1.0), (1, 2, 3.0)], 3)
+        assert a == b
+
+    def test_out_of_range_endpoint(self):
+        with pytest.raises(GraphValidationError):
+            from_edge_list([(0, 5, 1.0)], 3)
+
+    def test_negative_endpoint(self):
+        with pytest.raises(GraphValidationError):
+            from_edge_list([(-1, 0, 1.0)], 3)
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(GraphValidationError):
+            from_edge_list([(0, 1, 0.0)], 2)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphValidationError):
+            from_edge_list([(0, 1, -2.0)], 2)
+
+    def test_infinite_weight_rejected(self):
+        with pytest.raises(GraphValidationError):
+            from_edge_list([(0, 1, float("inf"))], 2)
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(GraphValidationError):
+            from_edge_list([(0, 1, float("nan"))], 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(GraphValidationError):
+            from_edges(np.array([0]), np.array([1, 2]), np.array([1.0]), 3)
+
+    def test_negative_num_nodes(self):
+        with pytest.raises(GraphValidationError):
+            from_edges(np.array([], dtype=int), np.array([], dtype=int), np.array([]), -1)
+
+    def test_adjacency_sorted(self):
+        g = from_edge_list([(0, 3, 1.0), (0, 1, 1.0), (0, 2, 1.0)], 4)
+        nbrs, _ = g.neighbors(0)
+        assert nbrs.tolist() == [1, 2, 3]
+
+    def test_result_is_canonical(self):
+        g = from_edge_list(
+            [(3, 1, 2.0), (1, 3, 1.0), (0, 0, 5.0), (2, 0, 3.0)], 4
+        )
+        validate_graph(g)
+
+
+class TestSymmetrized:
+    def test_antiparallel_arcs_collapse(self):
+        g = symmetrized(np.array([0, 1]), np.array([1, 0]), np.array([3.0, 1.0]), 2)
+        assert g.num_edges == 1
+        assert g.weights[0] == 1.0
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 14),
+                st.integers(0, 14),
+                st.floats(0.01, 100, allow_nan=False),
+            ),
+            max_size=60,
+        )
+    )
+    def test_always_canonical(self, edges):
+        g = from_edge_list(edges, 15)
+        validate_graph(g)
+        # Edge count never exceeds input size and never counts loops.
+        proper = {(min(u, v), max(u, v)) for u, v, _ in edges if u != v}
+        assert g.num_edges == len(proper)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 9),
+                st.integers(0, 9),
+                st.floats(0.01, 10, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    def test_idempotent(self, edges):
+        g = from_edge_list(edges, 10)
+        u, v, w = g.edge_arrays()
+        again = from_edges(u, v, w, 10)
+        assert again == g

@@ -1,0 +1,79 @@
+"""Tests for disjoint_union / relabeled and the label-invariance property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exact import exact_diameter
+from repro.generators import gnm_random_graph, mesh, path_graph
+from repro.graph.builder import from_edge_list
+from repro.graph.ops import connected_components, disjoint_union, relabeled
+from repro.graph.validate import validate_graph
+
+
+class TestDisjointUnion:
+    def test_sizes_add(self):
+        g = disjoint_union(path_graph(3), path_graph(4), path_graph(5))
+        assert g.num_nodes == 12
+        assert g.num_edges == 2 + 3 + 4
+
+    def test_components(self):
+        g = disjoint_union(mesh(3, seed=1), mesh(4, seed=2))
+        count, _ = connected_components(g)
+        assert count == 2
+
+    def test_diameter_is_max_of_parts(self):
+        a = path_graph(5)  # diameter 4
+        b = path_graph(9)  # diameter 8
+        assert exact_diameter(disjoint_union(a, b)) == pytest.approx(8.0)
+
+    def test_empty_union(self):
+        g = disjoint_union()
+        assert g.num_nodes == 0
+
+    def test_single_graph_identity(self, small_mesh):
+        assert disjoint_union(small_mesh) == small_mesh
+
+    def test_canonical(self):
+        validate_graph(disjoint_union(mesh(3, seed=3), path_graph(4)))
+
+
+class TestRelabeled:
+    def test_identity_permutation(self, small_mesh):
+        assert relabeled(small_mesh, np.arange(small_mesh.num_nodes)) == small_mesh
+
+    def test_bad_permutation(self, small_mesh):
+        with pytest.raises(ValueError):
+            relabeled(small_mesh, np.zeros(small_mesh.num_nodes, dtype=int))
+        with pytest.raises(ValueError):
+            relabeled(small_mesh, np.arange(small_mesh.num_nodes - 1))
+
+    def test_involution(self, small_mesh):
+        rng = np.random.default_rng(4)
+        perm = rng.permutation(small_mesh.num_nodes)
+        inverse = np.argsort(perm)
+        assert relabeled(relabeled(small_mesh, perm), inverse) == small_mesh
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_diameter_label_invariant(self, seed):
+        """The diameter is a graph property: relabeling cannot change it."""
+        g = gnm_random_graph(25, 60, seed=seed, connect=True)
+        perm = np.random.default_rng(seed).permutation(g.num_nodes)
+        assert exact_diameter(relabeled(g, perm)) == pytest.approx(exact_diameter(g))
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_estimate_conservative_under_relabeling(self, seed):
+        """CL-DIAM's guarantee is label-invariant (its *value* may differ:
+        the tie-break uses center indices, which relabeling permutes)."""
+        from repro.core.config import ClusterConfig
+        from repro.core.diameter import approximate_diameter
+
+        g = gnm_random_graph(30, 70, seed=seed, connect=True)
+        perm = np.random.default_rng(seed).permutation(g.num_nodes)
+        shuffled = relabeled(g, perm)
+        est = approximate_diameter(
+            shuffled, tau=3, config=ClusterConfig(seed=seed, stage_threshold_factor=1.0)
+        )
+        assert est.value >= exact_diameter(g) - 1e-9

@@ -1,0 +1,120 @@
+"""Tests for :mod:`repro.graph.csr`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph
+
+
+class TestConstruction:
+    def test_basic_counts(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3
+        assert triangle.num_arcs == 6
+
+    def test_weight_stats(self, triangle):
+        assert triangle.min_weight == 1.0
+        assert triangle.max_weight == 4.0
+        assert triangle.mean_weight == pytest.approx((1 + 2 + 4) / 3)
+
+    def test_empty_graph(self):
+        g = from_edge_list([], 4)
+        assert g.num_nodes == 4
+        assert g.num_edges == 0
+        assert g.min_weight == float("inf")
+        assert g.max_weight == 0.0
+        assert g.mean_weight == 0.0
+
+    def test_zero_node_graph(self):
+        g = from_edge_list([], 0)
+        assert g.num_nodes == 0
+
+    def test_arrays_readonly(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.weights[0] = 9.0
+        with pytest.raises(ValueError):
+            triangle.indices[0] = 2
+
+    def test_bad_indptr_start(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([1, 2]), np.array([0]), np.array([1.0]))
+
+    def test_bad_indptr_end(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 5]), np.array([0]), np.array([1.0]))
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 2, 1, 2]), np.array([1, 0]), np.array([1.0, 1.0]))
+
+    def test_endpoint_out_of_range(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 1]), np.array([5]), np.array([1.0]))
+
+    def test_nonpositive_weight(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 1, 2]), np.array([1, 0]), np.array([0.0, 0.0]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 1, 2]), np.array([1, 0]), np.array([1.0]))
+
+
+class TestAccess:
+    def test_neighbors(self, triangle):
+        nbrs, ws = triangle.neighbors(0)
+        assert nbrs.tolist() == [1, 2]
+        assert ws.tolist() == [1.0, 4.0]
+
+    def test_degree(self, triangle):
+        assert triangle.degree(0) == 2
+        assert triangle.degrees.tolist() == [2, 2, 2]
+
+    def test_degree_star(self, star7):
+        assert star7.degree(0) == 6
+        assert all(star7.degree(i) == 1 for i in range(1, 7))
+
+    def test_iter_edges_each_once(self, triangle):
+        edges = sorted(triangle.iter_edges())
+        assert edges == [(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0)]
+
+    def test_edge_arrays_roundtrip(self, small_mesh):
+        u, v, w = small_mesh.edge_arrays()
+        assert len(u) == small_mesh.num_edges
+        assert np.all(u <= v)
+        rebuilt = from_edge_list(zip(u, v, w), small_mesh.num_nodes)
+        assert rebuilt == small_mesh
+
+    def test_arc_sources(self, triangle):
+        src = triangle.arc_sources()
+        assert src.tolist() == [0, 0, 1, 1, 2, 2]
+
+
+class TestConversions:
+    def test_to_scipy_symmetric(self, triangle):
+        m = triangle.to_scipy()
+        assert (m != m.T).nnz == 0
+        assert m.shape == (3, 3)
+
+    def test_memory_words_linear(self, small_mesh):
+        words = small_mesh.memory_words()
+        assert words == (small_mesh.num_nodes + 1) + 2 * small_mesh.num_arcs
+
+
+class TestDunder:
+    def test_equality(self, triangle):
+        other = from_edge_list([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)], 3)
+        assert triangle == other
+
+    def test_inequality_weights(self, triangle):
+        other = from_edge_list([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 5.0)], 3)
+        assert triangle != other
+
+    def test_not_hashable(self, triangle):
+        with pytest.raises(TypeError):
+            hash(triangle)
+
+    def test_eq_non_graph(self, triangle):
+        assert (triangle == 42) is False

@@ -1,0 +1,126 @@
+"""Tests for DIMACS / edge-list I/O."""
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import from_edge_list
+from repro.graph.io import read_dimacs, read_edge_list, write_dimacs, write_edge_list
+from repro.generators import mesh
+
+
+class TestDimacs:
+    def test_roundtrip(self, tmp_path, triangle):
+        path = tmp_path / "g.gr"
+        write_dimacs(triangle, path, comment="triangle")
+        assert read_dimacs(path) == triangle
+
+    def test_roundtrip_random(self, tmp_path):
+        g = mesh(6, seed=3)
+        path = tmp_path / "m.gr"
+        write_dimacs(g, path)
+        assert read_dimacs(path) == g
+
+    def test_gzip_transparent(self, tmp_path, triangle):
+        path = tmp_path / "g.gr.gz"
+        write_dimacs(triangle, path)
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("p sp")
+        assert read_dimacs(path) == triangle
+
+    def test_parse_reference_format(self, tmp_path):
+        path = tmp_path / "ref.gr"
+        path.write_text(
+            "c comment line\n"
+            "p sp 3 4\n"
+            "a 1 2 10\n"
+            "a 2 1 10\n"
+            "a 2 3 5\n"
+            "a 3 2 5\n"
+        )
+        g = read_dimacs(path)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert sorted(g.iter_edges()) == [(0, 1, 10.0), (1, 2, 5.0)]
+
+    def test_one_directional_arcs_become_edges(self, tmp_path):
+        path = tmp_path / "d.gr"
+        path.write_text("p sp 2 1\na 1 2 3\n")
+        g = read_dimacs(path)
+        assert g.num_edges == 1
+
+    def test_missing_problem_line(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("a 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(path)
+
+    def test_duplicate_problem_line(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 1\np sp 2 1\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(path)
+
+    def test_malformed_arc(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 1\na 1 2\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(path)
+
+    def test_unknown_record(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 1\nx 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.gr"
+        path.write_text("")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(path)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, triangle):
+        path = tmp_path / "g.txt"
+        write_edge_list(triangle, path)
+        assert read_edge_list(path) == triangle
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1 2.5\n\n# more\n1 2 1.5\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_missing_weight_defaults_to_one(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path)
+        assert g.weights[0] == 1.0
+
+    def test_explicit_num_nodes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 1.0\n")
+        g = read_edge_list(path, num_nodes=10)
+        assert g.num_nodes == 10
+
+    def test_bad_record(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        g = from_edge_list([], 3)
+        path = tmp_path / "e.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path, num_nodes=3)
+        assert loaded.num_nodes == 3
+        assert loaded.num_edges == 0
+
+    def test_float_weights_exact_roundtrip(self, tmp_path):
+        g = from_edge_list([(0, 1, 0.12345678901234567)], 2)
+        path = tmp_path / "w.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path).weights[0] == g.weights[0]

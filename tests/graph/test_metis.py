@@ -1,0 +1,93 @@
+"""Tests for METIS format I/O."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.generators import mesh
+from repro.graph.builder import from_edge_list
+from repro.graph.io import read_metis, write_metis
+
+
+class TestMetisRoundTrip:
+    def test_weighted_roundtrip(self, triangle, tmp_path):
+        path = tmp_path / "g.metis"
+        write_metis(triangle, path, comment="triangle")
+        assert read_metis(path) == triangle
+
+    def test_mesh_roundtrip(self, tmp_path):
+        g = mesh(6, seed=1)
+        path = tmp_path / "m.metis"
+        write_metis(g, path)
+        assert read_metis(path) == g
+
+    def test_isolated_nodes_roundtrip(self, tmp_path):
+        g = from_edge_list([(0, 1, 2.0)], 4)
+        path = tmp_path / "iso.metis"
+        write_metis(g, path)
+        loaded = read_metis(path)
+        assert loaded.num_nodes == 4
+        assert loaded.num_edges == 1
+
+
+class TestMetisParsing:
+    def test_reference_unweighted(self, tmp_path):
+        # The classic 7-node example from the METIS manual (unweighted).
+        path = tmp_path / "ref.metis"
+        path.write_text(
+            "% comment\n"
+            "7 11\n"
+            "5 3 2\n"
+            "1 3 4\n"
+            "5 4 2 1\n"
+            "2 3 6 7\n"
+            "1 3 6\n"
+            "5 4 7\n"
+            "6 4\n"
+        )
+        g = read_metis(path)
+        assert g.num_nodes == 7
+        assert g.num_edges == 11
+        assert g.weights.max() == 1.0
+
+    def test_weighted_fmt(self, tmp_path):
+        path = tmp_path / "w.metis"
+        path.write_text("2 1 001\n2 5\n1 5\n")
+        g = read_metis(path)
+        assert g.num_edges == 1
+        assert g.weights[0] == 5.0
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_too_few_node_lines(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("3 1\n2\n1\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_too_many_node_lines(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 1\n2\n1\n1\n")  # three node lines for n=2
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_vertex_weights_unsupported(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 1 011\n1 2 5\n1 1 5\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_odd_tokens_in_weighted_line(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 1 001\n2 5 1\n1 5\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)

@@ -1,0 +1,141 @@
+"""Tests for graph operations (components, subgraphs, cartesian product)."""
+
+import numpy as np
+import pytest
+
+from repro.generators import mesh, path_graph
+from repro.graph.builder import from_edge_list
+from repro.graph.ops import (
+    cartesian_product,
+    connected_components,
+    degree_histogram,
+    induced_subgraph,
+    largest_connected_component,
+    total_weight,
+)
+from repro.graph.validate import validate_graph
+
+
+class TestConnectedComponents:
+    def test_connected(self, small_mesh):
+        count, labels = connected_components(small_mesh)
+        assert count == 1
+        assert np.all(labels == 0)
+
+    def test_disconnected(self, disconnected_graph):
+        count, labels = connected_components(disconnected_graph)
+        assert count == 2
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+
+    def test_isolated_nodes(self):
+        g = from_edge_list([(0, 1, 1.0)], 4)
+        count, labels = connected_components(g)
+        assert count == 3
+
+    def test_edgeless(self):
+        g = from_edge_list([], 5)
+        count, labels = connected_components(g)
+        assert count == 5
+        assert sorted(labels.tolist()) == list(range(5))
+
+    def test_long_path_converges(self):
+        # Stress for the pointer-jumping convergence on a worst-case chain.
+        g = path_graph(500)
+        count, _ = connected_components(g)
+        assert count == 1
+
+    def test_labels_agree_with_networkx(self):
+        import networkx as nx
+
+        g = from_edge_list(
+            [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0), (6, 7, 1.0)], 8
+        )
+        count, labels = connected_components(g)
+        nxg = nx.Graph([(u, v) for u, v, _ in g.iter_edges()])
+        nxg.add_nodes_from(range(8))
+        assert count == nx.number_connected_components(nxg)
+
+
+class TestLargestCC:
+    def test_extracts_biggest(self, disconnected_graph):
+        sub, nodes = largest_connected_component(disconnected_graph)
+        assert sub.num_nodes == 3
+        assert nodes.tolist() == [0, 1, 2]
+
+    def test_connected_identity(self, small_mesh):
+        sub, nodes = largest_connected_component(small_mesh)
+        assert sub is small_mesh
+        assert len(nodes) == small_mesh.num_nodes
+
+
+class TestInducedSubgraph:
+    def test_triangle_minus_node(self, triangle):
+        sub = induced_subgraph(triangle, np.array([0, 1]))
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert sub.weights[0] == 1.0
+
+    def test_preserves_weights(self, weighted_path):
+        sub = induced_subgraph(weighted_path, np.array([1, 2, 3]))
+        assert sorted(w for _, _, w in sub.iter_edges()) == [2.0, 3.0]
+
+    def test_empty_selection(self, triangle):
+        sub = induced_subgraph(triangle, np.array([], dtype=np.int64))
+        assert sub.num_nodes == 0
+
+    def test_result_canonical(self, small_mesh):
+        sub = induced_subgraph(small_mesh, np.arange(0, 40))
+        validate_graph(sub)
+
+
+class TestDegreeHistogram:
+    def test_star(self, star7):
+        hist = degree_histogram(star7)
+        assert hist[1] == 6
+        assert hist[6] == 1
+
+
+class TestTotalWeight:
+    def test_triangle(self, triangle):
+        assert total_weight(triangle) == pytest.approx(7.0)
+
+    def test_edgeless(self):
+        assert total_weight(from_edge_list([], 3)) == 0.0
+
+
+class TestCartesianProduct:
+    def test_path_times_path_is_grid(self):
+        p2 = path_graph(2)
+        p3 = path_graph(3)
+        g = cartesian_product(p2, p3)
+        expected = mesh(3, rows=2, weights="unit")
+        assert g.num_nodes == 6
+        assert g.num_edges == expected.num_edges == 7
+
+    def test_node_count_multiplies(self):
+        a = path_graph(4)
+        b = path_graph(5)
+        g = cartesian_product(a, b)
+        assert g.num_nodes == 20
+        # |E| = |E_a|*|V_b| + |V_a|*|E_b|
+        assert g.num_edges == 3 * 5 + 4 * 4
+
+    def test_weight_scaling(self):
+        a = path_graph(2, weights="unit")
+        b = path_graph(2, weights="unit")
+        g = cartesian_product(a, b, g_edge_weight_scale=10.0)
+        weights = sorted(w for _, _, w in g.iter_edges())
+        assert weights == [1.0, 1.0, 10.0, 10.0]
+
+    def test_result_canonical(self):
+        g = cartesian_product(path_graph(3), path_graph(4))
+        validate_graph(g)
+
+    def test_diameter_additivity(self):
+        # Φ(g □ h) = Φ(g) + Φ(h) for paths with unit weights.
+        from repro.exact import exact_diameter
+
+        g = cartesian_product(path_graph(4), path_graph(6))
+        assert exact_diameter(g) == pytest.approx(3 + 5)

@@ -1,0 +1,76 @@
+"""Tests for npz graph/clustering serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import cluster
+from repro.core.config import ClusterConfig
+from repro.errors import GraphFormatError
+from repro.generators import mesh
+from repro.graph.builder import from_edge_list
+from repro.graph.serialize import (
+    load_clustering,
+    load_graph,
+    save_clustering,
+    save_graph,
+)
+
+
+class TestGraphRoundTrip:
+    def test_exact_roundtrip(self, tmp_path, small_mesh):
+        path = tmp_path / "g.npz"
+        save_graph(small_mesh, path)
+        assert load_graph(path) == small_mesh
+
+    def test_float_weights_bit_exact(self, tmp_path):
+        g = from_edge_list([(0, 1, 0.1234567890123456789)], 2)
+        path = tmp_path / "w.npz"
+        save_graph(g, path)
+        assert load_graph(path).weights[0] == g.weights[0]
+
+    def test_empty_graph(self, tmp_path):
+        g = from_edge_list([], 5)
+        path = tmp_path / "e.npz"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.num_nodes == 5 and loaded.num_edges == 0
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_graph(path)
+
+
+class TestClusteringRoundTrip:
+    def test_roundtrip(self, tmp_path, small_mesh):
+        c = cluster(
+            small_mesh, tau=4, config=ClusterConfig(seed=1, stage_threshold_factor=1.0)
+        )
+        path = tmp_path / "c.npz"
+        save_clustering(c, path)
+        loaded = load_clustering(path)
+        assert np.array_equal(loaded.center, c.center)
+        assert np.allclose(loaded.dist_to_center, c.dist_to_center)
+        assert loaded.radius == pytest.approx(c.radius)
+        assert loaded.tau == c.tau
+        assert loaded.num_clusters == c.num_clusters
+
+    def test_wrong_magic_rejected(self, tmp_path, small_mesh):
+        path = tmp_path / "g.npz"
+        save_graph(small_mesh, path)  # a graph file is not a clustering
+        with pytest.raises(GraphFormatError):
+            load_clustering(path)
+
+    def test_loaded_clustering_usable_for_quotient(self, tmp_path, small_mesh):
+        from repro.core.quotient import quotient_graph
+
+        c = cluster(
+            small_mesh, tau=4, config=ClusterConfig(seed=2, stage_threshold_factor=1.0)
+        )
+        path = tmp_path / "c.npz"
+        save_clustering(c, path)
+        loaded = load_clustering(path)
+        q1, _ = quotient_graph(small_mesh, c)
+        q2, _ = quotient_graph(small_mesh, loaded)
+        assert q1 == q2

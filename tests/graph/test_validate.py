@@ -1,0 +1,54 @@
+"""Tests for deep CSR validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graph.csr import CSRGraph
+from repro.graph.validate import validate_graph
+
+
+class TestValidateGraph:
+    def test_canonical_passes(self, small_mesh):
+        validate_graph(small_mesh)
+
+    def test_empty_passes(self):
+        g = CSRGraph(np.array([0, 0, 0]), np.array([], dtype=np.int64), np.array([]))
+        validate_graph(g)
+
+    def test_asymmetric_structure_fails(self):
+        # Arc 0->1 without the reverse.
+        g = CSRGraph(np.array([0, 1, 1]), np.array([1]), np.array([1.0]))
+        with pytest.raises(GraphValidationError):
+            validate_graph(g)
+
+    def test_asymmetric_weights_fail(self):
+        g = CSRGraph(
+            np.array([0, 1, 2]), np.array([1, 0]), np.array([1.0, 2.0])
+        )
+        with pytest.raises(GraphValidationError):
+            validate_graph(g)
+
+    def test_self_loop_fails(self):
+        g = CSRGraph(np.array([0, 2, 3]), np.array([0, 1, 0]), np.array([1.0, 1.0, 1.0]))
+        with pytest.raises(GraphValidationError):
+            validate_graph(g)
+
+    def test_unsorted_adjacency_fails(self):
+        # Node 0's neighbours listed as [2, 1]: symmetric but unsorted.
+        g = CSRGraph(
+            np.array([0, 2, 3, 4]),
+            np.array([2, 1, 0, 0]),
+            np.array([1.0, 1.0, 1.0, 1.0]),
+        )
+        with pytest.raises(GraphValidationError):
+            validate_graph(g)
+
+    def test_duplicate_arc_fails(self):
+        g = CSRGraph(
+            np.array([0, 2, 4]),
+            np.array([1, 1, 0, 0]),
+            np.array([1.0, 1.0, 1.0, 1.0]),
+        )
+        with pytest.raises(GraphValidationError):
+            validate_graph(g)

@@ -1,0 +1,103 @@
+"""End-to-end scenarios exercising the public API the way a user would."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    ClusterConfig,
+    approximate_diameter,
+    diameter_lower_bound,
+    exact_diameter,
+    mesh,
+    rmat,
+    road_network,
+    sssp_diameter_approx,
+)
+from repro.bench import compare_algorithms
+from repro.graph.ops import largest_connected_component
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestPipelineRoadNetwork:
+    def test_full_pipeline(self):
+        g = road_network(20, seed=1)
+        est = approximate_diameter(
+            g, tau=6, config=ClusterConfig(seed=1, stage_threshold_factor=2.0)
+        )
+        true = exact_diameter(g)
+        lb = diameter_lower_bound(g, seed=1)
+        assert lb <= true + 1e-9 <= est.value + 1e-9
+        assert est.value / true < 2.0
+
+
+class TestPipelineSocialNetwork:
+    def test_full_pipeline(self):
+        g, _ = largest_connected_component(rmat(9, edge_factor=8, seed=2))
+        est = approximate_diameter(
+            g, tau=10, config=ClusterConfig(seed=2, stage_threshold_factor=2.0)
+        )
+        true = exact_diameter(g)
+        assert est.value >= true - 1e-9
+        assert est.value / true < 3.0
+
+
+class TestComparisonHarness:
+    def test_compare_algorithms_row(self):
+        g = mesh(20, seed=3)
+        cl, ds, lb = compare_algorithms(
+            g,
+            graph_name="mesh20",
+            tau=8,
+            config=ClusterConfig(seed=3, stage_threshold_factor=1.0),
+            deltas=("mean",),
+        )
+        assert cl.algorithm == "CL-DIAM"
+        assert ds.algorithm == "delta-stepping"
+        # Both estimates upper-bound the shared lower bound.
+        assert cl.estimate >= lb - 1e-9
+        assert ds.estimate >= lb - 1e-9
+        # The paper's headline: CL-DIAM needs far fewer rounds.
+        assert cl.rounds < ds.rounds
+
+    def test_cl_diam_less_work_on_road_like(self):
+        """With Δ chosen for minimum rounds (the paper's methodology),
+        Δ-stepping pays Bellman–Ford-style re-relaxations and CL-DIAM
+        wins the work comparison too."""
+        g = road_network(48, seed=4)
+        cl, ds, _ = compare_algorithms(
+            g,
+            tau=10,
+            config=ClusterConfig(seed=4, stage_threshold_factor=1.0),
+        )
+        assert cl.work < ds.work
+
+    def test_record_row_format(self):
+        g = mesh(12, seed=5)
+        cl, _, _ = compare_algorithms(
+            g, tau=4, config=ClusterConfig(seed=5, stage_threshold_factor=1.0)
+        )
+        row = cl.as_row()
+        assert set(row) == {"graph", "algorithm", "ratio", "time_s", "rounds", "work"}
+        assert row["ratio"] >= 1.0 or row["ratio"] == 0
+
+
+class TestFileRoundTripPipeline:
+    def test_dimacs_to_estimate(self, tmp_path):
+        from repro import read_dimacs, write_dimacs
+
+        g = road_network(12, seed=6)
+        path = tmp_path / "net.gr"
+        write_dimacs(g, path)
+        loaded = read_dimacs(path)
+        est_orig = approximate_diameter(g, tau=4, config=ClusterConfig(seed=6))
+        est_load = approximate_diameter(loaded, tau=4, config=ClusterConfig(seed=6))
+        assert est_load.value == pytest.approx(est_orig.value)

@@ -1,0 +1,89 @@
+"""Regression guards for the paper's headline experimental shapes.
+
+The benchmarks regenerate the full tables; these tests pin the *claims*
+— the qualitative relationships that must survive any refactor — on one
+small high-diameter instance and one small-diameter instance, cheaply
+enough to run in every test invocation.
+"""
+
+import pytest
+
+from repro.bench.harness import compare_algorithms, modeled_mr_time
+from repro.core.config import ClusterConfig
+from repro.generators import powerlaw_cluster_like, road_network
+from repro.graph.ops import largest_connected_component
+
+
+@pytest.fixture(scope="module")
+def road_row():
+    g = road_network(36, seed=2024)
+    return compare_algorithms(
+        g,
+        graph_name="road",
+        tau=10,
+        config=ClusterConfig(seed=2024, stage_threshold_factor=1.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def social_row():
+    g, _ = largest_connected_component(powerlaw_cluster_like(1500, attach=6, seed=2024))
+    return compare_algorithms(
+        g,
+        graph_name="social",
+        tau=24,
+        config=ClusterConfig(seed=2024, stage_threshold_factor=1.0),
+    )
+
+
+class TestTable2Shapes:
+    def test_both_estimates_conservative(self, road_row, social_row):
+        for cl, ds, lb in (road_row, social_row):
+            assert cl.estimate >= lb - 1e-9
+            assert ds.estimate >= lb - 1e-9
+
+    def test_cl_diam_ratio_bounded(self, road_row, social_row):
+        """Paper: < 1.4 at scale; < 2 at this size."""
+        for cl, _ds, _lb in (road_row, social_row):
+            assert cl.ratio < 2.0
+
+    def test_delta_stepping_ratio_at_most_two(self, road_row, social_row):
+        for _cl, ds, _lb in (road_row, social_row):
+            assert ds.ratio <= 2.0 + 1e-9
+
+    def test_round_gap(self, road_row, social_row):
+        """CL-DIAM wins rounds on both topologies; by more on the
+        high-diameter road network (the paper's headline pattern)."""
+        road_gap = road_row[1].rounds / max(road_row[0].rounds, 1)
+        social_gap = social_row[1].rounds / max(social_row[0].rounds, 1)
+        assert road_gap > 2.0
+        assert social_gap > 1.5
+        assert road_gap > social_gap
+
+    def test_work_gap(self, road_row, social_row):
+        for cl, ds, _lb in (road_row, social_row):
+            assert cl.work < ds.work
+
+    def test_modeled_time_gap(self, road_row, social_row):
+        for cl, ds, _lb in (road_row, social_row):
+            t_cl = modeled_mr_time(cl.rounds, cl.messages)
+            t_ds = modeled_mr_time(ds.rounds, ds.messages)
+            assert t_cl < t_ds
+
+
+class TestScaleInvariance:
+    def test_rounds_grow_sublinearly_with_size(self):
+        """Table 3's claim: scaling the instance (roads(S), fixed base
+        topology) grows the round count far slower than the size."""
+        from repro.core.diameter import approximate_diameter
+        from repro.generators import roads
+
+        cfg = ClusterConfig(seed=7, stage_threshold_factor=1.0)
+        small = approximate_diameter(
+            roads(1, base_side=30, seed=7), tau=8, config=cfg
+        )
+        large = approximate_diameter(
+            roads(4, base_side=30, seed=7), tau=8, config=cfg
+        )
+        # 4x the nodes; rounds within 3x (paper: flat).
+        assert large.counters.rounds <= 3 * max(small.counters.rounds, 1)

@@ -1,0 +1,49 @@
+"""Tests for map-side combiner support in the MR engine."""
+
+import pytest
+
+from repro.errors import MemoryLimitExceeded
+from repro.mr.engine import MREngine
+from repro.mr.model import MRSpec
+
+
+def count_reducer(key, values):
+    return [(key, sum(values))]
+
+
+class TestCombiner:
+    def test_result_unchanged(self):
+        engine = MREngine(MRSpec(10_000, 1000))
+        words = [("a", 1)] * 5 + [("b", 1)] * 3
+        plain = engine.round(list(words), count_reducer)
+        combined = engine.round(list(words), count_reducer, combiner=count_reducer)
+        assert sorted(plain) == sorted(combined) == [("a", 5), ("b", 3)]
+
+    def test_messages_reduced(self):
+        engine = MREngine(MRSpec(10_000, 1000))
+        words = [("a", 1)] * 100
+        engine.round(list(words), count_reducer)
+        without = engine.counters.messages
+        engine.counters.messages = 0
+        engine.round(list(words), count_reducer, combiner=count_reducer)
+        with_combiner = engine.counters.messages
+        assert with_combiner == 1
+        assert without == 100
+
+    def test_memory_check_applies_post_combine(self):
+        """A hot key that would blow M_L raw passes once combined."""
+        engine = MREngine(MRSpec(10_000, 4))
+        words = [("hot", 1)] * 50
+        with pytest.raises(MemoryLimitExceeded):
+            engine.round(list(words), count_reducer)
+        out = engine.round(list(words), count_reducer, combiner=count_reducer)
+        assert out == [("hot", 50)]
+
+    def test_combiner_can_emit_multiple_pairs(self):
+        engine = MREngine(MRSpec(10_000, 1000))
+
+        def split_combiner(key, values):
+            return [(key, sum(values)), (f"{key}_count", len(values))]
+
+        out = engine.round([("x", 2), ("x", 3)], count_reducer, combiner=split_combiner)
+        assert sorted(out) == [("x", 5), ("x_count", 2)]

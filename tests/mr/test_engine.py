@@ -1,0 +1,127 @@
+"""Tests for the MR engine: grouping, memory enforcement, accounting."""
+
+import pytest
+
+from repro.errors import ConvergenceError, MemoryLimitExceeded
+from repro.mr.engine import MREngine
+from repro.mr.model import MRSpec
+
+
+def identity_reducer(key, values):
+    return [(key, v) for v in values]
+
+
+def sum_reducer(key, values):
+    return [(key, sum(values))]
+
+
+def wordcount_reducer(key, values):
+    return [(key, len(values))]
+
+
+@pytest.fixture
+def engine():
+    return MREngine(MRSpec(total_memory=10_000, local_memory=100))
+
+
+class TestRound:
+    def test_groups_by_key(self, engine):
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        out = engine.round(pairs, sum_reducer)
+        assert sorted(out) == [("a", 4), ("b", 2)]
+
+    def test_wordcount(self, engine):
+        text = "the quick fox the lazy the".split()
+        out = engine.round([(w, 1) for w in text], wordcount_reducer)
+        assert dict(out)["the"] == 3
+
+    def test_values_arrive_in_input_order(self, engine):
+        pairs = [("k", i) for i in range(10)]
+
+        def check_order(key, values):
+            assert values == list(range(10))
+            return []
+
+        engine.round(pairs, check_order)
+
+    def test_empty_input(self, engine):
+        assert engine.round([], identity_reducer) == []
+
+    def test_rounds_counted(self, engine):
+        engine.round([("a", 1)], identity_reducer)
+        engine.round([("a", 1)], identity_reducer)
+        assert engine.counters.rounds == 2
+
+    def test_messages_counted(self, engine):
+        engine.round([("a", 1), ("b", 2), ("a", 3)], identity_reducer)
+        assert engine.counters.messages == 3
+
+
+class TestMemoryEnforcement:
+    def test_local_limit(self):
+        engine = MREngine(MRSpec(total_memory=1000, local_memory=4))
+        pairs = [("hot", i) for i in range(10)]  # 20 words on one key
+        with pytest.raises(MemoryLimitExceeded) as exc:
+            engine.round(pairs, identity_reducer)
+        assert exc.value.key == "hot"
+
+    def test_total_limit(self):
+        engine = MREngine(MRSpec(total_memory=10, local_memory=10))
+        pairs = [(i, i) for i in range(20)]
+        with pytest.raises(MemoryLimitExceeded):
+            engine.round(pairs, identity_reducer)
+
+    def test_enforcement_off(self):
+        engine = MREngine(
+            MRSpec(total_memory=10, local_memory=4), enforce_memory=False
+        )
+        pairs = [("hot", i) for i in range(10)]
+        out = engine.round(pairs, identity_reducer)
+        assert len(out) == 10
+
+    def test_tuple_values_cost_their_length(self):
+        engine = MREngine(MRSpec(total_memory=1000, local_memory=5))
+        # One pair with a 10-element tuple: 11 words > 5.
+        with pytest.raises(MemoryLimitExceeded):
+            engine.round([("k", tuple(range(10)))], identity_reducer)
+
+
+class TestPipelines:
+    def test_run_rounds(self, engine):
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        out = engine.run_rounds(pairs, [sum_reducer, sum_reducer])
+        assert sorted(out) == [("a", 3), ("b", 3)]
+        assert engine.counters.rounds == 2
+
+    def test_fixpoint_converges(self, engine):
+        def cap_reducer(key, values):
+            return [(key, min(v, 5)) for v in values]
+
+        out = engine.run_until_fixpoint([("x", 100)], cap_reducer)
+        assert out == [("x", 5)]
+
+    def test_fixpoint_divergence_raises(self, engine):
+        def grow_reducer(key, values):
+            return [(key, v + 1) for v in values]
+
+        with pytest.raises(ConvergenceError):
+            engine.run_until_fixpoint([("x", 0)], grow_reducer, max_rounds=5)
+
+
+class TestTimeModel:
+    def test_critical_path_shrinks_with_workers(self):
+        pairs = [(i, i) for i in range(64)]
+        t1 = MREngine(MRSpec(10_000, 1000, num_workers=1))
+        t8 = MREngine(MRSpec(10_000, 1000, num_workers=8))
+        t1.round(pairs, identity_reducer)
+        t8.round(pairs, identity_reducer)
+        assert t8.simulated_time < t1.simulated_time
+
+    def test_single_worker_time_is_total_load(self):
+        engine = MREngine(MRSpec(10_000, 1000, num_workers=1))
+        engine.round([(i, i) for i in range(10)], identity_reducer)
+        # 10 input + 10 output pairs on the only worker.
+        assert engine.simulated_time == 20
+
+    def test_worker_of_stable(self, engine):
+        assert engine.worker_of("k") == engine.worker_of("k")

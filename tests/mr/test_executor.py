@@ -1,0 +1,49 @@
+"""Tests for the execution backends."""
+
+import pytest
+
+from repro.mr.engine import MREngine
+from repro.mr.executor import MultiprocessingExecutor, SerialExecutor
+from repro.mr.model import MRSpec
+
+
+def double_reducer(key, values):
+    return [(key, 2 * v) for v in values]
+
+
+class TestSerialExecutor:
+    def test_output_and_loads(self):
+        ex = SerialExecutor()
+        out, loads = ex.run({"a": [1, 2], "b": [3]}, double_reducer, 2)
+        assert sorted(out) == [("a", 2), ("a", 4), ("b", 6)]
+        assert len(loads) == 2
+        # Load counts inputs + outputs across both workers.
+        assert sum(loads) == 6
+
+    def test_empty_groups(self):
+        ex = SerialExecutor()
+        out, loads = ex.run({}, double_reducer, 3)
+        assert out == []
+        assert loads == [0, 0, 0]
+
+
+class TestMultiprocessingExecutor:
+    def test_matches_serial(self):
+        groups = {i: [i, i + 1] for i in range(8)}
+        serial_out, _ = SerialExecutor().run(groups, double_reducer, 4)
+        with MultiprocessingExecutor(processes=2) as ex:
+            mp_out, loads = ex.run(groups, double_reducer, 4)
+        assert sorted(mp_out) == sorted(serial_out)
+        assert len(loads) == 4
+
+    def test_engine_integration(self):
+        with MultiprocessingExecutor(processes=2) as ex:
+            engine = MREngine(MRSpec(10_000, 1000, num_workers=2), executor=ex)
+            out = engine.round([("a", 1), ("b", 2)], double_reducer)
+        assert sorted(out) == [("a", 2), ("b", 4)]
+
+    def test_close_idempotent(self):
+        ex = MultiprocessingExecutor(processes=1)
+        ex.run({"a": [1]}, double_reducer, 1)
+        ex.close()
+        ex.close()  # second close is a no-op

@@ -1,0 +1,60 @@
+"""Tests for the Counters accumulator."""
+
+from repro.mr.metrics import Counters
+
+
+class TestCounters:
+    def test_initial_state(self):
+        c = Counters()
+        assert c.rounds == 0
+        assert c.work == 0
+
+    def test_work_definition(self):
+        """Work = node updates + messages (paper §5)."""
+        c = Counters()
+        c.record_round(messages=100, updates=30)
+        assert c.work == 130
+
+    def test_record_round(self):
+        c = Counters()
+        c.record_round(messages=10, updates=2, relaxations=5)
+        c.record_round(messages=20, updates=3)
+        assert c.rounds == 2
+        assert c.messages == 30
+        assert c.updates == 5
+        assert c.relaxations == 5
+
+    def test_peak_round_messages(self):
+        c = Counters()
+        c.record_round(messages=10, updates=0)
+        c.record_round(messages=50, updates=0)
+        c.record_round(messages=20, updates=0)
+        assert c.peak_round_messages == 50
+
+    def test_merge(self):
+        a = Counters()
+        a.record_round(messages=5, updates=1)
+        a.extra["x"] = 2
+        b = Counters()
+        b.record_round(messages=7, updates=2)
+        b.record_round(messages=1, updates=0)
+        b.extra["x"] = 3
+        b.extra["y"] = 1
+        a.merge(b)
+        assert a.rounds == 3
+        assert a.messages == 13
+        assert a.updates == 3
+        assert a.extra == {"x": 5, "y": 1}
+
+    def test_merge_returns_self(self):
+        a, b = Counters(), Counters()
+        assert a.merge(b) is a
+
+    def test_snapshot(self):
+        c = Counters()
+        c.record_round(messages=4, updates=1)
+        c.growing_steps = 2
+        snap = c.snapshot()
+        assert snap["rounds"] == 1
+        assert snap["work"] == 5
+        assert snap["growing_steps"] == 2

@@ -1,0 +1,49 @@
+"""Tests for key partitioners."""
+
+import pytest
+
+from repro.mr.partitioner import hash_partition, make_splitters, range_partition
+
+
+class TestHashPartition:
+    def test_in_range(self):
+        for key in range(100):
+            assert 0 <= hash_partition(key, 7) < 7
+
+    def test_stable(self):
+        assert hash_partition("x", 5) == hash_partition("x", 5)
+
+    def test_consecutive_integers_spread(self):
+        workers = [hash_partition(i, 4) for i in range(64)]
+        counts = [workers.count(w) for w in range(4)]
+        # No worker should be starved or monopolize with a decent mixer.
+        assert min(counts) >= 4
+        assert max(counts) <= 40
+
+
+class TestRangePartition:
+    def test_routing(self):
+        splitters = [10, 20]
+        assert range_partition(5, splitters, 3) == 0
+        assert range_partition(15, splitters, 3) == 1
+        assert range_partition(25, splitters, 3) == 2
+
+    def test_boundary_goes_right(self):
+        assert range_partition(10, [10], 2) == 1
+
+    def test_wrong_splitter_count(self):
+        with pytest.raises(ValueError):
+            range_partition(1, [1, 2, 3], 2)
+
+
+class TestMakeSplitters:
+    def test_count(self):
+        sp = make_splitters(list(range(100)), 4)
+        assert len(sp) == 3
+        assert sp == sorted(sp)
+
+    def test_single_worker(self):
+        assert make_splitters([1, 2, 3], 1) == []
+
+    def test_empty_sample(self):
+        assert make_splitters([], 4) == []

@@ -1,0 +1,150 @@
+"""Tests for the Fact 1 primitives: sort and (segmented) prefix sums."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mr.engine import MREngine
+from repro.mr.model import MRSpec
+from repro.mr.primitives import (
+    mr_prefix_sum,
+    mr_scan,
+    mr_segmented_prefix_sum,
+    mr_sort,
+)
+
+
+def make_engine(ml=32, mt=100_000, workers=1):
+    return MREngine(MRSpec(total_memory=mt, local_memory=ml, num_workers=workers))
+
+
+class TestSort:
+    def test_small_input(self):
+        engine = make_engine()
+        assert mr_sort(engine, [3, 1, 2]) == [1, 2, 3]
+
+    def test_empty(self):
+        assert mr_sort(make_engine(), []) == []
+
+    def test_singleton(self):
+        assert mr_sort(make_engine(), [7]) == [7]
+
+    def test_larger_than_local_memory(self):
+        engine = make_engine(ml=16)
+        data = list(range(200))[::-1]
+        assert mr_sort(engine, data) == list(range(200))
+
+    def test_duplicates(self):
+        engine = make_engine(ml=10)
+        data = [5, 1, 5, 1, 5, 3] * 10
+        assert mr_sort(engine, data) == sorted(data)
+
+    def test_round_bound(self):
+        """Sorting n items uses O(log_{M_L} n) rounds (with slack for the
+        two-level recursion constant)."""
+        engine = make_engine(ml=32)
+        n = 1000
+        mr_sort(engine, list(np.random.default_rng(0).integers(0, 10**6, n)))
+        budget = engine.spec.sort_rounds(n)
+        assert engine.counters.rounds <= 8 * budget
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=150))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_builtin(self, data):
+        engine = make_engine(ml=16)
+        assert mr_sort(engine, data) == sorted(data)
+
+
+class TestPrefixSum:
+    def test_basic(self):
+        engine = make_engine()
+        assert mr_prefix_sum(engine, [1, 2, 3, 4]) == [1, 3, 6, 10]
+
+    def test_empty(self):
+        assert mr_prefix_sum(make_engine(), []) == []
+
+    def test_exceeds_fanout(self):
+        engine = make_engine(ml=10)  # fanout 2
+        values = list(range(1, 65))
+        assert mr_prefix_sum(engine, values) == list(np.cumsum(values))
+
+    def test_round_bound(self):
+        engine = make_engine(ml=40)  # fanout 10
+        n = 1000
+        mr_prefix_sum(engine, [1] * n)
+        # T(n) = T(n/10) + 2 rounds → about 2*log_10(n) + 1.
+        assert engine.counters.rounds <= 2 * engine.spec.sort_rounds(n) + 4
+
+    @given(st.lists(st.integers(-50, 50), max_size=120))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_cumsum(self, data):
+        engine = make_engine(ml=12)
+        assert mr_prefix_sum(engine, data) == (list(np.cumsum(data)) if data else [])
+
+
+class TestSegmentedPrefixSum:
+    def test_basic(self):
+        engine = make_engine()
+        out = mr_segmented_prefix_sum(engine, [1, 2, 3, 4, 5], [0, 0, 1, 1, 1])
+        assert out == [1, 3, 3, 7, 12]
+
+    def test_every_element_own_segment(self):
+        engine = make_engine()
+        out = mr_segmented_prefix_sum(engine, [4, 5, 6], [0, 1, 2])
+        assert out == [4, 5, 6]
+
+    def test_single_segment_equals_prefix_sum(self):
+        engine = make_engine(ml=10)
+        values = list(range(1, 40))
+        out = mr_segmented_prefix_sum(engine, values, [0] * len(values))
+        assert out == list(np.cumsum(values))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mr_segmented_prefix_sum(make_engine(), [1, 2], [0])
+
+    def test_segment_boundary_straddles_blocks(self):
+        engine = make_engine(ml=10)  # fanout 2: boundaries cross blocks
+        values = [1] * 10
+        segments = [0, 0, 0, 1, 1, 1, 1, 2, 2, 2]
+        out = mr_segmented_prefix_sum(engine, values, segments)
+        assert out == [1, 2, 3, 1, 2, 3, 4, 1, 2, 3]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-9, 9), st.booleans()), min_size=1, max_size=80
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_naive(self, tagged):
+        values = [v for v, _ in tagged]
+        seg = []
+        current = 0
+        for i, (_, new) in enumerate(tagged):
+            if i and new:
+                current += 1
+            seg.append(current)
+        engine = make_engine(ml=10)
+        got = mr_segmented_prefix_sum(engine, values, seg)
+        expected = []
+        run = 0
+        for i, v in enumerate(values):
+            run = v if (i == 0 or seg[i] != seg[i - 1]) else run + v
+            expected.append(run)
+        assert got == expected
+
+
+class TestScan:
+    def test_non_commutative_op(self):
+        """String concatenation is associative but not commutative — the
+        scan must preserve order."""
+        engine = make_engine(ml=10)
+        items = list("abcdefghij")
+        out = mr_scan(engine, items, lambda a, b: a + b)
+        assert out[-1] == "abcdefghij"
+        assert out[2] == "abc"
+
+    def test_max_scan(self):
+        engine = make_engine(ml=10)
+        data = [3, 1, 4, 1, 5, 9, 2, 6]
+        assert mr_scan(engine, data, max) == [3, 3, 4, 4, 5, 9, 9, 9]

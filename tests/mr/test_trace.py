@@ -1,0 +1,92 @@
+"""Tests for the round-trace recorder."""
+
+import pytest
+
+from repro.core.cluster import cluster
+from repro.core.config import ClusterConfig
+from repro.baselines.delta_stepping import delta_stepping_sssp
+from repro.generators import mesh, path_graph
+from repro.mr.trace import RoundTrace
+
+
+class TestRoundTrace:
+    def test_records_every_round(self):
+        trace = RoundTrace()
+        trace.record_round(messages=10, updates=3)
+        trace.record_round(messages=5, updates=1, relaxations=2)
+        assert trace.rounds == 2
+        assert len(trace.records) == 2
+        assert trace.records[1].relaxations == 2
+
+    def test_counters_semantics_preserved(self):
+        trace = RoundTrace()
+        trace.record_round(messages=7, updates=2)
+        assert trace.work == 9
+        assert trace.peak_round_messages == 7
+
+    def test_phases(self):
+        trace = RoundTrace()
+        trace.set_phase("stage-1")
+        trace.record_round(messages=1, updates=0)
+        trace.record_round(messages=2, updates=0)
+        trace.set_phase("stage-2")
+        trace.record_round(messages=3, updates=0)
+        assert trace.phases() == ["stage-1", "stage-2"]
+        summary = trace.phase_summary()
+        assert summary[0]["rounds"] == 2
+        assert summary[1]["messages"] == 3
+
+    def test_series(self):
+        trace = RoundTrace()
+        for m in (4, 9, 1):
+            trace.record_round(messages=m, updates=0)
+        assert trace.series("messages") == [4, 9, 1]
+
+    def test_sparkline_shape(self):
+        trace = RoundTrace()
+        for m in (0, 5, 10):
+            trace.record_round(messages=m, updates=0)
+        line = trace.sparkline("messages")
+        assert len(line) == 3
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_sparkline_compresses_long_series(self):
+        trace = RoundTrace()
+        for m in range(200):
+            trace.record_round(messages=m, updates=0)
+        assert len(trace.sparkline("messages", width=40)) == 40
+
+    def test_empty_sparkline(self):
+        assert "no rounds" in RoundTrace().sparkline()
+
+
+class TestTraceDropInCompatibility:
+    def test_cluster_accepts_trace(self, small_mesh):
+        trace = RoundTrace()
+        cluster(
+            small_mesh,
+            tau=4,
+            config=ClusterConfig(seed=1, stage_threshold_factor=1.0),
+            counters=trace,
+        )
+        assert len(trace.records) == trace.rounds > 0
+
+    def test_delta_stepping_accepts_trace(self):
+        g = mesh(10, seed=2)
+        trace = RoundTrace()
+        delta_stepping_sssp(g, 0, "mean", counters=trace)
+        assert len(trace.records) == trace.rounds > 0
+        # The per-round message series decays to quiescence.
+        assert trace.records[-1].updates == 0
+
+    def test_same_totals_as_plain_counters(self):
+        from repro.mr.metrics import Counters
+
+        g = path_graph(30, weights="uniform", seed=3)
+        plain = Counters()
+        traced = RoundTrace()
+        delta_stepping_sssp(g, 0, 0.5, counters=plain)
+        delta_stepping_sssp(g, 0, 0.5, counters=traced)
+        assert plain.rounds == traced.rounds
+        assert plain.messages == traced.messages
+        assert plain.work == traced.work

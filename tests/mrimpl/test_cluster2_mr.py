@@ -1,0 +1,57 @@
+"""Cross-validation of CLUSTER2 between the vectorized and MR layers.
+
+This exercises the one mechanism the CLUSTER cross-check cannot: the
+Contract2 weight rescaling (frozen nodes propagating with effective
+distance ``d − 2R_CL · elapsed``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster2 import cluster2
+from repro.core.config import ClusterConfig
+from repro.generators import gnm_random_graph, mesh, path_graph
+from repro.mrimpl.cluster2_mr import mr_cluster2
+
+
+def assert_same_clustering(a, b):
+    assert np.array_equal(a.center, b.center)
+    assert np.allclose(a.dist_to_center, b.dist_to_center)
+    assert a.radius == pytest.approx(b.radius)
+    assert a.num_clusters == b.num_clusters
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_mesh(self, seed):
+        g = mesh(8, seed=3)
+        cfg = ClusterConfig(tau=3, seed=seed, stage_threshold_factor=1.0)
+        assert_same_clustering(cluster2(g, config=cfg), mr_cluster2(g, config=cfg))
+
+    def test_random_graph(self):
+        g = gnm_random_graph(40, 100, seed=5, connect=True)
+        cfg = ClusterConfig(tau=3, seed=2, stage_threshold_factor=1.0)
+        assert_same_clustering(cluster2(g, config=cfg), mr_cluster2(g, config=cfg))
+
+    def test_weighted_path(self):
+        g = path_graph(25, weights="uniform", seed=6)
+        cfg = ClusterConfig(tau=2, seed=3, stage_threshold_factor=0.5)
+        assert_same_clustering(cluster2(g, config=cfg), mr_cluster2(g, config=cfg))
+
+    def test_singleton_regime(self, path5):
+        cfg = ClusterConfig(tau=100, seed=4)
+        assert_same_clustering(
+            cluster2(path5, config=cfg), mr_cluster2(path5, config=cfg)
+        )
+
+    def test_disconnected(self, disconnected_graph):
+        cfg = ClusterConfig(tau=1, seed=5, stage_threshold_factor=0.1)
+        assert_same_clustering(
+            cluster2(disconnected_graph, config=cfg),
+            mr_cluster2(disconnected_graph, config=cfg),
+        )
+
+    def test_memory_enforced_throughout(self, small_mesh):
+        cfg = ClusterConfig(tau=3, seed=6, stage_threshold_factor=1.0)
+        c = mr_cluster2(small_mesh, config=cfg)
+        c.validate()
+        assert c.counters.extra["cluster2_iterations"] >= 1

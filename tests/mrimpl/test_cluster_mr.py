@@ -1,0 +1,77 @@
+"""Cross-validation: MR-engine CLUSTER must equal the vectorized CLUSTER."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import cluster
+from repro.core.config import ClusterConfig
+from repro.generators import gnm_random_graph, mesh, path_graph, star_graph
+from repro.mrimpl.cluster_mr import mr_cluster
+
+
+def assert_same_clustering(a, b):
+    assert np.array_equal(a.center, b.center)
+    assert np.allclose(a.dist_to_center, b.dist_to_center)
+    assert a.num_clusters == b.num_clusters
+    assert a.radius == pytest.approx(b.radius)
+    assert a.delta_end == pytest.approx(b.delta_end)
+
+
+class TestCrossValidation:
+    """Same seed → byte-identical clustering on both substrates."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mesh(self, seed):
+        g = mesh(8, seed=7)
+        cfg = ClusterConfig(tau=3, seed=seed, stage_threshold_factor=1.0)
+        assert_same_clustering(cluster(g, config=cfg), mr_cluster(g, config=cfg))
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_random_graph(self, seed):
+        g = gnm_random_graph(50, 120, seed=9, connect=True)
+        cfg = ClusterConfig(tau=4, seed=seed, stage_threshold_factor=1.0)
+        assert_same_clustering(cluster(g, config=cfg), mr_cluster(g, config=cfg))
+
+    def test_path(self):
+        g = path_graph(30, weights="uniform", seed=10)
+        cfg = ClusterConfig(tau=2, seed=5, stage_threshold_factor=0.5)
+        assert_same_clustering(cluster(g, config=cfg), mr_cluster(g, config=cfg))
+
+    def test_star(self, star7):
+        cfg = ClusterConfig(tau=1, seed=6, stage_threshold_factor=0.1)
+        assert_same_clustering(
+            cluster(star7, config=cfg), mr_cluster(star7, config=cfg)
+        )
+
+    def test_disconnected(self, disconnected_graph):
+        cfg = ClusterConfig(tau=1, seed=7, stage_threshold_factor=0.1)
+        assert_same_clustering(
+            cluster(disconnected_graph, config=cfg),
+            mr_cluster(disconnected_graph, config=cfg),
+        )
+
+    def test_all_singletons_regime(self, path5):
+        cfg = ClusterConfig(tau=100, seed=8)
+        assert_same_clustering(
+            cluster(path5, config=cfg), mr_cluster(path5, config=cfg)
+        )
+
+
+class TestMrSpecifics:
+    def test_memory_enforced(self, small_mesh):
+        """The default engine spec must satisfy M_L for every reducer —
+        i.e. running under enforcement simply works."""
+        cfg = ClusterConfig(tau=3, seed=9, stage_threshold_factor=1.0)
+        c = mr_cluster(small_mesh, config=cfg)
+        c.validate()
+
+    def test_round_counter_positive(self, small_mesh):
+        cfg = ClusterConfig(tau=3, seed=10, stage_threshold_factor=1.0)
+        c = mr_cluster(small_mesh, config=cfg)
+        assert c.counters.rounds >= c.counters.growing_steps > 0
+
+    def test_edgeless(self):
+        from repro.graph.builder import from_edge_list
+
+        c = mr_cluster(from_edge_list([], 4), tau=1)
+        assert c.num_clusters == 4

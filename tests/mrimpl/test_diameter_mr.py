@@ -1,0 +1,33 @@
+"""Tests for CL-DIAM on the MR engine."""
+
+import pytest
+
+from repro.core.config import ClusterConfig
+from repro.core.diameter import approximate_diameter
+from repro.exact import exact_diameter
+from repro.generators import gnm_random_graph, mesh
+from repro.mrimpl.diameter_mr import mr_approximate_diameter
+
+
+class TestMrDiameter:
+    def test_matches_vectorized_estimate(self):
+        g = mesh(8, seed=1)
+        cfg = ClusterConfig(tau=3, seed=2, stage_threshold_factor=1.0)
+        vec = approximate_diameter(g, config=cfg)
+        mr = mr_approximate_diameter(g, config=cfg)
+        assert mr.value == pytest.approx(vec.value)
+        assert mr.num_clusters == vec.num_clusters
+        assert mr.radius == pytest.approx(vec.radius)
+
+    def test_conservative(self):
+        g = gnm_random_graph(40, 100, seed=3, connect=True)
+        cfg = ClusterConfig(tau=3, seed=4, stage_threshold_factor=1.0)
+        est = mr_approximate_diameter(g, config=cfg)
+        assert est.value >= exact_diameter(g) - 1e-9
+
+    def test_counters_from_engine(self):
+        g = mesh(6, seed=5)
+        cfg = ClusterConfig(tau=2, seed=6, stage_threshold_factor=1.0)
+        est = mr_approximate_diameter(g, config=cfg)
+        assert est.counters.rounds > 0
+        assert est.counters.messages > 0

@@ -1,0 +1,99 @@
+"""Tests for the MR-engine growing step."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edge_list
+from repro.mr.engine import MREngine
+from repro.mr.model import MRSpec
+from repro.mrimpl.growing_mr import (
+    NO_CENTER,
+    extract_states,
+    graph_to_pairs,
+    mr_growing_step,
+    states_to_pairs,
+)
+
+
+def make_engine():
+    return MREngine(MRSpec(total_memory=100_000, local_memory=1000))
+
+
+def install_centers(pairs, centers):
+    updates = {c: ("S", c, 0.0, False, 0.0, False) for c in centers}
+    return states_to_pairs(pairs, updates)
+
+
+class TestGraphToPairs:
+    def test_pair_counts(self, triangle):
+        pairs = graph_to_pairs(triangle)
+        # One adjacency + one state record per node.
+        assert len(pairs) == 6
+
+    def test_states_blank(self, triangle):
+        states = extract_states(graph_to_pairs(triangle), 3)
+        assert all(s[1] == NO_CENTER for s in states.values())
+
+    def test_missing_state_detected(self, triangle):
+        pairs = [p for p in graph_to_pairs(triangle) if p[0] != 1 or p[1][0] != "S"]
+        with pytest.raises(RuntimeError):
+            extract_states(pairs, 3)
+
+
+class TestMrGrowingStep:
+    def test_two_rounds_relax_one_hop(self):
+        """Round 1 (forced) emits candidates; round 2 merges them."""
+        g = from_edge_list([(0, 1, 1.0)], 2)
+        pairs = install_centers(graph_to_pairs(g), [0])
+        engine = make_engine()
+        pairs, upd1, _ = mr_growing_step(engine, pairs, 5.0, force=True, num_nodes=2)
+        assert upd1 == 0  # candidates in flight only
+        pairs, upd2, newly = mr_growing_step(engine, pairs, 5.0, num_nodes=2)
+        assert upd2 == 1 and newly == 1
+        states = extract_states(pairs, 2)
+        assert states[1][1] == 0
+        assert states[1][2] == 1.0
+
+    def test_delta_filter(self):
+        g = from_edge_list([(0, 1, 3.0)], 2)
+        pairs = install_centers(graph_to_pairs(g), [0])
+        engine = make_engine()
+        pairs, _, _ = mr_growing_step(engine, pairs, 2.0, force=True, num_nodes=2)
+        pairs, upd, _ = mr_growing_step(engine, pairs, 2.0, num_nodes=2)
+        assert upd == 0
+        assert extract_states(pairs, 2)[1][1] == NO_CENTER
+
+    def test_tiebreak_smaller_center(self):
+        g = from_edge_list([(0, 1, 1.0), (2, 1, 1.0)], 3)
+        pairs = install_centers(graph_to_pairs(g), [0, 2])
+        engine = make_engine()
+        pairs, _, _ = mr_growing_step(engine, pairs, 5.0, force=True, num_nodes=3)
+        pairs, _, _ = mr_growing_step(engine, pairs, 5.0, num_nodes=3)
+        assert extract_states(pairs, 3)[1][1] == 0
+
+    def test_frozen_not_updated_but_propagates(self):
+        g = from_edge_list([(0, 1, 1.0), (1, 2, 1.0)], 3)
+        pairs = graph_to_pairs(g)
+        # Node 1 frozen in cluster of 9... use center id 0, dacc 0.5.
+        pairs = states_to_pairs(
+            pairs, {1: ("S", 0, 0.7, True, 0.5, False)}
+        )
+        engine = make_engine()
+        pairs, _, _ = mr_growing_step(engine, pairs, 1.5, force=True, num_nodes=3)
+        pairs, upd, _ = mr_growing_step(engine, pairs, 1.5, num_nodes=3)
+        states = extract_states(pairs, 3)
+        # Node 2 received center 0 at stage-distance w = 1 (eff 0 + 1).
+        assert states[2][1] == 0
+        assert states[2][2] == pytest.approx(1.0)
+        # And accumulated distance dacc = 0.5 + 1.
+        assert states[2][4] == pytest.approx(1.5)
+        # Frozen node 1 unchanged.
+        assert states[1][2] == pytest.approx(0.7)
+
+    def test_engine_counts_rounds(self):
+        g = from_edge_list([(0, 1, 1.0)], 2)
+        pairs = install_centers(graph_to_pairs(g), [0])
+        engine = make_engine()
+        mr_growing_step(engine, pairs, 1.0, force=True, num_nodes=2)
+        assert engine.counters.rounds == 1
+        assert engine.counters.growing_steps == 1

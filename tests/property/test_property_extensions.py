@@ -1,0 +1,107 @@
+"""Property-based tests for the extension modules (unweighted, sketch,
+eccentricity bounds, serialization)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cluster import cluster
+from repro.core.config import ClusterConfig
+from repro.core.eccentricity import eccentricity_bounds
+from repro.exact import eccentricities, exact_diameter
+from repro.generators import gnm_random_graph
+from repro.sketch.hll import HyperLogLog
+from repro.unweighted.decomposition import bfs_cluster
+from repro.unweighted.diameter import weight_oblivious_diameter
+
+
+graph_params = st.tuples(
+    st.integers(5, 40),
+    st.integers(0, 50),
+    st.integers(0, 10_000),
+)
+
+
+def build_graph(params):
+    n, extra, seed = params
+    return gnm_random_graph(
+        n, min(extra, n * (n - 1) // 2), seed=seed, connect=True
+    )
+
+
+@given(graph_params, st.integers(1, 6), st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_bfs_cluster_partition(params, tau, seed):
+    g = build_graph(params)
+    cfg = ClusterConfig(seed=seed, stage_threshold_factor=1.0)
+    dec = bfs_cluster(g, tau=tau, config=cfg)
+    dec.clustering.validate()
+    # Hop distances are integral; weighted path lengths dominate them
+    # times the minimum weight.
+    d = dec.clustering.dist_to_center
+    assert np.all(d == np.round(d))
+    assert np.all(dec.weighted_dist >= d * g.min_weight - 1e-9)
+
+
+@given(graph_params, st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_weight_oblivious_conservative(params, seed):
+    g = build_graph(params)
+    cfg = ClusterConfig(seed=seed, stage_threshold_factor=1.0)
+    res = weight_oblivious_diameter(g, tau=3, config=cfg)
+    assert res.estimate >= exact_diameter(g) - 1e-9
+
+
+@given(graph_params, st.integers(1, 5), st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_eccentricity_bounds_bracket(params, tau, seed):
+    g = build_graph(params)
+    cfg = ClusterConfig(seed=seed, stage_threshold_factor=1.0)
+    cl = cluster(g, tau=tau, config=cfg)
+    bounds = eccentricity_bounds(g, cl)
+    true = eccentricities(g)
+    assert np.all(bounds.upper >= true - 1e-9)
+    assert np.all(bounds.lower <= true + 1e-9)
+
+
+@given(
+    st.sets(st.integers(0, 10**12), min_size=0, max_size=200),
+    st.sets(st.integers(0, 10**12), min_size=0, max_size=200),
+)
+@settings(max_examples=25, deadline=None)
+def test_hll_merge_commutative(a_items, b_items):
+    """merge(A, B) and merge(B, A) give identical registers."""
+    a1, b1 = HyperLogLog(10), HyperLogLog(10)
+    if a_items:
+        a1.add_ints(np.array(sorted(a_items)))
+    if b_items:
+        b1.add_ints(np.array(sorted(b_items)))
+    a2, b2 = a1.copy(), b1.copy()
+    a1.merge(b1)
+    b2.merge(a2)
+    assert np.array_equal(a1.registers, b2.registers)
+
+
+@given(st.lists(st.integers(0, 10**9), min_size=0, max_size=300))
+@settings(max_examples=25, deadline=None)
+def test_hll_insertion_order_irrelevant(items):
+    a = HyperLogLog(9)
+    b = HyperLogLog(9)
+    arr = np.array(items, dtype=np.int64) if items else np.array([], dtype=np.int64)
+    if items:
+        a.add_ints(arr)
+        b.add_ints(arr[::-1])
+    assert np.array_equal(a.registers, b.registers)
+
+
+@given(graph_params)
+@settings(max_examples=15, deadline=None)
+def test_graph_npz_roundtrip(params):
+    import io as _io
+    import tempfile
+
+    from repro.graph.serialize import load_graph, save_graph
+
+    g = build_graph(params)
+    with tempfile.NamedTemporaryFile(suffix=".npz") as fh:
+        save_graph(g, fh.name)
+        assert load_graph(fh.name) == g

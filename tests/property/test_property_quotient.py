@@ -1,0 +1,52 @@
+"""Property-based tests on the quotient graph's domination invariant."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.dijkstra import dijkstra_sssp
+from repro.core.cluster import cluster
+from repro.core.config import ClusterConfig
+from repro.core.quotient import quotient_graph
+from repro.generators import gnm_random_graph
+from repro.graph.validate import validate_graph
+
+
+@given(
+    st.integers(4, 30),
+    st.integers(0, 40),
+    st.integers(0, 5000),
+    st.integers(1, 5),
+)
+@settings(max_examples=30, deadline=None)
+def test_quotient_dominates_center_distances(n, extra, seed, tau):
+    """For all center pairs: dist_{G_C} ≥ dist_G.  This is the inequality
+    that makes Φ(G_C) + 2R an upper bound on Φ(G)."""
+    g = gnm_random_graph(n, min(extra, n * (n - 1) // 2), seed=seed, connect=True)
+    cfg = ClusterConfig(seed=seed, stage_threshold_factor=1.0)
+    cl = cluster(g, tau=tau, config=cfg)
+    qg, centers = quotient_graph(g, cl)
+    validate_graph(qg)
+    # Spot-check from the first quotient node (full check is quadratic).
+    qdist = dijkstra_sssp(qg, 0)
+    true = dijkstra_sssp(g, int(centers[0]))
+    for qj, c2 in enumerate(centers):
+        if np.isfinite(qdist[qj]):
+            assert qdist[qj] >= true[int(c2)] - 1e-9
+
+
+@given(
+    st.integers(4, 25),
+    st.integers(0, 30),
+    st.integers(0, 5000),
+)
+@settings(max_examples=20, deadline=None)
+def test_quotient_edge_weights_include_center_offsets(n, extra, seed):
+    """Every quotient edge weight ≥ the lightest crossing original edge."""
+    g = gnm_random_graph(n, min(extra, n * (n - 1) // 2), seed=seed, connect=True)
+    cfg = ClusterConfig(seed=seed, stage_threshold_factor=1.0)
+    cl = cluster(g, tau=2, config=cfg)
+    qg, centers = quotient_graph(g, cl)
+    if qg.num_edges == 0:
+        return
+    min_orig = g.weights.min()
+    assert qg.weights.min() >= min_orig - 1e-12

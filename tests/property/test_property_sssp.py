@@ -1,0 +1,95 @@
+"""Property-based cross-checks of every SSSP implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.bellman_ford import bellman_ford_sssp
+from repro.baselines.delta_stepping import delta_stepping_sssp
+from repro.baselines.dijkstra import dijkstra_sssp, dijkstra_sssp_reference
+from repro.generators import gnm_random_graph
+
+
+graph_and_source = st.tuples(
+    st.integers(2, 35),
+    st.integers(0, 50),
+    st.integers(0, 10_000),
+).flatmap(
+    lambda t: st.tuples(st.just(t), st.integers(0, t[0] - 1))
+)
+
+
+def build(t):
+    n, extra, seed = t
+    return gnm_random_graph(
+        n, min(extra, n * (n - 1) // 2), seed=seed, connect=True
+    )
+
+
+@given(graph_and_source)
+@settings(max_examples=40, deadline=None)
+def test_all_sssp_agree(params):
+    t, source = params
+    g = build(t)
+    d_scipy = dijkstra_sssp(g, source)
+    d_ref = dijkstra_sssp_reference(g, source)
+    d_bf, _ = bellman_ford_sssp(g, source)
+    assert np.allclose(d_scipy, d_ref)
+    assert np.allclose(d_scipy, d_bf)
+
+
+@given(graph_and_source, st.floats(0.01, 20.0))
+@settings(max_examples=40, deadline=None)
+def test_delta_stepping_delta_invariance(params, delta):
+    """Distances must be identical for every Δ — Δ only shifts the
+    rounds/work tradeoff, never correctness."""
+    t, source = params
+    g = build(t)
+    result = delta_stepping_sssp(g, source, delta)
+    assert np.allclose(result.dist, dijkstra_sssp(g, source))
+
+
+@given(graph_and_source, st.integers(1, 15))
+@settings(max_examples=25, deadline=None)
+def test_dial_matches_dijkstra_on_integer_weights(params, wmax):
+    from repro.baselines.dial import dial_sssp
+    from repro.generators.weights import integer_weights, reweighted
+
+    t, source = params
+    g = build(t)
+    if g.num_edges == 0:
+        return
+    g = reweighted(g, integer_weights(g.num_edges, 1, wmax, seed=t[2]))
+    assert np.allclose(dial_sssp(g, source), dijkstra_sssp(g, source))
+
+
+@given(graph_and_source)
+@settings(max_examples=20, deadline=None)
+def test_parent_tree_reconstructs_all_distances(params):
+    from repro.baselines.paths import dijkstra_with_parents, extract_path
+
+    t, source = params
+    g = build(t)
+    dist, parent = dijkstra_with_parents(g, source)
+    # Spot-check 5 nodes: the reconstructed path's weight equals dist.
+    for target in range(0, g.num_nodes, max(g.num_nodes // 5, 1)):
+        if not np.isfinite(dist[target]):
+            continue
+        path = extract_path(parent, target)
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            nbrs, ws = g.neighbors(a)
+            total += float(ws[nbrs == b][0])
+        assert total == pytest.approx(dist[target])
+
+
+@given(graph_and_source)
+@settings(max_examples=25, deadline=None)
+def test_triangle_inequality(params):
+    t, source = params
+    g = build(t)
+    dist = dijkstra_sssp(g, source)
+    # For every edge (u, v): |d(u) - d(v)| ≤ w(u, v).
+    u, v, w = g.edge_arrays()
+    finite = np.isfinite(dist[u]) & np.isfinite(dist[v])
+    assert np.all(np.abs(dist[u[finite]] - dist[v[finite]]) <= w[finite] + 1e-9)

@@ -1,0 +1,104 @@
+"""Tests for the ANF / HyperANF neighbourhood function."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ell import hop_radius
+from repro.exact import exact_diameter
+from repro.generators import cycle_graph, gnm_random_graph, mesh, path_graph
+from repro.mr.metrics import Counters
+from repro.sketch.anf import (
+    effective_diameter,
+    hyperanf_hop_diameter,
+    neighborhood_function,
+)
+
+
+class TestNeighborhoodFunction:
+    def test_monotone_totals(self):
+        g = mesh(8, weights="unit")
+        totals, _ = neighborhood_function(g, p=7)
+        assert all(a <= b + 1e-6 for a, b in zip(totals, totals[1:]))
+
+    def test_final_total_near_n_squared(self):
+        g = mesh(8, weights="unit")
+        totals, balls = neighborhood_function(g, p=9)
+        n = g.num_nodes
+        assert abs(totals[-1] - n * n) / (n * n) < 0.15
+        assert np.all(np.abs(balls - n) / n < 0.2)
+
+    def test_round_zero_is_n(self):
+        g = path_graph(30)
+        totals, _ = neighborhood_function(g, p=9)
+        assert abs(totals[0] - 30) / 30 < 0.2
+
+    def test_disconnected_balls_stay_in_component(self, disconnected_graph):
+        _, balls = neighborhood_function(disconnected_graph, p=10)
+        # Components of sizes 3 and 2.
+        assert balls[0] < 4.5
+        assert balls[3] < 3.5
+
+    def test_rounds_equal_stabilization(self):
+        g = path_graph(12)
+        counters = Counters()
+        neighborhood_function(g, p=9, counters=counters)
+        # Critical path ≈ hop diameter (+1 quiescence round).
+        assert counters.rounds >= 11
+
+
+class TestHopDiameter:
+    @pytest.mark.parametrize("n", [5, 12, 25])
+    def test_path_exact(self, n):
+        g = path_graph(n)
+        est = hyperanf_hop_diameter(g, p=10)
+        assert est == n - 1
+
+    def test_cycle(self):
+        g = cycle_graph(16)
+        assert hyperanf_hop_diameter(g, p=10) == 8
+
+    def test_mesh(self):
+        g = mesh(9, weights="unit")
+        assert hyperanf_hop_diameter(g, p=10) == 16
+
+    def test_lower_bounds_true_diameter(self):
+        g = gnm_random_graph(60, 140, seed=3, connect=True, weights="unit")
+        est = hyperanf_hop_diameter(g, p=9)
+        assert est <= exact_diameter(g) + 1e-9
+
+    def test_critical_path_is_the_diameter(self):
+        """The related-work claim: HyperANF's round count equals Ψ(G),
+        while CL-DIAM's is far below it on the same graph."""
+        from repro.core.config import ClusterConfig
+        from repro.core.diameter import approximate_diameter
+
+        g = mesh(20, weights="unit")
+        anf_counters = Counters()
+        hyperanf_hop_diameter(g, p=7, counters=anf_counters)
+        est = approximate_diameter(
+            g, tau=8, config=ClusterConfig(seed=4, stage_threshold_factor=1.0)
+        )
+        assert anf_counters.rounds >= hop_radius(g, 0)
+        assert est.counters.rounds < anf_counters.rounds / 2
+
+
+class TestEffectiveDiameter:
+    def test_path_effective_below_full(self):
+        g = path_graph(40)
+        eff = effective_diameter(g, alpha=0.9, p=10)
+        assert 0 < eff < 39
+
+    def test_alpha_one_reaches_diameter(self):
+        g = path_graph(10)
+        eff = effective_diameter(g, alpha=1.0, p=11)
+        assert eff >= 8.0
+
+    def test_monotone_in_alpha(self):
+        g = mesh(8, weights="unit")
+        e50 = effective_diameter(g, alpha=0.5, p=9)
+        e90 = effective_diameter(g, alpha=0.9, p=9)
+        assert e50 <= e90 + 1e-9
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            effective_diameter(path_graph(5), alpha=0.0)

@@ -1,0 +1,116 @@
+"""Tests for the HyperLogLog sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch.hll import (
+    HyperLogLog,
+    bank_add_items,
+    bank_estimate,
+    bank_merge_max,
+    splitmix64,
+)
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        a = splitmix64(np.arange(10, dtype=np.uint64))
+        b = splitmix64(np.arange(10, dtype=np.uint64))
+        assert np.array_equal(a, b)
+
+    def test_no_collisions_small_range(self):
+        hashes = splitmix64(np.arange(100_000, dtype=np.uint64))
+        assert len(np.unique(hashes)) == 100_000
+
+    def test_bits_well_distributed(self):
+        hashes = splitmix64(np.arange(10_000, dtype=np.uint64))
+        low_bits = hashes & np.uint64(0xFF)
+        counts = np.bincount(low_bits.astype(np.int64), minlength=256)
+        assert counts.min() > 0  # every byte value hit
+
+
+class TestHyperLogLog:
+    @pytest.mark.parametrize("n", [100, 1000, 50_000])
+    def test_accuracy_within_error_bound(self, n):
+        h = HyperLogLog(p=10)  # rel. std. error ~3.25%
+        h.add_ints(np.arange(n))
+        err = abs(h.estimate() - n) / n
+        assert err < 0.15  # ~4.5 sigma
+
+    def test_duplicates_not_double_counted(self):
+        h = HyperLogLog(p=10)
+        for _ in range(5):
+            h.add_ints(np.arange(1000))
+        err = abs(h.estimate() - 1000) / 1000
+        assert err < 0.15
+
+    def test_empty_estimate_zero(self):
+        assert HyperLogLog(p=8).estimate() == 0.0
+
+    def test_single_item(self):
+        h = HyperLogLog(p=8)
+        h.add_ints(np.array([42]))
+        assert 0.5 < h.estimate() < 3.0
+
+    def test_merge_is_union(self):
+        a = HyperLogLog(p=10)
+        b = HyperLogLog(p=10)
+        a.add_ints(np.arange(0, 2000))
+        b.add_ints(np.arange(1000, 3000))
+        a.merge(b)
+        err = abs(a.estimate() - 3000) / 3000
+        assert err < 0.15
+
+    def test_merge_precision_mismatch(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(p=8).merge(HyperLogLog(p=10))
+
+    def test_merge_idempotent(self):
+        a = HyperLogLog(p=8)
+        a.add_ints(np.arange(500))
+        before = a.estimate()
+        a.merge(a.copy())
+        assert a.estimate() == before
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(p=2)
+        with pytest.raises(ValueError):
+            HyperLogLog(p=20)
+
+    @given(st.sets(st.integers(0, 10**9), min_size=1, max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_estimate_scales_with_cardinality(self, items):
+        h = HyperLogLog(p=12)
+        h.add_ints(np.array(sorted(items)))
+        err = abs(h.estimate() - len(items)) / len(items)
+        assert err < 0.3
+
+
+class TestBankOperations:
+    def test_bank_init_one_item_per_row(self):
+        bank = np.zeros((50, 256), dtype=np.uint8)
+        bank_add_items(bank, 8, np.arange(50))
+        est = bank_estimate(bank)
+        assert np.all(est > 0.3) and np.all(est < 4.0)
+
+    def test_bank_merge_matches_scalar_merge(self):
+        bank = np.zeros((2, 1024), dtype=np.uint8)
+        bank_add_items(bank, 10, np.array([7, 13]))
+        # Merge row 1 into row 0 and compare with HyperLogLog.merge.
+        a = HyperLogLog(p=10)
+        a.add_ints(np.array([7]))
+        b = HyperLogLog(p=10)
+        b.add_ints(np.array([13]))
+        a.merge(b)
+        bank_merge_max(bank, np.array([0]), np.array([1]))
+        assert np.array_equal(bank[0], a.registers)
+
+    def test_bank_merge_duplicated_destinations(self):
+        bank = np.zeros((3, 256), dtype=np.uint8)
+        bank_add_items(bank, 8, np.array([1, 2, 3]))
+        # Row 0 receives both rows 1 and 2 in one call.
+        bank_merge_max(bank, np.array([0, 0]), np.array([1, 2]))
+        expected = np.maximum.reduce([bank[0], bank[1], bank[2]])
+        assert np.array_equal(bank[0], expected)

@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.generators import mesh
+from repro.graph.io import write_dimacs, write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.gr"
+    write_dimacs(mesh(8, seed=1), path)
+    return str(path)
+
+
+class TestInfo:
+    def test_basic(self, graph_file, capsys):
+        assert main(["info", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes        : 64" in out
+        assert "components   : 1" in out
+
+    def test_edge_list_input(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(mesh(4, seed=2), path)
+        assert main(["info", str(path)]) == 0
+        assert "nodes        : 16" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent/g.gr"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenerate:
+    @pytest.mark.parametrize(
+        "family,size",
+        [("mesh", 6), ("rmat", 6), ("road", 8), ("gnm", 20), ("powerlaw", 30)],
+    )
+    def test_families(self, tmp_path, capsys, family, size):
+        out_path = tmp_path / "out.gr"
+        rc = main(
+            ["generate", family, "--size", str(size), "-o", str(out_path), "--seed", "3"]
+        )
+        assert rc == 0
+        assert out_path.exists()
+        assert main(["info", str(out_path)]) == 0
+
+    def test_roads_family(self, tmp_path):
+        out_path = tmp_path / "r.gr"
+        assert main(["generate", "roads", "--size", "2", "-o", str(out_path)]) == 0
+
+    def test_gnm_edges_flag(self, tmp_path, capsys):
+        out_path = tmp_path / "g.gr"
+        main(["generate", "gnm", "--size", "15", "--edges", "30", "-o", str(out_path)])
+        out = capsys.readouterr().out
+        # 30 random edges plus a 14-edge connecting path, minus overlaps.
+        edges = int(out.split("/")[1].split()[0])
+        assert 30 <= edges <= 44
+
+
+class TestDiameter:
+    def test_basic(self, graph_file, capsys):
+        assert main(["diameter", graph_file, "--tau", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "estimate" in out and "rounds" in out
+
+    def test_exact_flag(self, graph_file, capsys):
+        assert main(["diameter", graph_file, "--tau", "3", "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "true ratio" in out
+
+    def test_cluster2_flag(self, graph_file, capsys):
+        assert main(["diameter", graph_file, "--tau", "3", "--cluster2"]) == 0
+
+    def test_estimate_dominates_lower_bound(self, graph_file, capsys):
+        main(["diameter", graph_file, "--tau", "3"])
+        out = capsys.readouterr().out
+        est = float(out.split("estimate     : ")[1].splitlines()[0])
+        lb = float(out.split("lower bound  : ")[1].splitlines()[0])
+        assert est >= lb - 1e-9
+
+
+class TestSssp:
+    def test_basic(self, graph_file, capsys):
+        assert main(["sssp", graph_file, "--source", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "reached       : 64 / 64" in out
+
+    def test_numeric_delta(self, graph_file, capsys):
+        assert main(["sssp", graph_file, "--source", "0", "--delta", "0.25"]) == 0
+        assert "delta         : 0.25" in capsys.readouterr().out
+
+    def test_library_error_is_clean(self, graph_file, capsys):
+        rc = main(["sssp", graph_file, "--source", "9999"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_basic(self, graph_file, capsys):
+        assert main(["compare", graph_file, "--tau", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "CL-DIAM" in out and "delta-stepping" in out
+
+
+class TestEccentricity:
+    def test_basic(self, graph_file, capsys):
+        assert main(["eccentricity", graph_file, "--tau", "3", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "diameter bracket" in out
+        assert out.count("ecc in") == 3
+
+    def test_bracket_ordered(self, graph_file, capsys):
+        main(["eccentricity", graph_file, "--tau", "3"])
+        out = capsys.readouterr().out
+        bracket = out.split("[")[1].split("]")[0]
+        lo, hi = (float(x) for x in bracket.split(","))
+        assert lo <= hi
+
+
+class TestComponents:
+    def test_connected(self, graph_file, capsys):
+        assert main(["components", graph_file, "--tau", "2"]) == 0
+        assert "components   : 1" in capsys.readouterr().out
+
+    def test_disconnected(self, tmp_path, capsys):
+        from repro.graph.builder import from_edge_list
+
+        path = tmp_path / "d.txt"
+        write_edge_list(from_edge_list([(0, 1, 1.0), (2, 3, 2.0)], 4), path)
+        assert main(["components", str(path), "--tau", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "components   : 2" in out
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--version"])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

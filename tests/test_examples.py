@@ -1,0 +1,73 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are executed in-process through ``runpy`` (so coverage applies
+and failures surface as ordinary tracebacks).  The heavier scenarios are
+monkey-patched down to smaller instances where needed — the goal is
+"the documented entry points work", not re-benchmarking.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, argv=None):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "OK: lower bound <= exact <= estimate" in out
+
+    def test_delta_tuning(self, capsys):
+        run_example("delta_tuning.py")
+        out = capsys.readouterr().out
+        assert "Initial-delta strategies" in out
+
+    def test_mr_engine_demo(self, capsys):
+        run_example("mr_engine_demo.py")
+        out = capsys.readouterr().out
+        assert "vectorized and MR-engine paths agree" in out
+        assert "16 machines" in out
+
+    def test_weight_oblivious_pitfall(self, capsys):
+        run_example("weight_oblivious_pitfall.py")
+        out = capsys.readouterr().out
+        assert "weight-oblivious" in out
+
+    def test_eccentricity_bounds(self, capsys):
+        run_example("eccentricity_bounds.py")
+        out = capsys.readouterr().out
+        assert "certified eccentricity intervals" in out
+
+    def test_road_network_analysis_on_small_file(self, tmp_path, capsys):
+        """Drive the DIMACS-input code path with a small graph."""
+        from repro.generators import road_network
+        from repro.graph.io import write_dimacs
+
+        path = tmp_path / "small.gr"
+        write_dimacs(road_network(14, seed=1), path)
+        run_example("road_network_analysis.py", [str(path)])
+        out = capsys.readouterr().out
+        assert "CL-DIAM vs delta-stepping" in out
+
+    def test_social_network_diameter(self, capsys):
+        run_example("social_network_diameter.py")
+        out = capsys.readouterr().out
+        assert "Summary" in out
+
+    def test_persistence_workflow(self, capsys):
+        run_example("persistence_workflow.py")
+        out = capsys.readouterr().out
+        assert "OK: witness weight <= estimate" in out

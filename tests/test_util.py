@@ -1,0 +1,95 @@
+"""Tests for the vectorized helpers in :mod:`repro.util`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import as_rng, expand_ranges, first_occurrence, repeat_by_counts
+
+
+class TestExpandRanges:
+    def test_basic(self):
+        out = expand_ranges(np.array([0, 10]), np.array([3, 2]))
+        assert out.tolist() == [0, 1, 2, 10, 11]
+
+    def test_empty_arrays(self):
+        assert expand_ranges(np.array([], dtype=int), np.array([], dtype=int)).size == 0
+
+    def test_zero_counts_interleaved(self):
+        out = expand_ranges(np.array([5, 7, 9]), np.array([2, 0, 1]))
+        assert out.tolist() == [5, 6, 9]
+
+    def test_all_zero_counts(self):
+        assert expand_ranges(np.array([1, 2]), np.array([0, 0])).size == 0
+
+    def test_single_range(self):
+        assert expand_ranges(np.array([4]), np.array([4])).tolist() == [4, 5, 6, 7]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            expand_ranges(np.array([1]), np.array([1, 2]))
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            expand_ranges(np.array([1]), np.array([-1]))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1000), st.integers(0, 20)),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    def test_matches_naive(self, ranges):
+        starts = np.array([r[0] for r in ranges], dtype=np.int64)
+        counts = np.array([r[1] for r in ranges], dtype=np.int64)
+        expected = [s + i for s, c in ranges for i in range(c)]
+        assert expand_ranges(starts, counts).tolist() == expected
+
+
+class TestRepeatByCounts:
+    def test_basic(self):
+        out = repeat_by_counts(np.array([7, 8]), np.array([2, 3]))
+        assert out.tolist() == [7, 7, 8, 8, 8]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            repeat_by_counts(np.array([1, 2]), np.array([1]))
+
+
+class TestFirstOccurrence:
+    def test_basic(self):
+        idx = first_occurrence(np.array([1, 1, 2, 2, 2, 5]))
+        assert idx.tolist() == [0, 2, 5]
+
+    def test_empty(self):
+        assert first_occurrence(np.array([])).size == 0
+
+    def test_all_same(self):
+        assert first_occurrence(np.array([3, 3, 3])).tolist() == [0]
+
+    def test_all_distinct(self):
+        assert first_occurrence(np.array([1, 2, 3])).tolist() == [0, 1, 2]
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=50))
+    def test_selects_group_starts(self, values):
+        arr = np.sort(np.array(values))
+        idx = first_occurrence(arr)
+        # Every selected position starts a new value group.
+        assert idx[0] == 0
+        for i in idx[1:]:
+            assert arr[i] != arr[i - 1]
+        # And the selected values enumerate the distinct values.
+        assert arr[idx].tolist() == sorted(set(values))
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert as_rng(7).random() == as_rng(7).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen

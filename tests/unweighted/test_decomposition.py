@@ -1,0 +1,84 @@
+"""Tests for the unweighted [CPPU15] decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ClusterConfig
+from repro.generators import gnm_random_graph, mesh, path_graph, star_graph
+from repro.unweighted.decomposition import bfs_cluster
+
+
+CFG = ClusterConfig(seed=1, stage_threshold_factor=1.0)
+
+
+class TestBfsCluster:
+    def test_partition(self, small_mesh):
+        dec = bfs_cluster(small_mesh, tau=4, config=CFG)
+        dec.clustering.validate()
+        assert np.all(dec.clustering.center >= 0)
+
+    def test_hop_distances_integral(self, small_mesh):
+        dec = bfs_cluster(small_mesh, tau=4, config=CFG)
+        d = dec.clustering.dist_to_center
+        assert np.all(d == np.round(d))
+
+    def test_hop_distance_sound(self, random_connected):
+        """Hop distance to the center upper-bounds the true BFS distance."""
+        from repro.analysis.ell import sssp_with_hops
+        from repro.generators.weights import reweighted, unit_weights
+
+        g = random_connected
+        unit = reweighted(g, unit_weights(g.num_edges))
+        dec = bfs_cluster(g, tau=5, config=CFG)
+        cl = dec.clustering
+        for center_id in cl.centers:
+            true, _ = sssp_with_hops(unit, int(center_id))
+            members = np.flatnonzero(cl.center == center_id)
+            assert np.all(cl.dist_to_center[members] >= true[members] - 1e-9)
+
+    def test_weighted_dist_covers_hops(self, small_mesh):
+        """The weighted path length is at least hop_count * min_weight."""
+        dec = bfs_cluster(small_mesh, tau=4, config=CFG)
+        lower = dec.clustering.dist_to_center * small_mesh.min_weight
+        assert np.all(dec.weighted_dist >= lower - 1e-12)
+
+    def test_weights_ignored_for_topology(self):
+        """Same topology, different weights ⇒ identical clustering."""
+        from repro.generators.weights import reweighted, uniform_weights
+
+        g1 = mesh(10, seed=3)
+        g2 = reweighted(g1, uniform_weights(g1.num_edges, seed=99))
+        a = bfs_cluster(g1, tau=3, config=CFG).clustering
+        b = bfs_cluster(g2, tau=3, config=CFG).clustering
+        assert np.array_equal(a.center, b.center)
+        assert np.array_equal(a.dist_to_center, b.dist_to_center)
+
+    def test_deterministic(self, small_mesh):
+        a = bfs_cluster(small_mesh, tau=4, config=CFG)
+        b = bfs_cluster(small_mesh, tau=4, config=CFG)
+        assert np.array_equal(a.clustering.center, b.clustering.center)
+
+    def test_star_radius_one(self, star7):
+        dec = bfs_cluster(star7, tau=1, config=ClusterConfig(seed=2, stage_threshold_factor=0.1))
+        assert dec.clustering.radius <= 2.0
+
+    def test_disconnected(self, disconnected_graph):
+        dec = bfs_cluster(
+            disconnected_graph,
+            tau=1,
+            config=ClusterConfig(seed=3, stage_threshold_factor=0.1),
+        )
+        dec.clustering.validate()
+
+    def test_singleton_regime(self, path5):
+        dec = bfs_cluster(path5, tau=100, config=ClusterConfig(seed=4))
+        assert dec.clustering.num_clusters == 5
+        assert dec.weighted_radius == 0.0
+
+    def test_rounds_counted(self, small_mesh):
+        # Small gamma keeps the center batches small enough that actual
+        # BFS growth (not just center selection) covers the stage target.
+        cfg = ClusterConfig(seed=1, stage_threshold_factor=1.0, gamma=0.3)
+        dec = bfs_cluster(small_mesh, tau=4, config=cfg)
+        c = dec.clustering.counters
+        assert c.rounds == c.growing_steps > 0

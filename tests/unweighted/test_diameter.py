@@ -1,0 +1,73 @@
+"""Tests for unweighted/weight-oblivious diameter estimation."""
+
+import pytest
+
+from repro.analysis.ell import hop_radius
+from repro.core.config import ClusterConfig
+from repro.core.diameter import approximate_diameter
+from repro.exact import exact_diameter
+from repro.generators import gnm_random_graph, mesh
+from repro.generators.weights import bimodal_weights, reweighted, unit_weights
+from repro.unweighted.diameter import (
+    unweighted_approximate_diameter,
+    weight_oblivious_diameter,
+)
+
+CFG = ClusterConfig(seed=1, stage_threshold_factor=1.0)
+
+
+class TestUnweightedDiameter:
+    def test_conservative_for_hop_metric(self):
+        g = mesh(14, weights="unit")
+        psi = exact_diameter(g)  # unit weights: hop diameter
+        est = unweighted_approximate_diameter(g, tau=4, config=CFG)
+        assert est >= psi - 1e-9
+
+    def test_reasonable_ratio(self):
+        g = mesh(16, weights="unit")
+        psi = exact_diameter(g)
+        est = unweighted_approximate_diameter(g, tau=6, config=CFG)
+        assert est / psi < 3.0
+
+    def test_random_graph(self):
+        g = gnm_random_graph(80, 200, seed=2, connect=True, weights="unit")
+        psi = exact_diameter(g)
+        est = unweighted_approximate_diameter(g, tau=5, config=CFG)
+        assert est >= psi - 1e-9
+
+
+class TestWeightOblivious:
+    def test_still_conservative(self, random_connected):
+        res = weight_oblivious_diameter(random_connected, tau=5, config=CFG)
+        assert res.estimate >= exact_diameter(random_connected) - 1e-9
+
+    def test_blowup_on_bimodal_weights(self):
+        """§1's claim: hop-ball clusters have unbounded weighted radius.
+
+        On a bimodal mesh, the weighted algorithm stays near-exact while
+        the weight-oblivious one overshoots by orders of magnitude."""
+        base = mesh(16, weights="unit")
+        g = reweighted(base, bimodal_weights(base.num_edges, heavy_prob=0.1, seed=5))
+        true = exact_diameter(g)
+
+        oblivious = weight_oblivious_diameter(g, tau=4, config=CFG)
+        weighted = approximate_diameter(g, tau=4, config=CFG)
+
+        assert weighted.value / true < 2.0
+        assert oblivious.estimate / true > 100.0
+        # The blow-up is driven by the weighted radius of hop-balls.
+        assert oblivious.weighted_radius > 100.0 * weighted.radius
+
+    def test_harmless_on_unit_weights(self):
+        """With uniform unit weights the hop and weighted metrics agree,
+        so the oblivious estimator behaves like the legitimate one."""
+        g = mesh(12, weights="unit")
+        res = weight_oblivious_diameter(g, tau=4, config=CFG)
+        true = exact_diameter(g)
+        assert res.estimate / true < 3.0
+
+    def test_result_fields(self, random_connected):
+        res = weight_oblivious_diameter(random_connected, tau=5, config=CFG)
+        assert res.num_clusters >= 1
+        assert res.hop_radius >= 0
+        assert res.weighted_radius >= 0
