@@ -9,9 +9,18 @@ the artifacts verbatim.
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 import pytest
+
+# Under ``--import-mode=importlib`` (the repo default, see pyproject.toml)
+# pytest no longer inserts the benchmarks directory into ``sys.path``, so
+# the ``from conftest import write_result`` idiom the bench modules use
+# needs the directory added explicitly.
+_HERE = str(Path(__file__).parent)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
 
 from repro.bench.harness import compare_algorithms
 from repro.bench.workloads import BENCHMARK_SUITE

@@ -75,6 +75,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also compute the exact diameter (small graphs)")
     p_diam.add_argument("--cluster2", action="store_true",
                         help="use CLUSTER2 (Algorithm 2) for the decomposition")
+    from repro.mr.executor import EXECUTOR_NAMES
+
+    p_diam.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        default=None,
+        help="run the MR-engine code path on this backend: 'serial' is "
+        "the paper-literal per-key simulation, 'vector' the NumPy batch "
+        "shuffle, 'parallel' the shared-memory process pool.  Default: "
+        "the vectorized in-memory path (no MR engine).",
+    )
+    p_diam.add_argument(
+        "--workers", type=int, default=None,
+        help="simulated machines (and process-pool size for --executor "
+        "parallel); defaults to 1, or the CPU count for 'parallel'",
+    )
 
     p_sssp = sub.add_parser("sssp", help="run delta-stepping SSSP")
     p_sssp.add_argument("file")
@@ -153,11 +169,35 @@ def _cmd_diameter(args) -> int:
     from repro.core.config import ClusterConfig
     from repro.core.diameter import approximate_diameter
 
+    if args.workers is not None and args.executor is None:
+        print("error: --workers requires --executor", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     graph = _load_graph(args.file)
     config = ClusterConfig(
         seed=args.seed, stage_threshold_factor=1.0, use_cluster2=args.cluster2
     )
-    est = approximate_diameter(graph, tau=args.tau, config=config)
+    if args.executor is not None:
+        import os
+
+        from repro.mrimpl.diameter_mr import mr_approximate_diameter
+
+        workers = (
+            args.workers
+            if args.workers is not None
+            else (os.cpu_count() or 1) if args.executor == "parallel" else 1
+        )
+        est = mr_approximate_diameter(
+            graph,
+            tau=args.tau,
+            config=config.with_(executor=args.executor),
+            num_workers=workers,
+        )
+        print(f"executor     : {args.executor} ({workers} workers)")
+    else:
+        est = approximate_diameter(graph, tau=args.tau, config=config)
     lb = diameter_lower_bound(graph, seed=args.seed)
     print(f"estimate     : {est.value:.6g}")
     print(f"lower bound  : {lb:.6g}")

@@ -70,6 +70,15 @@ class ClusterConfig:
         ``"exact"`` or ``"sweep"`` force one behaviour.
     quotient_exact_limit:
         Node-count threshold for the exact quotient diameter in ``auto``.
+    executor:
+        MR execution backend the ``mrimpl`` drivers build their default
+        engine with: ``"serial"`` (paper-literal per-key simulation),
+        ``"vector"`` (vectorized batch shuffle, single process), or
+        ``"parallel"`` (shared-memory process pool).  All three produce
+        identical clusterings; they differ only in wall-clock speed and
+        in which per-round metrics are literal vs simulated (see
+        ``docs/mr_model.md``).  Ignored by the vectorized ``repro.core``
+        path, which does not run an engine at all.
     """
 
     tau: Optional[int] = None
@@ -83,6 +92,7 @@ class ClusterConfig:
     target_quotient_nodes: int = 1000
     quotient_mode: str = "auto"
     quotient_exact_limit: int = 3000
+    executor: str = "serial"
 
     def __post_init__(self):
         if self.tau is not None and self.tau < 1:
@@ -108,6 +118,12 @@ class ClusterConfig:
             raise ConfigurationError("quotient_mode must be auto|exact|sweep")
         if self.quotient_exact_limit < 1:
             raise ConfigurationError("quotient_exact_limit must be >= 1")
+        from repro.mr.executor import EXECUTOR_NAMES
+
+        if self.executor not in EXECUTOR_NAMES:
+            raise ConfigurationError(
+                "executor must be " + "|".join(EXECUTOR_NAMES)
+            )
 
     # ------------------------------------------------------------------ #
 

@@ -13,16 +13,26 @@ budget ``M_L``.  This package provides:
   primitives of Fact 1, each running in ``O(log_{M_L} n)`` rounds;
 * :mod:`~repro.mr.metrics` — the platform-independent counters the paper
   reports (rounds, work = node updates + messages);
-* :mod:`~repro.mr.executor` — serial and multiprocessing backends.
+* :mod:`~repro.mr.batch` — the array-valued batch reducer protocol of the
+  vectorized shuffle (``MREngine.round_batch``);
+* :mod:`~repro.mr.executor` — serial, multiprocessing, vectorized, and
+  shared-memory parallel backends (``make_executor``).
 """
 
 from repro.mr.model import MRSpec
 from repro.mr.metrics import Counters
 from repro.mr.trace import RoundTrace, RoundRecord
 from repro.mr.engine import MREngine
-from repro.mr.partitioner import hash_partition, range_partition
+from repro.mr.partitioner import hash_partition, hash_partition_array, range_partition
 from repro.mr.primitives import mr_sort, mr_prefix_sum, mr_segmented_prefix_sum
-from repro.mr.executor import SerialExecutor, MultiprocessingExecutor
+from repro.mr.executor import (
+    EXECUTOR_NAMES,
+    MultiprocessingExecutor,
+    SerialExecutor,
+    SharedMemoryExecutor,
+    VectorExecutor,
+    make_executor,
+)
 
 __all__ = [
     "MRSpec",
@@ -31,10 +41,15 @@ __all__ = [
     "RoundRecord",
     "MREngine",
     "hash_partition",
+    "hash_partition_array",
     "range_partition",
     "mr_sort",
     "mr_prefix_sum",
     "mr_segmented_prefix_sum",
     "SerialExecutor",
     "MultiprocessingExecutor",
+    "VectorExecutor",
+    "SharedMemoryExecutor",
+    "make_executor",
+    "EXECUTOR_NAMES",
 ]

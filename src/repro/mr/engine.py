@@ -12,17 +12,44 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import MemoryLimitExceeded
 from repro.mr.executor import SerialExecutor
 from repro.mr.metrics import Counters
 from repro.mr.model import MRSpec
-from repro.mr.partitioner import hash_partition
+from repro.mr.partitioner import hash_partition, hash_partition_array
 
-__all__ = ["MREngine", "Pair", "Reducer"]
+__all__ = ["MREngine", "Pair", "Reducer", "BatchReducer"]
 
 Pair = Tuple[Hashable, object]
 #: A reducer maps ``(key, values)`` to an iterable of output pairs.
 Reducer = Callable[[Hashable, List[object]], Iterable[Pair]]
+#: A batch reducer maps grouped ``(keys, offsets, values)`` arrays to an
+#: output batch ``(out_keys, out_values, out_counts)`` — see
+#: :mod:`repro.mr.batch` for the full protocol.
+BatchReducer = Callable[
+    [np.ndarray, np.ndarray, np.ndarray],
+    Tuple[np.ndarray, np.ndarray, np.ndarray],
+]
+
+
+def _group_batch(
+    keys: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized shuffle: group value rows by key with one stable sort.
+
+    Returns ``(group_keys, offsets, sorted_values)`` in the batch-reducer
+    layout — distinct keys ascending, a ``g + 1`` prefix array, and the
+    rows reordered so each group is contiguous in input order.
+    """
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    starts = np.concatenate(
+        ([0], np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1)
+    ).astype(np.int64)
+    offsets = np.concatenate((starts, [len(sorted_keys)])).astype(np.int64)
+    return sorted_keys[starts], offsets, values[order]
 
 
 def _pair_words(value: object) -> int:
@@ -130,6 +157,108 @@ class MREngine:
         self.counters.record_round(messages=len(pairs), updates=0)
         self.simulated_time += max(worker_loads) if worker_loads else 0
         return output
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether the executor runs batch rounds natively.
+
+        Drivers use this to pick their data layout: engines whose executor
+        implements ``run_batch`` (``VectorExecutor``,
+        ``SharedMemoryExecutor``) get the array-valued hot path, the
+        others keep the literal per-key pair simulation.  ``round_batch``
+        itself works on every engine — without native support the engine
+        applies the batch reducer in-process after the vectorized shuffle.
+        """
+        return hasattr(self.executor, "run_batch")
+
+    def round_batch(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        reducer: BatchReducer,
+        *,
+        combiner: BatchReducer = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Execute one MR round over an integer-keyed array batch.
+
+        The vectorized counterpart of :meth:`round`: ``keys`` is an
+        ``int64`` array of reducer keys (one per pair) and ``values`` a
+        ``float64`` matrix with the corresponding payload rows.  The
+        shuffle is a stable ``np.argsort`` on the keys — values reach the
+        reducer grouped by key *in input order*, the same stability
+        guarantee the dict-of-lists grouping provides.  Returns the
+        output batch as ``(out_keys, out_values)``.
+
+        ``combiner``, as in :meth:`round`, is applied per key *before*
+        the shuffle (map-side aggregation): only combined pairs count as
+        shuffled messages and the memory checks apply to the combined
+        groups — the model's answer to hot keys whose raw groups exceed
+        ``M_L``.  The combiner must be semantically idempotent with
+        respect to the reducer.
+
+        Accounting matches :meth:`round` structurally: one round, one
+        message per (combined) input pair, a memory word per key plus one
+        per payload column (the tuple cost model of ``_pair_words``), and
+        a simulated critical path equal to the busiest worker's input +
+        output pairs under the same hash partitioner as the per-key path.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if values.ndim == 1:
+            values = values.reshape(-1, 1)
+        if len(keys) != len(values):
+            raise ValueError("keys and values must have one row per pair")
+        if combiner is not None and len(keys):
+            ckeys, coffsets, cvalues = _group_batch(keys, values)
+            keys, values, _counts = combiner(ckeys, coffsets, cvalues)
+            keys = np.ascontiguousarray(keys, dtype=np.int64)
+            values = np.ascontiguousarray(values, dtype=np.float64)
+        width = values.shape[1]
+        words_per_pair = 1 + max(width, 1)
+
+        if self.enforce_memory and len(keys) * words_per_pair > self.spec.total_memory:
+            raise MemoryLimitExceeded(
+                len(keys) * words_per_pair, self.spec.total_memory
+            )
+
+        if len(keys):
+            group_keys, offsets, sorted_values = _group_batch(keys, values)
+            counts = np.diff(offsets)
+            if self.enforce_memory:
+                worst = int(counts.max()) * words_per_pair
+                if worst > self.spec.local_memory:
+                    bad = int(group_keys[int(np.argmax(counts))])
+                    raise MemoryLimitExceeded(worst, self.spec.local_memory, bad)
+        else:
+            group_keys = np.empty(0, dtype=np.int64)
+            counts = np.empty(0, dtype=np.int64)
+            offsets = np.zeros(1, dtype=np.int64)
+            sorted_values = values
+
+        run_batch = getattr(self.executor, "run_batch", None)
+        if len(group_keys) == 0:
+            out_keys = np.empty(0, dtype=np.int64)
+            out_values = np.empty((0, width), dtype=np.float64)
+            out_counts = np.empty(0, dtype=np.int64)
+        elif run_batch is not None:
+            out_keys, out_values, out_counts = run_batch(
+                group_keys, offsets, sorted_values, reducer, self.spec.num_workers
+            )
+        else:
+            out_keys, out_values, out_counts = reducer(
+                group_keys, offsets, sorted_values
+            )
+
+        self.counters.record_round(messages=len(keys), updates=0)
+        if len(group_keys):
+            workers = hash_partition_array(group_keys, self.spec.num_workers)
+            loads = np.bincount(
+                workers,
+                weights=counts + out_counts,
+                minlength=self.spec.num_workers,
+            )
+            self.simulated_time += int(loads.max())
+        return out_keys, out_values
 
     def run_rounds(
         self, pairs: Sequence[Pair], reducers: Sequence[Reducer]

@@ -11,7 +11,9 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Hashable, List, Sequence
 
-__all__ = ["hash_partition", "range_partition"]
+import numpy as np
+
+__all__ = ["hash_partition", "hash_partition_array", "range_partition"]
 
 
 def hash_partition(key: Hashable, num_workers: int) -> int:
@@ -24,6 +26,22 @@ def hash_partition(key: Hashable, num_workers: int) -> int:
     h = hash(key)
     h ^= h >> 16
     return (h * 2654435761) % (2**32) % num_workers
+
+
+def hash_partition_array(keys: np.ndarray, num_workers: int) -> np.ndarray:
+    """Vectorized :func:`hash_partition` for non-negative int64 key arrays.
+
+    Agrees element-wise with the scalar partitioner (``hash(k) == k`` for
+    non-negative machine integers, and ``(a·b mod 2^64) mod 2^32`` equals
+    ``(a·b) mod 2^32``), so per-key and batch rounds route every key to
+    the same simulated worker — a precondition for identical critical-path
+    accounting across backends.
+    """
+    h = np.asarray(keys, dtype=np.uint64)
+    h = h ^ (h >> np.uint64(16))
+    with np.errstate(over="ignore"):
+        h = h * np.uint64(2654435761)
+    return ((h & np.uint64(0xFFFFFFFF)) % np.uint64(num_workers)).astype(np.int64)
 
 
 def range_partition(

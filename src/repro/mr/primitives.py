@@ -214,15 +214,22 @@ def _reduce_by_key_reducer(key, values, op=None):
     return [(key, acc)]
 
 
-def mr_reduce_by_key(engine: MREngine, pairs, op: Callable) -> List:
+def mr_reduce_by_key(
+    engine: MREngine, pairs, op: Callable, *, combine: bool = False
+) -> List:
     """Combine all values sharing a key under associative ``op`` (1 round).
 
     The workhorse of graph MR programs (e.g. "minimum candidate per
     target node" is ``mr_reduce_by_key(..., min)``).  Keys whose group
-    exceeds ``M_L`` raise — use the engine's combiner support upstream
-    when hot keys are possible.
+    exceeds ``M_L`` raise — pass ``combine=True`` when hot keys are
+    possible: any associative ``op`` is its own valid map-side combiner,
+    so pre-aggregation shrinks every reducer group to the pairs that
+    survive combining (the classic hot-key treatment).
     """
-    return engine.round(list(pairs), partial(_reduce_by_key_reducer, op=op))
+    reducer = partial(_reduce_by_key_reducer, op=op)
+    return engine.round(
+        list(pairs), reducer, combiner=reducer if combine else None
+    )
 
 
 def _join_reducer(key, values):

@@ -9,12 +9,16 @@ shared seed the vectorized and MR clusterings must be identical, which
 the cross-validation tests assert; this closes the loop on the one piece
 of the paper's machinery (weight rescaling) the CLUSTER cross-check does
 not exercise.
+
+Like :func:`~repro.mrimpl.cluster_mr.mr_cluster`, the driver runs on
+either state backend: per-key pair rounds on the serial executors, batch
+array rounds on ``vector``/``parallel`` — same results either way.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -23,15 +27,8 @@ from repro.core.config import ClusterConfig
 from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
 from repro.mr.engine import MREngine
-from repro.mr.model import MRSpec
 from repro.mrimpl.cluster_mr import mr_cluster
-from repro.mrimpl.growing_mr import (
-    NO_CENTER,
-    extract_states,
-    graph_to_pairs,
-    mr_growing_step,
-    states_to_pairs,
-)
+from repro.mrimpl.growing_mr import make_growing_state, owned_engine
 from repro.util import as_rng
 
 __all__ = ["mr_cluster2"]
@@ -53,17 +50,17 @@ def mr_cluster2(
     config = config or ClusterConfig()
     if tau is not None:
         config = config.with_(tau=tau)
-    n = graph.num_nodes
-    if n == 0:
+    if graph.num_nodes == 0:
         raise ConfigurationError("cannot cluster the empty graph")
 
-    if engine is None:
-        ml = max(64, 8 * (int(graph.degrees.max()) if n else 1) + 64)
-        spec = MRSpec(
-            total_memory=max(16 * graph.memory_words(), ml), local_memory=ml
-        )
-        engine = MREngine(spec)
+    with owned_engine(graph, config, engine) as eng:
+        return _mr_cluster2(graph, config, eng)
 
+
+def _mr_cluster2(
+    graph: CSRGraph, config: ClusterConfig, engine: MREngine
+) -> Clustering:
+    n = graph.num_nodes
     # Phase 1: base CLUSTER for R_CL (same engine, so rounds accumulate).
     base = mr_cluster(graph, config=config, engine=engine)
     r_cl = base.radius
@@ -73,14 +70,11 @@ def mr_cluster2(
 
     delta = 2.0 * r_cl
     rng = as_rng(None if config.seed is None else config.seed + 1)
-    pairs = graph_to_pairs(graph)
+    state = make_growing_state(graph, engine)
     num_iterations = max(1, math.ceil(math.log2(max(n, 2))))
 
     for i in range(1, num_iterations + 1):
-        states = extract_states(pairs, n)
-        uncovered = np.array(
-            sorted(u for u in range(n) if not states[u][3]), dtype=np.int64
-        )
+        uncovered = state.uncovered()
         if len(uncovered) == 0:
             break
         probability = min(1.0, (2.0**i) / n)
@@ -89,61 +83,30 @@ def mr_cluster2(
             picks = uncovered  # probability 1 on the last iteration
 
         # Iteration init: reset non-frozen nodes, install new centers.
-        updates = {}
-        for u in range(n):
-            if states[u][3]:
-                continue
-            updates[u] = (
-                "S", NO_CENTER, float("inf"), False, float("inf"), False, 0
-            )
-        for u in picks:
-            updates[int(u)] = ("S", int(u), 0.0, False, 0.0, False, 0)
-        pairs = states_to_pairs(pairs, updates)
+        state.begin_stage(picks)
 
         # PartialGrowth2: grow to fixpoint under Contract2 rescaling.
         force = True
         steps = 0
         while True:
-            pairs, updated, _newly = mr_growing_step(
-                engine,
-                pairs,
-                delta,
-                force=force,
-                num_nodes=n,
-                rescale=delta,
-                iteration=i,
+            updated, _newly = state.step(
+                engine, delta, force=force, rescale=delta, iteration=i
             )
             force = False
             steps += 1
-            in_flight = any(p[1][0] == "C" for p in pairs)
-            if updated == 0 and not in_flight:
+            if updated == 0 and not state.in_flight():
                 break
             if config.growing_step_cap is not None and steps >= config.growing_step_cap + 1:
-                pairs = [p for p in pairs if p[1][0] != "C"]
+                state.discard_candidates()
                 break
 
         # Contract2: freeze assigned nodes, recording the iteration.
-        states = extract_states(pairs, n)
-        updates = {}
-        for u in range(n):
-            c, d, frozen, dacc = (
-                states[u][1], states[u][2], states[u][3], states[u][4],
-            )
-            if c != NO_CENTER and not frozen:
-                updates[u] = ("S", c, d, True, dacc, False, i)
-        pairs = states_to_pairs(pairs, updates)
+        state.freeze_assigned(i)
 
     # Singletons for anything unreachable (disconnected inputs only).
-    states = extract_states(pairs, n)
-    leftover = [u for u in range(n) if not states[u][3]]
-    updates = {
-        u: ("S", u, 0.0, True, 0.0, False, num_iterations + 1) for u in leftover
-    }
-    pairs = states_to_pairs(pairs, updates)
-    states = extract_states(pairs, n)
+    leftover = state.make_singletons(num_iterations + 1)
+    center, dacc = state.result()
 
-    center = np.array([states[u][1] for u in range(n)], dtype=np.int64)
-    dacc = np.array([states[u][4] for u in range(n)], dtype=np.float64)
     engine.counters.extra["cluster2_iterations"] = num_iterations
     engine.counters.extra["cluster2_base_radius"] = (
         int(round(r_cl)) if r_cl >= 1 else 0
@@ -158,7 +121,7 @@ def mr_cluster2(
         tau=base.tau,
         counters=engine.counters,
         stages=base.stages,
-        singleton_count=len(leftover),
+        singleton_count=leftover,
     )
     clustering.validate()
     return clustering

@@ -6,6 +6,12 @@ every Δ-growing step as an engine round with the model's memory limits
 enforced.  From the same seed the two implementations must return the
 *identical* clustering (an integration test asserts this), which is the
 strongest evidence that the vectorized kernels implement the pseudocode.
+
+The driver is backend-agnostic: engines whose executor supports batch
+rounds (``vector``/``parallel``) run the array-valued hot path of
+:class:`~repro.mrimpl.growing_mr.ArrayGrowingState`, the per-key
+executors keep the literal pair simulation — with bit-identical results,
+which the backend-equivalence tests assert.
 """
 
 from __future__ import annotations
@@ -21,23 +27,10 @@ from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
 from repro.graph.ops import total_weight
 from repro.mr.engine import MREngine
-from repro.mr.model import MRSpec
-from repro.mrimpl.growing_mr import (
-    NO_CENTER,
-    extract_states,
-    graph_to_pairs,
-    mr_growing_step,
-    states_to_pairs,
-)
+from repro.mrimpl.growing_mr import make_growing_state, owned_engine
 from repro.util import as_rng
 
 __all__ = ["mr_cluster"]
-
-
-def _uncovered_nodes(states, n) -> np.ndarray:
-    return np.array(
-        sorted(u for u in range(n) if not states[u][3]), dtype=np.int64
-    )
 
 
 def mr_cluster(
@@ -52,13 +45,14 @@ def mr_cluster(
     Parameters
     ----------
     graph:
-        Input graph (small: this path is for validation, not scale).
+        Input graph.
     tau, config:
-        As in :func:`repro.core.cluster.cluster`.
+        As in :func:`repro.core.cluster.cluster`; ``config.executor``
+        selects the backend when no ``engine`` is supplied.
     engine:
         Optional pre-configured engine; defaults to
-        ``MREngine(MRSpec.for_input_size(...))`` with enough local memory
-        for the densest node's reducer group.
+        :func:`~repro.mrimpl.growing_mr.default_engine` with enough local
+        memory for the densest node's reducer group.
 
     Returns
     -------
@@ -68,22 +62,20 @@ def mr_cluster(
     config = config or ClusterConfig()
     if tau is not None:
         config = config.with_(tau=tau)
-    n = graph.num_nodes
-    if n == 0:
+    if graph.num_nodes == 0:
         raise ConfigurationError("cannot cluster the empty graph")
+
+    with owned_engine(graph, config, engine) as eng:
+        return _mr_cluster(graph, config, eng)
+
+
+def _mr_cluster(
+    graph: CSRGraph, config: ClusterConfig, engine: MREngine
+) -> Clustering:
+    n = graph.num_nodes
     tau_val = config.resolve_tau(n)
-
-    if engine is None:
-        # A reducer group holds a node's adjacency plus incoming candidates:
-        # size ≤ 4·(deg+2) words is a safe envelope.
-        ml = max(64, 8 * (int(graph.degrees.max()) if n else 1) + 64)
-        spec = MRSpec(
-            total_memory=max(16 * graph.memory_words(), ml), local_memory=ml
-        )
-        engine = MREngine(spec)
-
     rng = as_rng(config.seed)
-    pairs = graph_to_pairs(graph)
+    state = make_growing_state(graph, engine)
 
     if graph.num_edges == 0:
         centers = np.arange(n, dtype=np.int64)
@@ -107,8 +99,7 @@ def mr_cluster(
     stage_index = 0
 
     while True:
-        states = extract_states(pairs, n)
-        uncovered = _uncovered_nodes(states, n)
+        uncovered = state.uncovered()
         num_uncovered = len(uncovered)
         if num_uncovered == 0 or num_uncovered < threshold:
             break
@@ -121,16 +112,7 @@ def mr_cluster(
             )
 
         # Stage initialization: reset non-frozen nodes, install centers.
-        updates = {}
-        for u in range(n):
-            if states[u][3]:  # frozen
-                continue
-            updates[u] = (
-                "S", NO_CENTER, float("inf"), False, float("inf"), False, 0
-            )
-        for u in picks:
-            updates[int(u)] = ("S", int(u), 0.0, False, 0.0, False, 0)
-        pairs = states_to_pairs(pairs, updates)
+        state.begin_stage(picks)
 
         delta_start = delta
         steps_this_stage = 0
@@ -147,15 +129,12 @@ def mr_cluster(
             newly_in_growth = 0
             rounds_in_growth = 0
             while True:
-                pairs, updated, newly = mr_growing_step(
-                    engine, pairs, delta, force=force, num_nodes=n
-                )
+                updated, newly = state.step(engine, delta, force=force)
                 steps_this_stage += 1
                 rounds_in_growth += 1
                 force = False
                 newly_in_growth += newly
-                in_flight = any(p[1][0] == "C" for p in pairs)
-                if updated == 0 and not in_flight:
+                if updated == 0 and not state.in_flight():
                     break
                 if (
                     rounds_in_growth >= 2
@@ -166,14 +145,14 @@ def mr_cluster(
                     # executes — discard them (see the off-by-one note in
                     # mr_growing_step) so both implementations freeze the
                     # same node set.
-                    pairs = [p for p in pairs if p[1][0] != "C"]
+                    state.discard_candidates()
                     break
                 if (
                     config.growing_step_cap is not None
                     and rounds_in_growth >= config.growing_step_cap + 1
                 ):
                     # cap + 1 engine rounds = cap vectorized steps.
-                    pairs = [p for p in pairs if p[1][0] != "C"]
+                    state.discard_candidates()
                     break
             covered_so_far += newly_in_growth
             if covered_so_far >= cover_target:
@@ -188,16 +167,7 @@ def mr_cluster(
             delta *= 2.0
 
         # Contract: freeze every assigned node.
-        states = extract_states(pairs, n)
-        updates = {}
-        newly_frozen = 0
-        for u in range(n):
-            c, d, frozen, dacc = (states[u][1], states[u][2],
-                                  states[u][3], states[u][4])
-            if c != NO_CENTER and not frozen:
-                updates[u] = ("S", c, d, True, dacc, False, stage_index)
-                newly_frozen += 1
-        pairs = states_to_pairs(pairs, updates)
+        newly_frozen = state.freeze_assigned(stage_index)
         stages.append(
             StageInfo(
                 stage=stage_index,
@@ -211,14 +181,9 @@ def mr_cluster(
         )
 
     # Singletons.
-    states = extract_states(pairs, n)
-    leftover = [u for u in range(n) if not states[u][3]]
-    updates = {u: ("S", u, 0.0, True, 0.0, False, 0) for u in leftover}
-    pairs = states_to_pairs(pairs, updates)
-    states = extract_states(pairs, n)
+    singleton_count = state.make_singletons()
+    center, dacc = state.result()
 
-    center = np.array([states[u][1] for u in range(n)], dtype=np.int64)
-    dacc = np.array([states[u][4] for u in range(n)], dtype=np.float64)
     clustering = Clustering(
         center=center,
         dist_to_center=dacc,
@@ -228,7 +193,7 @@ def mr_cluster(
         tau=tau_val,
         counters=engine.counters,
         stages=stages,
-        singleton_count=len(leftover),
+        singleton_count=singleton_count,
     )
     clustering.validate()
     return clustering

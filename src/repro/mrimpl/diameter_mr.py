@@ -1,8 +1,10 @@
 """CL-DIAM on the MR engine.
 
 Runs the decomposition with :func:`~repro.mrimpl.cluster_mr.mr_cluster`
-(every growing step an engine round under M_L enforcement) and finishes
-with the quotient-graph diameter exactly as the paper prescribes for the
+(every growing step an engine round under M_L enforcement), builds the
+quotient graph with the engine's reduce-by-key round
+(:func:`~repro.mrimpl.quotient_mr.mr_quotient_graph`), and finishes with
+the quotient-graph diameter exactly as the paper prescribes for the
 final step: the quotient is small enough to fit one reducer's local
 memory, so it is processed "in one round" by a single sequential
 computation (§4.1).
@@ -14,10 +16,12 @@ from typing import Optional
 
 from repro.core.config import ClusterConfig
 from repro.core.diameter import DiameterEstimate, quotient_diameter
-from repro.core.quotient import quotient_graph
 from repro.graph.csr import CSRGraph
 from repro.mr.engine import MREngine
+from repro.mrimpl.cluster2_mr import mr_cluster2
 from repro.mrimpl.cluster_mr import mr_cluster
+from repro.mrimpl.growing_mr import owned_engine
+from repro.mrimpl.quotient_mr import mr_quotient_graph
 
 __all__ = ["mr_approximate_diameter"]
 
@@ -28,23 +32,34 @@ def mr_approximate_diameter(
     config: Optional[ClusterConfig] = None,
     *,
     engine: Optional[MREngine] = None,
+    num_workers: Optional[int] = None,
 ) -> DiameterEstimate:
     """Estimate the weighted diameter with the MR-engine code path.
 
     Semantically identical to
     :func:`repro.core.diameter.approximate_diameter` (same seed → same
-    estimate); integration tests assert the equivalence.
+    estimate); integration tests assert the equivalence.  The engine —
+    built from ``config.executor`` when not supplied — runs the whole
+    pipeline, so the estimate, round count, and update counts are
+    identical on every backend.  An engine constructed here has its
+    executor closed before returning (the ``parallel`` backend owns a
+    process pool).  ``num_workers`` sets the constructed engine's
+    simulated machine count (and the ``parallel`` pool size; ``None``
+    means the backend default — 1, or the CPU count for ``parallel``);
+    it is ignored when an ``engine`` is passed.
     """
     config = config or ClusterConfig()
     if tau is not None:
         config = config.with_(tau=tau)
 
-    clustering = mr_cluster(graph, config=config, engine=engine)
-    g_c, _centers = quotient_graph(graph, clustering)
+    with owned_engine(graph, config, engine, num_workers=num_workers) as eng:
+        decompose = mr_cluster2 if config.use_cluster2 else mr_cluster
+        clustering = decompose(graph, config=config, engine=eng)
+        g_c, _centers = mr_quotient_graph(eng, graph, clustering)
+
     value, exact = quotient_diameter(
         g_c, mode=config.quotient_mode, exact_limit=config.quotient_exact_limit
     )
-    clustering.counters.record_round(messages=g_c.num_arcs, updates=0)
 
     return DiameterEstimate(
         value=value + 2.0 * clustering.radius,

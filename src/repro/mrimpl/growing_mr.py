@@ -1,6 +1,13 @@
 """One Δ-growing step as a MapReduce reducer program.
 
-Data layout (all pairs keyed by node id ``u``):
+Two interchangeable state backends implement the step; the drivers
+(:func:`~repro.mrimpl.cluster_mr.mr_cluster`,
+:func:`~repro.mrimpl.cluster2_mr.mr_cluster2`) run the *same* control
+flow over either through the :func:`make_growing_state` factory, so both
+must produce bit-identical clusterings from a shared seed.
+
+**Per-key pair layout** (:class:`PairGrowingState`, the paper-literal
+simulation; all pairs keyed by node id ``u``):
 
 * ``("A", ((v, w), ...))`` — adjacency list, persistent across rounds;
 * ``("S", center, dist, frozen, dacc, changed[, frozen_iter])`` — node
@@ -19,21 +26,51 @@ new (state changed, or the driver forces a full broadcast after Δ changes
 or a stage starts), emits candidates to its light neighbours.  Frozen
 nodes propagate with effective distance 0, reproducing Contract exactly
 as in the vectorized path.
+
+**Batch array layout** (:class:`ArrayGrowingState`, used when the
+engine's executor supports batch rounds): node state lives in driver-side
+NumPy arrays, adjacency stays in the input CSR, and only the relaxation
+candidates cross the engine — an ``int64`` target-key array plus a
+``(nd, center, dacc)`` float64 row per candidate.  The merge half of the
+step is one :meth:`~repro.mr.engine.MREngine.round_batch` with the
+min-by-(distance, center) batch reducer; the emission half expands the
+changed frontier through the CSR arrays.  Step timing, tie-breaking, and
+the forced-broadcast semantics are identical to the per-key path, so one
+engine round still equals one growing step.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from functools import partial
 from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.mr.batch import group_min_first
 from repro.mr.engine import MREngine, Pair
+from repro.mr.executor import make_executor
+from repro.mr.model import MRSpec
+from repro.util import expand_ranges
 
-__all__ = ["graph_to_pairs", "mr_growing_step", "extract_states", "states_to_pairs"]
+__all__ = [
+    "graph_to_pairs",
+    "mr_growing_step",
+    "extract_states",
+    "states_to_pairs",
+    "PairGrowingState",
+    "ArrayGrowingState",
+    "make_growing_state",
+    "default_engine",
+    "owned_engine",
+]
 
 NO_CENTER = -1
+
+#: Batch reducer of the candidate merge: smallest ``nd``, then smallest
+#: center, earliest arrival on full ties — the exact legacy tie-break.
+MERGE_CANDIDATES = partial(group_min_first, sort_cols=2)
 
 
 def graph_to_pairs(graph: CSRGraph) -> List[Pair]:
@@ -179,3 +216,297 @@ def mr_growing_step(
     engine.counters.updates += updated
     engine.counters.growing_steps += 1
     return out, updated, newly_assigned
+
+
+# --------------------------------------------------------------------- #
+# State backends shared by the CLUSTER / CLUSTER2 drivers
+# --------------------------------------------------------------------- #
+
+
+class PairGrowingState:
+    """Driver state over the literal pair multiset (per-key reducer path)."""
+
+    def __init__(self, graph: CSRGraph):
+        self.num_nodes = graph.num_nodes
+        self.pairs: List[Pair] = graph_to_pairs(graph)
+
+    def uncovered(self) -> np.ndarray:
+        """Ascending ids of nodes Contract has not frozen yet."""
+        states = extract_states(self.pairs, self.num_nodes)
+        return np.array(
+            sorted(u for u in range(self.num_nodes) if not states[u][3]),
+            dtype=np.int64,
+        )
+
+    def begin_stage(self, picks: np.ndarray) -> None:
+        """Reset every non-frozen node and install ``picks`` as centers."""
+        states = extract_states(self.pairs, self.num_nodes)
+        updates: Dict[int, Tuple] = {}
+        for u in range(self.num_nodes):
+            if states[u][3]:
+                continue
+            updates[u] = (
+                "S", NO_CENTER, float("inf"), False, float("inf"), False, 0
+            )
+        for u in picks:
+            updates[int(u)] = ("S", int(u), 0.0, False, 0.0, False, 0)
+        self.pairs = states_to_pairs(self.pairs, updates)
+
+    def step(
+        self,
+        engine: MREngine,
+        delta: float,
+        *,
+        force: bool = False,
+        rescale: float = 0.0,
+        iteration: int = 0,
+    ) -> Tuple[int, int]:
+        self.pairs, updated, newly = mr_growing_step(
+            engine,
+            self.pairs,
+            delta,
+            force=force,
+            num_nodes=self.num_nodes,
+            rescale=rescale,
+            iteration=iteration,
+        )
+        return updated, newly
+
+    def in_flight(self) -> bool:
+        """Whether candidates emitted last step await their merge round."""
+        return any(p[1][0] == "C" for p in self.pairs)
+
+    def discard_candidates(self) -> None:
+        self.pairs = [p for p in self.pairs if p[1][0] != "C"]
+
+    def freeze_assigned(self, iteration: int = 0) -> int:
+        """Contract: freeze every assigned, not-yet-frozen node."""
+        states = extract_states(self.pairs, self.num_nodes)
+        updates: Dict[int, Tuple] = {}
+        for u in range(self.num_nodes):
+            c, d, frozen, dacc = (
+                states[u][1], states[u][2], states[u][3], states[u][4]
+            )
+            if c != NO_CENTER and not frozen:
+                updates[u] = ("S", c, d, True, dacc, False, iteration)
+        self.pairs = states_to_pairs(self.pairs, updates)
+        return len(updates)
+
+    def make_singletons(self, iteration: int = 0) -> int:
+        """Freeze every leftover node as its own singleton cluster."""
+        states = extract_states(self.pairs, self.num_nodes)
+        leftover = [u for u in range(self.num_nodes) if not states[u][3]]
+        updates = {
+            u: ("S", u, 0.0, True, 0.0, False, iteration) for u in leftover
+        }
+        self.pairs = states_to_pairs(self.pairs, updates)
+        return len(leftover)
+
+    def result(self) -> Tuple[np.ndarray, np.ndarray]:
+        states = extract_states(self.pairs, self.num_nodes)
+        center = np.array(
+            [states[u][1] for u in range(self.num_nodes)], dtype=np.int64
+        )
+        dacc = np.array(
+            [states[u][4] for u in range(self.num_nodes)], dtype=np.float64
+        )
+        return center, dacc
+
+
+class ArrayGrowingState:
+    """Driver state over NumPy arrays (batch reducer path).
+
+    Node state is a struct-of-arrays; only relaxation candidates travel
+    through the engine, as an int64 key array plus ``(nd, center, dacc)``
+    value rows.  Semantically equivalent to :class:`PairGrowingState`
+    step for step — the backend-equivalence tests assert bit-identical
+    clusterings.
+    """
+
+    def __init__(self, graph: CSRGraph):
+        n = graph.num_nodes
+        self.graph = graph
+        self.num_nodes = n
+        self.center = np.full(n, NO_CENTER, dtype=np.int64)
+        self.dist = np.full(n, np.inf)
+        self.frozen = np.zeros(n, dtype=bool)
+        self.dacc = np.full(n, np.inf)
+        self.changed = np.zeros(n, dtype=bool)
+        self.frozen_iter = np.zeros(n, dtype=np.int64)
+        self._cand_keys = np.empty(0, dtype=np.int64)
+        self._cand_values = np.empty((0, 3), dtype=np.float64)
+
+    def uncovered(self) -> np.ndarray:
+        return np.flatnonzero(~self.frozen).astype(np.int64)
+
+    def begin_stage(self, picks: np.ndarray) -> None:
+        live = ~self.frozen
+        self.center[live] = NO_CENTER
+        self.dist[live] = np.inf
+        self.dacc[live] = np.inf
+        self.changed[live] = False
+        self.frozen_iter[live] = 0
+        picks = np.asarray(picks, dtype=np.int64)
+        self.center[picks] = picks
+        self.dist[picks] = 0.0
+        self.dacc[picks] = 0.0
+
+    def step(
+        self,
+        engine: MREngine,
+        delta: float,
+        *,
+        force: bool = False,
+        rescale: float = 0.0,
+        iteration: int = 0,
+    ) -> Tuple[int, int]:
+        # Merge: one batch round reduces last step's candidates to the
+        # winning (nd, center, dacc) per target node.
+        keys, values = engine.round_batch(
+            self._cand_keys, self._cand_values, MERGE_CANDIDATES
+        )
+        self.changed[:] = False
+        newly = 0
+        if len(keys):
+            nd = values[:, 0]
+            ctr = values[:, 1].astype(np.int64)
+            dc = values[:, 2]
+            adopt = (~self.frozen[keys]) & (nd < self.dist[keys])
+            tgt = keys[adopt]
+            newly = int(np.count_nonzero(self.center[tgt] == NO_CENTER))
+            self.center[tgt] = ctr[adopt]
+            self.dist[tgt] = nd[adopt]
+            self.dacc[tgt] = dc[adopt]
+            self.changed[tgt] = True
+        updated = int(np.count_nonzero(self.changed))
+
+        # Emit: expand the new contribution set through the CSR arrays.
+        if rescale:
+            frozen_eff = self.dist - rescale * (iteration - self.frozen_iter)
+        else:
+            frozen_eff = np.zeros(self.num_nodes)
+        eff = np.where(self.frozen, frozen_eff, self.dist)
+        emit = (self.center != NO_CENTER) & (self.changed | force) & (eff < delta)
+        sources = np.flatnonzero(emit)
+        if len(sources):
+            starts = self.graph.indptr[sources]
+            counts = self.graph.indptr[sources + 1] - starts
+            arc_idx = expand_ranges(starts, counts)
+            tgts = self.graph.indices[arc_idx]
+            w = self.graph.weights[arc_idx]
+            src_rep = np.repeat(sources, counts)
+            nd_out = eff[src_rep] + w
+            ok = (w <= delta) & (nd_out <= delta)
+            self._cand_keys = tgts[ok]
+            self._cand_values = np.column_stack(
+                (
+                    nd_out[ok],
+                    self.center[src_rep[ok]].astype(np.float64),
+                    self.dacc[src_rep[ok]] + w[ok],
+                )
+            )
+        else:
+            self._cand_keys = np.empty(0, dtype=np.int64)
+            self._cand_values = np.empty((0, 3), dtype=np.float64)
+
+        engine.counters.updates += updated
+        engine.counters.growing_steps += 1
+        return updated, newly
+
+    def in_flight(self) -> bool:
+        return len(self._cand_keys) > 0
+
+    def discard_candidates(self) -> None:
+        self._cand_keys = np.empty(0, dtype=np.int64)
+        self._cand_values = np.empty((0, 3), dtype=np.float64)
+
+    def freeze_assigned(self, iteration: int = 0) -> int:
+        sel = (self.center != NO_CENTER) & ~self.frozen
+        self.frozen[sel] = True
+        self.changed[sel] = False
+        self.frozen_iter[sel] = iteration
+        return int(np.count_nonzero(sel))
+
+    def make_singletons(self, iteration: int = 0) -> int:
+        leftover = np.flatnonzero(~self.frozen)
+        self.center[leftover] = leftover
+        self.dist[leftover] = 0.0
+        self.dacc[leftover] = 0.0
+        self.frozen[leftover] = True
+        self.changed[leftover] = False
+        self.frozen_iter[leftover] = iteration
+        return len(leftover)
+
+    def result(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.center.copy(), self.dacc.copy()
+
+
+def make_growing_state(graph: CSRGraph, engine: MREngine):
+    """Pick the state backend matching the engine's executor.
+
+    Executors that run batch rounds natively get the array layout; the
+    per-key executors keep the literal pair simulation.
+    """
+    if engine.supports_batch:
+        return ArrayGrowingState(graph)
+    return PairGrowingState(graph)
+
+
+@contextmanager
+def owned_engine(graph: CSRGraph, config, engine=None, *, num_workers=None):
+    """Yield ``engine``, or a :func:`default_engine` owned by the block.
+
+    The drivers accept an optional caller-supplied engine; when none is
+    given they build one from ``config.executor`` and must close its
+    executor on the way out (the ``parallel`` backend owns a process
+    pool).  This context manager is that ownership rule, written once.
+    """
+    if engine is not None:
+        yield engine
+        return
+    engine = default_engine(
+        graph, executor=config.executor, num_workers=num_workers
+    )
+    try:
+        yield engine
+    finally:
+        if hasattr(engine.executor, "close"):
+            engine.executor.close()
+
+
+def default_engine(
+    graph: CSRGraph,
+    *,
+    executor="serial",
+    num_workers=None,
+    processes=None,
+) -> MREngine:
+    """Engine whose spec accommodates ``graph``'s densest reducer group.
+
+    A reducer group holds a node's adjacency plus incoming candidates:
+    size ≤ 8·(deg) + 64 words is a safe envelope for both layouts.
+    ``executor`` is either an executor instance or a
+    :func:`~repro.mr.executor.make_executor` name.  ``num_workers``
+    defaults to 1 (the single-machine simulation) except for the
+    ``parallel`` backend, which defaults to the CPU count — a process
+    pool partitioned for one worker would run with zero parallelism.
+    ``num_workers`` never affects results, only the critical-path model
+    and the pool size.
+    """
+    if num_workers is None:
+        if executor == "parallel":
+            import os
+
+            num_workers = os.cpu_count() or 1
+        else:
+            num_workers = 1
+    n = graph.num_nodes
+    ml = max(64, 8 * (int(graph.degrees.max()) if n else 1) + 64)
+    spec = MRSpec(
+        total_memory=max(16 * graph.memory_words(), ml),
+        local_memory=ml,
+        num_workers=num_workers,
+    )
+    if isinstance(executor, str):
+        executor = make_executor(executor, processes=processes)
+    return MREngine(spec, executor=executor)

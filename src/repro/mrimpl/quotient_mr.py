@@ -20,10 +20,42 @@ import numpy as np
 from repro.core.cluster import Clustering
 from repro.graph.builder import from_edges
 from repro.graph.csr import CSRGraph
+from repro.mr.batch import group_min_first
 from repro.mr.engine import MREngine
 from repro.mr.primitives import mr_reduce_by_key
 
 __all__ = ["mr_quotient_graph"]
+
+
+def _batch_quotient(
+    engine: MREngine, graph: CSRGraph, ids: np.ndarray, d: np.ndarray,
+    num_centers: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized map side + one batch reduce round.
+
+    Cluster pairs are packed into a single int64 key
+    (``min·num_centers + max``), so the shuffle groups crossing edges by
+    unordered cluster pair exactly as the tuple keys do.  The reduce is
+    map-side combined: a popular cluster pair can own far more crossing
+    edges than any node has neighbours, so without combining its reducer
+    group could exceed an ``M_L`` sized for the growing rounds.
+    """
+    srcs, tgts, w = graph.edge_arrays()
+    cu, cv = ids[srcs], ids[tgts]
+    crossing = cu != cv
+    cu, cv = cu[crossing], cv[crossing]
+    lo = np.minimum(cu, cv)
+    hi = np.maximum(cu, cv)
+    keys = lo * np.int64(num_centers) + hi
+    values = (w[crossing] + d[srcs[crossing]] + d[tgts[crossing]]).reshape(-1, 1)
+    out_keys, out_values = engine.round_batch(
+        keys, values, group_min_first, combiner=group_min_first
+    )
+    return (
+        out_keys // num_centers,
+        out_keys % num_centers,
+        out_values[:, 0],
+    )
 
 
 def mr_quotient_graph(
@@ -36,10 +68,19 @@ def mr_quotient_graph(
     cluster-id pair carrying the reweighted value ``w + d_u + d_v``.
     Reduce side: ``min`` per key.  Returns the same ``(G_C, centers)`` as
     the vectorized constructor.
+
+    On a batch-capable engine the whole pipeline is array-valued: keys
+    are packed cluster pairs and the reduce is one
+    :meth:`~repro.mr.engine.MREngine.round_batch`; per-key engines run
+    the legacy tuple-keyed :func:`~repro.mr.primitives.mr_reduce_by_key`.
     """
     ids = clustering.cluster_ids()
     d = clustering.dist_to_center
     centers = clustering.centers
+
+    if engine.supports_batch:
+        qu, qv, qw = _batch_quotient(engine, graph, ids, d, len(centers))
+        return from_edges(qu, qv, qw, len(centers)), centers
 
     pairs = []
     for u, v, w in graph.iter_edges():
@@ -49,7 +90,7 @@ def mr_quotient_graph(
         key = (cu, cv) if cu < cv else (cv, cu)
         pairs.append((key, float(w + d[u] + d[v])))
 
-    reduced = mr_reduce_by_key(engine, pairs, min)
+    reduced = mr_reduce_by_key(engine, pairs, min, combine=True)
 
     if not reduced:
         return (

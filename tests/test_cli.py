@@ -80,6 +80,24 @@ class TestDiameter:
         lb = float(out.split("lower bound  : ")[1].splitlines()[0])
         assert est >= lb - 1e-9
 
+    @pytest.mark.parametrize("executor", ["serial", "vector", "parallel"])
+    def test_executor_backends_agree(self, graph_file, capsys, executor):
+        main(["diameter", graph_file, "--tau", "3"])
+        baseline = capsys.readouterr().out
+        args = ["diameter", graph_file, "--tau", "3", "--executor", executor]
+        if executor == "parallel":
+            args += ["--workers", "2"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert f"executor     : {executor}" in out
+        est = float(out.split("estimate     : ")[1].splitlines()[0])
+        ref = float(baseline.split("estimate     : ")[1].splitlines()[0])
+        assert est == pytest.approx(ref)
+
+    def test_bad_executor_rejected(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["diameter", graph_file, "--executor", "gpu"])
+
 
 class TestSssp:
     def test_basic(self, graph_file, capsys):
