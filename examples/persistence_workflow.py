@@ -5,11 +5,13 @@ At scale the decomposition is the expensive step; a production pipeline
 computes it once, persists it, and derives analyses offline.  This
 example walks that loop end to end:
 
-1. generate a road network and save it (binary npz — fast reloads;
-   DIMACS for interchange);
+1. generate a road network and save it as a GraphStore container (the
+   memory-mappable binary the whole runtime layer runs on — reloads are
+   O(1) and every process shares the same page-cache bytes);
 2. cluster once, persist the clustering;
-3. reload both, audit the clustering with the metric validator (Dijkstra
-   spot checks that every recorded distance is a true upper bound);
+3. reload both — the graph via :class:`repro.GraphStore` — and audit the
+   clustering with the metric validator (Dijkstra spot checks that every
+   recorded distance is a true upper bound);
 4. derive three analyses without re-clustering: the diameter estimate,
    certified per-node eccentricity intervals, and the diametral-path
    witness for the certified lower bound.
@@ -20,16 +22,15 @@ Run:  python examples/persistence_workflow.py
 import tempfile
 from pathlib import Path
 
-from repro import ClusterConfig, cluster, road_network
+from repro import ClusterConfig, GraphStore, cluster, road_network
 from repro.analysis import validate_clustering
 from repro.baselines.paths import approximate_diametral_path
 from repro.core.diameter import diameter_from_clustering
 from repro.core.eccentricity import eccentricity_bounds
 from repro.graph.serialize import (
     load_clustering,
-    load_graph,
     save_clustering,
-    save_graph,
+    write_store,
 )
 
 CFG = ClusterConfig(seed=41, stage_threshold_factor=1.0)
@@ -39,10 +40,10 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         tmp = Path(tmp)
 
-        # 1. Build and persist the graph.
+        # 1. Build and persist the graph (binary GraphStore container).
         graph = road_network(40, seed=41)
-        save_graph(graph, tmp / "network.npz")
-        print(f"saved {graph} -> network.npz")
+        write_store(graph, tmp / "network.rcsr")
+        print(f"saved {graph} -> network.rcsr")
 
         # 2. Cluster once, persist.
         clustering = cluster(graph, tau=10, config=CFG)
@@ -53,10 +54,13 @@ def main() -> None:
             f"{clustering.counters.rounds} rounds"
         )
 
-        # 3. Reload and audit.
-        graph2 = load_graph(tmp / "network.npz")
+        # 3. Reload and audit.  The store memory-maps the graph: nothing
+        #    is parsed or copied, and repeated opens are cache hits.
+        store = GraphStore(cache_dir=tmp / "cache")
+        graph2 = store.get(tmp / "network.rcsr")
         clustering2 = load_clustering(tmp / "clustering.npz")
         assert graph2 == graph
+        assert graph2.is_mmap
         validate_clustering(graph2, clustering2, sample=8, seed=41)
         print("reloaded and audited: all sampled center distances are sound")
 

@@ -21,6 +21,11 @@ Baselines
 MR model
     :class:`~repro.mr.MRSpec`, :class:`~repro.mr.MREngine`,
     :class:`~repro.mr.Counters`.
+Runtime layer
+    :class:`~repro.runtime.GraphStore` (memory-mapped graph cache),
+    :func:`~repro.runtime.get_graph`, and :func:`repro.run_algorithm`
+    (the unified dispatcher over the algorithm registry — see
+    ``docs/architecture.md``).
 
 Quickstart
 ----------
@@ -78,6 +83,8 @@ from repro.baselines import (
 )
 from repro.exact import exact_diameter
 from repro.mr import Counters, MREngine, MRSpec
+from repro.runtime import GraphStore, RunResult, get_graph
+from repro.runtime import run as run_algorithm
 
 __all__ = [
     "__version__",
@@ -124,4 +131,9 @@ __all__ = [
     "MRSpec",
     "MREngine",
     "Counters",
+    # runtime layer
+    "GraphStore",
+    "get_graph",
+    "run_algorithm",
+    "RunResult",
 ]

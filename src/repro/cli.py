@@ -4,19 +4,37 @@ Commands
 --------
 ``info <file>``
     Print a graph's basic statistics (n, m, weight range, components).
+    For a binary GraphStore file, print the header metadata *without*
+    loading the arrays.
+``convert <input> <output>``
+    Convert between graph formats by extension; in particular
+    ``repro convert graph.gr graph.rcsr`` writes the memory-mappable
+    GraphStore container.
 ``generate <family> -o out.gr [params]``
-    Write a benchmark-family graph in DIMACS format.
-``diameter <file> [--tau N] [--exact] [--seed S]``
-    Run CL-DIAM on a DIMACS/edge-list file and report the estimate,
-    certified lower bound, rounds and work.
+    Write a benchmark-family graph (format from the output extension).
+``diameter <file> [--tau N] [--exact] [--seed S] [--executor E]``
+    Run CL-DIAM and report the estimate, certified lower bound, rounds
+    and work.
 ``sssp <file> --source U [--delta D]``
     Run Δ-stepping SSSP and report eccentricity/rounds/work.
 ``compare <file> [--tau N]``
     One Table-2-style row: CL-DIAM vs best-Δ Δ-stepping.
+``run <algorithm> <file> [options]``
+    Dispatch any registered algorithm through the runtime layer
+    (``repro algorithms`` lists them) and print its metrics.
 
-The CLI is a thin veneer over the library; each command returns an exit
-status (0 success) and prints human-readable text to stdout, making the
-package usable from shell pipelines without writing Python.
+Every command that takes a graph file accepts any supported format —
+DIMACS ``.gr``(.gz), METIS, edge list, legacy ``.npz``, or GraphStore
+``.rcsr``.  Algorithm commands load through the process-wide
+:class:`~repro.runtime.store.GraphStore`, so a text graph is parsed
+once, converted to the binary container under ``~/.cache/repro`` (or
+``$REPRO_STORE_DIR``), and memory-mapped on every later invocation —
+warm starts are milliseconds regardless of graph size.
+
+The CLI is a thin veneer over :func:`repro.runtime.run`; each command
+returns an exit status (0 success) and prints human-readable text to
+stdout, making the package usable from shell pipelines without writing
+Python.
 """
 
 from __future__ import annotations
@@ -31,17 +49,9 @@ from repro._version import __version__
 __all__ = ["main", "build_parser"]
 
 
-def _load_graph(path: str):
-    """Load a graph file by extension (.gr/.gr.gz = DIMACS, else edge list)."""
-    from repro.graph.io import read_dimacs, read_edge_list
-
-    name = Path(path).name
-    if ".gr" in name:
-        return read_dimacs(path)
-    return read_edge_list(path)
-
-
 def build_parser() -> argparse.ArgumentParser:
+    from repro.mr.executor import EXECUTOR_NAMES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Diameter approximation of massive weighted graphs "
@@ -52,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="print graph statistics")
     p_info.add_argument("file")
+
+    p_conv = sub.add_parser(
+        "convert",
+        help="convert between graph formats (.rcsr = mmap GraphStore)",
+    )
+    p_conv.add_argument("input")
+    p_conv.add_argument("output")
 
     p_gen = sub.add_parser("generate", help="generate a benchmark graph")
     p_gen.add_argument(
@@ -75,21 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also compute the exact diameter (small graphs)")
     p_diam.add_argument("--cluster2", action="store_true",
                         help="use CLUSTER2 (Algorithm 2) for the decomposition")
-    from repro.mr.executor import EXECUTOR_NAMES
-
     p_diam.add_argument(
         "--executor",
         choices=list(EXECUTOR_NAMES),
         default=None,
         help="run the MR-engine code path on this backend: 'serial' is "
         "the paper-literal per-key simulation, 'vector' the NumPy batch "
-        "shuffle, 'parallel' the shared-memory process pool.  Default: "
-        "the vectorized in-memory path (no MR engine).",
+        "shuffle, 'parallel' the shared-memory process pool, 'mmap' the "
+        "spill-file process pool.  Default: the vectorized in-memory "
+        "path (no MR engine).",
     )
     p_diam.add_argument(
         "--workers", type=int, default=None,
-        help="simulated machines (and process-pool size for --executor "
-        "parallel); defaults to 1, or the CPU count for 'parallel'",
+        help="simulated machines (and process-pool size for the pool "
+        "backends); defaults to 1, or the CPU count for 'parallel'/'mmap'",
     )
 
     p_sssp = sub.add_parser("sssp", help="run delta-stepping SSSP")
@@ -117,13 +133,67 @@ def build_parser() -> argparse.ArgumentParser:
     p_comp.add_argument("file")
     p_comp.add_argument("--tau", type=int, default=None)
     p_comp.add_argument("--seed", type=int, default=0)
+
+    p_run = sub.add_parser(
+        "run", help="run any registered algorithm by name"
+    )
+    p_run.add_argument("algorithm")
+    p_run.add_argument("file")
+    p_run.add_argument("--tau", type=int, default=None)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--executor", choices=list(EXECUTOR_NAMES),
+                       default=None)
+    p_run.add_argument("--workers", type=int, default=None)
+    p_run.add_argument("--source", type=int, default=None,
+                       help="source node (sssp)")
+    p_run.add_argument("--delta", default=None, help="bucket width (sssp)")
+    p_run.add_argument("--exact", action="store_true",
+                       help="also compute the exact answer (diameter)")
+
+    sub.add_parser("algorithms", help="list the registered algorithms")
     return parser
 
 
+def _parse_delta(raw):
+    """CLI deltas are floats when they look like floats, else keywords."""
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def _check_workers(args) -> Optional[int]:
+    """Shared --workers/--executor validation; returns an exit code or None."""
+    if args.workers is not None and args.executor is None:
+        print("error: --workers requires --executor", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    return None
+
+
 def _cmd_info(args) -> int:
+    from repro.graph.serialize import is_store, read_store_header
+
+    if is_store(args.file):
+        # Header metadata only — the arrays are never touched, so this
+        # is O(1) even for a multi-gigabyte store.
+        header = read_store_header(args.file)
+        print(f"format       : GraphStore v{header.version} (mmap-ready)")
+        print(f"nodes        : {header.num_nodes}")
+        print(f"edges        : {header.num_edges}")
+        print(f"arcs         : {header.num_arcs}")
+        print(f"file size    : {header.file_size} bytes")
+        print(f"sections     : indptr@{header.indptr_offset} "
+              f"indices@{header.indices_offset} "
+              f"weights@{header.weights_offset}")
+        return 0
+
+    from repro.graph.io import read_auto
     from repro.graph.ops import connected_components
 
-    graph = _load_graph(args.file)
+    graph = read_auto(args.file)
     count, labels = connected_components(graph)
     print(f"nodes        : {graph.num_nodes}")
     print(f"edges        : {graph.num_edges}")
@@ -131,6 +201,26 @@ def _cmd_info(args) -> int:
     print(f"weight range : [{graph.min_weight:.6g}, {graph.max_weight:.6g}]")
     print(f"mean weight  : {graph.mean_weight:.6g}")
     print(f"max degree   : {graph.degrees.max() if graph.num_nodes else 0}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    from repro.graph.serialize import STORE_SUFFIX
+
+    if Path(args.output).suffix == STORE_SUFFIX:
+        from repro.runtime import default_store
+
+        graph = default_store().convert(args.input, args.output)
+    else:
+        from repro.graph.io import read_auto, write_auto
+
+        graph = read_auto(args.input)
+        write_auto(graph, args.output, comment=f"repro convert {args.input}")
+    size = Path(args.output).stat().st_size
+    print(
+        f"converted {args.input} -> {args.output} "
+        f"({graph.num_nodes} nodes / {graph.num_edges} edges, {size} bytes)"
+    )
     return 0
 
 
@@ -143,7 +233,7 @@ def _cmd_generate(args) -> int:
         road_network,
         roads,
     )
-    from repro.graph.io import write_dimacs
+    from repro.graph.io import write_auto
 
     size, seed, weights = args.size, args.seed, args.weights
     if args.family == "mesh":
@@ -159,79 +249,63 @@ def _cmd_generate(args) -> int:
         graph = gnm_random_graph(size, m, seed=seed, weights=weights, connect=True)
     else:  # powerlaw
         graph = powerlaw_cluster_like(size, seed=seed, weights=weights)
-    write_dimacs(graph, args.output, comment=f"repro generate {args.family}")
+    write_auto(graph, args.output, comment=f"repro generate {args.family}")
     print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {args.output}")
     return 0
 
 
 def _cmd_diameter(args) -> int:
     from repro.baselines.double_sweep import diameter_lower_bound
-    from repro.core.config import ClusterConfig
-    from repro.core.diameter import approximate_diameter
+    from repro.runtime import run
 
-    if args.workers is not None and args.executor is None:
-        print("error: --workers requires --executor", file=sys.stderr)
-        return 2
-    if args.workers is not None and args.workers < 1:
-        print("error: --workers must be >= 1", file=sys.stderr)
-        return 2
-    graph = _load_graph(args.file)
-    config = ClusterConfig(
-        seed=args.seed, stage_threshold_factor=1.0, use_cluster2=args.cluster2
+    rc = _check_workers(args)
+    if rc is not None:
+        return rc
+    result = run(
+        "diameter",
+        args.file,
+        tau=args.tau,
+        seed=args.seed,
+        executor=args.executor,
+        workers=args.workers,
+        use_cluster2=args.cluster2,
+        exact=args.exact,
     )
     if args.executor is not None:
-        import os
-
-        from repro.mrimpl.diameter_mr import mr_approximate_diameter
-
-        workers = (
-            args.workers
-            if args.workers is not None
-            else (os.cpu_count() or 1) if args.executor == "parallel" else 1
-        )
-        est = mr_approximate_diameter(
-            graph,
-            tau=args.tau,
-            config=config.with_(executor=args.executor),
-            num_workers=workers,
-        )
-        print(f"executor     : {args.executor} ({workers} workers)")
-    else:
-        est = approximate_diameter(graph, tau=args.tau, config=config)
-    lb = diameter_lower_bound(graph, seed=args.seed)
-    print(f"estimate     : {est.value:.6g}")
+        print(f"executor     : {args.executor} ({result.workers} workers)")
+    lb = diameter_lower_bound(result.graph, seed=args.seed)
+    print(f"estimate     : {result.value:.6g}")
     print(f"lower bound  : {lb:.6g}")
-    print(f"ratio (<=)   : {est.value / lb if lb > 0 else float('inf'):.4f}")
-    print(f"radius       : {est.radius:.6g}")
-    print(f"clusters     : {est.num_clusters}")
-    print(f"rounds       : {est.counters.rounds}")
-    print(f"work         : {est.counters.work}")
+    print(f"ratio (<=)   : {result.value / lb if lb > 0 else float('inf'):.4f}")
+    print(f"radius       : {result.metrics['radius']:.6g}")
+    print(f"clusters     : {result.metrics['clusters']}")
+    print(f"rounds       : {result.counters.rounds}")
+    print(f"work         : {result.counters.work}")
     if args.exact:
-        from repro.exact import exact_diameter
-
-        exact = exact_diameter(graph)
+        exact = result.metrics["exact"]
         print(f"exact        : {exact:.6g}")
-        print(f"true ratio   : {est.value / exact if exact > 0 else 1.0:.4f}")
+        print(f"true ratio   : {result.metrics['true_ratio']:.4f}")
     return 0
 
 
 def _cmd_sssp(args) -> int:
-    import numpy as np
+    from repro.runtime import run
 
-    from repro.baselines.delta_stepping import delta_stepping_sssp
-
-    graph = _load_graph(args.file)
-    try:
-        delta = float(args.delta)
-    except ValueError:
-        delta = args.delta
-    result = delta_stepping_sssp(graph, args.source, delta)
-    finite = result.dist[np.isfinite(result.dist)]
+    result = run(
+        "sssp",
+        args.file,
+        seed=0,
+        source=args.source,
+        delta=_parse_delta(args.delta),
+    )
     print(f"source        : {args.source}")
-    print(f"delta         : {result.delta:.6g}")
-    print(f"reached       : {len(finite)} / {graph.num_nodes}")
-    print(f"eccentricity  : {finite.max() if len(finite) else 0:.6g}")
-    print(f"buckets       : {result.num_buckets}")
+    print(f"delta         : {result.metrics['delta']:.6g}")
+    print(
+        f"reached       : {result.metrics['reached']} / "
+        f"{result.graph.num_nodes}"
+    )
+    print(f"eccentricity  : {result.value:.6g}")
+    print(f"buckets       : {result.metrics['buckets']}")
     print(f"rounds        : {result.counters.rounds}")
     print(f"work          : {result.counters.work}")
     return 0
@@ -241,8 +315,9 @@ def _cmd_compare(args) -> int:
     from repro.bench.harness import compare_algorithms
     from repro.bench.reporting import format_table
     from repro.core.config import ClusterConfig
+    from repro.runtime import get_graph
 
-    graph = _load_graph(args.file)
+    graph = get_graph(args.file)
     cl, ds, lb = compare_algorithms(
         graph,
         graph_name=Path(args.file).name,
@@ -258,15 +333,12 @@ def _cmd_compare(args) -> int:
 def _cmd_eccentricity(args) -> int:
     import numpy as np
 
-    from repro.core.cluster import cluster
-    from repro.core.config import ClusterConfig
-    from repro.core.eccentricity import eccentricity_bounds
+    from repro.runtime import run
 
-    graph = _load_graph(args.file)
-    config = ClusterConfig(seed=args.seed, stage_threshold_factor=1.0)
-    clustering = cluster(graph, tau=args.tau, config=config)
-    bounds = eccentricity_bounds(graph, clustering)
-    lo, hi = bounds.diameter_bounds()
+    result = run("eccentricity", args.file, tau=args.tau, seed=args.seed)
+    bounds = result.raw
+    lo = result.metrics["diameter_lower"]
+    hi = result.metrics["diameter_upper"]
     print(f"diameter bracket : [{lo:.6g}, {hi:.6g}]")
     order = np.argsort(-bounds.upper)[: max(args.top, 0)]
     for node in order:
@@ -278,12 +350,10 @@ def _cmd_eccentricity(args) -> int:
 
 
 def _cmd_components(args) -> int:
-    from repro.core.components import per_component_diameters
-    from repro.core.config import ClusterConfig
+    from repro.runtime import run
 
-    graph = _load_graph(args.file)
-    config = ClusterConfig(seed=args.seed, stage_threshold_factor=1.0)
-    results = per_component_diameters(graph, tau=args.tau, config=config)
+    result = run("components", args.file, tau=args.tau, seed=args.seed)
+    results = result.raw
     print(f"components   : {len(results)}")
     for r in results[:10]:
         print(
@@ -295,14 +365,70 @@ def _cmd_components(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    from repro.runtime import REGISTRY, run
+
+    if args.algorithm not in REGISTRY:
+        known = ", ".join(REGISTRY.names())
+        print(
+            f"error: unknown algorithm {args.algorithm!r} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    rc = _check_workers(args)
+    if rc is not None:
+        return rc
+    # Options are passed through unfiltered: run() rejects any the
+    # algorithm does not understand, instead of silently ignoring them.
+    options = {}
+    if args.source is not None:
+        options["source"] = args.source
+    if args.delta is not None:
+        options["delta"] = _parse_delta(args.delta)
+    if args.exact:
+        options["exact"] = True
+    result = run(
+        args.algorithm,
+        args.file,
+        tau=args.tau,
+        seed=args.seed,
+        executor=args.executor,
+        workers=args.workers,
+        **options,
+    )
+    print(f"algorithm    : {result.algorithm}")
+    if args.executor is not None:
+        print(f"executor     : {args.executor} ({result.workers} workers)")
+    print(f"value        : {result.value:.6g}")
+    for key, value in result.metrics.items():
+        shown = f"{value:.6g}" if isinstance(value, float) else value
+        print(f"{key:<13}: {shown}")
+    print(f"rounds       : {result.counters.rounds}")
+    print(f"work         : {result.counters.work}")
+    print(f"elapsed      : {result.elapsed:.3f}s")
+    return 0
+
+
+def _cmd_algorithms(args) -> int:
+    from repro.runtime import REGISTRY
+
+    for spec in sorted(REGISTRY, key=lambda s: s.name):
+        executors = "core|mr engines" if spec.supports_executor else "core"
+        print(f"{spec.name:<20} {spec.summary}  [{executors}]")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
+    "convert": _cmd_convert,
     "generate": _cmd_generate,
     "diameter": _cmd_diameter,
     "sssp": _cmd_sssp,
     "compare": _cmd_compare,
     "eccentricity": _cmd_eccentricity,
     "components": _cmd_components,
+    "run": _cmd_run,
+    "algorithms": _cmd_algorithms,
 }
 
 

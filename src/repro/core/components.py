@@ -44,12 +44,16 @@ def per_component_diameters(
     config: Optional[ClusterConfig] = None,
     *,
     min_size: int = 2,
+    counters=None,
 ) -> List[ComponentDiameter]:
     """Estimate every component's diameter (descending by estimate).
 
     Components below ``min_size`` are reported with estimate 0 without
     running the estimator (a singleton's diameter is 0 by definition).
     The global diameter estimate is ``max(r.estimate for r in result)``.
+    A caller-supplied ``counters`` accumulates rounds/messages/updates
+    across all per-component runs (the components execute sequentially,
+    so the round total is the paper-faithful cost of the whole job).
     """
     config = config or ClusterConfig()
     count, labels = connected_components(graph)
@@ -69,6 +73,8 @@ def per_component_diameters(
             continue
         sub = induced_subgraph(graph, nodes)
         est = approximate_diameter(sub, tau=tau, config=config)
+        if counters is not None:
+            counters.merge(est.counters)
         results.append(
             ComponentDiameter(
                 component=comp,

@@ -73,12 +73,14 @@ class ClusterConfig:
     executor:
         MR execution backend the ``mrimpl`` drivers build their default
         engine with: ``"serial"`` (paper-literal per-key simulation),
-        ``"vector"`` (vectorized batch shuffle, single process), or
-        ``"parallel"`` (shared-memory process pool).  All three produce
+        ``"vector"`` (vectorized batch shuffle, single process),
+        ``"parallel"`` (shared-memory process pool), or ``"mmap"``
+        (spill-file + memory-map process pool).  All backends produce
         identical clusterings; they differ only in wall-clock speed and
         in which per-round metrics are literal vs simulated (see
-        ``docs/mr_model.md``).  Ignored by the vectorized ``repro.core``
-        path, which does not run an engine at all.
+        ``docs/mr_model.md`` and ``docs/architecture.md``).  Ignored by
+        the vectorized ``repro.core`` path, which does not run an
+        engine at all.
     """
 
     tau: Optional[int] = None

@@ -2,12 +2,26 @@
 
 from repro.graph.csr import CSRGraph
 from repro.graph.builder import from_edges, from_edge_list, symmetrized
-from repro.graph.io import read_dimacs, write_dimacs, read_edge_list, write_edge_list
+from repro.graph.io import (
+    read_auto,
+    read_dimacs,
+    read_edge_list,
+    read_metis,
+    write_auto,
+    write_dimacs,
+    write_edge_list,
+    write_metis,
+)
 from repro.graph.serialize import (
+    StoreHeader,
+    is_store,
     load_clustering,
     load_graph,
+    open_store,
+    read_store_header,
     save_clustering,
     save_graph,
+    write_store,
 )
 from repro.graph.ops import (
     connected_components,
@@ -24,14 +38,23 @@ __all__ = [
     "from_edges",
     "from_edge_list",
     "symmetrized",
+    "read_auto",
     "read_dimacs",
     "write_dimacs",
     "read_edge_list",
     "write_edge_list",
+    "read_metis",
+    "write_metis",
+    "write_auto",
     "save_graph",
     "load_graph",
     "save_clustering",
     "load_clustering",
+    "write_store",
+    "open_store",
+    "read_store_header",
+    "is_store",
+    "StoreHeader",
     "connected_components",
     "largest_connected_component",
     "induced_subgraph",

@@ -32,6 +32,12 @@ class CSRGraph:
     weights:
         float64 array of positive edge weights, parallel to ``indices``.
 
+    validate:
+        When ``True`` (default) the constructor runs the full O(n + m)
+        invariant scan.  :meth:`open_mmap` passes ``False`` so that
+        opening a stored graph does not fault every page in; the cheap
+        structural checks (shapes, indptr endpoints) always run.
+
     Notes
     -----
     Instances are treated as immutable: the constructor sets the arrays to
@@ -40,9 +46,24 @@ class CSRGraph:
     hand-made arrays; the builders deduplicate, symmetrize and sort.
     """
 
-    __slots__ = ("indptr", "indices", "weights", "_num_nodes", "_num_directed_edges")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "_num_nodes",
+        "_num_directed_edges",
+        "_mmap",
+        "store_path",
+    )
 
-    def __init__(self, indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray):
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        *,
+        validate: bool = True,
+    ):
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         weights = np.ascontiguousarray(weights, dtype=np.float64)
@@ -54,20 +75,90 @@ class CSRGraph:
             raise GraphValidationError("indptr must start at 0 and end at len(indices)")
         if len(indices) != len(weights):
             raise GraphValidationError("indices and weights must have equal length")
-        if np.any(np.diff(indptr) < 0):
-            raise GraphValidationError("indptr must be non-decreasing")
         n = len(indptr) - 1
-        if len(indices) and (indices.min() < 0 or indices.max() >= n):
-            raise GraphValidationError("edge endpoint out of range")
-        if len(weights) and weights.min() <= 0:
-            raise GraphValidationError("edge weights must be strictly positive")
+        if validate:
+            if np.any(np.diff(indptr) < 0):
+                raise GraphValidationError("indptr must be non-decreasing")
+            if len(indices) and (indices.min() < 0 or indices.max() >= n):
+                raise GraphValidationError("edge endpoint out of range")
+            if len(weights) and weights.min() <= 0:
+                raise GraphValidationError("edge weights must be strictly positive")
         for arr in (indptr, indices, weights):
-            arr.setflags(write=False)
+            if arr.flags.writeable:
+                arr.setflags(write=False)
         self.indptr = indptr
         self.indices = indices
         self.weights = weights
         self._num_nodes = n
         self._num_directed_edges = len(indices)
+        self._mmap = None
+        self.store_path = None
+
+    # ------------------------------------------------------------------ #
+    # Zero-copy open
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open_mmap(cls, path, *, validate: bool = False) -> "CSRGraph":
+        """Memory-map a GraphStore file as a read-only graph.
+
+        The three CSR sections become zero-copy views over one shared
+        read-only ``mmap`` of the file: nothing is read eagerly, pages
+        fault in on first touch, and every process that opens the same
+        store (or inherits the mapping through ``fork``) shares the same
+        physical page-cache bytes.  Opening is therefore O(1) in the
+        graph size — the basis of the warm-start numbers in
+        ``benchmarks/bench_graph_store.py``.
+
+        The mapping lives as long as the graph (the arrays keep the
+        buffer alive); there is deliberately no ``close()`` because
+        invalidating live array views would be unsound.
+
+        Parameters
+        ----------
+        path:
+            A file written by :func:`repro.graph.serialize.write_store`.
+        validate:
+            Run the full O(n + m) invariant scan on open.  Off by
+            default — store files are validated when written, and the
+            scan would fault in every page.
+
+        Raises
+        ------
+        GraphFormatError
+            If ``path`` is not a valid GraphStore file.
+        """
+        import mmap as _mmap
+
+        from repro.graph.serialize import read_store_header
+
+        header = read_store_header(path)
+        with open(path, "rb") as fh:
+            if header.file_size:
+                buf = _mmap.mmap(fh.fileno(), 0, access=_mmap.ACCESS_READ)
+            else:  # pragma: no cover - zero-size files fail header checks
+                buf = b""
+        indptr = np.frombuffer(
+            buf, dtype=np.int64, count=header.num_nodes + 1,
+            offset=header.indptr_offset,
+        )
+        indices = np.frombuffer(
+            buf, dtype=np.int64, count=header.num_arcs,
+            offset=header.indices_offset,
+        )
+        weights = np.frombuffer(
+            buf, dtype=np.float64, count=header.num_arcs,
+            offset=header.weights_offset,
+        )
+        graph = cls(indptr, indices, weights, validate=validate)
+        graph._mmap = buf
+        graph.store_path = header.path
+        return graph
+
+    @property
+    def is_mmap(self) -> bool:
+        """Whether the arrays are memory-mapped views of a store file."""
+        return self._mmap is not None
 
     # ------------------------------------------------------------------ #
     # Basic properties

@@ -30,9 +30,89 @@ __all__ = [
     "write_edge_list",
     "read_metis",
     "write_metis",
+    "read_auto",
+    "write_auto",
 ]
 
 PathLike = Union[str, Path]
+
+#: Extension → format name used by :func:`read_auto` / :func:`write_auto`.
+#: ``.gz`` is stripped first, so ``graph.gr.gz`` resolves like ``graph.gr``.
+_EXTENSION_FORMATS = {
+    ".gr": "dimacs",
+    ".dimacs": "dimacs",
+    ".metis": "metis",
+    ".graph": "metis",
+    ".npz": "npz",
+    ".rcsr": "store",
+}
+
+
+def _extension_format(path: PathLike) -> str:
+    """Format implied by ``path``'s extension (``.gz`` is transparent)."""
+    suffixes = Path(path).suffixes
+    if suffixes and suffixes[-1] == ".gz":
+        suffixes = suffixes[:-1]
+    if suffixes and suffixes[-1] in _EXTENSION_FORMATS:
+        return _EXTENSION_FORMATS[suffixes[-1]]
+    return "edgelist"
+
+
+def _format_of(path: PathLike) -> str:
+    """Format name for ``path``: store magic first, then extension."""
+    from repro.graph.serialize import is_store
+
+    path = Path(path)
+    if path.exists() and is_store(path):
+        return "store"
+    return _extension_format(path)
+
+
+def read_auto(path: PathLike) -> CSRGraph:
+    """Read a graph in whatever format ``path`` holds.
+
+    GraphStore files are recognized by magic (and memory-mapped, not
+    loaded); everything else dispatches on extension — ``.gr``/``.dimacs``
+    → DIMACS, ``.metis``/``.graph`` → METIS, ``.npz`` → the legacy binary
+    dump, anything else → whitespace edge list.  ``.gz`` is transparent
+    for the text formats.
+    """
+    fmt = _format_of(path)
+    if fmt == "store":
+        return CSRGraph.open_mmap(path)
+    if fmt == "npz":
+        from repro.graph.serialize import load_graph
+
+        return load_graph(path)
+    if fmt == "dimacs":
+        return read_dimacs(path)
+    if fmt == "metis":
+        return read_metis(path)
+    return read_edge_list(path)
+
+
+def write_auto(graph: CSRGraph, path: PathLike, comment: str = "") -> None:
+    """Write ``graph`` in the format implied by ``path``'s extension.
+
+    The inverse dispatch of :func:`read_auto`: ``.rcsr`` → GraphStore,
+    ``.npz`` → legacy binary dump, ``.gr``/``.dimacs`` → DIMACS,
+    ``.metis``/``.graph`` → METIS, anything else → edge list.
+    """
+    fmt = _extension_format(path)
+    if fmt == "store":
+        from repro.graph.serialize import write_store
+
+        write_store(graph, path)
+    elif fmt == "npz":
+        from repro.graph.serialize import save_graph
+
+        save_graph(graph, path)
+    elif fmt == "dimacs":
+        write_dimacs(graph, path, comment=comment)
+    elif fmt == "metis":
+        write_metis(graph, path, comment=comment)
+    else:
+        write_edge_list(graph, path)
 
 
 def _open_text(path: PathLike, mode: str = "rt"):

@@ -27,14 +27,31 @@ Four backends are provided:
   arrays to workers through ``multiprocessing.shared_memory`` so the
   payload crosses the process boundary exactly once and pickle-free
   (``--executor parallel``).
+* :class:`MmapExecutor` — same pool protocol, but each round's grouped
+  arrays spill to one file that every worker memory-maps read-only
+  (``--executor mmap``).  Workers receive a *path + offsets*, never
+  arrays; on a warm page cache this matches shared memory while also
+  working where ``/dev/shm`` is tiny or absent (containers) and leaving
+  a file handle a future multi-host transport could ship.
 
-The two batch backends still accept legacy per-key rounds (delegated to
+The pool backends publish each round's payload through a
+:class:`_RoundPayload` context manager backed by a ``weakref.finalize``
+finalizer, so the segments/files are reclaimed even when a worker raises
+mid-round (or the round is abandoned without ``close``).  They also
+account, per round, the bytes actually *pickled* to workers
+(``bytes_shipped_per_round``) versus the bytes *published* zero-copy
+(``bytes_published_per_round``) — the zero-copy tests assert that graph-
+and payload-scale data never travels through pickle.
+
+The batch backends still accept legacy per-key rounds (delegated to
 the serial shard loop), so one engine can mix batch hot-path rounds with
 per-key rounds in the same computation.
 """
 
 from __future__ import annotations
 
+import pickle
+import weakref
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -46,6 +63,7 @@ __all__ = [
     "MultiprocessingExecutor",
     "VectorExecutor",
     "SharedMemoryExecutor",
+    "MmapExecutor",
     "make_executor",
     "EXECUTOR_NAMES",
 ]
@@ -204,27 +222,191 @@ def _attach_shared(name: str, deregister: bool):
     return shm
 
 
-def _reduce_batch_shard(meta, group_idx_bytes, reducer):
-    """Worker side of :meth:`SharedMemoryExecutor.run_batch`.
+# --------------------------------------------------------------------- #
+# Round payloads: parent-side publication of one round's grouped batch
+# --------------------------------------------------------------------- #
 
-    Reconstructs the grouped batch from shared memory, gathers this
-    worker's groups, applies the batch reducer, and returns the shard's
-    output (small relative to the input; plain pickling suffices).
+
+class _RoundPayload:
+    """One round's published ``(keys, offsets, values)`` batch.
+
+    A context manager whose cleanup is *also* registered as a
+    ``weakref.finalize`` finalizer, so the published resources (shared
+    memory segments or spill files) are reclaimed on every exit path:
+    normal completion, a worker raising mid-round, the parent abandoning
+    the round, or interpreter shutdown.  ``close`` is idempotent.
     """
-    keys_name, offsets_name, values_name, g, rows, width, deregister = meta
-    gidx = np.frombuffer(group_idx_bytes, dtype=np.int64)
-    shms = []
-    try:
-        shm_k = _attach_shared(keys_name, deregister)
-        shms.append(shm_k)
-        keys = np.ndarray((g,), dtype=np.int64, buffer=shm_k.buf)
-        shm_o = _attach_shared(offsets_name, deregister)
-        shms.append(shm_o)
-        offsets = np.ndarray((g + 1,), dtype=np.int64, buffer=shm_o.buf)
-        shm_v = _attach_shared(values_name, deregister)
-        shms.append(shm_v)
-        values = np.ndarray((rows, width), dtype=np.float64, buffer=shm_v.buf)
 
+    _finalizer = None
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes published zero-copy (for the shipping accounting)."""
+        return self._nbytes
+
+    def handle(self):
+        """Picklable descriptor workers use to map the batch (no arrays)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer()  # runs cleanup once, then detaches
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class _ShmPayload(_RoundPayload):
+    """Batch published as three ``multiprocessing.shared_memory`` blocks."""
+
+    def __init__(self, keys, offsets, values, *, deregister: bool):
+        from multiprocessing import shared_memory
+
+        self._deregister = deregister
+        self._nbytes = 0
+        blocks = []
+        try:
+            for array in (keys, offsets, values):
+                array = np.ascontiguousarray(array)
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(array.nbytes, 1)
+                )
+                blocks.append(shm)
+                np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)[
+                    ...
+                ] = array
+                self._nbytes += array.nbytes
+        except BaseException:
+            self._cleanup(blocks)
+            raise
+        self._names = tuple(shm.name for shm in blocks)
+        self._finalizer = weakref.finalize(self, self._cleanup, blocks)
+
+    @staticmethod
+    def _cleanup(blocks) -> None:
+        for shm in blocks:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def handle(self):
+        return ("shm", self._names, self._deregister)
+
+
+class _MmapPayload(_RoundPayload):
+    """Batch spilled to one file that workers memory-map read-only.
+
+    Sections are 64-byte aligned, mirroring the GraphStore layout; the
+    handle carries only the path and section offsets.  The file lives in
+    ``spill_dir`` (default: the system temp directory, usually tmpfs- or
+    page-cache-backed, so a warm round never touches the disk).
+    """
+
+    def __init__(self, keys, offsets, values, *, spill_dir=None):
+        import os
+        import tempfile
+
+        fd, path = tempfile.mkstemp(
+            prefix="repro-round-", suffix=".batch", dir=spill_dir
+        )
+        self._nbytes = 0
+        section_offsets = []
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pos = 0
+                for array in (keys, offsets, values):
+                    array = np.ascontiguousarray(array)
+                    pad = (-pos) % 64
+                    fh.write(b"\x00" * pad)
+                    pos += pad
+                    section_offsets.append(pos)
+                    data = array.tobytes()
+                    fh.write(data)
+                    pos += len(data)
+                    self._nbytes += array.nbytes
+        except BaseException:
+            self._cleanup(path)
+            raise
+        self.path = path
+        self._section_offsets = tuple(section_offsets)
+        self._finalizer = weakref.finalize(self, self._cleanup, path)
+
+    @staticmethod
+    def _cleanup(path) -> None:
+        import os
+
+        try:
+            os.unlink(path)
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def handle(self):
+        return ("mmap", self.path, self._section_offsets)
+
+
+def _map_payload(handle, g: int, rows: int, width: int):
+    """Worker side: build zero-copy batch views from a payload handle.
+
+    Returns ``(keys, offsets, values, closers)``; the caller must call
+    every closer when done (shared-memory attaches need an explicit
+    ``close``; mmaps are dropped with their arrays).
+    """
+    kind = handle[0]
+    if kind == "shm":
+        _, names, deregister = handle
+        closers = []
+        try:
+            shm_k = _attach_shared(names[0], deregister)
+            closers.append(shm_k.close)
+            keys = np.ndarray((g,), dtype=np.int64, buffer=shm_k.buf)
+            shm_o = _attach_shared(names[1], deregister)
+            closers.append(shm_o.close)
+            offsets = np.ndarray((g + 1,), dtype=np.int64, buffer=shm_o.buf)
+            shm_v = _attach_shared(names[2], deregister)
+            closers.append(shm_v.close)
+            values = np.ndarray(
+                (rows, width), dtype=np.float64, buffer=shm_v.buf
+            )
+        except BaseException:
+            # A later attach failing must not leak the earlier mappings
+            # in this long-lived pool worker.
+            for close in closers:
+                close()
+            raise
+        return keys, offsets, values, closers
+    if kind == "mmap":
+        import mmap as _mmap
+
+        _, path, (k_off, o_off, v_off) = handle
+        with open(path, "rb") as fh:
+            buf = _mmap.mmap(fh.fileno(), 0, access=_mmap.ACCESS_READ)
+        keys = np.frombuffer(buf, dtype=np.int64, count=g, offset=k_off)
+        offsets = np.frombuffer(buf, dtype=np.int64, count=g + 1, offset=o_off)
+        values = np.frombuffer(
+            buf, dtype=np.float64, count=rows * width, offset=v_off
+        ).reshape(rows, width)
+        return keys, offsets, values, []
+    raise ValueError(f"unknown payload handle kind {kind!r}")
+
+
+def _reduce_batch_shard(handle, shape, group_idx_bytes, reducer):
+    """Worker side of the pool batch backends.
+
+    Reconstructs the grouped batch from the published payload (shared
+    memory or mmap — never pickle), gathers this worker's groups,
+    applies the batch reducer, and returns the shard's output (small
+    relative to the input; plain pickling suffices).
+    """
+    g, rows, width = shape
+    gidx = np.frombuffer(group_idx_bytes, dtype=np.int64)
+    keys, offsets, values, closers = _map_payload(handle, g, rows, width)
+    try:
         counts = offsets[gidx + 1] - offsets[gidx]
         total = int(counts.sum())
         ends = np.cumsum(counts)
@@ -246,25 +428,36 @@ def _reduce_batch_shard(meta, group_idx_bytes, reducer):
             np.ascontiguousarray(out_counts),
         )
     finally:
-        for shm in shms:
-            shm.close()
+        for close in closers:
+            close()
 
 
-class SharedMemoryExecutor:
-    """Parallel batch backend: process pool + shared-memory shards.
+class _PoolBatchExecutor:
+    """Shared machinery of the process-pool batch backends.
 
-    Each round the grouped key/offset/value arrays are published once in
-    ``multiprocessing.shared_memory`` blocks; every pool worker receives
-    only the block names plus its group-index list, builds zero-copy
-    views, and reduces its shard.  Unlike
-    :class:`MultiprocessingExecutor`, the payload is never pickled, so
-    the per-round overhead is O(shard metadata) instead of O(data).
+    Subclasses implement :meth:`_publish` to choose the zero-copy
+    transport (shared memory vs spill file + mmap).  Everything else —
+    pool lifecycle, sharding, the worker protocol, result scatter, and
+    the shipping accounting — is identical.
 
     Parameters
     ----------
     processes:
         Pool size; defaults to ``min(num_workers, cpu_count)`` at first
         use.
+
+    Attributes
+    ----------
+    bytes_shipped_per_round:
+        Pickled bytes submitted to the pool each batch round (payload
+        handle + group indices + reducer reference; measured as the
+        once-per-round fixed part plus each shard's raw group-index
+        bytes, so the accounting itself does not re-serialize anything
+        on the hot path).  This is the quantity that must stay
+        O(metadata): the zero-copy tests assert it never scales with
+        the graph or candidate arrays.
+    bytes_published_per_round:
+        Bytes each round placed in the zero-copy transport instead.
 
     Notes
     -----
@@ -279,6 +472,13 @@ class SharedMemoryExecutor:
         self.processes = processes
         self._pool = None
         self._ctx = None
+        self.bytes_shipped_per_round: List[int] = []
+        self.bytes_published_per_round: List[int] = []
+
+    @property
+    def bytes_shipped(self) -> int:
+        """Total pickled bytes submitted to workers across all rounds."""
+        return sum(self.bytes_shipped_per_round)
 
     # -- legacy per-key rounds ----------------------------------------- #
 
@@ -298,8 +498,10 @@ class SharedMemoryExecutor:
             import os
             from concurrent.futures import ProcessPoolExecutor
 
-            # Prefer fork: workers share the parent's resource tracker and
-            # start instantly; fall back to the platform default elsewhere.
+            # Prefer fork: workers share the parent's resource tracker,
+            # start instantly, and inherit mmap-backed graphs without a
+            # single copied page; fall back to the platform default
+            # elsewhere.
             methods = multiprocessing.get_all_start_methods()
             self._ctx = multiprocessing.get_context(
                 "fork" if "fork" in methods else None
@@ -310,6 +512,9 @@ class SharedMemoryExecutor:
             self._pool = ProcessPoolExecutor(max_workers=size, mp_context=self._ctx)
         return self._pool
 
+    def _publish(self, keys, offsets, values) -> _RoundPayload:
+        raise NotImplementedError
+
     def run_batch(
         self,
         keys: np.ndarray,
@@ -318,8 +523,6 @@ class SharedMemoryExecutor:
         reducer,
         num_workers: int,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        from multiprocessing import shared_memory
-
         g = len(keys)
         width = values.shape[1]
         workers = hash_partition_array(keys, num_workers)
@@ -333,33 +536,45 @@ class SharedMemoryExecutor:
             )
 
         pool = self._ensure_pool(num_workers)
+        shape = (g, len(values), width)
 
-        def publish(array):
-            array = np.ascontiguousarray(array)
-            shm = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
-            np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)[...] = array
-            return shm
-
-        shms = []
-        try:
-            for array in (keys, offsets, values):
-                shms.append(publish(array))
-            deregister = self._ctx.get_start_method() != "fork"
-            meta = (
-                shms[0].name, shms[1].name, shms[2].name,
-                g, len(values), width, deregister,
-            )
-            futures = [
-                pool.submit(
-                    _reduce_batch_shard, meta, gidx.tobytes(), reducer
+        with self._publish(keys, offsets, values) as payload:
+            handle = payload.handle()
+            # The handle/shape/reducer part of every shard's args is
+            # identical — pickle it once for the accounting instead of
+            # re-serializing per shard on the hot path.
+            fixed_cost = len(
+                pickle.dumps(
+                    (handle, shape, reducer),
+                    protocol=pickle.HIGHEST_PROTOCOL,
                 )
-                for gidx in shards
-            ]
-            results = [f.result() for f in futures]
-        finally:
-            for shm in shms:
-                shm.close()
-                shm.unlink()
+            )
+            shipped = 0
+            futures = []
+            for gidx in shards:
+                gidx_bytes = gidx.tobytes()
+                shipped += fixed_cost + len(gidx_bytes)
+                futures.append(
+                    pool.submit(
+                        _reduce_batch_shard, handle, shape, gidx_bytes, reducer
+                    )
+                )
+            self.bytes_shipped_per_round.append(shipped)
+            self.bytes_published_per_round.append(payload.nbytes)
+            # Settle every future before the payload is reclaimed: a
+            # worker that raises must not strand siblings on an unlinked
+            # segment (and a failing round must still clean up — the
+            # lifecycle test asserts no segment survives).
+            results = []
+            first_error = None
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
 
         out_keys = np.concatenate([r[0] for r in results])
         out_values = np.concatenate([r[1] for r in results])
@@ -383,8 +598,62 @@ class SharedMemoryExecutor:
         return False
 
 
+class SharedMemoryExecutor(_PoolBatchExecutor):
+    """Parallel batch backend: process pool + shared-memory shards.
+
+    Each round the grouped key/offset/value arrays are published once in
+    ``multiprocessing.shared_memory`` blocks; every pool worker receives
+    only the block names plus its group-index list, builds zero-copy
+    views, and reduces its shard.  Unlike
+    :class:`MultiprocessingExecutor`, the payload is never pickled, so
+    the per-round overhead is O(shard metadata) instead of O(data).
+
+    See :class:`_PoolBatchExecutor` for the pool lifecycle, accounting
+    attributes, and per-key fallback.
+    """
+
+    def _publish(self, keys, offsets, values) -> _RoundPayload:
+        deregister = self._ctx.get_start_method() != "fork"
+        return _ShmPayload(keys, offsets, values, deregister=deregister)
+
+
+class MmapExecutor(_PoolBatchExecutor):
+    """Parallel batch backend: process pool + memory-mapped spill files.
+
+    Each round the grouped arrays are written once into a spill file
+    whose sections are 64-byte aligned; workers receive the *path and
+    section offsets* — never arrays — and build read-only mmap views.
+    On a warm page cache this is byte-for-byte the shared-memory
+    transport minus ``/dev/shm`` (helpful in containers with tiny shm
+    mounts), and the spill file is a natural hand-off point for a future
+    multi-host transport.
+
+    Parameters
+    ----------
+    processes:
+        Pool size; defaults to ``min(num_workers, cpu_count)``.
+    spill_dir:
+        Directory for the per-round spill files; defaults to the system
+        temp directory.  Files are removed as each round completes (or
+        fails — the payload finalizer guarantees it).
+    """
+
+    def __init__(
+        self, processes: Optional[int] = None, *, spill_dir=None
+    ):
+        super().__init__(processes=processes)
+        self.spill_dir = spill_dir
+
+    def _publish(self, keys, offsets, values) -> _RoundPayload:
+        return _MmapPayload(keys, offsets, values, spill_dir=self.spill_dir)
+
+
 #: CLI/config names of the selectable backends.
-EXECUTOR_NAMES = ("serial", "vector", "parallel")
+EXECUTOR_NAMES = ("serial", "vector", "parallel", "mmap")
+
+#: Backends that run a process pool (and hence default to CPU-count
+#: workers rather than the single-machine simulation).
+POOL_EXECUTOR_NAMES = ("parallel", "mmap")
 
 
 def make_executor(name: str, *, processes: Optional[int] = None):
@@ -392,8 +661,8 @@ def make_executor(name: str, *, processes: Optional[int] = None):
 
     ``serial`` is the paper-literal per-key simulation, ``vector`` the
     single-process vectorized batch backend, ``parallel`` the
-    shared-memory process-pool backend.  Raises ``ValueError`` on any
-    other name.
+    shared-memory process-pool backend, ``mmap`` the spill-file
+    process-pool backend.  Raises ``ValueError`` on any other name.
     """
     if name == "serial":
         return SerialExecutor()
@@ -401,6 +670,8 @@ def make_executor(name: str, *, processes: Optional[int] = None):
         return VectorExecutor()
     if name == "parallel":
         return SharedMemoryExecutor(processes=processes)
+    if name == "mmap":
+        return MmapExecutor(processes=processes)
     raise ValueError(
         f"unknown executor {name!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
     )

@@ -487,14 +487,16 @@ def default_engine(
     size ≤ 8·(deg) + 64 words is a safe envelope for both layouts.
     ``executor`` is either an executor instance or a
     :func:`~repro.mr.executor.make_executor` name.  ``num_workers``
-    defaults to 1 (the single-machine simulation) except for the
-    ``parallel`` backend, which defaults to the CPU count — a process
-    pool partitioned for one worker would run with zero parallelism.
-    ``num_workers`` never affects results, only the critical-path model
-    and the pool size.
+    defaults to 1 (the single-machine simulation) except for the pool
+    backends (``parallel``/``mmap``), which default to the CPU count — a
+    process pool partitioned for one worker would run with zero
+    parallelism.  ``num_workers`` never affects results, only the
+    critical-path model and the pool size.
     """
     if num_workers is None:
-        if executor == "parallel":
+        from repro.mr.executor import POOL_EXECUTOR_NAMES
+
+        if executor in POOL_EXECUTOR_NAMES:
             import os
 
             num_workers = os.cpu_count() or 1

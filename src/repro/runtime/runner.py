@@ -1,0 +1,214 @@
+"""The unified runtime entry point: ``run(name, graph_or_path, ...)``.
+
+One dispatcher replaces the orchestration that used to be duplicated in
+every CLI subcommand, benchmark, and example:
+
+1. resolve the graph — a :class:`~repro.graph.csr.CSRGraph` passes
+   through, a path goes via the :class:`~repro.runtime.store.GraphStore`
+   (memory-mapped, converted once, LRU-cached);
+2. build the :class:`~repro.core.config.ClusterConfig` from the common
+   knobs (``seed``, ``tau``) unless a full config is supplied;
+3. validate executor/worker/option arguments against the algorithm's
+   :class:`~repro.runtime.registry.AlgorithmSpec`;
+4. run the spec on a :class:`RunContext` and return a :class:`RunResult`
+   carrying the headline value, the raw result object, shared
+   :class:`~repro.mr.metrics.Counters`, and wall-clock time.
+
+Example
+-------
+>>> from repro.runtime import run
+>>> from repro.generators import mesh
+>>> result = run("diameter", mesh(16, seed=1), tau=4, seed=1)
+>>> result.value >= 0
+True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.core.config import ClusterConfig
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.mr.metrics import Counters
+from repro.runtime.registry import REGISTRY, AlgorithmRegistry
+from repro.runtime.store import GraphStore, default_store
+
+__all__ = ["RunContext", "RunResult", "run"]
+
+GraphLike = Union[CSRGraph, str, Path]
+
+#: Options every algorithm accepts (handled by the runner itself).
+_COMMON_OPTIONS = frozenset()
+
+
+@dataclass
+class RunContext:
+    """Everything an :class:`AlgorithmSpec` needs to execute.
+
+    One context = one run: the ``counters`` accumulate across the
+    stages an algorithm performs (decomposition + quotient + finish),
+    and ``options`` carries the spec-specific extras (``source`` for
+    sssp, ``exact`` for diameter, ...).
+    """
+
+    graph: CSRGraph
+    config: ClusterConfig
+    executor: Optional[str] = None
+    workers: Optional[int] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+    counters: Counters = field(default_factory=Counters)
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self.config.seed
+
+
+@dataclass
+class RunResult:
+    """What every registry algorithm returns.
+
+    ``value`` is the headline scalar (estimate, radius, eccentricity);
+    ``raw`` the full result object (``DiameterEstimate``, ``Clustering``,
+    ...); ``metrics`` an ordered, JSON-friendly summary.  The runner
+    fills in ``algorithm``, ``counters``, ``executor``/``workers`` and
+    ``elapsed`` after the spec returns.
+    """
+
+    value: float
+    raw: Any
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    algorithm: str = ""
+    counters: Counters = field(default_factory=Counters)
+    executor: Optional[str] = None
+    workers: Optional[int] = None
+    elapsed: float = 0.0
+    graph: Optional[CSRGraph] = None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat dict view: metrics + counters + run metadata."""
+        return {
+            "algorithm": self.algorithm,
+            "value": self.value,
+            **self.metrics,
+            **self.counters.snapshot(),
+            "executor": self.executor or "core",
+            "elapsed_s": self.elapsed,
+        }
+
+
+def _resolve_graph(graph: GraphLike, store: Optional[GraphStore]) -> CSRGraph:
+    if isinstance(graph, CSRGraph):
+        return graph
+    if store is None:  # NB: an empty GraphStore is falsy (len == 0)
+        store = default_store()
+    return store.get(graph)
+
+
+def _resolve_config(
+    config: Optional[ClusterConfig],
+    seed: Optional[int],
+    tau: Optional[int],
+) -> ClusterConfig:
+    if config is None:
+        # The CLI's historical defaults: practical stage threshold, the
+        # given seed.  Callers needing other knobs pass a full config.
+        config = ClusterConfig(seed=0, stage_threshold_factor=1.0)
+    if seed is not None:
+        config = config.with_(seed=seed)
+    if tau is not None:
+        config = config.with_(tau=tau)
+    return config
+
+
+def run(
+    name: str,
+    graph: GraphLike,
+    *,
+    config: Optional[ClusterConfig] = None,
+    seed: Optional[int] = None,
+    tau: Optional[int] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
+    store: Optional[GraphStore] = None,
+    registry: Optional[AlgorithmRegistry] = None,
+    **options: Any,
+) -> RunResult:
+    """Run registered algorithm ``name`` on ``graph`` and return the result.
+
+    Parameters
+    ----------
+    name:
+        A registry key (``repro algorithms`` lists them).
+    graph:
+        A :class:`CSRGraph`, or a path to any supported graph file —
+        paths are opened through the :class:`GraphStore` (memory-mapped,
+        converted once, cached), so repeated runs start in milliseconds.
+    config, seed, tau:
+        ``config`` wins when given; otherwise a CLI-equivalent default
+        config is built and ``seed``/``tau`` applied on top.
+    executor, workers:
+        MR-engine backend selection for specs that support it
+        (``serial``/``vector``/``parallel``/``mmap``); ``None`` runs the
+        vectorized core path.  Specs without executor support reject a
+        non-``None`` value.
+    store, registry:
+        Override the process-wide defaults (mostly for tests).
+    **options:
+        Spec-specific extras, validated against the spec's
+        ``option_names``.
+
+    Raises
+    ------
+    KeyError
+        Unknown algorithm name.
+    ConfigurationError
+        Executor passed to a spec that does not support it, an unknown
+        option, or an invalid worker count.
+    """
+    spec = (registry or REGISTRY).get(name)
+    if executor is not None and not spec.supports_executor:
+        raise ConfigurationError(
+            f"algorithm {name!r} does not support --executor"
+        )
+    if workers is not None and workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    if workers is not None and executor is None:
+        raise ConfigurationError("workers requires an executor")
+    if executor is not None and workers is None:
+        # Resolve the engine default here so RunResult.workers reports
+        # the count the run actually used (pool backends: CPU count).
+        from repro.mr.executor import POOL_EXECUTOR_NAMES
+
+        if executor in POOL_EXECUTOR_NAMES:
+            import os
+
+            workers = os.cpu_count() or 1
+        else:
+            workers = 1
+    unknown = set(options) - set(spec.option_names) - _COMMON_OPTIONS
+    if unknown:
+        raise ConfigurationError(
+            f"algorithm {name!r} does not understand option(s): "
+            + ", ".join(sorted(unknown))
+        )
+
+    ctx = RunContext(
+        graph=_resolve_graph(graph, store),
+        config=_resolve_config(config, seed, tau),
+        executor=executor,
+        workers=workers,
+        options=dict(options),
+    )
+    start = time.perf_counter()
+    result = spec.fn(ctx)
+    result.elapsed = time.perf_counter() - start
+    result.algorithm = name
+    result.counters = ctx.counters
+    result.executor = executor
+    result.workers = workers
+    result.graph = ctx.graph
+    return result

@@ -1,0 +1,247 @@
+"""GraphStore: load any graph once, memory-map it everywhere after.
+
+The paper sizes everything around memory budgets (M_T/M_L, τ chosen so
+the quotient graph fits local memory); the harness around the kernels
+should honour the same discipline.  Re-parsing a DIMACS file costs
+seconds per invocation and hands every process a private copy of the
+CSR arrays.  :class:`GraphStore` replaces that with a cache of
+memory-mapped binary containers (see :mod:`repro.graph.serialize` for
+the on-disk layout):
+
+* ``store.get(path)`` on a text graph (``.gr``/METIS/edge-list/npz)
+  converts it **once** into a ``.rcsr`` file under the cache directory,
+  then memory-maps it; subsequent calls — from this process, another
+  process, or a later CLI invocation — open in O(1) and share the same
+  page-cache bytes;
+* ``store.get(path)`` on a ``.rcsr`` file memory-maps it directly;
+* an in-process LRU keeps the most recent :class:`CSRGraph` handles
+  alive so repeated runs in one session don't even reopen the file.
+
+Cache entries are keyed by the source's resolved path *and* its
+(mtime, size) signature, so editing a text graph invalidates its
+converted store automatically; stale conversions for the same source
+are removed when a fresh one is written.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.serialize import STORE_SUFFIX, is_store, write_store
+
+__all__ = ["GraphStore", "default_store", "get_graph"]
+
+PathLike = Union[str, Path]
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_STORE_DIR"
+
+#: Environment variable overriding the on-disk cache budget (bytes).
+MAX_BYTES_ENV = "REPRO_STORE_MAX_BYTES"
+
+
+def _default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "graphstore"
+
+
+class GraphStore:
+    """A cache of memory-mapped graphs with transparent conversion.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for converted ``.rcsr`` files (created on demand).
+        Defaults to ``$REPRO_STORE_DIR`` or ``~/.cache/repro/graphstore``.
+    capacity:
+        Number of open graphs the in-process LRU retains.  Evicting a
+        handle only drops this cache's reference — existing
+        :class:`CSRGraph` objects stay valid.
+    max_cache_bytes:
+        On-disk budget for the conversion cache.  After each conversion
+        the oldest cache files are removed until the directory fits the
+        budget (the file just written is kept regardless).  Defaults to
+        ``$REPRO_STORE_MAX_BYTES`` or 16 GiB; ``None`` disables
+        trimming.  Only files this class created (``*.rcsr`` inside
+        ``cache_dir``) are ever deleted.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[PathLike] = None,
+        capacity: int = 8,
+        max_cache_bytes: Optional[int] = -1,
+    ):
+        if capacity < 1:
+            raise ValueError("GraphStore capacity must be >= 1")
+        self.cache_dir = (
+            Path(cache_dir) if cache_dir is not None else _default_cache_dir()
+        )
+        if max_cache_bytes == -1:
+            max_cache_bytes = int(
+                os.environ.get(MAX_BYTES_ENV, 16 * 1024**3)
+            )
+        self.max_cache_bytes = max_cache_bytes
+        self.capacity = capacity
+        self._lru: "OrderedDict[tuple, CSRGraph]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.conversions = 0
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, path: PathLike) -> CSRGraph:
+        """Return ``path``'s graph, memory-mapped, converting if needed.
+
+        ``path`` may be a ``.rcsr`` store (opened directly), a text
+        graph (converted once, then opened from the cache directory), or
+        the legacy ``.npz`` dump (likewise converted).
+        """
+        store_file = self.store_path(path)
+        if not store_file.exists():
+            self._convert(Path(path), store_file)
+        stat = store_file.stat()
+        key = (str(store_file), stat.st_mtime_ns, stat.st_size)
+        cached = self._lru.get(key)
+        if cached is not None:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        graph = CSRGraph.open_mmap(store_file)
+        self._lru[key] = graph
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+        return graph
+
+    def store_path(self, path: PathLike) -> Path:
+        """The ``.rcsr`` file ``get(path)`` will open (may not exist yet).
+
+        A store file is its own store path; any other source maps into
+        the cache directory under a name derived from its resolved path
+        and (mtime, size) signature.
+        """
+        path = Path(path)
+        if path.suffix == STORE_SUFFIX or (path.exists() and is_store(path)):
+            return path
+        if not path.exists():
+            raise FileNotFoundError(f"graph file not found: {path}")
+        stat = path.stat()
+        return self.cache_dir / (
+            f"{path.name}-{self._digest(path)}-"
+            f"{stat.st_mtime_ns}-{stat.st_size}{STORE_SUFFIX}"
+        )
+
+    @staticmethod
+    def _digest(path: Path) -> str:
+        """Stable identity of a source file's resolved path."""
+        return hashlib.sha1(str(path.resolve()).encode()).hexdigest()[:16]
+
+    def _convert(self, source: Path, store_file: Path) -> None:
+        """Parse ``source`` and write its store file (one-time cost).
+
+        Conversions for an earlier version of the same source (same
+        path digest, different signature) are deleted — they can never
+        be opened again.
+        """
+        import glob as globmod
+
+        from repro.graph.io import read_auto
+
+        if source.suffix == STORE_SUFFIX and not source.exists():
+            raise FileNotFoundError(f"graph store not found: {source}")
+        graph = read_auto(source)
+        store_file.parent.mkdir(parents=True, exist_ok=True)
+        # The source name may contain glob metacharacters ("data[v2].gr");
+        # escape the fixed prefix and wildcard only the signature part.
+        prefix = globmod.escape(f"{source.name}-{self._digest(source)}-")
+        for stale_name in globmod.glob(
+            str(store_file.parent / (prefix + "*" + STORE_SUFFIX))
+        ):
+            try:
+                Path(stale_name).unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+        write_store(graph, store_file)
+        self.conversions += 1
+        self._trim_disk(keep=store_file)
+
+    def _trim_disk(self, keep: Path) -> None:
+        """Evict oldest conversions until the cache fits its byte budget.
+
+        ``keep`` (the conversion just written) is never evicted, so a
+        single graph larger than the budget still works.
+        """
+        if self.max_cache_bytes is None:
+            return
+        entries = [
+            (p.stat().st_mtime_ns, p.stat().st_size, p)
+            for p in self.cache_dir.glob("*" + STORE_SUFFIX)
+            if p != keep and p.is_file()
+        ]
+        total = sum(size for _, size, _ in entries) + keep.stat().st_size
+        for _, size, victim in sorted(entries):
+            if total <= self.max_cache_bytes:
+                break
+            try:
+                victim.unlink()
+                total -= size
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
+
+    # ------------------------------------------------------------------ #
+
+    def convert(self, source: PathLike, destination: PathLike) -> CSRGraph:
+        """Explicitly convert ``source`` into a store file at ``destination``.
+
+        Unlike :meth:`get`, the output goes exactly where asked (e.g. a
+        sidecar ``graph.rcsr`` you commit next to a dataset) and the
+        returned graph memory-maps it.
+        """
+        from repro.graph.io import read_auto
+
+        destination = Path(destination)
+        if destination.suffix != STORE_SUFFIX:
+            raise GraphFormatError(
+                f"store files use the {STORE_SUFFIX!r} suffix: {destination}"
+            )
+        write_store(read_auto(source), destination)
+        return self.get(destination)
+
+    def clear(self) -> None:
+        """Drop every LRU entry (open graphs stay valid)."""
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphStore(cache_dir={str(self.cache_dir)!r}, "
+            f"open={len(self._lru)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+_DEFAULT: Optional[GraphStore] = None
+
+
+def default_store() -> GraphStore:
+    """The process-wide :class:`GraphStore` (created on first use)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = GraphStore()
+    return _DEFAULT
+
+
+def get_graph(path: PathLike) -> CSRGraph:
+    """``default_store().get(path)`` — the one-line zero-copy loader."""
+    return default_store().get(path)

@@ -78,15 +78,21 @@ def unweighted_approximate_diameter(
     graph: CSRGraph,
     tau: Optional[int] = None,
     config: Optional[ClusterConfig] = None,
+    *,
+    counters=None,
 ) -> float:
     """Estimate the **unweighted** (hop) diameter via the hop quotient.
 
-    Conservative for the hop metric: ``Ψ_approx ≥ Ψ(G)``.
+    Conservative for the hop metric: ``Ψ_approx ≥ Ψ(G)``.  A
+    caller-supplied ``counters`` accumulates the decomposition's
+    rounds/messages/updates.
     """
     config = config or ClusterConfig()
     if tau is not None:
         config = config.with_(tau=tau)
     decomposition = bfs_cluster(graph, config=config)
+    if counters is not None:
+        counters.merge(decomposition.clustering.counters)
     q = _hop_quotient(graph, decomposition)
     value, _ = quotient_diameter(
         q, mode=config.quotient_mode, exact_limit=config.quotient_exact_limit

@@ -15,6 +15,30 @@ from repro.generators import (
 from repro.graph.builder import from_edge_list
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_graph_store(tmp_path_factory):
+    """Point the default GraphStore cache at a per-session temp dir.
+
+    CLI/runtime tests convert throwaway tmp_path graphs; without this
+    the conversions would pile up under ``~/.cache/repro``.
+    """
+    import os
+
+    import repro.runtime.store as store_mod
+
+    cache = tmp_path_factory.mktemp("graphstore")
+    old_env = os.environ.get(store_mod.CACHE_DIR_ENV)
+    os.environ[store_mod.CACHE_DIR_ENV] = str(cache)
+    old_default = store_mod._DEFAULT
+    store_mod._DEFAULT = None
+    yield
+    store_mod._DEFAULT = old_default
+    if old_env is None:
+        os.environ.pop(store_mod.CACHE_DIR_ENV, None)
+    else:
+        os.environ[store_mod.CACHE_DIR_ENV] = old_env
+
+
 @pytest.fixture
 def triangle():
     """Weighted triangle: 0-1 (1), 1-2 (2), 0-2 (4); diameter = 3 (0->1->2)."""

@@ -1,0 +1,160 @@
+"""Tests for the binary GraphStore container and mmap-backed CSRGraph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.generators import gnm_random_graph, mesh
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.graph.io import read_auto, write_auto
+from repro.graph.serialize import (
+    is_store,
+    open_store,
+    read_store_header,
+    write_store,
+)
+
+
+@pytest.fixture
+def stored(tmp_path, small_mesh):
+    path = tmp_path / "g.rcsr"
+    write_store(small_mesh, path)
+    return small_mesh, path
+
+
+class TestStoreFormat:
+    def test_roundtrip_equal(self, stored):
+        graph, path = stored
+        assert open_store(path) == graph
+
+    def test_header_without_arrays(self, stored):
+        graph, path = stored
+        header = read_store_header(path)
+        assert header.num_nodes == graph.num_nodes
+        assert header.num_arcs == graph.num_arcs
+        assert header.num_edges == graph.num_edges
+        assert header.version == 1
+        assert header.file_size == path.stat().st_size
+
+    def test_sections_aligned(self, stored):
+        _, path = stored
+        header = read_store_header(path)
+        for offset in (
+            header.indptr_offset,
+            header.indices_offset,
+            header.weights_offset,
+        ):
+            assert offset % 64 == 0
+
+    def test_is_store_by_magic_not_extension(self, tmp_path, small_mesh):
+        odd = tmp_path / "graph.bin"
+        write_store(small_mesh, odd)
+        assert is_store(odd)
+        assert open_store(odd) == small_mesh
+        text = tmp_path / "fake.rcsr"
+        text.write_text("not a store")
+        assert not is_store(text)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.rcsr"
+        path.write_bytes(b"\x00" * 128)
+        with pytest.raises(GraphFormatError):
+            read_store_header(path)
+
+    def test_truncated_file_rejected(self, stored, tmp_path):
+        _, path = stored
+        clipped = tmp_path / "clipped.rcsr"
+        clipped.write_bytes(path.read_bytes()[:-16])
+        with pytest.raises(GraphFormatError):
+            read_store_header(clipped)
+
+    def test_unsupported_version_rejected(self, stored, tmp_path):
+        _, path = stored
+        raw = bytearray(path.read_bytes())
+        raw[8] = 99  # version field
+        bad = tmp_path / "v99.rcsr"
+        bad.write_bytes(bytes(raw))
+        with pytest.raises(GraphFormatError, match="version"):
+            read_store_header(bad)
+
+    def test_empty_graph(self, tmp_path):
+        g = from_edge_list([], 4)
+        path = tmp_path / "empty.rcsr"
+        write_store(g, path)
+        loaded = open_store(path)
+        assert loaded.num_nodes == 4 and loaded.num_edges == 0
+
+    def test_float_weights_bit_exact(self, tmp_path):
+        g = from_edge_list([(0, 1, 0.1234567890123456789)], 2)
+        path = tmp_path / "w.rcsr"
+        write_store(g, path)
+        assert open_store(path).weights[0] == g.weights[0]
+
+    def test_atomic_overwrite(self, stored):
+        graph, path = stored
+        other = mesh(4, seed=9)
+        write_store(other, path)
+        assert open_store(path) == other
+
+
+class TestMmapGraph:
+    def test_mmap_equals_in_memory(self, stored):
+        """The acceptance check: mmap-opened == built-in-memory, bit for bit."""
+        graph, path = stored
+        mapped = CSRGraph.open_mmap(path)
+        assert np.array_equal(mapped.indptr, graph.indptr)
+        assert np.array_equal(mapped.indices, graph.indices)
+        assert np.array_equal(mapped.weights, graph.weights)
+        assert mapped == graph
+
+    def test_mmap_flags(self, stored):
+        _, path = stored
+        mapped = CSRGraph.open_mmap(path)
+        assert mapped.is_mmap
+        assert mapped.store_path == path
+        for arr in (mapped.indptr, mapped.indices, mapped.weights):
+            assert not arr.flags.writeable
+
+    def test_mmap_validate_flag(self, stored):
+        _, path = stored
+        assert CSRGraph.open_mmap(path, validate=True) is not None
+
+    def test_mmap_usable_by_kernels(self, stored):
+        from repro.core.diameter import approximate_diameter
+
+        graph, path = stored
+        mapped = CSRGraph.open_mmap(path)
+        a = approximate_diameter(graph, tau=4)
+        b = approximate_diameter(mapped, tau=4)
+        assert a.value == b.value
+
+    def test_in_memory_graph_is_not_mmap(self, small_mesh):
+        assert not small_mesh.is_mmap
+        assert small_mesh.store_path is None
+
+
+class TestFormatMatrix:
+    """DIMACS ↔ binary ↔ METIS ↔ edge-list conversions preserve the graph."""
+
+    EXTS = ("g.gr", "g.gr.gz", "g.metis", "g.txt", "g.npz", "g.rcsr")
+
+    @pytest.mark.parametrize("ext", EXTS)
+    def test_roundtrip_via(self, tmp_path, random_connected, ext):
+        path = tmp_path / ext
+        write_auto(random_connected, path)
+        assert read_auto(path) == random_connected
+
+    @pytest.mark.parametrize("src", ("a.gr", "a.metis", "a.txt", "a.rcsr"))
+    @pytest.mark.parametrize("dst", ("b.gr", "b.metis", "b.txt", "b.rcsr"))
+    def test_chain(self, tmp_path, small_mesh, src, dst):
+        """Any format → any format keeps nodes/edges/weights identical."""
+        a = tmp_path / src
+        b = tmp_path / dst
+        write_auto(small_mesh, a)
+        mid = read_auto(a)
+        write_auto(mid, b)
+        out = read_auto(b)
+        assert out.num_nodes == small_mesh.num_nodes
+        assert out.num_edges == small_mesh.num_edges
+        assert out == small_mesh

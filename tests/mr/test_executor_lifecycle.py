@@ -1,0 +1,171 @@
+"""Shared-memory / spill-file lifecycle and shipping-accounting tests.
+
+The pool backends publish each round's batch through a context-managed
+payload with a ``weakref.finalize`` finalizer.  These tests pin the
+lifecycle guarantees: no shared-memory segment or spill file survives a
+round — including a round whose *worker raises* — and the per-round
+pickled traffic stays O(metadata) while the real payload travels
+through the zero-copy transport.
+"""
+
+import gc
+import glob
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.mr.executor import (
+    EXECUTOR_NAMES,
+    MmapExecutor,
+    SharedMemoryExecutor,
+    make_executor,
+)
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="pool backends are POSIX-only in tests"
+)
+
+
+def _shm_segments():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return set()
+    return set(os.listdir("/dev/shm"))
+
+
+def _spill_files():
+    return set(glob.glob(os.path.join(tempfile.gettempdir(), "repro-round-*")))
+
+
+def _identity_reducer(keys, offsets, values):
+    counts = np.diff(offsets)
+    return keys, values[offsets[:-1]], np.ones(len(keys), dtype=np.int64)
+
+
+def _failing_reducer(keys, offsets, values):
+    raise RuntimeError("worker boom")
+
+
+def _batch(n=64, width=4):
+    keys = np.arange(n, dtype=np.int64)
+    offsets = np.arange(n + 1, dtype=np.int64)
+    values = np.arange(n * width, dtype=np.float64).reshape(n, width)
+    return keys, offsets, values
+
+
+class TestFailingRoundCleanup:
+    def test_shm_segments_not_leaked_on_worker_error(self):
+        keys, offsets, values = _batch()
+        before = _shm_segments()
+        with SharedMemoryExecutor(processes=2) as ex:
+            with pytest.raises(RuntimeError, match="worker boom"):
+                ex.run_batch(keys, offsets, values, _failing_reducer, 2)
+            # Cleanup happens when the round unwinds, not at close().
+            assert _shm_segments() - before == set()
+        assert _shm_segments() - before == set()
+
+    def test_spill_files_not_leaked_on_worker_error(self):
+        keys, offsets, values = _batch()
+        before = _spill_files()
+        with MmapExecutor(processes=2) as ex:
+            with pytest.raises(RuntimeError, match="worker boom"):
+                ex.run_batch(keys, offsets, values, _failing_reducer, 2)
+            assert _spill_files() - before == set()
+
+    def test_successful_round_cleans_up_too(self):
+        keys, offsets, values = _batch()
+        before = _shm_segments()
+        with SharedMemoryExecutor(processes=2) as ex:
+            ex.run_batch(keys, offsets, values, _identity_reducer, 2)
+            assert _shm_segments() - before == set()
+
+    def test_abandoned_payload_finalized(self):
+        """A payload dropped without close() is reclaimed by its finalizer."""
+        from repro.mr.executor import _MmapPayload, _ShmPayload
+
+        keys, offsets, values = _batch()
+        before_shm = _shm_segments()
+        payload = _ShmPayload(keys, offsets, values, deregister=False)
+        assert _shm_segments() - before_shm != set()
+        del payload
+        gc.collect()
+        assert _shm_segments() - before_shm == set()
+
+        before_spill = _spill_files()
+        payload = _MmapPayload(keys, offsets, values)
+        assert _spill_files() - before_spill != set()
+        del payload
+        gc.collect()
+        assert _spill_files() - before_spill == set()
+
+    def test_payload_close_idempotent(self):
+        from repro.mr.executor import _ShmPayload
+
+        keys, offsets, values = _batch()
+        payload = _ShmPayload(keys, offsets, values, deregister=False)
+        payload.close()
+        payload.close()  # second close is a no-op, not an error
+
+
+class TestShippingAccounting:
+    @pytest.mark.parametrize("backend", ["parallel", "mmap"])
+    def test_payload_published_not_pickled(self, backend):
+        keys, offsets, values = _batch(4096)
+        ex = make_executor(backend, processes=2)
+        try:
+            ex.run_batch(keys, offsets, values, _identity_reducer, 2)
+        finally:
+            ex.close()
+        assert len(ex.bytes_shipped_per_round) == 1
+        assert len(ex.bytes_published_per_round) == 1
+        published = ex.bytes_published_per_round[0]
+        shipped = ex.bytes_shipped_per_round[0]
+        assert published == keys.nbytes + offsets.nbytes + values.nbytes
+        # The pickled traffic is the group-index lists (8 bytes per
+        # group) + handle + reducer reference; the value rows themselves
+        # went through the zero-copy transport.
+        assert shipped < published
+        assert shipped < keys.nbytes + 8192
+        assert shipped < values.nbytes
+
+    def test_bytes_shipped_accumulates(self):
+        keys, offsets, values = _batch()
+        with SharedMemoryExecutor(processes=2) as ex:
+            ex.run_batch(keys, offsets, values, _identity_reducer, 2)
+            ex.run_batch(keys, offsets, values, _identity_reducer, 2)
+            assert len(ex.bytes_shipped_per_round) == 2
+            assert ex.bytes_shipped == sum(ex.bytes_shipped_per_round)
+
+
+class TestMmapExecutor:
+    def test_registered_backend(self):
+        assert "mmap" in EXECUTOR_NAMES
+        assert isinstance(make_executor("mmap"), MmapExecutor)
+
+    def test_matches_vector_backend(self):
+        from functools import partial
+
+        from repro.mr.batch import group_min_first
+        from repro.mr.executor import VectorExecutor
+
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 50, size=400).astype(np.int64)
+        values = rng.random((400, 3))
+        from repro.mr.engine import _group_batch
+
+        gkeys, offsets, gvalues = _group_batch(keys, values)
+        reducer = partial(group_min_first, sort_cols=2)
+        expected = VectorExecutor().run_batch(gkeys, offsets, gvalues, reducer, 4)
+        with MmapExecutor(processes=2) as ex:
+            got = ex.run_batch(gkeys, offsets, gvalues, reducer, 4)
+        order_e = np.argsort(expected[0], kind="stable")
+        order_g = np.argsort(got[0], kind="stable")
+        assert np.array_equal(expected[0][order_e], got[0][order_g])
+        assert np.allclose(expected[1][order_e], got[1][order_g])
+
+    def test_custom_spill_dir(self, tmp_path):
+        keys, offsets, values = _batch()
+        with MmapExecutor(processes=2, spill_dir=str(tmp_path)) as ex:
+            ex.run_batch(keys, offsets, values, _identity_reducer, 2)
+        assert list(tmp_path.glob("repro-round-*")) == []

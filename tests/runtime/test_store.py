@@ -1,0 +1,190 @@
+"""Tests for the GraphStore cache (conversion, LRU, invalidation)."""
+
+import os
+import time
+
+import pytest
+
+from repro.generators import mesh
+from repro.graph.io import write_dimacs, write_edge_list
+from repro.graph.serialize import write_store
+from repro.runtime.store import GraphStore, default_store, get_graph
+
+
+@pytest.fixture
+def store(tmp_path):
+    return GraphStore(cache_dir=tmp_path / "cache", capacity=3)
+
+
+@pytest.fixture
+def dimacs_file(tmp_path):
+    path = tmp_path / "g.gr"
+    write_dimacs(mesh(8, seed=1), path)
+    return path
+
+
+class TestConversion:
+    def test_text_graph_converted_once(self, store, dimacs_file):
+        g1 = store.get(dimacs_file)
+        g2 = store.get(dimacs_file)
+        assert g1 is g2
+        assert store.conversions == 1
+        assert store.hits == 1 and store.misses == 1
+
+    def test_converted_graph_is_mmap(self, store, dimacs_file):
+        assert store.get(dimacs_file).is_mmap
+
+    def test_store_file_opened_directly(self, store, tmp_path):
+        graph = mesh(6, seed=2)
+        path = tmp_path / "direct.rcsr"
+        write_store(graph, path)
+        loaded = store.get(path)
+        assert loaded == graph
+        assert store.conversions == 0
+        assert loaded.store_path == path
+
+    def test_edge_list_and_metis_sources(self, store, tmp_path):
+        graph = mesh(6, seed=3)
+        for name in ("g.txt", "g.metis"):
+            path = tmp_path / name
+            if name.endswith(".metis"):
+                from repro.graph.io import write_metis
+
+                write_metis(graph, path)
+            else:
+                write_edge_list(graph, path)
+            assert store.get(path) == graph
+        assert store.conversions == 2
+
+    def test_missing_file_raises(self, store, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            store.get(tmp_path / "nope.gr")
+        with pytest.raises(FileNotFoundError):
+            store.get(tmp_path / "nope.rcsr")
+
+    def test_source_edit_invalidates(self, store, tmp_path):
+        path = tmp_path / "m.gr"
+        g1 = mesh(6, seed=4)
+        write_dimacs(g1, path)
+        assert store.get(path) == g1
+        g2 = mesh(7, seed=5)
+        write_dimacs(g2, path)
+        # Force a distinct mtime even on coarse filesystem clocks.
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        assert store.get(path) == g2
+        assert store.conversions == 2
+
+    def test_stale_conversions_cleaned(self, store, tmp_path):
+        path = tmp_path / "m.gr"
+        write_dimacs(mesh(6, seed=4), path)
+        store.get(path)
+        write_dimacs(mesh(7, seed=5), path)
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        store.get(path)
+        stores = list((tmp_path / "cache").glob("m.gr-*.rcsr"))
+        assert len(stores) == 1
+
+    def test_glob_metacharacter_filenames(self, store, tmp_path):
+        """Sources like ``data[v2].gr`` must convert, invalidate, clean."""
+        path = tmp_path / "data[v2].gr"
+        g1 = mesh(6, seed=4)
+        write_dimacs(g1, path)
+        assert store.get(path) == g1
+        g2 = mesh(7, seed=5)
+        write_dimacs(g2, path)
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        assert store.get(path) == g2
+        leftovers = [
+            p for p in (tmp_path / "cache").iterdir()
+            if p.name.startswith("data[v2].gr-")
+        ]
+        assert len(leftovers) == 1
+
+
+class TestLru:
+    def test_capacity_evicts(self, tmp_path):
+        store = GraphStore(cache_dir=tmp_path / "cache", capacity=2)
+        paths = []
+        for i in range(3):
+            p = tmp_path / f"g{i}.gr"
+            write_dimacs(mesh(4 + i, seed=i), p)
+            paths.append(p)
+            store.get(p)
+        assert len(store) == 2
+        # Oldest evicted: fetching it again reopens (miss), not a hit.
+        misses = store.misses
+        store.get(paths[0])
+        assert store.misses == misses + 1
+
+    def test_evicted_graph_stays_valid(self, tmp_path):
+        store = GraphStore(cache_dir=tmp_path / "cache", capacity=1)
+        p1 = tmp_path / "a.gr"
+        p2 = tmp_path / "b.gr"
+        write_dimacs(mesh(4, seed=1), p1)
+        write_dimacs(mesh(5, seed=2), p2)
+        g1 = store.get(p1)
+        store.get(p2)  # evicts g1's cache entry
+        assert g1.num_nodes == 16  # the mmap handle still works
+
+    def test_clear(self, store, dimacs_file):
+        store.get(dimacs_file)
+        store.clear()
+        assert len(store) == 0
+
+    def test_invalid_capacity(self, tmp_path):
+        with pytest.raises(ValueError):
+            GraphStore(cache_dir=tmp_path, capacity=0)
+
+
+class TestConvertApi:
+    def test_explicit_sidecar(self, store, dimacs_file, tmp_path):
+        out = tmp_path / "sidecar.rcsr"
+        graph = store.convert(dimacs_file, out)
+        assert out.exists()
+        assert graph.is_mmap and graph.store_path == out
+
+    def test_rejects_non_store_suffix(self, store, dimacs_file, tmp_path):
+        from repro.errors import GraphFormatError
+
+        with pytest.raises(GraphFormatError, match=".rcsr"):
+            store.convert(dimacs_file, tmp_path / "out.gr")
+
+
+class TestDiskBudget:
+    def test_oldest_conversions_evicted(self, tmp_path):
+        store = GraphStore(
+            cache_dir=tmp_path / "cache", max_cache_bytes=1
+        )
+        for i in range(3):
+            p = tmp_path / f"g{i}.gr"
+            write_dimacs(mesh(4 + i, seed=i), p)
+            store.get(p)
+            # Distinct mtimes so eviction order is deterministic.
+            time.sleep(0.01)
+        remaining = list((tmp_path / "cache").glob("*.rcsr"))
+        # Budget of 1 byte: only the most recent conversion survives.
+        assert len(remaining) == 1
+        assert remaining[0].name.startswith("g2.gr-")
+
+    def test_unbounded_when_disabled(self, tmp_path):
+        store = GraphStore(
+            cache_dir=tmp_path / "cache", max_cache_bytes=None
+        )
+        for i in range(3):
+            p = tmp_path / f"g{i}.gr"
+            write_dimacs(mesh(4 + i, seed=i), p)
+            store.get(p)
+        assert len(list((tmp_path / "cache").glob("*.rcsr"))) == 3
+
+
+class TestDefaultStore:
+    def test_singleton(self):
+        assert default_store() is default_store()
+
+    def test_get_graph_convenience(self, dimacs_file):
+        g = get_graph(dimacs_file)
+        assert g.num_nodes == 64
+        assert g is get_graph(dimacs_file)

@@ -80,12 +80,12 @@ class TestDiameter:
         lb = float(out.split("lower bound  : ")[1].splitlines()[0])
         assert est >= lb - 1e-9
 
-    @pytest.mark.parametrize("executor", ["serial", "vector", "parallel"])
+    @pytest.mark.parametrize("executor", ["serial", "vector", "parallel", "mmap"])
     def test_executor_backends_agree(self, graph_file, capsys, executor):
         main(["diameter", graph_file, "--tau", "3"])
         baseline = capsys.readouterr().out
         args = ["diameter", graph_file, "--tau", "3", "--executor", executor]
-        if executor == "parallel":
+        if executor in ("parallel", "mmap"):
             args += ["--workers", "2"]
         assert main(args) == 0
         out = capsys.readouterr().out
@@ -150,6 +150,110 @@ class TestComponents:
         assert main(["components", str(path), "--tau", "1"]) == 0
         out = capsys.readouterr().out
         assert "components   : 2" in out
+
+
+class TestConvert:
+    def test_text_to_store(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "g.rcsr"
+        assert main(["convert", graph_file, str(out)]) == 0
+        assert out.exists()
+        assert "converted" in capsys.readouterr().out
+
+    def test_store_round_trips_through_cli(self, graph_file, tmp_path, capsys):
+        store = tmp_path / "g.rcsr"
+        back = tmp_path / "back.gr"
+        main(["convert", graph_file, str(store)])
+        main(["convert", str(store), str(back)])
+        capsys.readouterr()
+        main(["info", str(back)])
+        assert "nodes        : 64" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("ext", ["gr", "metis", "txt", "npz"])
+    def test_formats(self, graph_file, tmp_path, capsys, ext):
+        out = tmp_path / f"g.{ext}"
+        assert main(["convert", graph_file, str(out)]) == 0
+        assert main(["info", str(out)]) == 0
+        assert "nodes        : 64" in capsys.readouterr().out
+
+    def test_missing_input(self, tmp_path):
+        assert main(["convert", "/nonexistent.gr", str(tmp_path / "o.rcsr")]) == 2
+
+
+class TestInfoStore:
+    def test_header_metadata_without_arrays(self, graph_file, tmp_path, capsys):
+        store = tmp_path / "g.rcsr"
+        main(["convert", graph_file, str(store)])
+        capsys.readouterr()
+        assert main(["info", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "GraphStore v1" in out
+        assert "nodes        : 64" in out
+        assert "sections     :" in out
+
+    def test_algorithms_accept_store_files(self, graph_file, tmp_path, capsys):
+        store = tmp_path / "g.rcsr"
+        main(["convert", graph_file, str(store)])
+        capsys.readouterr()
+        assert main(["diameter", str(store), "--tau", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "estimate" in out
+
+
+class TestRunCommand:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["diameter", "cluster", "cluster2", "sssp", "eccentricity",
+         "components", "unweighted-diameter"],
+    )
+    def test_every_registered_algorithm(self, graph_file, capsys, algorithm):
+        assert main(["run", algorithm, graph_file, "--tau", "3"]) == 0
+        out = capsys.readouterr().out
+        assert f"algorithm    : {algorithm}" in out
+        assert "value        :" in out
+        assert "elapsed      :" in out
+
+    def test_run_matches_dedicated_command(self, graph_file, capsys):
+        main(["diameter", graph_file, "--tau", "3"])
+        dedicated = capsys.readouterr().out
+        main(["run", "diameter", graph_file, "--tau", "3"])
+        generic = capsys.readouterr().out
+        est_a = dedicated.split("estimate     : ")[1].splitlines()[0]
+        est_b = generic.split("value        : ")[1].splitlines()[0]
+        assert est_a == est_b
+
+    def test_run_with_executor(self, graph_file, capsys):
+        args = ["run", "cluster", graph_file, "--tau", "3",
+                "--executor", "mmap", "--workers", "2"]
+        assert main(args) == 0
+        assert "executor     : mmap (2 workers)" in capsys.readouterr().out
+
+    def test_unknown_algorithm(self, graph_file, capsys):
+        assert main(["run", "fft", graph_file]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_executor_rejected_for_core_only(self, graph_file, capsys):
+        rc = main(["run", "sssp", graph_file, "--executor", "vector"])
+        assert rc == 1
+        assert "does not support" in capsys.readouterr().err
+
+    def test_unsupported_option_rejected(self, graph_file, capsys):
+        rc = main(["run", "cluster", graph_file, "--exact"])
+        assert rc == 1
+        assert "does not understand" in capsys.readouterr().err
+
+    def test_components_report_counters(self, graph_file, capsys):
+        assert main(["run", "components", graph_file, "--tau", "3"]) == 0
+        out = capsys.readouterr().out
+        rounds = int(out.split("rounds       : ")[1].splitlines()[0])
+        assert rounds > 0
+
+
+class TestAlgorithms:
+    def test_listing(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("diameter", "cluster2", "sssp", "unweighted-diameter"):
+            assert name in out
 
 
 class TestParser:
