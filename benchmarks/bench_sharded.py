@@ -1,0 +1,168 @@
+"""Owner-compute sharding vs ship-everything pool rounds.
+
+The ``mmap``/``parallel`` backends publish every round's *entire*
+grouped candidate batch to stateless workers: per-round traffic scales
+with total frontier state wherever it lives.  The ``sharded`` backend
+keeps each shard's state resident in a persistent worker and exchanges
+only the candidates that cross a shard boundary, so per-round traffic
+scales with the *boundary* frontier.
+
+This bench runs CLUSTER on a **stored** R-MAT(16) LCC (the graph is
+memory-mapped from a ``.rcsr`` store, so shard workers open their rows
+zero-copy) on the ``mmap`` and ``sharded`` backends and records, per
+round, the bytes each backend moved to its workers:
+
+* ``mmap``     — ``bytes_shipped + bytes_published`` (handles + the
+  spilled batch; the batch is the part that scales);
+* ``sharded``  — ``bytes_shipped`` (cross-shard candidate blocks).
+
+Acceptance (ISSUE 3): summed from round 2 on — i.e. past each stage's
+forced full-broadcast first round — the sharded exchange must stay
+under 10% of the mmap backend's moved bytes.  Results are identical on
+both backends (asserted against the ``vector`` reference), and the
+per-round byte profile plus a ``BENCH_sharded.json`` record are written
+under ``benchmarks/results/``.
+
+Run on demand::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sharded.py -q
+
+``REPRO_BENCH_SCALE`` shrinks the instance for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_bench_records, write_result
+from repro.bench.reporting import bench_record, format_table
+from repro.core.config import ClusterConfig
+from repro.generators import rmat
+from repro.graph.ops import largest_connected_component
+from repro.graph.serialize import open_store, write_store
+from repro.mrimpl.cluster_mr import mr_cluster
+from repro.mrimpl.growing_mr import default_engine
+
+#: R-MAT scale 16 (edge factor 8): the LCC has ~40k nodes / ~580k edges.
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "16"))
+SHARDS = 4
+CFG = ClusterConfig(
+    seed=42, stage_threshold_factor=1.0, tau=64, growing_step_cap=6
+)
+#: Rounds to skip before the steady-state byte comparison: each stage's
+#: first engine round is a forced full broadcast.
+WARMUP_ROUNDS = 2
+#: Acceptance bar: sharded exchange < 10% of mmap moved bytes.
+SHIPPED_FRACTION_BAR = 0.10
+
+
+@pytest.fixture(scope="module")
+def stored_workload(tmp_path_factory):
+    """The benchmark graph written to (and re-opened from) a store."""
+    graph = largest_connected_component(rmat(SCALE, edge_factor=8, seed=11))[0]
+    path = tmp_path_factory.mktemp("sharded-bench") / f"rmat{SCALE}.rcsr"
+    write_store(graph, path)
+    return open_store(path)
+
+
+def _moved_bytes_per_round(executor):
+    """Bytes a backend moved to workers each round (transport-agnostic)."""
+    shipped = list(getattr(executor, "bytes_shipped_per_round", []))
+    published = list(getattr(executor, "bytes_published_per_round", []))
+    published += [0] * (len(shipped) - len(published))
+    return [s + p for s, p in zip(shipped, published)]
+
+
+def _run_backend(graph, backend: str):
+    engine = default_engine(
+        graph, executor=backend, num_workers=SHARDS, shards=SHARDS
+    )
+    start = time.perf_counter()
+    try:
+        clustering = mr_cluster(graph, config=CFG, engine=engine)
+    finally:
+        if hasattr(engine.executor, "close"):
+            engine.executor.close()
+    elapsed = time.perf_counter() - start
+    return clustering, engine, elapsed
+
+
+def test_boundary_exchange_report(benchmark, stored_workload):
+    graph = stored_workload
+    assert graph.is_mmap, "the sharded bench must run on a stored graph"
+
+    def sweep():
+        return {b: _run_backend(graph, b) for b in ("vector", "mmap", "sharded")}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    reference = results["vector"][0]
+    rows = []
+    bench_rows = []
+    for backend in ("vector", "mmap", "sharded"):
+        clustering, engine, elapsed = results[backend]
+        # Identical results on every backend — sharding is free.
+        assert np.array_equal(clustering.center, reference.center)
+        assert np.allclose(clustering.dist_to_center, reference.dist_to_center)
+        assert clustering.counters.rounds == reference.counters.rounds
+        moved = _moved_bytes_per_round(engine.executor)
+        rows.append(
+            {
+                "backend": backend,
+                "wall_s": round(elapsed, 2),
+                "rounds": clustering.counters.rounds,
+                "moved_total": sum(moved),
+                "moved_after_warmup": sum(moved[WARMUP_ROUNDS:]),
+                "peak_round": max(moved, default=0),
+            }
+        )
+        bench_rows.append(
+            bench_record(
+                workload=f"rmat{SCALE}_lcc_cluster_stored",
+                n=graph.num_nodes,
+                m=graph.num_edges,
+                backend=backend,
+                wall_s=elapsed,
+                rounds=clustering.counters.rounds,
+                bytes_shipped=sum(moved),
+                bytes_shipped_after_warmup=sum(moved[WARMUP_ROUNDS:]),
+                shards=SHARDS if backend == "sharded" else 0,
+            )
+        )
+    write_bench_records("BENCH_sharded.json", bench_rows)
+
+    sharded_exec = results["sharded"][1].executor
+    plan = sharded_exec.plan
+    write_result(
+        "sharded_exchange.txt",
+        format_table(
+            rows,
+            title=(
+                f"Boundary exchange on stored R-MAT({SCALE}) LCC "
+                f"(n={graph.num_nodes}, m={graph.num_edges}, "
+                f"{SHARDS} shards, edge cut {plan.cut_fraction:.1%})"
+            ),
+        ),
+    )
+
+    # The headline claim: past the forced-broadcast warmup, the sharded
+    # exchange is a small fraction of what ship-everything rounds move.
+    # Smoke-scale instances can finish inside the warmup (too few rounds
+    # to have steady state), so the bar only applies at bench scale.
+    mmap_moved = sum(
+        _moved_bytes_per_round(results["mmap"][1].executor)[WARMUP_ROUNDS:]
+    )
+    sharded_moved = sum(
+        _moved_bytes_per_round(sharded_exec)[WARMUP_ROUNDS:]
+    )
+    if SCALE >= 14:
+        assert mmap_moved > 0
+        assert sharded_moved < SHIPPED_FRACTION_BAR * mmap_moved, (
+            f"sharded moved {sharded_moved} bytes after round "
+            f"{WARMUP_ROUNDS}, >= {SHIPPED_FRACTION_BAR:.0%} of mmap's "
+            f"{mmap_moved}"
+        )

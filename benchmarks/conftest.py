@@ -40,6 +40,19 @@ def write_result(name: str, content: str) -> None:
     print(f"\n{content}\n[written to {path}]")
 
 
+def write_bench_records(name: str, records) -> None:
+    """Persist one machine-readable ``BENCH_<workload>.json`` artifact.
+
+    Records must follow :data:`repro.bench.reporting.BENCH_SCHEMA`
+    (validated on write) so the perf trajectory stays comparable
+    across PRs.
+    """
+    from repro.bench.reporting import write_bench_json
+
+    path = write_bench_json(RESULTS_DIR / name, records)
+    print(f"[bench records written to {path}]")
+
+
 @pytest.fixture(scope="session")
 def suite_graphs():
     """All benchmark graphs, built once (largest connected components)."""

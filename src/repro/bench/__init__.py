@@ -14,7 +14,14 @@ from repro.bench.harness import (
     run_delta_stepping_diameter,
     compare_algorithms,
 )
-from repro.bench.reporting import format_table, format_bar_chart
+from repro.bench.reporting import (
+    BENCH_SCHEMA,
+    bench_record,
+    format_bar_chart,
+    format_bench_json,
+    format_table,
+    write_bench_json,
+)
 
 __all__ = [
     "BENCHMARK_SUITE",
@@ -26,4 +33,8 @@ __all__ = [
     "compare_algorithms",
     "format_table",
     "format_bar_chart",
+    "BENCH_SCHEMA",
+    "bench_record",
+    "format_bench_json",
+    "write_bench_json",
 ]

@@ -93,6 +93,36 @@ class ExperimentRecord:
             "work": self.work,
         }
 
+    def as_bench_record(
+        self,
+        *,
+        n: int,
+        m: int,
+        backend: str = "core",
+        bytes_shipped: int = 0,
+    ) -> Dict[str, object]:
+        """This cell in the ``BENCH_<workload>.json`` schema.
+
+        ``n``/``m`` are the workload's node/edge counts (the record is
+        self-describing so trajectories survive workload re-tuning);
+        ``backend`` names the execution backend, ``bytes_shipped`` its
+        exchanged byte count (0 for in-process backends).
+        """
+        from repro.bench.reporting import bench_record
+
+        return bench_record(
+            workload=self.graph,
+            n=n,
+            m=m,
+            backend=backend,
+            wall_s=self.time_s,
+            rounds=self.rounds,
+            bytes_shipped=bytes_shipped,
+            algorithm=self.algorithm,
+            ratio=round(self.ratio, 4),
+            work=self.work,
+        )
+
 
 def run_cl_diam(
     graph: CSRGraph,

@@ -1,14 +1,97 @@
-"""Plain-text report formatting: tables (Tables 1-3) and log-scale bar
-charts (Figures 1-4) rendered in ASCII so benchmark output is readable in
-a terminal and diffable in EXPERIMENTS.md.
+"""Report formatting: ASCII tables/charts plus machine-readable records.
+
+Plain-text tables (Tables 1-3) and log-scale bar charts (Figures 1-4)
+are rendered in ASCII so benchmark output is readable in a terminal and
+diffable in EXPERIMENTS.md.  Alongside them, :func:`bench_record` /
+:func:`write_bench_json` emit the ``BENCH_<workload>.json`` artifacts
+that track the performance trajectory across PRs: every record carries
+the fixed schema ``(workload, n, m, backend, wall_s, rounds,
+bytes_shipped)`` — plus free-form extras — so a later PR (or the CI
+artifact diff) can compare like with like without parsing tables.
 """
 
 from __future__ import annotations
 
+import json
 import math
+from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["format_table", "format_bar_chart"]
+__all__ = [
+    "format_table",
+    "format_bar_chart",
+    "bench_record",
+    "format_bench_json",
+    "write_bench_json",
+    "BENCH_SCHEMA",
+]
+
+#: Required keys of a BENCH_*.json record, in canonical order.
+BENCH_SCHEMA = (
+    "workload",
+    "n",
+    "m",
+    "backend",
+    "wall_s",
+    "rounds",
+    "bytes_shipped",
+)
+
+
+def bench_record(
+    *,
+    workload: str,
+    n: int,
+    m: int,
+    backend: str,
+    wall_s: float,
+    rounds: int,
+    bytes_shipped: int,
+    **extra,
+) -> Dict[str, object]:
+    """One machine-readable benchmark record (the BENCH_*.json schema).
+
+    ``bytes_shipped`` is the backend's pickled/exchanged byte count (0
+    for in-process backends); ``extra`` keys are appended after the
+    fixed schema.
+    """
+    record: Dict[str, object] = {
+        "workload": str(workload),
+        "n": int(n),
+        "m": int(m),
+        "backend": str(backend),
+        "wall_s": round(float(wall_s), 4),
+        "rounds": int(rounds),
+        "bytes_shipped": int(bytes_shipped),
+    }
+    record.update(extra)
+    return record
+
+
+def format_bench_json(records: Iterable[Mapping[str, object]]) -> str:
+    """Serialize benchmark records, validating the fixed schema.
+
+    Raises ``ValueError`` when a record misses a schema key, so a bench
+    that drifts from the schema fails at write time instead of producing
+    an artifact later PRs cannot compare against.
+    """
+    rows = [dict(r) for r in records]
+    for row in rows:
+        missing = [k for k in BENCH_SCHEMA if k not in row]
+        if missing:
+            raise ValueError(
+                f"bench record missing schema key(s) {missing}: {row}"
+            )
+    return json.dumps(rows, indent=2) + "\n"
+
+
+def write_bench_json(
+    path, records: Iterable[Mapping[str, object]]
+) -> Path:
+    """Write validated benchmark records as ``BENCH_<workload>.json``."""
+    path = Path(path)
+    path.write_text(format_bench_json(records))
+    return path
 
 
 def format_table(

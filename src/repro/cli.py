@@ -19,6 +19,10 @@ Commands
     Run Δ-stepping SSSP and report eccentricity/rounds/work.
 ``compare <file> [--tau N]``
     One Table-2-style row: CL-DIAM vs best-Δ Δ-stepping.
+``partition <file> [--shards K]``
+    Write (or refresh) the graph's owner-compute shard partition —
+    ``<store>.rcsr.shards/<K>/part-*.rcsr`` + manifest — and print the
+    per-shard edge-cut report.  ``--executor sharded`` reuses it.
 ``run <algorithm> <file> [options]``
     Dispatch any registered algorithm through the runtime layer
     (``repro algorithms`` lists them) and print its metrics.
@@ -99,14 +103,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the MR-engine code path on this backend: 'serial' is "
         "the paper-literal per-key simulation, 'vector' the NumPy batch "
         "shuffle, 'parallel' the shared-memory process pool, 'mmap' the "
-        "spill-file process pool.  Default: the vectorized in-memory "
-        "path (no MR engine).",
+        "spill-file process pool, 'sharded' the owner-compute persistent"
+        "-worker backend.  Default: the vectorized in-memory path (no "
+        "MR engine).",
     )
     p_diam.add_argument(
         "--workers", type=int, default=None,
         help="simulated machines (and process-pool size for the pool "
         "backends); defaults to 1, or the CPU count for 'parallel'/'mmap'",
     )
+    p_diam.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count for --executor sharded (default: CPU count)",
+    )
+
+    p_part = sub.add_parser(
+        "partition",
+        help="write the owner-compute shard partition of a graph store",
+    )
+    p_part.add_argument("file")
+    p_part.add_argument("--shards", type=int, default=4,
+                        help="number of contiguous node-range shards")
 
     p_sssp = sub.add_parser("sssp", help="run delta-stepping SSSP")
     p_sssp.add_argument("file")
@@ -144,6 +161,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--executor", choices=list(EXECUTOR_NAMES),
                        default=None)
     p_run.add_argument("--workers", type=int, default=None)
+    p_run.add_argument("--shards", type=int, default=None,
+                       help="shard count for --executor sharded")
     p_run.add_argument("--source", type=int, default=None,
                        help="source node (sssp)")
     p_run.add_argument("--delta", default=None, help="bucket width (sssp)")
@@ -169,6 +188,13 @@ def _check_workers(args) -> Optional[int]:
         return 2
     if args.workers is not None and args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    shards = getattr(args, "shards", None)
+    if shards is not None and args.executor != "sharded":
+        print("error: --shards requires --executor sharded", file=sys.stderr)
+        return 2
+    if shards is not None and shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
         return 2
     return None
 
@@ -268,6 +294,7 @@ def _cmd_diameter(args) -> int:
         seed=args.seed,
         executor=args.executor,
         workers=args.workers,
+        shards=args.shards,
         use_cluster2=args.cluster2,
         exact=args.exact,
     )
@@ -285,6 +312,42 @@ def _cmd_diameter(args) -> int:
         exact = result.metrics["exact"]
         print(f"exact        : {exact:.6g}")
         print(f"true ratio   : {result.metrics['true_ratio']:.4f}")
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.runtime import default_store
+
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    partitioned = default_store().get_partitioned(args.file, args.shards)
+    plan = partitioned.plan
+    rows = []
+    for k in range(plan.num_shards):
+        lo, hi = plan.shard_range(k)
+        rows.append(
+            {
+                "shard": k,
+                "nodes": hi - lo,
+                "range": f"[{lo}, {hi})",
+                "arcs": int(plan.shard_arcs[k]),
+                "cut_arcs": int(plan.cut_arcs[k]),
+                "boundary_nodes": int(plan.boundary_nodes[k]),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"{plan.num_shards}-way partition of {args.file} "
+                f"(n={plan.num_nodes}, arcs={plan.num_arcs}, "
+                f"cut={plan.cut_fraction:.2%})"
+            ),
+        )
+    )
+    print(f"shards       : {partitioned.directory}")
     return 0
 
 
@@ -394,6 +457,7 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         executor=args.executor,
         workers=args.workers,
+        shards=args.shards,
         **options,
     )
     print(f"algorithm    : {result.algorithm}")
@@ -423,6 +487,7 @@ _COMMANDS = {
     "convert": _cmd_convert,
     "generate": _cmd_generate,
     "diameter": _cmd_diameter,
+    "partition": _cmd_partition,
     "sssp": _cmd_sssp,
     "compare": _cmd_compare,
     "eccentricity": _cmd_eccentricity,
@@ -437,7 +502,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except FileNotFoundError as exc:
+    except OSError as exc:
+        # Missing inputs, unwritable shard/output directories, ...:
+        # filesystem problems get a clean message, not a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except Exception as exc:  # surface library errors with a clean message

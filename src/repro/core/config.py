@@ -74,13 +74,17 @@ class ClusterConfig:
         MR execution backend the ``mrimpl`` drivers build their default
         engine with: ``"serial"`` (paper-literal per-key simulation),
         ``"vector"`` (vectorized batch shuffle, single process),
-        ``"parallel"`` (shared-memory process pool), or ``"mmap"``
-        (spill-file + memory-map process pool).  All backends produce
-        identical clusterings; they differ only in wall-clock speed and
-        in which per-round metrics are literal vs simulated (see
-        ``docs/mr_model.md`` and ``docs/architecture.md``).  Ignored by
-        the vectorized ``repro.core`` path, which does not run an
-        engine at all.
+        ``"parallel"`` (shared-memory process pool), ``"mmap"``
+        (spill-file + memory-map process pool), or ``"sharded"``
+        (owner-compute persistent shard workers with boundary-only
+        exchange).  All backends produce identical clusterings; they
+        differ only in wall-clock speed and in which per-round metrics
+        are literal vs simulated (see ``docs/mr_model.md`` and
+        ``docs/architecture.md``).  Ignored by the vectorized
+        ``repro.core`` path, which does not run an engine at all.
+    shards:
+        Shard count for the ``sharded`` executor (``None`` = CPU
+        count).  Ignored by the other backends.
     """
 
     tau: Optional[int] = None
@@ -95,6 +99,7 @@ class ClusterConfig:
     quotient_mode: str = "auto"
     quotient_exact_limit: int = 3000
     executor: str = "serial"
+    shards: Optional[int] = None
 
     def __post_init__(self):
         if self.tau is not None and self.tau < 1:
@@ -126,6 +131,8 @@ class ClusterConfig:
             raise ConfigurationError(
                 "executor must be " + "|".join(EXECUTOR_NAMES)
             )
+        if self.shards is not None and self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
 
     # ------------------------------------------------------------------ #
 

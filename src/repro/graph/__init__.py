@@ -23,6 +23,14 @@ from repro.graph.serialize import (
     save_graph,
     write_store,
 )
+from repro.graph.partition import (
+    PartitionPlan,
+    PartitionedStore,
+    ensure_partitioned,
+    load_partitioned,
+    plan_partition,
+    write_partitioned_store,
+)
 from repro.graph.ops import (
     connected_components,
     largest_connected_component,
@@ -55,6 +63,12 @@ __all__ = [
     "read_store_header",
     "is_store",
     "StoreHeader",
+    "PartitionPlan",
+    "PartitionedStore",
+    "plan_partition",
+    "write_partitioned_store",
+    "ensure_partitioned",
+    "load_partitioned",
     "connected_components",
     "largest_connected_component",
     "induced_subgraph",

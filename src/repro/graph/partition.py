@@ -1,0 +1,380 @@
+"""Owner-compute graph partitioning: contiguous node ranges on disk.
+
+The paper's MR algorithms assume each machine holds a fixed subgraph and
+that a round exchanges only the messages crossing machine boundaries.
+This module provides the storage half of that contract:
+
+* :func:`plan_partition` — split ``[0, n)`` into ``num_shards``
+  contiguous node ranges balanced by arc count, and report the edge cut
+  (per-shard internal/cut arcs and boundary-node counts).  Assignment of
+  a node id to its owning shard is one
+  :func:`~repro.mr.partitioner.range_partition_array` call against the
+  plan's interior boundaries.
+* :func:`write_partitioned_store` / :func:`ensure_partitioned` — the
+  partitioned on-disk layout next to a GraphStore file::
+
+      graph.rcsr                     the (unsharded) store
+      graph.rcsr.shards/<K>/
+          manifest.json              plan + source signature (commit point)
+          part-0.rcsr … part-K-1.rcsr
+
+  Each ``part-k.rcsr`` is a GraphStore container (written through the
+  same atomic :func:`~repro.graph.serialize.write_store` path) holding
+  the CSR *rows* of shard ``k``'s node range: a local ``indptr`` of
+  length ``len(range) + 1`` whose ``indices`` keep **global** node ids.
+  A shard-owning worker memory-maps exactly its rows — O(shard) pages,
+  never the whole graph — and routes emitted messages by comparing the
+  global neighbour ids against the plan's boundaries.
+
+  ``manifest.json`` records the source store's (mtime, size) signature;
+  :func:`ensure_partitioned` re-partitions whenever the signature (or
+  requested shard count) no longer matches, so editing a store
+  invalidates its shards the same way editing a text graph invalidates
+  its cached conversion.  The manifest is written last, atomically: a
+  reader either sees a complete partition or none.
+
+Shard files reuse :class:`~repro.graph.csr.CSRGraph` purely as an array
+container (``validate=False`` — global neighbour ids are out of range
+for the local row count, by design); they are not meaningful graphs on
+their own.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.serialize import STORE_SUFFIX, open_store, write_store
+from repro.mr.partitioner import range_partition_array
+
+__all__ = [
+    "PartitionPlan",
+    "PartitionedStore",
+    "plan_partition",
+    "write_partitioned_store",
+    "ensure_partitioned",
+    "load_partitioned",
+    "shards_dir_for",
+    "MANIFEST_NAME",
+    "SHARDS_DIR_SUFFIX",
+    "PARTITION_VERSION",
+]
+
+PathLike = Union[str, Path]
+
+#: Manifest file name inside a shard directory.
+MANIFEST_NAME = "manifest.json"
+#: Directory suffix of a store's partition root (``<store>.shards/``);
+#: shared with the GraphStore cache's cleanup/budget accounting.
+SHARDS_DIR_SUFFIX = ".shards"
+#: Partitioned-layout format version (bump on incompatible changes).
+PARTITION_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A contiguous-range node partition plus its edge-cut report.
+
+    Attributes
+    ----------
+    num_nodes, num_arcs:
+        Shape of the partitioned graph.
+    starts:
+        int64 array of length ``num_shards + 1``; shard ``k`` owns the
+        node range ``[starts[k], starts[k+1])``.  ``starts[0] == 0`` and
+        ``starts[-1] == num_nodes`` always hold.
+    shard_arcs:
+        Arcs whose *source* lies in each shard (these are the rows the
+        shard stores; they sum to ``num_arcs``).
+    cut_arcs:
+        Of those, the arcs whose target lies in a different shard.  An
+        undirected cut edge contributes one cut arc to each endpoint's
+        shard.
+    boundary_nodes:
+        Nodes per shard with at least one cut arc — the set whose
+        updates can ever need to cross a shard boundary.
+    """
+
+    num_nodes: int
+    num_arcs: int
+    starts: np.ndarray
+    shard_arcs: np.ndarray
+    cut_arcs: np.ndarray
+    boundary_nodes: np.ndarray
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.starts) - 1
+
+    @property
+    def splitters(self) -> np.ndarray:
+        """Interior boundaries, in :func:`range_partition_array` form."""
+        return self.starts[1:-1]
+
+    @property
+    def total_cut_arcs(self) -> int:
+        return int(self.cut_arcs.sum())
+
+    @property
+    def cut_fraction(self) -> float:
+        """Fraction of arcs crossing a shard boundary (0 for one shard)."""
+        return self.total_cut_arcs / self.num_arcs if self.num_arcs else 0.0
+
+    def owner_of(self, keys) -> np.ndarray:
+        """Owning shard of each node id (vectorized range partition)."""
+        return range_partition_array(keys, self.splitters)
+
+    def shard_range(self, shard: int) -> tuple:
+        """``(lo, hi)`` node range owned by ``shard``."""
+        return int(self.starts[shard]), int(self.starts[shard + 1])
+
+
+def plan_partition(graph: CSRGraph, num_shards: int) -> PartitionPlan:
+    """Split ``graph`` into ``num_shards`` contiguous ranges balanced by arcs.
+
+    Boundaries are chosen on the ``indptr`` prefix sums so every shard
+    owns roughly ``num_arcs / num_shards`` arcs (up to one node's
+    degree); shards may be empty when ``num_shards > num_nodes``.  The
+    ranges always cover ``[0, num_nodes)`` exactly.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    n = graph.num_nodes
+    arcs = graph.num_arcs
+    targets = (arcs * np.arange(1, num_shards, dtype=np.int64)) // num_shards
+    cuts = np.searchsorted(graph.indptr, targets, side="left")
+    starts = np.concatenate(
+        ([0], np.clip(cuts, 0, n), [n])
+    ).astype(np.int64)
+    starts = np.maximum.accumulate(starts)
+
+    row_shard = np.repeat(
+        np.arange(num_shards, dtype=np.int64), np.diff(starts)
+    )
+    shard_arcs = np.zeros(num_shards, dtype=np.int64)
+    cut_arcs = np.zeros(num_shards, dtype=np.int64)
+    boundary = np.zeros(num_shards, dtype=np.int64)
+    if arcs:
+        splitters = starts[1:-1]
+        arc_src_shard = np.repeat(row_shard, graph.degrees)
+        nbr_shard = range_partition_array(graph.indices, splitters)
+        cut = arc_src_shard != nbr_shard
+        shard_arcs = np.bincount(arc_src_shard, minlength=num_shards)
+        cut_arcs = np.bincount(arc_src_shard[cut], minlength=num_shards)
+        cut_sources = np.unique(graph.arc_sources()[cut])
+        boundary = np.bincount(
+            row_shard[cut_sources], minlength=num_shards
+        )
+    return PartitionPlan(
+        num_nodes=n,
+        num_arcs=arcs,
+        starts=starts,
+        shard_arcs=shard_arcs.astype(np.int64),
+        cut_arcs=cut_arcs.astype(np.int64),
+        boundary_nodes=boundary.astype(np.int64),
+    )
+
+
+@dataclass(frozen=True)
+class PartitionedStore:
+    """A partition on disk: the plan plus where its shard files live."""
+
+    directory: Path
+    plan: PartitionPlan
+    shard_paths: List[Path]
+    source: Path
+
+    def open_shard(self, shard: int) -> CSRGraph:
+        """Memory-map one shard's rows (local indptr, global indices)."""
+        return open_store(self.shard_paths[shard])
+
+
+def shards_dir_for(store_path: PathLike, num_shards: int) -> Path:
+    """Directory holding ``store_path``'s ``num_shards``-way partition."""
+    store_path = Path(store_path)
+    return (
+        store_path.parent
+        / (store_path.name + SHARDS_DIR_SUFFIX)
+        / str(num_shards)
+    )
+
+
+def _source_signature(store_path: Path) -> tuple:
+    stat = store_path.stat()
+    return stat.st_mtime_ns, stat.st_size
+
+
+def _shard_graph(graph: CSRGraph, lo: int, hi: int) -> CSRGraph:
+    """Shard ``[lo, hi)`` as an array container (global neighbour ids)."""
+    a, b = int(graph.indptr[lo]), int(graph.indptr[hi])
+    return CSRGraph(
+        graph.indptr[lo : hi + 1] - graph.indptr[lo],
+        graph.indices[a:b],
+        graph.weights[a:b],
+        validate=False,
+    )
+
+
+def write_partitioned_store(
+    graph: CSRGraph,
+    store_path: PathLike,
+    num_shards: int,
+    *,
+    plan: Optional[PartitionPlan] = None,
+    directory: Optional[PathLike] = None,
+) -> PartitionedStore:
+    """Write ``graph``'s ``num_shards``-way partition next to ``store_path``.
+
+    ``store_path`` is the *source* store the manifest records (it must
+    exist — its signature is what invalidates the shards); ``directory``
+    overrides the default ``<store>.shards/<K>/`` location.  Shard files
+    go through the atomic :func:`write_store` path, and the manifest is
+    written last (temp file + ``os.replace``) as the commit point.
+    """
+    store_path = Path(store_path)
+    plan = plan or plan_partition(graph, num_shards)
+    if plan.num_shards != num_shards:
+        raise ValueError("plan shard count does not match num_shards")
+    directory = (
+        Path(directory)
+        if directory is not None
+        else shards_dir_for(store_path, num_shards)
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+
+    shard_paths: List[Path] = []
+    for k in range(num_shards):
+        lo, hi = plan.shard_range(k)
+        path = directory / f"part-{k}{STORE_SUFFIX}"
+        write_store(_shard_graph(graph, lo, hi), path)
+        shard_paths.append(path)
+
+    mtime_ns, size = _source_signature(store_path)
+    manifest = {
+        "version": PARTITION_VERSION,
+        "source": str(store_path),
+        "source_mtime_ns": mtime_ns,
+        "source_size": size,
+        "num_nodes": plan.num_nodes,
+        "num_arcs": plan.num_arcs,
+        "num_shards": num_shards,
+        "starts": [int(s) for s in plan.starts],
+        "shard_arcs": [int(a) for a in plan.shard_arcs],
+        "cut_arcs": [int(a) for a in plan.cut_arcs],
+        "boundary_nodes": [int(b) for b in plan.boundary_nodes],
+        "shards": [p.name for p in shard_paths],
+    }
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+    os.replace(tmp, directory / MANIFEST_NAME)
+    return PartitionedStore(
+        directory=directory,
+        plan=plan,
+        shard_paths=shard_paths,
+        source=store_path,
+    )
+
+
+def _plan_from_manifest(manifest: dict) -> PartitionPlan:
+    return PartitionPlan(
+        num_nodes=int(manifest["num_nodes"]),
+        num_arcs=int(manifest["num_arcs"]),
+        starts=np.asarray(manifest["starts"], dtype=np.int64),
+        shard_arcs=np.asarray(manifest["shard_arcs"], dtype=np.int64),
+        cut_arcs=np.asarray(manifest["cut_arcs"], dtype=np.int64),
+        boundary_nodes=np.asarray(
+            manifest["boundary_nodes"], dtype=np.int64
+        ),
+    )
+
+
+def load_partitioned(directory: PathLike) -> PartitionedStore:
+    """Load a partitioned store from its shard directory.
+
+    Raises
+    ------
+    GraphFormatError
+        If the manifest is missing, unreadable, of a different format
+        version, or names shard files that do not exist.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise GraphFormatError(
+            f"{directory}: no readable partition manifest ({exc})"
+        ) from None
+    if manifest.get("version") != PARTITION_VERSION:
+        raise GraphFormatError(
+            f"{directory}: partition version {manifest.get('version')!r} "
+            f"not supported (expected {PARTITION_VERSION})"
+        )
+    shard_paths = [directory / name for name in manifest["shards"]]
+    missing = [p for p in shard_paths if not p.exists()]
+    if missing:
+        raise GraphFormatError(f"{directory}: missing shard files {missing}")
+    return PartitionedStore(
+        directory=directory,
+        plan=_plan_from_manifest(manifest),
+        shard_paths=shard_paths,
+        source=Path(manifest["source"]),
+    )
+
+
+def _manifest_fresh(directory: Path, store_path: Path, num_shards: int) -> bool:
+    try:
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+    except (OSError, ValueError):
+        return False
+    if manifest.get("version") != PARTITION_VERSION:
+        return False
+    if manifest.get("num_shards") != num_shards:
+        return False
+    try:
+        mtime_ns, size = _source_signature(store_path)
+    except OSError:
+        return False
+    return (
+        manifest.get("source_mtime_ns") == mtime_ns
+        and manifest.get("source_size") == size
+    )
+
+
+def ensure_partitioned(
+    store_path: PathLike,
+    num_shards: int,
+    *,
+    graph: Optional[CSRGraph] = None,
+    directory: Optional[PathLike] = None,
+) -> PartitionedStore:
+    """Return a fresh partition of ``store_path``, (re)writing if stale.
+
+    The cached partition under ``<store>.shards/<K>/`` is reused when
+    its manifest matches the store's current (mtime, size) signature and
+    the requested shard count; otherwise the shards are recomputed from
+    ``graph`` (or the store, memory-mapped) and rewritten.
+    """
+    store_path = Path(store_path)
+    directory = (
+        Path(directory)
+        if directory is not None
+        else shards_dir_for(store_path, num_shards)
+    )
+    if _manifest_fresh(directory, store_path, num_shards):
+        try:
+            return load_partitioned(directory)
+        except GraphFormatError:
+            pass  # torn/deleted shard files: fall through and rewrite
+    if graph is None:
+        graph = open_store(store_path)
+    return write_partitioned_store(
+        graph, store_path, num_shards, directory=directory
+    )

@@ -23,7 +23,12 @@ from repro.mr.model import MRSpec
 from repro.mr.metrics import Counters
 from repro.mr.trace import RoundTrace, RoundRecord
 from repro.mr.engine import MREngine
-from repro.mr.partitioner import hash_partition, hash_partition_array, range_partition
+from repro.mr.partitioner import (
+    hash_partition,
+    hash_partition_array,
+    range_partition,
+    range_partition_array,
+)
 from repro.mr.primitives import mr_sort, mr_prefix_sum, mr_segmented_prefix_sum
 from repro.mr.executor import (
     EXECUTOR_NAMES,
@@ -43,6 +48,7 @@ __all__ = [
     "hash_partition",
     "hash_partition_array",
     "range_partition",
+    "range_partition_array",
     "mr_sort",
     "mr_prefix_sum",
     "mr_segmented_prefix_sum",

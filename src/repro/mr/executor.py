@@ -46,6 +46,13 @@ and payload-scale data never travels through pickle.
 The batch backends still accept legacy per-key rounds (delegated to
 the serial shard loop), so one engine can mix batch hot-path rounds with
 per-key rounds in the same computation.
+
+A sixth backend, the owner-compute :class:`~repro.mr.sharded.ShardedExecutor`
+(``--executor sharded``), lives in :mod:`repro.mr.sharded`: instead of
+re-shipping each round's grouped batch to stateless pool workers, its
+persistent workers own a contiguous node range (memory-mapping their
+shard of a partitioned GraphStore) and rounds exchange only the
+candidates that cross shard boundaries.
 """
 
 from __future__ import annotations
@@ -649,20 +656,26 @@ class MmapExecutor(_PoolBatchExecutor):
 
 
 #: CLI/config names of the selectable backends.
-EXECUTOR_NAMES = ("serial", "vector", "parallel", "mmap")
+EXECUTOR_NAMES = ("serial", "vector", "parallel", "mmap", "sharded")
 
 #: Backends that run a process pool (and hence default to CPU-count
 #: workers rather than the single-machine simulation).
 POOL_EXECUTOR_NAMES = ("parallel", "mmap")
 
 
-def make_executor(name: str, *, processes: Optional[int] = None):
+def make_executor(
+    name: str, *, processes: Optional[int] = None, shards: Optional[int] = None
+):
     """Build an executor from its CLI/config name.
 
     ``serial`` is the paper-literal per-key simulation, ``vector`` the
     single-process vectorized batch backend, ``parallel`` the
     shared-memory process-pool backend, ``mmap`` the spill-file
-    process-pool backend.  Raises ``ValueError`` on any other name.
+    process-pool backend, and ``sharded`` the owner-compute backend of
+    :mod:`repro.mr.sharded` (persistent shard-owning workers, boundary-
+    only exchange; ``shards`` sets the shard count, defaulting to
+    ``processes`` or the CPU count).  Raises ``ValueError`` on any
+    other name.
     """
     if name == "serial":
         return SerialExecutor()
@@ -672,6 +685,10 @@ def make_executor(name: str, *, processes: Optional[int] = None):
         return SharedMemoryExecutor(processes=processes)
     if name == "mmap":
         return MmapExecutor(processes=processes)
+    if name == "sharded":
+        from repro.mr.sharded import ShardedExecutor
+
+        return ShardedExecutor(num_shards=shards or processes)
     raise ValueError(
         f"unknown executor {name!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
     )

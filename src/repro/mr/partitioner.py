@@ -13,7 +13,12 @@ from typing import Hashable, List, Sequence
 
 import numpy as np
 
-__all__ = ["hash_partition", "hash_partition_array", "range_partition"]
+__all__ = [
+    "hash_partition",
+    "hash_partition_array",
+    "range_partition",
+    "range_partition_array",
+]
 
 
 def hash_partition(key: Hashable, num_workers: int) -> int:
@@ -57,6 +62,27 @@ def range_partition(
     if len(splitters) != num_workers - 1:
         raise ValueError("need exactly num_workers - 1 splitters")
     return bisect_right(list(splitters), key)
+
+
+def range_partition_array(
+    keys: np.ndarray, splitters: Sequence, num_workers: int = None
+) -> np.ndarray:
+    """Vectorized :func:`range_partition` for int64 key arrays.
+
+    ``np.searchsorted(..., side="right")`` computes ``bisect_right`` for
+    every key at once, so the scalar and array partitioners agree
+    element-wise (tests assert it).  ``num_workers`` is optional; when
+    given it is validated against the splitter count exactly like the
+    scalar version.  This is the assignment primitive of the
+    owner-compute partition planner (:mod:`repro.graph.partition`):
+    with splitters equal to the interior shard starts, key ``u`` maps to
+    the shard whose contiguous range contains it.
+    """
+    if num_workers is not None and len(splitters) != num_workers - 1:
+        raise ValueError("need exactly num_workers - 1 splitters")
+    keys = np.asarray(keys, dtype=np.int64)
+    splitters = np.asarray(splitters, dtype=np.int64)
+    return np.searchsorted(splitters, keys, side="right").astype(np.int64)
 
 
 def make_splitters(sorted_sample: Sequence, num_workers: int) -> List:

@@ -1,0 +1,846 @@
+"""Owner-compute sharded execution: persistent workers, boundary exchange.
+
+The pool backends (``parallel``/``mmap``) re-publish every round's whole
+grouped batch to stateless workers, so per-round cost scales with total
+state even when only a thin frontier changed.  This module inverts that:
+
+* the graph is partitioned once into contiguous node ranges
+  (:mod:`repro.graph.partition`) and written as per-shard GraphStore
+  files;
+* each **persistent worker process** memory-maps its shard's CSR rows
+  *once* at spawn and keeps its slice of the growing state
+  (:class:`~repro.core.state.ClusterState` + a ``changed`` mask)
+  resident across rounds, stages, and even the two phases of CLUSTER2;
+* a Δ-growing step becomes: every worker merges the candidates that
+  arrived for *its* nodes, adopts winners, expands its local frontier
+  through its CSR rows, keeps the candidates whose targets it owns, and
+  returns only the **cross-shard** candidates;
+* the driver routes those boundary candidates to their owning shards for
+  the next step.
+
+Three boundary-traffic reductions keep the exchange proportional to the
+*improving live frontier* rather than the cut size (all three are
+semantics-preserving — see the respective docstrings for the argument):
+
+1. **map-side combining** — at most one candidate per (shard, halo
+   target) ships per round;
+2. **halo filtering** — a candidate that cannot beat the best value this
+   shard already shipped for the target is dropped at the source;
+3. **frozen-replica ("ghost") state** — a boundary node's state ships
+   *once* when Contract freezes it; from then on every neighbouring
+   shard recomputes that node's (now immutable) contributions locally
+   from its own symmetric arcs, so the per-stage forced broadcast of
+   frozen nodes costs zero bytes.
+
+Bit-identical results are by construction, not luck: workers run the
+same :func:`~repro.mrimpl.growing_mr.apply_merged_candidates` /
+:func:`~repro.mrimpl.growing_mr.emit_frontier` kernels as the
+whole-graph array state, and the merge tie-break is the order-free
+equivalent of the engine's stable-first rule: builders deduplicate
+edges, so a target receives at most one candidate per source and
+"earliest arrival" equals "smallest source id" — the winner is simply
+the row minimizing ``(nd, center, source)``.  ``tests/mr/
+test_sharded_parity.py`` asserts equality against ``serial``/``vector``
+across shard counts.
+
+The exchange transport is the worker pipes (pickled NumPy arrays).  On
+one host this costs one copy each way; the point of the architecture is
+that the driver↔worker protocol is already message-passing over
+explicit byte streams, so a multi-host transport is a serialization
+detail, not a rewrite.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import weakref
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MemoryLimitExceeded
+
+__all__ = ["ShardedExecutor", "ShardedGrowingState"]
+
+#: Candidate rows on the wire: ``(nd, center, dacc, source)``.  The
+#: source column exists for the order-free merge tie-break; the state
+#: kernels consume only the first three columns.
+CANDIDATE_WIDTH = 4
+
+
+def _empty_candidates() -> Tuple[np.ndarray, np.ndarray]:
+    return (
+        np.empty(0, dtype=np.int64),
+        np.empty((0, CANDIDATE_WIDTH), dtype=np.float64),
+    )
+
+
+def _candidate_bytes(blocks) -> int:
+    """Payload bytes of a list of ``(keys, values, ...)`` array blocks."""
+    return sum(sum(a.nbytes for a in block) for block in blocks)
+
+
+def _min_by_target(keys: np.ndarray, values: np.ndarray):
+    """Per distinct target, the row minimizing ``(nd, center, source)``.
+
+    The order-free form of the engine's merge: ``group_min_first`` keeps
+    the *earliest* row among those minimizing ``(nd, center)``, and with
+    at most one candidate per (source, target) arrival order within a
+    target group is ascending source order — so "earliest minimal"
+    equals "minimal ``(nd, center, source)``".  Returns ``(group_keys,
+    winner_values, max_group, max_group_key)``.
+    """
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_values = values[order]
+    starts = np.concatenate(
+        ([0], np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1)
+    ).astype(np.int64)
+    counts = np.diff(np.concatenate((starts, [len(sorted_keys)])))
+    gid = np.repeat(np.arange(len(starts), dtype=np.int64), counts)
+    rank = np.lexsort(
+        (sorted_values[:, 3], sorted_values[:, 1], sorted_values[:, 0], gid)
+    )
+    firsts = rank[starts]
+    at = int(np.argmax(counts))
+    return (
+        sorted_keys[starts],
+        sorted_values[firsts],
+        int(counts[at]),
+        int(sorted_keys[starts][at]),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+
+
+class _ShardWorker:
+    """State and step logic of one shard-owning worker process.
+
+    Lives in the child process; the parent only ever sees the command /
+    reply tuples.  All node ids crossing the pipe are global; state
+    arrays are local to the shard's range ``[lo, hi)``.
+    """
+
+    def __init__(self, shard_path, lo: int, hi: int, shard_id: int, starts):
+        from repro.graph.serialize import open_store
+        from repro.mr.partitioner import range_partition_array
+
+        shard = open_store(shard_path)  # local rows, global neighbour ids
+        self.indptr = shard.indptr
+        self.indices = shard.indices
+        self.weights = shard.weights
+        self._shard = shard  # keeps the mmap alive
+        self.lo = lo
+        self.hi = hi
+        self.shard_id = shard_id
+        self.starts = np.asarray(starts, dtype=np.int64)
+        self.splitters = self.starts[1:-1]
+
+        # The halo: every external node this shard has an arc to — the
+        # only possible sources of incoming (and targets of outgoing)
+        # cross-shard contributions, thanks to edge symmetry.
+        external = np.flatnonzero(
+            (self.indices < lo) | (self.indices >= hi)
+        )
+        degrees = np.diff(self.indptr)
+        rows = np.repeat(
+            np.arange(hi - lo, dtype=np.int64), degrees
+        )
+        self.ext_rows = rows[external]  # local target of the reverse arc
+        self.ext_nbrs = self.indices[external]  # external endpoint
+        self.ext_w = self.weights[external]
+        self.halo = np.unique(self.ext_nbrs)
+        self.ext_halo_idx = np.searchsorted(self.halo, self.ext_nbrs)
+
+        # Boundary incidence: for each local node with external arcs,
+        # the distinct shards owning a neighbour — where its state must
+        # be replicated when it freezes.
+        if len(external):
+            owners = range_partition_array(self.ext_nbrs, self.splitters)
+            pairs = np.unique(
+                np.stack((self.ext_rows, owners), axis=1), axis=0
+            )
+            self.boundary_nodes = pairs[:, 0]
+            self.boundary_dests = pairs[:, 1]
+        else:
+            self.boundary_nodes = np.empty(0, dtype=np.int64)
+            self.boundary_dests = np.empty(0, dtype=np.int64)
+        self.reset()
+
+    def reset(self):
+        from repro.core.state import ClusterState
+
+        self.state = ClusterState(self.hi - self.lo)
+        self.changed = np.zeros(self.hi - self.lo, dtype=bool)
+        self.pending = _empty_candidates()
+        self.halo_best = np.full(len(self.halo), np.inf)
+        # Frozen-replica ("ghost") state of halo nodes, filled by
+        # freeze updates; immutable once set.
+        self.r_frozen = np.zeros(len(self.halo), dtype=bool)
+        self.r_center = np.full(len(self.halo), -1, dtype=np.int64)
+        self.r_dist = np.full(len(self.halo), np.inf)
+        self.r_dacc = np.full(len(self.halo), np.inf)
+        self.r_frozen_iter = np.zeros(len(self.halo), dtype=np.int64)
+
+    # -- commands ------------------------------------------------------ #
+
+    def uncovered(self):
+        return np.flatnonzero(~self.state.frozen).astype(np.int64) + self.lo
+
+    def begin_stage(self, picks):
+        s = self.state
+        live = ~s.frozen
+        s.center[live] = -1
+        s.dist[live] = np.inf
+        s.dist_acc[live] = np.inf
+        self.changed[live] = False
+        s.frozen_iter[live] = 0
+        # Remote distances reset with the stage, so shipped-best history
+        # no longer implies anything about receiver state.
+        self.halo_best[:] = np.inf
+        picks = np.asarray(picks, dtype=np.int64) - self.lo
+        s.center[picks] = picks + self.lo
+        s.dist[picks] = 0.0
+        s.dist_acc[picks] = 0.0
+
+    def apply_replicas(self, ids, center, dist, dacc, iteration):
+        idx = np.searchsorted(self.halo, ids)
+        self.r_frozen[idx] = True
+        self.r_center[idx] = center
+        self.r_dist[idx] = dist
+        self.r_dacc[idx] = dacc
+        self.r_frozen_iter[idx] = iteration
+
+    def step(self, delta, force, rescale, iteration, incoming, replicas):
+        from repro.mrimpl.growing_mr import (
+            apply_merged_candidates,
+            emit_frontier,
+        )
+
+        for block in replicas:
+            self.apply_replicas(*block)
+
+        # Merge: this shard's resident candidates plus the delivered
+        # cross-shard blocks; order is irrelevant (see _min_by_target).
+        blocks = [self.pending] + [(k, v) for k, v in incoming]
+        self.pending = _empty_candidates()
+        cand_keys = np.concatenate([b[0] for b in blocks])
+        cand_values = np.concatenate([b[1] for b in blocks])
+
+        merged = len(cand_keys)
+        max_group = 0
+        max_group_key = -1
+        num_groups = 0
+        self.changed[:] = False
+        newly = 0
+        if merged:
+            keys, values, max_group, max_group_key = _min_by_target(
+                cand_keys, cand_values
+            )
+            num_groups = len(keys)
+            newly = apply_merged_candidates(
+                keys,
+                values[:, :3],
+                center=self.state.center,
+                dist=self.state.dist,
+                dacc=self.state.dist_acc,
+                frozen=self.state.frozen,
+                changed=self.changed,
+                base=self.lo,
+            )
+        updated = int(np.count_nonzero(self.changed))
+
+        # Emit through the shard's CSR rows, then route by owner.
+        out_keys, out_values3, out_srcs = emit_frontier(
+            self.indptr,
+            self.indices,
+            self.weights,
+            center=self.state.center,
+            dist=self.state.dist,
+            dacc=self.state.dist_acc,
+            frozen=self.state.frozen,
+            changed=self.changed,
+            frozen_iter=self.state.frozen_iter,
+            delta=delta,
+            force=force,
+            rescale=rescale,
+            iteration=iteration,
+            with_sources=True,
+        )
+        emitted = len(out_keys)
+        outgoing = []
+        pending_blocks = []
+        if emitted:
+            from repro.mr.partitioner import range_partition_array
+
+            out_values = np.column_stack(
+                (out_values3, (out_srcs + self.lo).astype(np.float64))
+            )
+            owners = range_partition_array(out_keys, self.splitters)
+            local = owners == self.shard_id
+            pending_blocks.append((out_keys[local], out_values[local]))
+            # Cross-shard candidates from frozen sources are dropped at
+            # the source: every neighbouring shard regenerates them from
+            # its frozen replicas (below), for free.
+            live_remote = ~local & ~self.state.frozen[out_srcs]
+            for dest in np.unique(owners[live_remote]):
+                mask = live_remote & (owners == dest)
+                keys, values = self._combine_outgoing(
+                    out_keys[mask], out_values[mask]
+                )
+                if len(keys):
+                    outgoing.append((int(dest), keys, values))
+
+        # Regenerate incoming frozen-external contributions locally: on
+        # a forced round every frozen replica contributes over this
+        # shard's own (symmetric) boundary arcs, exactly as its owner
+        # would have emitted them.  Appended to the resident pending
+        # block for the next merge — the same timing as shipped
+        # candidates.
+        if force and len(self.halo):
+            if rescale:
+                r_eff = self.r_dist - rescale * (
+                    iteration - self.r_frozen_iter
+                )
+            else:
+                r_eff = np.zeros(len(self.halo))
+            emits = self.r_frozen & (r_eff < delta)
+            arc = emits[self.ext_halo_idx]
+            if arc.any():
+                hidx = self.ext_halo_idx[arc]
+                w = self.ext_w[arc]
+                nd = r_eff[hidx] + w
+                ok = (w <= delta) & (nd <= delta)
+                hidx, w, nd = hidx[ok], w[ok], nd[ok]
+                ghost_keys = self.ext_rows[arc][ok] + self.lo
+                ghost_values = np.column_stack(
+                    (
+                        nd,
+                        self.r_center[hidx].astype(np.float64),
+                        self.r_dacc[hidx] + w,
+                        self.halo[hidx].astype(np.float64),
+                    )
+                )
+                # Not added to ``emitted``: each ghost contribution is
+                # the regeneration of a candidate its owner already
+                # counted (and dropped from shipping) this step.
+                pending_blocks.append((ghost_keys, ghost_values))
+        if pending_blocks:
+            self.pending = (
+                np.concatenate([b[0] for b in pending_blocks]),
+                np.concatenate([b[1] for b in pending_blocks]),
+            )
+        return {
+            "updated": updated,
+            "newly": newly,
+            "merged": merged,
+            "emitted": emitted,
+            "groups": num_groups,
+            "max_group": max_group,
+            "max_group_key": max_group_key,
+            "outgoing": outgoing,
+        }
+
+    def _combine_outgoing(self, keys, values):
+        """Shrink one outgoing block to its improving per-target winners.
+
+        Two semantics-preserving reductions before anything crosses the
+        boundary:
+
+        1. **Map-side combine** — keep one candidate per target, the
+           ``(nd, center, source)``-minimal row.  The receiving merge
+           computes a min over all blocks, and a min of per-block mins
+           is the same min.
+        2. **Halo filter** — drop candidates whose ``nd`` cannot beat
+           the best this shard already shipped for the target this
+           stage: the receiver merged that earlier candidate in a prior
+           round, so its ``dist`` is already <= the earlier ``nd`` and
+           a non-improving candidate can never be adopted (nor leave
+           any other trace — non-adopted winners are discarded whole).
+
+        Both change only the shipped-bytes accounting (like any
+        map-side combiner), never the resulting state.
+        """
+        keys, values, _max_group, _key = _min_by_target(keys, values)
+        idx = np.searchsorted(self.halo, keys)
+        nd = values[:, 0]
+        keep = nd < self.halo_best[idx]
+        self.halo_best[idx[keep]] = nd[keep]
+        return keys[keep], values[keep]
+
+    def freeze_assigned(self, iteration):
+        s = self.state
+        sel = (s.center != -1) & ~s.frozen
+        s.frozen[sel] = True
+        self.changed[sel] = False
+        s.frozen_iter[sel] = iteration
+        # Ship the newly frozen boundary nodes' (now immutable) state to
+        # every shard holding them in its halo — once, ever.
+        outgoing = []
+        if sel.any() and len(self.boundary_nodes):
+            newly = sel[self.boundary_nodes]
+            nodes = self.boundary_nodes[newly]
+            dests = self.boundary_dests[newly]
+            for dest in np.unique(dests):
+                mask = dests == dest
+                picked = nodes[mask]
+                outgoing.append(
+                    (
+                        int(dest),
+                        (
+                            picked + self.lo,
+                            s.center[picked].copy(),
+                            s.dist[picked].copy(),
+                            s.dist_acc[picked].copy(),
+                            iteration,
+                        ),
+                    )
+                )
+        return int(np.count_nonzero(sel)), outgoing
+
+    def make_singletons(self, iteration):
+        s = self.state
+        leftover = np.flatnonzero(~s.frozen)
+        s.center[leftover] = leftover + self.lo
+        s.dist[leftover] = 0.0
+        s.dist_acc[leftover] = 0.0
+        s.frozen[leftover] = True
+        self.changed[leftover] = False
+        s.frozen_iter[leftover] = iteration
+        # No replica shipping: the drivers only make singletons after
+        # the final growing step, so the replicas can never be read.
+        return len(leftover)
+
+    def discard_candidates(self):
+        self.pending = _empty_candidates()
+        # Some shipped candidates may now never be merged, so the
+        # shipped-best history no longer proves anything about receiver
+        # state; forget it (costs only redundant traffic later).
+        self.halo_best[:] = np.inf
+
+    def result(self):
+        return self.state
+
+
+def _shard_worker_main(conn, shard_path, lo, hi, shard_id, starts):
+    """Entry point of a shard-owning worker process."""
+    try:
+        worker = _ShardWorker(shard_path, lo, hi, shard_id, starts)
+    except BaseException as exc:  # noqa: BLE001 - reported to the driver
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        conn.close()
+        return
+    conn.send(("ok", None))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        command = message[0]
+        if command == "close":
+            conn.send(("ok", None))
+            break
+        try:
+            if command == "step":
+                reply = worker.step(*message[1:])
+            elif command == "uncovered":
+                reply = worker.uncovered()
+            elif command == "begin_stage":
+                reply = worker.begin_stage(message[1])
+            elif command == "freeze_assigned":
+                reply = worker.freeze_assigned(message[1])
+            elif command == "make_singletons":
+                reply = worker.make_singletons(message[1])
+            elif command == "discard":
+                reply = worker.discard_candidates()
+            elif command == "reset":
+                reply = worker.reset()
+            elif command == "result":
+                reply = worker.result()
+            else:
+                raise ValueError(f"unknown worker command {command!r}")
+            conn.send(("ok", reply))
+        except BaseException as exc:  # noqa: BLE001 - reported to the driver
+            import traceback
+
+            conn.send(("error", traceback.format_exc() or str(exc)))
+    conn.close()
+
+
+# --------------------------------------------------------------------- #
+# Driver side
+# --------------------------------------------------------------------- #
+
+
+class ShardedGrowingState:
+    """Driver half of the sharded growing state.
+
+    Implements the same interface as
+    :class:`~repro.mrimpl.growing_mr.ArrayGrowingState` (the CLUSTER /
+    CLUSTER2 drivers are agnostic), but every array lives in the shard
+    workers; the driver holds only the in-flight cross-shard candidate
+    blocks and pending replica updates.  Counter accounting mirrors the
+    batch path exactly — one engine round per step, ``messages`` = the
+    candidates the previous step emitted — so round/step/update/message
+    counts match the other backends bit for bit.  ``simulated_time``
+    accumulates the owner-compute critical path: the busiest shard's
+    merged + produced candidates per step.
+    """
+
+    def __init__(self, graph, engine, executor: "ShardedExecutor"):
+        self.num_nodes = graph.num_nodes
+        self.engine = engine
+        self.executor = executor
+        executor._ensure_workers(graph)
+        self.plan = executor.plan
+        executor._broadcast("reset")
+        # remote[dest] -> list of (keys, values) awaiting delivery.
+        self._remote: Dict[int, List] = {}
+        # replica_updates[dest] -> list of freeze blocks to deliver.
+        self._replica_updates: Dict[int, List] = {}
+        self._emitted_last = 0
+
+    # -- growing-state interface --------------------------------------- #
+
+    def uncovered(self) -> np.ndarray:
+        parts = self.executor._broadcast("uncovered")
+        return np.concatenate(parts) if parts else np.empty(0, np.int64)
+
+    def begin_stage(self, picks: np.ndarray) -> None:
+        picks = np.asarray(picks, dtype=np.int64)
+        owners = self.plan.owner_of(picks)
+        self.executor._broadcast(
+            "begin_stage",
+            per_worker=[picks[owners == k] for k in range(self.executor.num_shards)],
+        )
+
+    def step(
+        self,
+        engine,
+        delta: float,
+        *,
+        force: bool = False,
+        rescale: float = 0.0,
+        iteration: int = 0,
+    ) -> Tuple[int, int]:
+        num_shards = self.executor.num_shards
+        deliver, self._remote = self._remote, {}
+        replicas, self._replica_updates = self._replica_updates, {}
+        per_worker = []
+        shipped = 0
+        for k in range(num_shards):
+            incoming = deliver.get(k, [])
+            ghosts = replicas.get(k, [])
+            shipped += _candidate_bytes(incoming)
+            shipped += sum(
+                sum(np.asarray(a).nbytes for a in block[:4])
+                for block in ghosts
+            )
+            per_worker.append(
+                (delta, force, rescale, iteration, incoming, ghosts)
+            )
+        # Fixed per-worker command overhead (params + framing), so the
+        # accounting never reads zero on an idle round.
+        shipped += 64 * num_shards
+        replies = self.executor._broadcast("step", per_worker=per_worker)
+
+        merged = sum(r["merged"] for r in replies)
+        updated = sum(r["updated"] for r in replies)
+        newly = sum(r["newly"] for r in replies)
+        for k, reply in enumerate(replies):
+            for dest, keys, values in reply["outgoing"]:
+                self._remote.setdefault(dest, []).append((keys, values))
+
+        # Memory-model enforcement, mirroring MREngine.round_batch for a
+        # width-3 candidate batch (1 key word + 3 payload words per pair;
+        # the wire-format source column is bookkeeping, not payload).
+        words_per_pair = 4
+        if engine.enforce_memory:
+            if merged * words_per_pair > engine.spec.total_memory:
+                raise MemoryLimitExceeded(
+                    merged * words_per_pair, engine.spec.total_memory
+                )
+            worst = max((r["max_group"] for r in replies), default=0)
+            if worst * words_per_pair > engine.spec.local_memory:
+                bad = max(replies, key=lambda r: r["max_group"])
+                raise MemoryLimitExceeded(
+                    worst * words_per_pair,
+                    engine.spec.local_memory,
+                    bad["max_group_key"],
+                )
+
+        # ``messages`` is the round's shuffled-candidate count exactly as
+        # the unsharded engine counts it: what the previous step emitted.
+        engine.counters.record_round(messages=self._emitted_last, updates=0)
+        self._emitted_last = sum(r["emitted"] for r in replies)
+        if merged:
+            engine.simulated_time += max(
+                r["merged"] + r["groups"] for r in replies
+            )
+        engine.counters.updates += updated
+        engine.counters.growing_steps += 1
+        self.executor.bytes_shipped_per_round.append(shipped)
+        self.executor.bytes_exchanged_per_round.append(
+            shipped
+            + sum(
+                _candidate_bytes(
+                    [(k2, v2) for _, k2, v2 in r["outgoing"]]
+                )
+                for r in replies
+            )
+        )
+        return updated, newly
+
+    def in_flight(self) -> bool:
+        return self._emitted_last > 0
+
+    def discard_candidates(self) -> None:
+        self._remote = {}
+        self._emitted_last = 0
+        self.executor._broadcast("discard")
+
+    def freeze_assigned(self, iteration: int = 0) -> int:
+        replies = self.executor._broadcast(
+            "freeze_assigned",
+            per_worker=[iteration] * self.executor.num_shards,
+        )
+        total = 0
+        for count, outgoing in replies:
+            total += count
+            for dest, block in outgoing:
+                self._replica_updates.setdefault(dest, []).append(block)
+        return total
+
+    def make_singletons(self, iteration: int = 0) -> int:
+        return sum(
+            self.executor._broadcast(
+                "make_singletons", per_worker=[iteration] * self.executor.num_shards
+            )
+        )
+
+    def result(self) -> Tuple[np.ndarray, np.ndarray]:
+        from repro.core.state import ClusterState
+
+        slices = self.executor._broadcast("result")
+        full = ClusterState.concat(slices)
+        return full.center.copy(), full.dist_acc.copy()
+
+
+class ShardedExecutor:
+    """Owner-compute backend: persistent shard workers, boundary exchange.
+
+    Construction is cheap; workers spawn lazily on first use (when a
+    driver asks for a growing state) and persist until :meth:`close` —
+    across stages, Δ doublings, and both phases of CLUSTER2.  Each
+    worker memory-maps one ``part-k.rcsr`` of the graph's partitioned
+    store (created on demand via
+    :func:`repro.graph.partition.ensure_partitioned`; in-memory graphs
+    are spilled to a private temp store first).
+
+    Engine integration: per-key rounds fall back to the serial loop and
+    batch rounds (e.g. the quotient construction) run vectorized
+    in-process, so a ``sharded`` engine executes every round kind; only
+    growing steps use the owner-compute protocol.
+
+    Attributes
+    ----------
+    num_shards:
+        Worker/shard count (default: CPU count).
+    plan:
+        The :class:`~repro.graph.partition.PartitionPlan` in effect
+        (after workers spawn).
+    bytes_shipped_per_round:
+        Driver→worker bytes delivered each growing step: cross-shard
+        candidate blocks plus one-time frozen-replica updates — the
+        boundary exchange the sharded architecture exists to shrink.
+    bytes_exchanged_per_round:
+        Same plus the worker→driver boundary candidates collected that
+        step (both directions of the exchange).
+    """
+
+    #: Marks this executor as building its own growing state
+    #: (see :func:`repro.mrimpl.growing_mr.make_growing_state`).
+    owns_growing_state = True
+
+    def __init__(self, num_shards: Optional[int] = None):
+        if num_shards is not None and num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards or os.cpu_count() or 1
+        self.plan = None
+        self.partitioned = None
+        self.bytes_shipped_per_round: List[int] = []
+        self.bytes_exchanged_per_round: List[int] = []
+        self._graph = None
+        self._procs: List = []
+        self._conns: List = []
+        self._tmpdir: Optional[str] = None
+        self._finalizer = None
+        self.spawn_count = 0
+
+    @property
+    def bytes_shipped(self) -> int:
+        return sum(self.bytes_shipped_per_round)
+
+    # -- engine executor protocol (non-growing rounds) ------------------ #
+
+    def run(self, groups, reducer, num_workers):
+        from repro.mr.executor import SerialExecutor
+
+        return SerialExecutor().run(groups, reducer, num_workers)
+
+    def run_batch(self, keys, offsets, values, reducer, num_workers):
+        return reducer(keys, offsets, values)
+
+    # -- growing-state factory ----------------------------------------- #
+
+    def growing_state(self, graph, engine) -> ShardedGrowingState:
+        return ShardedGrowingState(graph, engine, self)
+
+    # -- worker lifecycle ----------------------------------------------- #
+
+    def _ensure_workers(self, graph) -> None:
+        if self._procs and self._graph is graph:
+            return
+        self.close()
+        from repro.graph.partition import ensure_partitioned
+        from repro.graph.serialize import write_store
+
+        if graph.is_mmap and graph.store_path is not None:
+            store_path = Path(graph.store_path)
+        else:
+            self._tmpdir = tempfile.mkdtemp(prefix="repro-sharded-")
+            store_path = Path(self._tmpdir) / "graph.rcsr"
+            write_store(graph, store_path)
+        try:
+            self.partitioned = ensure_partitioned(
+                store_path, self.num_shards, graph=graph
+            )
+        except OSError:
+            # Store directory not writable (read-only datasets): fall
+            # back to a private temp partition.
+            if self._tmpdir is None:
+                self._tmpdir = tempfile.mkdtemp(prefix="repro-sharded-")
+            self.partitioned = ensure_partitioned(
+                store_path,
+                self.num_shards,
+                graph=graph,
+                directory=Path(self._tmpdir) / "shards",
+            )
+        self.plan = self.partitioned.plan
+
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        starts = self.plan.starts
+        for k in range(self.num_shards):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(
+                    child,
+                    str(self.partitioned.shard_paths[k]),
+                    int(starts[k]),
+                    int(starts[k + 1]),
+                    k,
+                    np.asarray(starts),
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+        self.spawn_count += 1
+        self._graph = graph
+        for k, conn in enumerate(self._conns):
+            status, payload = conn.recv()
+            if status != "ok":
+                self.close()
+                raise RuntimeError(f"shard worker {k} failed to start: {payload}")
+        self._finalizer = weakref.finalize(
+            self, self._cleanup, list(self._procs), list(self._conns),
+            self._tmpdir,
+        )
+
+    def _broadcast(self, command: str, per_worker=None):
+        """Send one command to every worker and gather the replies.
+
+        ``per_worker`` supplies each worker's argument (a tuple is
+        splatted into the command message).  All sends complete before
+        any receive, so workers proceed in lockstep without deadlock.
+        """
+        if not self._conns:
+            raise RuntimeError("sharded workers are not running")
+        for k, conn in enumerate(self._conns):
+            if per_worker is None:
+                conn.send((command,))
+            else:
+                args = per_worker[k]
+                if not isinstance(args, tuple):
+                    args = (args,)
+                conn.send((command,) + args)
+        replies = []
+        errors = []
+        for k, conn in enumerate(self._conns):
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                errors.append(f"shard worker {k} died: {exc!r}")
+                continue
+            if status == "ok":
+                replies.append(payload)
+            else:
+                errors.append(f"shard worker {k}: {payload}")
+        if errors:
+            raise RuntimeError(
+                "sharded execution failed:\n" + "\n".join(errors)
+            )
+        return replies
+
+    @staticmethod
+    def _cleanup(procs, conns, tmpdir) -> None:
+        for conn in conns:
+            try:
+                conn.send(("close",))
+            except (OSError, ValueError):
+                pass
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+
+    def close(self) -> None:
+        """Shut down the workers and remove any private temp store."""
+        if self._finalizer is not None:
+            self._finalizer()  # runs _cleanup once, then detaches
+            self._finalizer = None
+        elif self._procs:
+            self._cleanup(self._procs, self._conns, self._tmpdir)
+        self._procs = []
+        self._conns = []
+        self._tmpdir = None
+        self._graph = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

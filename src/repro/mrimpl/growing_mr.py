@@ -64,6 +64,8 @@ __all__ = [
     "make_growing_state",
     "default_engine",
     "owned_engine",
+    "apply_merged_candidates",
+    "emit_frontier",
 ]
 
 NO_CENTER = -1
@@ -71,6 +73,119 @@ NO_CENTER = -1
 #: Batch reducer of the candidate merge: smallest ``nd``, then smallest
 #: center, earliest arrival on full ties — the exact legacy tie-break.
 MERGE_CANDIDATES = partial(group_min_first, sort_cols=2)
+
+
+# --------------------------------------------------------------------- #
+# Shared growing-step kernels
+#
+# One Δ-growing step is merge-then-emit.  Both halves are factored out
+# as pure array functions so every array-backed execution path — the
+# whole-graph ArrayGrowingState below and the per-shard workers of
+# repro.mr.sharded — runs the *identical* code on its node range, which
+# is what makes the sharded backend bit-identical by construction.
+# --------------------------------------------------------------------- #
+
+
+def apply_merged_candidates(
+    keys: np.ndarray,
+    values: np.ndarray,
+    *,
+    center: np.ndarray,
+    dist: np.ndarray,
+    dacc: np.ndarray,
+    frozen: np.ndarray,
+    changed: np.ndarray,
+    base: int = 0,
+) -> int:
+    """Adopt per-target winning candidates into the state arrays.
+
+    ``keys`` are the distinct target node ids (ascending) and ``values``
+    the winning ``(nd, center, dacc)`` row per target, as produced by
+    :data:`MERGE_CANDIDATES`.  State arrays are indexed locally; ``base``
+    is the global id of local node 0 (0 for whole-graph state).  Marks
+    adopted targets in ``changed`` and returns how many of them were
+    previously unassigned.
+    """
+    if not len(keys):
+        return 0
+    nd = values[:, 0]
+    ctr = values[:, 1].astype(np.int64)
+    dc = values[:, 2]
+    idx = keys - base
+    adopt = (~frozen[idx]) & (nd < dist[idx])
+    tgt = idx[adopt]
+    newly = int(np.count_nonzero(center[tgt] == NO_CENTER))
+    center[tgt] = ctr[adopt]
+    dist[tgt] = nd[adopt]
+    dacc[tgt] = dc[adopt]
+    changed[tgt] = True
+    return newly
+
+
+def emit_frontier(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    *,
+    center: np.ndarray,
+    dist: np.ndarray,
+    dacc: np.ndarray,
+    frozen: np.ndarray,
+    changed: np.ndarray,
+    frozen_iter: np.ndarray,
+    delta: float,
+    force: bool,
+    rescale: float = 0.0,
+    iteration: int = 0,
+    with_sources: bool = False,
+):
+    """Expand the new-contribution frontier through CSR rows.
+
+    Local rows, but ``indices`` may carry *global* target ids (shard
+    CSRs do); the returned candidate keys are whatever id space
+    ``indices`` uses.  Candidates appear in ascending local source
+    order, each source's arcs in CSR order — the arrival order the
+    merge tie-break depends on.  Because builders deduplicate edges, a
+    source contributes at most one candidate per target, so within any
+    one target's group "arrival order" and "ascending source id" are
+    the same order — the fact the sharded backend's order-free merge
+    relies on.  ``with_sources=True`` additionally returns each
+    candidate's (local) source id.
+
+    Returns ``(keys, values)`` — or ``(keys, values, sources)``.
+    """
+    n = len(center)
+    if rescale:
+        frozen_eff = dist - rescale * (iteration - frozen_iter)
+    else:
+        frozen_eff = np.zeros(n)
+    eff = np.where(frozen, frozen_eff, dist)
+    emit = (center != NO_CENTER) & (changed | force) & (eff < delta)
+    sources = np.flatnonzero(emit)
+    if not len(sources):
+        empty = (
+            np.empty(0, dtype=np.int64),
+            np.empty((0, 3), dtype=np.float64),
+        )
+        return empty + (np.empty(0, dtype=np.int64),) if with_sources else empty
+    starts = indptr[sources]
+    counts = indptr[sources + 1] - starts
+    arc_idx = expand_ranges(starts, counts)
+    tgts = indices[arc_idx]
+    w = weights[arc_idx]
+    src_rep = np.repeat(sources, counts)
+    nd_out = eff[src_rep] + w
+    ok = (w <= delta) & (nd_out <= delta)
+    cand_values = np.column_stack(
+        (
+            nd_out[ok],
+            center[src_rep[ok]].astype(np.float64),
+            dacc[src_rep[ok]] + w[ok],
+        )
+    )
+    if with_sources:
+        return tgts[ok], cand_values, src_rep[ok]
+    return tgts[ok], cand_values
 
 
 def graph_to_pairs(graph: CSRGraph) -> List[Pair]:
@@ -366,48 +481,33 @@ class ArrayGrowingState:
             self._cand_keys, self._cand_values, MERGE_CANDIDATES
         )
         self.changed[:] = False
-        newly = 0
-        if len(keys):
-            nd = values[:, 0]
-            ctr = values[:, 1].astype(np.int64)
-            dc = values[:, 2]
-            adopt = (~self.frozen[keys]) & (nd < self.dist[keys])
-            tgt = keys[adopt]
-            newly = int(np.count_nonzero(self.center[tgt] == NO_CENTER))
-            self.center[tgt] = ctr[adopt]
-            self.dist[tgt] = nd[adopt]
-            self.dacc[tgt] = dc[adopt]
-            self.changed[tgt] = True
+        newly = apply_merged_candidates(
+            keys,
+            values,
+            center=self.center,
+            dist=self.dist,
+            dacc=self.dacc,
+            frozen=self.frozen,
+            changed=self.changed,
+        )
         updated = int(np.count_nonzero(self.changed))
 
         # Emit: expand the new contribution set through the CSR arrays.
-        if rescale:
-            frozen_eff = self.dist - rescale * (iteration - self.frozen_iter)
-        else:
-            frozen_eff = np.zeros(self.num_nodes)
-        eff = np.where(self.frozen, frozen_eff, self.dist)
-        emit = (self.center != NO_CENTER) & (self.changed | force) & (eff < delta)
-        sources = np.flatnonzero(emit)
-        if len(sources):
-            starts = self.graph.indptr[sources]
-            counts = self.graph.indptr[sources + 1] - starts
-            arc_idx = expand_ranges(starts, counts)
-            tgts = self.graph.indices[arc_idx]
-            w = self.graph.weights[arc_idx]
-            src_rep = np.repeat(sources, counts)
-            nd_out = eff[src_rep] + w
-            ok = (w <= delta) & (nd_out <= delta)
-            self._cand_keys = tgts[ok]
-            self._cand_values = np.column_stack(
-                (
-                    nd_out[ok],
-                    self.center[src_rep[ok]].astype(np.float64),
-                    self.dacc[src_rep[ok]] + w[ok],
-                )
-            )
-        else:
-            self._cand_keys = np.empty(0, dtype=np.int64)
-            self._cand_values = np.empty((0, 3), dtype=np.float64)
+        self._cand_keys, self._cand_values = emit_frontier(
+            self.graph.indptr,
+            self.graph.indices,
+            self.graph.weights,
+            center=self.center,
+            dist=self.dist,
+            dacc=self.dacc,
+            frozen=self.frozen,
+            changed=self.changed,
+            frozen_iter=self.frozen_iter,
+            delta=delta,
+            force=force,
+            rescale=rescale,
+            iteration=iteration,
+        )
 
         engine.counters.updates += updated
         engine.counters.growing_steps += 1
@@ -444,9 +544,13 @@ class ArrayGrowingState:
 def make_growing_state(graph: CSRGraph, engine: MREngine):
     """Pick the state backend matching the engine's executor.
 
-    Executors that run batch rounds natively get the array layout; the
-    per-key executors keep the literal pair simulation.
+    Executors that *own* the growing state (the sharded backend, whose
+    persistent workers keep their slice resident across rounds) build it
+    themselves; executors that run batch rounds natively get the array
+    layout; the per-key executors keep the literal pair simulation.
     """
+    if getattr(engine.executor, "owns_growing_state", False):
+        return engine.executor.growing_state(graph, engine)
     if engine.supports_batch:
         return ArrayGrowingState(graph)
     return PairGrowingState(graph)
@@ -465,7 +569,10 @@ def owned_engine(graph: CSRGraph, config, engine=None, *, num_workers=None):
         yield engine
         return
     engine = default_engine(
-        graph, executor=config.executor, num_workers=num_workers
+        graph,
+        executor=config.executor,
+        num_workers=num_workers,
+        shards=getattr(config, "shards", None),
     )
     try:
         yield engine
@@ -480,6 +587,7 @@ def default_engine(
     executor="serial",
     num_workers=None,
     processes=None,
+    shards=None,
 ) -> MREngine:
     """Engine whose spec accommodates ``graph``'s densest reducer group.
 
@@ -490,18 +598,31 @@ def default_engine(
     defaults to 1 (the single-machine simulation) except for the pool
     backends (``parallel``/``mmap``), which default to the CPU count — a
     process pool partitioned for one worker would run with zero
-    parallelism.  ``num_workers`` never affects results, only the
-    critical-path model and the pool size.
+    parallelism — and ``sharded``, where the simulated machine count
+    *is* the shard count (``shards``, default ``num_workers`` or the
+    CPU count).  ``num_workers`` never affects results, only the
+    critical-path model and the pool/shard size.
     """
-    if num_workers is None:
-        from repro.mr.executor import POOL_EXECUTOR_NAMES
+    if isinstance(executor, str):
+        if executor == "sharded" and shards is None:
+            shards = num_workers
+        if num_workers is None and executor != "sharded":
+            from repro.mr.executor import POOL_EXECUTOR_NAMES
 
-        if executor in POOL_EXECUTOR_NAMES:
-            import os
+            if executor in POOL_EXECUTOR_NAMES:
+                import os
 
-            num_workers = os.cpu_count() or 1
-        else:
-            num_workers = 1
+                num_workers = os.cpu_count() or 1
+            else:
+                num_workers = 1
+        executor = make_executor(executor, processes=processes, shards=shards)
+    num_shards = getattr(executor, "num_shards", None)
+    if num_shards is not None:
+        # Owner-compute backend: the simulated machine count is the
+        # shard count, by definition.
+        num_workers = num_shards
+    elif num_workers is None:
+        num_workers = 1
     n = graph.num_nodes
     ml = max(64, 8 * (int(graph.degrees.max()) if n else 1) + 64)
     spec = MRSpec(
@@ -509,6 +630,4 @@ def default_engine(
         local_memory=ml,
         num_workers=num_workers,
     )
-    if isinstance(executor, str):
-        executor = make_executor(executor, processes=processes)
     return MREngine(spec, executor=executor)

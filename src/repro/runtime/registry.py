@@ -20,11 +20,12 @@ The built-in registry covers the whole reproduction surface::
     unweighted-diameter   hop-diameter via the unweighted decomposition
 
 Specs with ``supports_executor=True`` honour ``RunContext.executor``
-(``serial``/``vector``/``parallel``/``mmap``) by routing through the
-``mrimpl`` engine drivers; with ``executor=None`` they run the
-vectorized :mod:`repro.core` path.  Both paths are bit-identical from a
-shared seed — the integration tests assert it — so the executor choice
-is purely an execution-platform knob.
+(``serial``/``vector``/``parallel``/``mmap``/``sharded``) by routing
+through the ``mrimpl`` engine drivers; with ``executor=None`` they run
+the vectorized :mod:`repro.core` path.  All paths are bit-identical
+from a shared seed — the integration tests assert it — so the executor
+choice is purely an execution-platform knob (``sharded`` additionally
+reads ``ClusterConfig.shards`` for its owner-compute shard count).
 """
 
 from __future__ import annotations

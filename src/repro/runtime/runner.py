@@ -112,6 +112,7 @@ def _resolve_config(
     config: Optional[ClusterConfig],
     seed: Optional[int],
     tau: Optional[int],
+    shards: Optional[int] = None,
 ) -> ClusterConfig:
     if config is None:
         # The CLI's historical defaults: practical stage threshold, the
@@ -121,6 +122,8 @@ def _resolve_config(
         config = config.with_(seed=seed)
     if tau is not None:
         config = config.with_(tau=tau)
+    if shards is not None:
+        config = config.with_(shards=shards)
     return config
 
 
@@ -133,6 +136,7 @@ def run(
     tau: Optional[int] = None,
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    shards: Optional[int] = None,
     store: Optional[GraphStore] = None,
     registry: Optional[AlgorithmRegistry] = None,
     **options: Any,
@@ -152,9 +156,13 @@ def run(
         config is built and ``seed``/``tau`` applied on top.
     executor, workers:
         MR-engine backend selection for specs that support it
-        (``serial``/``vector``/``parallel``/``mmap``); ``None`` runs the
-        vectorized core path.  Specs without executor support reject a
-        non-``None`` value.
+        (``serial``/``vector``/``parallel``/``mmap``/``sharded``);
+        ``None`` runs the vectorized core path.  Specs without executor
+        support reject a non-``None`` value.
+    shards:
+        Shard count for ``executor="sharded"`` (default: ``workers``,
+        falling back to the CPU count).  Rejected with any other
+        executor.
     store, registry:
         Override the process-wide defaults (mostly for tests).
     **options:
@@ -178,7 +186,30 @@ def run(
         raise ConfigurationError("workers must be >= 1")
     if workers is not None and executor is None:
         raise ConfigurationError("workers requires an executor")
-    if executor is not None and workers is None:
+    if shards is not None and executor != "sharded":
+        raise ConfigurationError("shards requires executor='sharded'")
+    if shards is not None and shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    if executor == "sharded":
+        # The owner-compute backend's machine count is its shard count.
+        # Explicit kwargs win; a caller-supplied config's shards is
+        # preserved (shards stays None so _resolve_config keeps it).
+        import os
+
+        if workers is not None and shards is not None and workers != shards:
+            raise ConfigurationError(
+                "executor='sharded' has workers == shards by definition; "
+                f"got workers={workers}, shards={shards}"
+            )
+        if shards is None and workers is not None:
+            shards = workers
+        workers = (
+            shards
+            or (config.shards if config is not None else None)
+            or os.cpu_count()
+            or 1
+        )
+    elif executor is not None and workers is None:
         # Resolve the engine default here so RunResult.workers reports
         # the count the run actually used (pool backends: CPU count).
         from repro.mr.executor import POOL_EXECUTOR_NAMES
@@ -196,9 +227,17 @@ def run(
             + ", ".join(sorted(unknown))
         )
 
+    if executor == "sharded" and not isinstance(graph, CSRGraph):
+        # Partition through the GraphStore so the shard directories are
+        # written (and trimmed) under the cache's byte budget; the
+        # executor then finds a fresh manifest and reuses it.
+        (store if store is not None else default_store()).get_partitioned(
+            graph, workers
+        )
+
     ctx = RunContext(
         graph=_resolve_graph(graph, store),
-        config=_resolve_config(config, seed, tau),
+        config=_resolve_config(config, seed, tau, shards),
         executor=executor,
         workers=workers,
         options=dict(options),

@@ -170,24 +170,61 @@ class GraphStore:
                 Path(stale_name).unlink()
             except OSError:  # pragma: no cover - concurrent cleanup
                 pass
+            # A stale conversion's shard partition can never be opened
+            # again either (it is keyed to the deleted store file).
+            self._remove_shards(Path(stale_name))
         write_store(graph, store_file)
         self.conversions += 1
         self._trim_disk(keep=store_file)
 
+    @staticmethod
+    def _shards_root(store_file: Path) -> Path:
+        """The partition root (``<store>.shards/``) of a store file."""
+        from repro.graph.partition import SHARDS_DIR_SUFFIX
+
+        return store_file.parent / (store_file.name + SHARDS_DIR_SUFFIX)
+
+    @classmethod
+    def _remove_shards(cls, store_file: Path) -> None:
+        """Delete a store file's shard partitions (missing-ok)."""
+        import shutil
+
+        shutil.rmtree(cls._shards_root(store_file), ignore_errors=True)
+
+    @classmethod
+    def _shards_dir_size(cls, store_file: Path) -> int:
+        """Bytes of a cached store's shard partitions (0 when absent)."""
+        root = cls._shards_root(store_file)
+        if not root.is_dir():
+            return 0
+        return sum(
+            p.stat().st_size for p in root.rglob("*") if p.is_file()
+        )
+
     def _trim_disk(self, keep: Path) -> None:
         """Evict oldest conversions until the cache fits its byte budget.
 
-        ``keep`` (the conversion just written) is never evicted, so a
-        single graph larger than the budget still works.
+        A store's shard partitions (``<store>.shards/``) count toward
+        the budget and are evicted with it.  ``keep`` (the conversion
+        just written) is never evicted, so a single graph larger than
+        the budget still works.
         """
         if self.max_cache_bytes is None:
             return
         entries = [
-            (p.stat().st_mtime_ns, p.stat().st_size, p)
+            (
+                p.stat().st_mtime_ns,
+                p.stat().st_size + self._shards_dir_size(p),
+                p,
+            )
             for p in self.cache_dir.glob("*" + STORE_SUFFIX)
             if p != keep and p.is_file()
         ]
-        total = sum(size for _, size, _ in entries) + keep.stat().st_size
+        total = (
+            sum(size for _, size, _ in entries)
+            + keep.stat().st_size
+            + self._shards_dir_size(keep)
+        )
         for _, size, victim in sorted(entries):
             if total <= self.max_cache_bytes:
                 break
@@ -195,7 +232,33 @@ class GraphStore:
                 victim.unlink()
                 total -= size
             except OSError:  # pragma: no cover - concurrent removal
-                pass
+                continue
+            self._remove_shards(victim)
+
+    def get_partitioned(self, path: PathLike, num_shards: int):
+        """Return ``path``'s ``num_shards``-way partition, building if needed.
+
+        The graph is resolved through :meth:`get` (converted and
+        memory-mapped as usual) and its partition is cached on disk
+        under ``<store>.shards/<num_shards>/`` next to the store file
+        (see :mod:`repro.graph.partition` for the layout).  The cache
+        invalidates itself: converted stores are signature-keyed files,
+        so an edited source yields a fresh store *and* fresh shards,
+        while a rewritten ``.rcsr`` is caught by the manifest's
+        (mtime, size) record and re-partitioned.
+
+        Returns a :class:`~repro.graph.partition.PartitionedStore`.
+        """
+        from repro.graph.partition import ensure_partitioned
+
+        store_file = self.store_path(path)
+        graph = self.get(path)
+        partitioned = ensure_partitioned(store_file, num_shards, graph=graph)
+        if store_file.parent == self.cache_dir:
+            # Shard partitions count toward the cache budget like the
+            # stores they belong to; re-trim now that one was written.
+            self._trim_disk(keep=store_file)
+        return partitioned
 
     # ------------------------------------------------------------------ #
 

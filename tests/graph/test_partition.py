@@ -1,0 +1,239 @@
+"""Partition planner + partitioned-store layout properties.
+
+The owner-compute contract: ranges cover ``[0, n)`` exactly, the
+edge-cut report is consistent with the graph, shard files reassemble to
+the original CSR, the manifest round-trips, and a stale source store
+invalidates its shards (directly and through the GraphStore cache).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.generators import gnm_random_graph, mesh, path_graph, rmat
+from repro.graph.ops import largest_connected_component
+from repro.graph.partition import (
+    MANIFEST_NAME,
+    ensure_partitioned,
+    load_partitioned,
+    plan_partition,
+    shards_dir_for,
+    write_partitioned_store,
+)
+from repro.graph.serialize import open_store, write_store
+from repro.errors import GraphFormatError
+
+SHARD_COUNTS = (1, 2, 3, 7, 64)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        "mesh": mesh(8, seed=1),
+        "gnm": gnm_random_graph(90, 260, seed=4, connect=True),
+        "rmat": largest_connected_component(rmat(9, seed=2))[0],
+        "path": path_graph(12, weights="unit"),
+    }
+
+
+class TestPlanPartition:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("name", ["mesh", "gnm", "rmat", "path"])
+    def test_ranges_cover_node_space(self, graphs, name, shards):
+        graph = graphs[name]
+        plan = plan_partition(graph, shards)
+        assert plan.num_shards == shards
+        assert plan.starts[0] == 0
+        assert plan.starts[-1] == graph.num_nodes
+        assert np.all(np.diff(plan.starts) >= 0)
+        # Every node owned exactly once, by the shard whose range holds it.
+        owners = plan.owner_of(np.arange(graph.num_nodes))
+        sizes = np.bincount(owners, minlength=shards)
+        assert np.array_equal(sizes, np.diff(plan.starts))
+
+    @pytest.mark.parametrize("shards", (2, 3, 7))
+    def test_balanced_by_arcs(self, graphs, shards):
+        graph = graphs["gnm"]
+        plan = plan_partition(graph, shards)
+        # Contiguous-prefix balancing is exact up to one node's degree.
+        bound = graph.num_arcs / shards + int(graph.degrees.max())
+        assert int(plan.shard_arcs.max()) <= bound
+
+    @pytest.mark.parametrize("name", ["mesh", "gnm", "rmat"])
+    def test_cut_report_matches_brute_force(self, graphs, name):
+        graph = graphs[name]
+        plan = plan_partition(graph, 3)
+        assert int(plan.shard_arcs.sum()) == graph.num_arcs
+        owner = plan.owner_of(np.arange(graph.num_nodes))
+        cut_arcs = np.zeros(3, dtype=np.int64)
+        boundary = [set(), set(), set()]
+        for u in range(graph.num_nodes):
+            nbrs, _ = graph.neighbors(u)
+            for v in nbrs:
+                if owner[u] != owner[v]:
+                    cut_arcs[owner[u]] += 1
+                    boundary[owner[u]].add(u)
+        assert np.array_equal(plan.cut_arcs, cut_arcs)
+        assert np.array_equal(
+            plan.boundary_nodes,
+            np.array([len(b) for b in boundary], dtype=np.int64),
+        )
+        assert plan.cut_fraction == pytest.approx(
+            cut_arcs.sum() / graph.num_arcs
+        )
+
+    def test_single_shard_has_no_cut(self, graphs):
+        plan = plan_partition(graphs["mesh"], 1)
+        assert plan.total_cut_arcs == 0
+        assert plan.cut_fraction == 0.0
+        assert plan.boundary_nodes.sum() == 0
+
+    def test_more_shards_than_nodes(self, graphs):
+        graph = graphs["path"]
+        plan = plan_partition(graph, 64)
+        assert plan.starts[-1] == graph.num_nodes
+        assert int(plan.shard_arcs.sum()) == graph.num_arcs
+
+    def test_rejects_zero_shards(self, graphs):
+        with pytest.raises(ValueError):
+            plan_partition(graphs["mesh"], 0)
+
+
+class TestPartitionedStore:
+    @pytest.mark.parametrize("shards", (1, 2, 7))
+    def test_shards_reassemble_to_original(self, graphs, tmp_path, shards):
+        graph = graphs["gnm"]
+        store = tmp_path / "g.rcsr"
+        write_store(graph, store)
+        partitioned = write_partitioned_store(graph, store, shards)
+        indptr_parts, indices_parts, weights_parts = [], [], []
+        offset = 0
+        for k in range(shards):
+            shard = partitioned.open_shard(k)
+            indptr_parts.append(shard.indptr[:-1] + offset)
+            offset += shard.indptr[-1]
+            indices_parts.append(shard.indices)
+            weights_parts.append(shard.weights)
+        indptr = np.concatenate(indptr_parts + [[offset]])
+        assert np.array_equal(indptr, graph.indptr)
+        assert np.array_equal(np.concatenate(indices_parts), graph.indices)
+        assert np.array_equal(np.concatenate(weights_parts), graph.weights)
+
+    def test_manifest_round_trips(self, graphs, tmp_path):
+        graph = graphs["mesh"]
+        store = tmp_path / "m.rcsr"
+        write_store(graph, store)
+        written = write_partitioned_store(graph, store, 3)
+        loaded = load_partitioned(written.directory)
+        assert np.array_equal(loaded.plan.starts, written.plan.starts)
+        assert np.array_equal(loaded.plan.shard_arcs, written.plan.shard_arcs)
+        assert np.array_equal(loaded.plan.cut_arcs, written.plan.cut_arcs)
+        assert np.array_equal(
+            loaded.plan.boundary_nodes, written.plan.boundary_nodes
+        )
+        assert loaded.shard_paths == written.shard_paths
+        assert loaded.source == store
+
+    def test_ensure_reuses_fresh_partition(self, graphs, tmp_path):
+        graph = graphs["mesh"]
+        store = tmp_path / "m.rcsr"
+        write_store(graph, store)
+        first = ensure_partitioned(store, 2)
+        manifest = (first.directory / MANIFEST_NAME).read_text()
+        again = ensure_partitioned(store, 2)
+        assert (again.directory / MANIFEST_NAME).read_text() == manifest
+
+    def test_rewritten_store_invalidates_shards(self, graphs, tmp_path):
+        store = tmp_path / "g.rcsr"
+        write_store(graphs["mesh"], store)
+        stale = ensure_partitioned(store, 2)
+        assert stale.plan.num_nodes == graphs["mesh"].num_nodes
+        # Rewrite the store with a different graph: the manifest's
+        # (mtime, size) signature no longer matches.
+        write_store(graphs["gnm"], store)
+        fresh = ensure_partitioned(store, 2)
+        assert fresh.plan.num_nodes == graphs["gnm"].num_nodes
+        assert fresh.plan.num_arcs == graphs["gnm"].num_arcs
+
+    def test_shard_counts_get_separate_directories(self, graphs, tmp_path):
+        store = tmp_path / "m.rcsr"
+        write_store(graphs["mesh"], store)
+        two = ensure_partitioned(store, 2)
+        seven = ensure_partitioned(store, 7)
+        assert two.directory != seven.directory
+        assert shards_dir_for(store, 2) == two.directory
+        assert load_partitioned(two.directory).plan.num_shards == 2
+
+    def test_load_rejects_missing_or_torn_manifest(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            load_partitioned(tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(GraphFormatError):
+            load_partitioned(tmp_path)
+
+    def test_load_rejects_missing_shard_file(self, graphs, tmp_path):
+        store = tmp_path / "m.rcsr"
+        write_store(graphs["mesh"], store)
+        partitioned = ensure_partitioned(store, 2)
+        partitioned.shard_paths[1].unlink()
+        with pytest.raises(GraphFormatError):
+            load_partitioned(partitioned.directory)
+        # ensure_partitioned self-heals by rewriting the shards.
+        healed = ensure_partitioned(store, 2)
+        assert all(p.exists() for p in healed.shard_paths)
+
+
+class TestGraphStorePartitionCache:
+    def test_get_partitioned_from_text_source(self, tmp_path):
+        from repro.graph.io import write_auto
+        from repro.runtime.store import GraphStore
+
+        graph = mesh(6, seed=2)
+        source = tmp_path / "mesh.gr"
+        write_auto(graph, source)
+        store = GraphStore(cache_dir=tmp_path / "cache")
+        partitioned = store.get_partitioned(source, 2)
+        assert partitioned.plan.num_nodes == graph.num_nodes
+        assert partitioned.directory.is_dir()
+        assert str(partitioned.directory).startswith(str(tmp_path / "cache"))
+
+    def test_stale_source_invalidates_partition(self, tmp_path):
+        import time
+
+        from repro.graph.io import write_auto
+        from repro.runtime.store import GraphStore
+
+        source = tmp_path / "g.gr"
+        write_auto(mesh(6, seed=2), source)
+        store = GraphStore(cache_dir=tmp_path / "cache")
+        old = store.get_partitioned(source, 2)
+        assert old.directory.exists()
+        # Edit the source: a new conversion (and partition) must appear,
+        # and the stale conversion's shards must be cleaned up.
+        time.sleep(0.01)  # ensure a distinct mtime_ns signature
+        write_auto(mesh(7, seed=3), source)
+        new = store.get_partitioned(source, 2)
+        assert new.directory != old.directory
+        assert new.plan.num_nodes == mesh(7, seed=3).num_nodes
+        assert not old.directory.exists()
+
+    def test_partition_used_by_sharded_run(self, tmp_path):
+        """End to end: runtime run() on a stored path reuses the cached
+        partition written next to the converted store."""
+        from repro.graph.io import write_auto
+        from repro.runtime import run
+        from repro.runtime.store import GraphStore
+
+        graph = mesh(6, seed=2)
+        source = tmp_path / "mesh.gr"
+        write_auto(graph, source)
+        store = GraphStore(cache_dir=tmp_path / "cache")
+        core = run("cluster", source, tau=3, seed=1, store=store)
+        sharded = run(
+            "cluster", source, tau=3, seed=1, store=store,
+            executor="sharded", shards=2,
+        )
+        assert np.array_equal(core.raw.center, sharded.raw.center)
+        shards_dir = shards_dir_for(store.store_path(source), 2)
+        assert (shards_dir / MANIFEST_NAME).exists()

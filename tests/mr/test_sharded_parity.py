@@ -1,0 +1,246 @@
+"""Sharded-executor parity: owner-compute must equal ship-everything.
+
+The ``sharded`` backend re-architects execution — persistent workers,
+partitioned on-disk stores, boundary-only exchange with map-side
+combining, halo filtering, and frozen-replica regeneration — and every
+one of those mechanisms is only admissible because it provably cannot
+change the result.  This suite is the enforcement: across shard counts
+(1 / 2 / 7), weighted and unweighted graphs, CLUSTER and CLUSTER2,
+capped and uncapped growth, the sharded clustering must be *bit
+identical* to the ``serial``/``vector`` backends — same centers, same
+distances, and the same round/message/update counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ClusterConfig
+from repro.core.diameter import approximate_diameter
+from repro.generators import gnm_random_graph, mesh, path_graph
+from repro.graph.serialize import open_store, write_store
+from repro.mr.sharded import ShardedExecutor
+from repro.mrimpl.cluster2_mr import mr_cluster2
+from repro.mrimpl.cluster_mr import mr_cluster
+from repro.mrimpl.diameter_mr import mr_approximate_diameter
+
+SHARD_COUNTS = (1, 2, 7)
+
+
+def assert_same_clustering(result, reference):
+    """Bit-identical state and the counters every backend shares."""
+    assert np.array_equal(result.center, reference.center)
+    assert np.array_equal(result.dist_to_center, reference.dist_to_center)
+    assert result.radius == reference.radius
+    assert result.delta_end == reference.delta_end
+    assert result.counters.rounds == reference.counters.rounds
+    assert result.counters.updates == reference.counters.updates
+    assert result.counters.growing_steps == reference.counters.growing_steps
+
+
+def assert_identical(result, reference):
+    """Full parity, message counters included.
+
+    Only meaningful against the batch backends (``vector``/``parallel``):
+    the per-key ``serial`` simulation also counts its adjacency/state
+    pairs as shuffled messages, a known representation difference.
+    """
+    assert_same_clustering(result, reference)
+    assert result.counters.messages == reference.counters.messages
+    assert (
+        result.counters.peak_round_messages
+        == reference.counters.peak_round_messages
+    )
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        "mesh": mesh(8, seed=7),
+        "gnm": gnm_random_graph(120, 400, seed=9, connect=True),
+        "mesh-unit": mesh(7, seed=3, weights="unit"),
+        "path-unit": path_graph(40, weights="unit"),
+    }
+
+
+CFG = ClusterConfig(tau=3, seed=1, stage_threshold_factor=1.0)
+
+
+class TestClusterParity:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize(
+        "name", ["mesh", "gnm", "mesh-unit", "path-unit"]
+    )
+    def test_bit_identical_to_serial_and_vector(self, graphs, name, shards):
+        serial = mr_cluster(
+            graphs[name], config=CFG.with_(executor="serial")
+        )
+        vector = mr_cluster(
+            graphs[name], config=CFG.with_(executor="vector")
+        )
+        result = mr_cluster(
+            graphs[name],
+            config=CFG.with_(executor="sharded", shards=shards),
+        )
+        assert_same_clustering(result, serial)
+        assert_identical(result, vector)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_capped_growth_discard_path(self, graphs, shards):
+        """The growing-step cap exercises discard_candidates + the halo
+        cache reset, where a stale shipped-best entry would suppress a
+        candidate the unsharded path delivers."""
+        cfg = CFG.with_(growing_step_cap=2)
+        reference = mr_cluster(
+            graphs["gnm"], config=cfg.with_(executor="vector")
+        )
+        result = mr_cluster(
+            graphs["gnm"],
+            config=cfg.with_(executor="sharded", shards=shards),
+        )
+        assert_identical(result, reference)
+
+    def test_disconnected(self, disconnected_graph):
+        cfg = ClusterConfig(tau=1, seed=7, stage_threshold_factor=0.1)
+        reference = mr_cluster(
+            disconnected_graph, config=cfg.with_(executor="serial")
+        )
+        result = mr_cluster(
+            disconnected_graph,
+            config=cfg.with_(executor="sharded", shards=3),
+        )
+        assert_same_clustering(result, reference)
+
+
+class TestCluster2Parity:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_bit_identical_to_serial(self, graphs, shards):
+        """CLUSTER2 adds Contract2 rescaling — frozen replicas must carry
+        (dist, frozen_iter) so ghosts rescale identically."""
+        serial = mr_cluster2(
+            graphs["mesh"], config=CFG.with_(executor="serial")
+        )
+        vector = mr_cluster2(
+            graphs["mesh"], config=CFG.with_(executor="vector")
+        )
+        result = mr_cluster2(
+            graphs["mesh"],
+            config=CFG.with_(executor="sharded", shards=shards),
+        )
+        assert_same_clustering(result, serial)
+        assert_identical(result, vector)
+
+
+class TestDiameterParity:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_estimate_identical(self, graphs, shards):
+        cfg = ClusterConfig(seed=3, stage_threshold_factor=1.0, tau=4)
+        reference = approximate_diameter(graphs["gnm"], config=cfg)
+        result = mr_approximate_diameter(
+            graphs["gnm"],
+            config=cfg.with_(executor="sharded", shards=shards),
+        )
+        assert result.value == reference.value
+        assert result.radius == reference.radius
+        assert result.num_clusters == reference.num_clusters
+
+
+class TestShardedMachinery:
+    def test_workers_persist_across_phases(self, graphs):
+        """CLUSTER2 runs two full growing phases on one engine; the
+        shard workers must spawn once and stay resident throughout."""
+        from repro.mrimpl.growing_mr import default_engine
+
+        engine = default_engine(graphs["mesh"], executor="sharded", shards=3)
+        try:
+            mr_cluster2(graphs["mesh"], config=CFG, engine=engine)
+            assert engine.executor.spawn_count == 1
+            assert len(engine.executor.bytes_shipped_per_round) == (
+                engine.counters.growing_steps
+            )
+        finally:
+            engine.executor.close()
+
+    def test_runs_from_store_without_temp_spill(self, graphs, tmp_path):
+        """A memory-mapped graph partitions next to its own store file."""
+        path = tmp_path / "mesh.rcsr"
+        write_store(graphs["mesh"], path)
+        stored = open_store(path)
+        reference = mr_cluster(
+            graphs["mesh"], config=CFG.with_(executor="vector")
+        )
+        result = mr_cluster(
+            stored, config=CFG.with_(executor="sharded", shards=2)
+        )
+        assert_identical(result, reference)
+        assert (tmp_path / "mesh.rcsr.shards" / "2" / "part-0.rcsr").exists()
+
+    def test_boundary_traffic_stays_small_on_path(self):
+        """On a path graph split in two, only the single cut edge can
+        ever carry candidates: per-round exchange must stay O(1) rows,
+        not O(frontier)."""
+        graph = path_graph(64, weights="uniform", seed=5)
+        executor = ShardedExecutor(num_shards=2)
+        from repro.mr.engine import MREngine
+        from repro.mr.model import MRSpec
+
+        engine = MREngine(
+            MRSpec(total_memory=10**9, local_memory=10**6, num_workers=2),
+            executor=executor,
+        )
+        try:
+            mr_cluster(
+                graph,
+                config=ClusterConfig(
+                    tau=2, seed=0, stage_threshold_factor=0.5
+                ),
+                engine=engine,
+            )
+            per_round = executor.bytes_shipped_per_round
+            assert len(per_round) == engine.counters.growing_steps
+            # 2 workers x 64B fixed framing, plus at most a couple of
+            # 40-byte candidate rows and one frozen replica in any round.
+            assert max(per_round) <= 64 * 2 + 6 * 40 + 200
+        finally:
+            executor.close()
+
+    def test_close_terminates_workers(self, graphs):
+        from repro.mrimpl.growing_mr import default_engine
+
+        engine = default_engine(graphs["mesh"], executor="sharded", shards=2)
+        mr_cluster(graphs["mesh"], config=CFG, engine=engine)
+        procs = list(engine.executor._procs)
+        assert all(p.is_alive() for p in procs)
+        engine.executor.close()
+        assert all(not p.is_alive() for p in procs)
+
+    def test_executor_close_idempotent(self):
+        executor = ShardedExecutor(num_shards=2)
+        executor.close()
+        executor.close()
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(num_shards=0)
+
+
+class TestRuntimeIntegration:
+    def test_run_dispatch_matches_core(self, graphs):
+        from repro.runtime import run
+
+        core = run("cluster", graphs["gnm"], tau=4, seed=2)
+        sharded = run(
+            "cluster", graphs["gnm"], tau=4, seed=2,
+            executor="sharded", shards=2,
+        )
+        assert np.array_equal(core.raw.center, sharded.raw.center)
+        assert sharded.workers == 2
+
+    def test_shards_requires_sharded_executor(self, graphs):
+        from repro.errors import ConfigurationError
+        from repro.runtime import run
+
+        with pytest.raises(ConfigurationError):
+            run(
+                "cluster", graphs["mesh"], tau=3, seed=1,
+                executor="vector", shards=2,
+            )

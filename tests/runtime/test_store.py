@@ -169,6 +169,32 @@ class TestDiskBudget:
         assert len(remaining) == 1
         assert remaining[0].name.startswith("g2.gr-")
 
+    def test_eviction_removes_shard_partitions(self, tmp_path):
+        store = GraphStore(
+            cache_dir=tmp_path / "cache", max_cache_bytes=1
+        )
+        first = tmp_path / "g0.gr"
+        write_dimacs(mesh(4, seed=0), first)
+        partitioned = store.get_partitioned(first, 2)
+        assert partitioned.directory.exists()
+        time.sleep(0.01)
+        second = tmp_path / "g1.gr"
+        write_dimacs(mesh(5, seed=1), second)
+        store.get(second)  # evicts g0's store under the 1-byte budget
+        assert not store.store_path(first).exists()
+        # The evicted store's shard partition must go with it — it can
+        # never be opened again and would otherwise leak disk forever.
+        assert not partitioned.directory.exists()
+
+    def test_shard_partitions_count_toward_budget(self, tmp_path):
+        source = tmp_path / "g.gr"
+        write_dimacs(mesh(4, seed=0), source)
+        store = GraphStore(cache_dir=tmp_path / "cache")
+        store.get_partitioned(source, 2)
+        store_file = store.store_path(source)
+        assert store._shards_dir_size(store_file) > 0
+        assert store._shards_dir_size(tmp_path / "cache" / "none.rcsr") == 0
+
     def test_unbounded_when_disabled(self, tmp_path):
         store = GraphStore(
             cache_dir=tmp_path / "cache", max_cache_bytes=None

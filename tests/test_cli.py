@@ -152,6 +152,58 @@ class TestComponents:
         assert "components   : 2" in out
 
 
+class TestPartition:
+    @pytest.fixture
+    def store_file(self, graph_file, tmp_path):
+        out = tmp_path / "g.rcsr"
+        assert main(["convert", graph_file, str(out)]) == 0
+        return str(out)
+
+    def test_writes_shards_and_reports_cut(self, store_file, capsys, tmp_path):
+        assert main(["partition", store_file, "--shards", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3-way partition" in out
+        assert "cut_arcs" in out
+        assert (tmp_path / "g.rcsr.shards" / "3" / "part-2.rcsr").exists()
+        assert (tmp_path / "g.rcsr.shards" / "3" / "manifest.json").exists()
+
+    def test_sharded_executor_reuses_partition(self, store_file, capsys):
+        assert main(["partition", store_file, "--shards", "2"]) == 0
+        capsys.readouterr()
+        rc = main(
+            ["diameter", store_file, "--tau", "3", "--seed", "1",
+             "--executor", "sharded", "--shards", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "executor     : sharded (2 workers)" in out
+        assert "estimate" in out
+
+    def test_sharded_matches_core_estimate(self, store_file, capsys):
+        assert main(["diameter", store_file, "--tau", "3", "--seed", "1"]) == 0
+        core = capsys.readouterr().out
+        main(
+            ["diameter", store_file, "--tau", "3", "--seed", "1",
+             "--executor", "sharded", "--shards", "2"]
+        )
+        sharded = capsys.readouterr().out
+        pick = lambda out: [  # noqa: E731 - tiny local helper
+            line for line in out.splitlines() if line.startswith("estimate")
+        ]
+        assert pick(core) == pick(sharded)
+
+    def test_shards_require_sharded_executor(self, store_file, capsys):
+        rc = main(
+            ["diameter", store_file, "--executor", "vector", "--shards", "2"]
+        )
+        assert rc == 2
+        assert "--shards requires" in capsys.readouterr().err
+
+    def test_invalid_shard_count(self, store_file, capsys):
+        assert main(["partition", store_file, "--shards", "0"]) == 2
+        assert "--shards must be" in capsys.readouterr().err
+
+
 class TestConvert:
     def test_text_to_store(self, graph_file, tmp_path, capsys):
         out = tmp_path / "g.rcsr"
