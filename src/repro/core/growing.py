@@ -12,10 +12,12 @@ The implementation is a single synchronous (Jacobi-style) NumPy pass:
    :func:`~repro.util.expand_ranges`;
 2. filter to light arcs whose candidate distance passes the Δ and
    improvement tests against the *old* state (synchronous semantics);
-3. resolve competition per target with one ``np.lexsort`` over
-   ``(target, candidate_distance, candidate_center)`` and a
-   first-per-group selection — exactly the paper's tie-breaking rule,
-   deterministically.
+3. resolve competition per target with the O(candidates) scatter-min
+   kernel (:func:`repro.mr.kernels.scatter_min_rows`) over
+   ``(candidate_distance, candidate_center)`` — exactly the paper's
+   tie-breaking rule, deterministically, without sorting the candidate
+   batch (``REPRO_GROWING_KERNEL=sort`` restores the legacy
+   ``np.lexsort`` for A/B comparison).
 
 Frontier maintenance: after the first full step, only nodes whose state
 changed can generate new improvements (frozen nodes' contributions never
@@ -32,6 +34,7 @@ import numpy as np
 
 from repro.core.state import NO_CENTER, ClusterState
 from repro.graph.csr import CSRGraph
+from repro.mr.kernels import ScatterScratch, merge_kernel_name, scatter_min_rows
 from repro.mr.metrics import Counters
 from repro.util import expand_ranges, first_occurrence
 
@@ -47,6 +50,7 @@ def delta_growing_step(
     sources: Optional[np.ndarray] = None,
     iteration: int = 0,
     rescale: float = 0.0,
+    scratch: Optional[ScatterScratch] = None,
 ) -> Tuple[np.ndarray, int]:
     """Execute one synchronous Δ-growing step.
 
@@ -65,6 +69,10 @@ def delta_growing_step(
         Contract2 rescaling parameters (see
         :meth:`~repro.core.state.ClusterState.effective_dist`); leave at
         defaults for CLUSTER semantics.
+    scratch:
+        Optional :class:`~repro.mr.kernels.ScatterScratch` for the
+        winner-selection kernel; :func:`partial_growth` allocates one
+        per growth loop so the dense buffers are reused across steps.
 
     Returns
     -------
@@ -124,10 +132,20 @@ def delta_growing_step(
     cand_acc = state.dist_acc[src_rep[ok]] + w[ok]
     relaxations = len(cand_t)
 
-    # Winner per target: smallest distance, then smallest center index.
-    order = np.lexsort((cand_c, cand_d, cand_t))
-    sel = order[first_occurrence(cand_t[order])]
-    upd = cand_t[sel]
+    # Winner per target: smallest distance, then smallest center index
+    # (any remaining tie is a duplicate (target, distance, center) row;
+    # both kernels keep the earliest arrival).
+    if merge_kernel_name() == "sort":
+        order = np.lexsort((cand_c, cand_d, cand_t))
+        sel = order[first_occurrence(cand_t[order])]
+        upd = cand_t[sel]
+    else:
+        upd, sel = scatter_min_rows(
+            cand_t,
+            (cand_d, cand_c.astype(np.float64)),
+            domain=len(state.center),
+            scratch=scratch,
+        )
 
     newly_assigned = int(np.count_nonzero(state.center[upd] == NO_CENTER))
     state.dist[upd] = cand_d[sel]
@@ -193,6 +211,7 @@ def partial_growth(
     frontier: Optional[np.ndarray] = None  # None = all assigned sources
     steps = 0
     newly_covered = 0
+    scratch = ScatterScratch()  # winner-selection buffers, reused per step
     while True:
         updated, assigned_now = delta_growing_step(
             graph,
@@ -202,6 +221,7 @@ def partial_growth(
             sources=frontier,
             iteration=iteration,
             rescale=rescale,
+            scratch=scratch,
         )
         steps += 1
         newly_covered += assigned_now

@@ -11,9 +11,10 @@ parallel arrays:
   of payload).
 
 :meth:`repro.mr.engine.MREngine.round_batch` performs the shuffle with a
-stable ``np.argsort`` over the keys and derives group boundaries with
-``np.unique`` — the vectorized equivalent of the dict-of-lists grouping.
-A **batch reducer** then processes *all* groups in one call::
+bounded-key counting sort (``np.bincount`` + prefix sum) or a stable
+``np.argsort`` fallback — the vectorized equivalent of the
+dict-of-lists grouping.  A **batch reducer** then processes *all*
+groups in one call::
 
     reduce_batch(keys, offsets, values) -> (out_keys, out_values, out_counts)
 
@@ -62,6 +63,10 @@ def group_min_first(
     the paper's relaxation tie-break — smallest distance, then smallest
     center index, then arrival order — as implemented by both the
     vectorized core path and the per-key ``_growing_reducer``.
+
+    This is the **reference oracle**: the O(rows) scatter-min kernels of
+    :mod:`repro.mr.kernels` implement the identical tie-break without
+    sorting and are property-tested against this function.
     """
     num_groups = len(keys)
     if num_groups == 0:

@@ -187,6 +187,11 @@ class VectorExecutor:
     kinds on one engine.
     """
 
+    #: Batch reducers run synchronously in the engine's process, so the
+    #: engine may hand scatter-capable reducers the ungrouped batch
+    #: (skipping the shuffle permutation entirely).
+    in_process_batch = True
+
     def run(
         self,
         groups: Dict[Hashable, List[object]],

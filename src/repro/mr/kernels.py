@@ -1,0 +1,266 @@
+"""O(C) scatter-min kernels for the growing-step merge.
+
+The Δ-growing step's merge half — "per target node, keep the winning
+``(distance, center, arrival)`` candidate" — was historically a sort:
+group the candidate batch with a stable ``np.argsort``, then resolve
+each group with an ``np.lexsort`` over the tie-break columns
+(:func:`repro.mr.batch.group_min_first`).  Sorting costs
+``O(C log C)`` per round and, at R-MAT(18) scale, dominates the whole
+clustering wall-clock.  The kernels here compute the *same* winners in
+``O(C)`` data movement:
+
+1. scatter-min the distance column per target (``np.minimum.at`` on a
+   dense per-target buffer, or ``np.minimum.reduceat`` when the batch is
+   already grouped);
+2. restrict to the rows achieving their target's minimum distance and
+   scatter-min the center column among them;
+3. among full ``(distance, center)`` ties, keep the earliest arrival —
+   a scatter-min over the *row index*, which is exactly the "stable
+   first" rule the sorting implementation enforced.
+
+Because each pass narrows the candidate set by exact equality against
+the per-target minimum, the surviving row is the lexicographic minimum
+— bit-identical to the sort-based tie-break (the property suite in
+``tests/mr/test_kernels.py`` pits every kernel against the
+:func:`~repro.mr.batch.group_min_first` oracle, which is kept unchanged
+for exactly that purpose).  The kernels assume NaN-free columns; the
+growing step only produces finite candidate rows.
+
+Two layouts are provided, one per execution context:
+
+* :func:`scatter_group_min_first` — a drop-in **batch reducer** (same
+  signature and output as ``group_min_first``) that replaces the
+  lexsort with ``np.minimum.reduceat`` passes over the grouped rows.
+  Process-pool workers run this on their shard, so the ``parallel`` and
+  ``mmap`` backends inherit the speedup without any transport change.
+* :func:`scatter_min_rows` — the **ungrouped** kernel: candidates stay
+  in arrival order and the reduction scatters into dense per-target
+  buffers (:class:`ScatterScratch`, preallocated once and reset only on
+  the touched targets, so rounds cost O(candidates) regardless of
+  ``n``).  This is the hot path of the vector backend (via the engine's
+  counting-sort shuffle), the serial core step, and the sharded
+  workers' resident merge.
+
+``REPRO_GROWING_KERNEL=sort`` switches every growing path back to the
+legacy sort-based kernels — the switch exists for the A/B benchmark
+(``benchmarks/bench_growing_kernels.py``) and the CI parity job, which
+assert that both modes produce identical clusterings *and* counters.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ScatterScratch",
+    "scatter_min_rows",
+    "scatter_group_min_first",
+    "merge_candidates",
+    "counting_group_keys",
+    "merge_kernel_name",
+    "KERNEL_ENV",
+]
+
+#: Environment switch for the growing-step kernels: ``scatter`` (default)
+#: or ``sort`` (the legacy argsort/lexsort path, kept for A/B parity).
+KERNEL_ENV = "REPRO_GROWING_KERNEL"
+
+#: "No row yet" sentinel of the first-arrival scatter pass.
+_ROW_SENTINEL = np.iinfo(np.int64).max
+
+
+def merge_kernel_name() -> str:
+    """Active growing-kernel implementation: ``"scatter"`` or ``"sort"``.
+
+    Read from :data:`KERNEL_ENV` on every call so benchmarks (and the CI
+    parity job) can flip modes between runs in one process; anything but
+    ``sort`` means the scatter kernels.
+    """
+    return "sort" if os.environ.get(KERNEL_ENV) == "sort" else "scatter"
+
+
+class ScatterScratch:
+    """Reusable dense buffers for the ungrouped scatter-min kernels.
+
+    One buffer per tie-break column plus one int64 row buffer, each of
+    the id-domain size.  Buffers are allocated (``np.empty`` — contents
+    are irrelevant, every kernel call writes its touched ids before
+    reading them) on first use and grown monotonically, so a state that
+    keeps one scratch across rounds performs zero per-round allocation
+    on the dense side.
+    """
+
+    __slots__ = ("_cols", "_rows", "_size")
+
+    def __init__(self) -> None:
+        self._cols: List[np.ndarray] = []
+        self._rows: Optional[np.ndarray] = None
+        self._size = 0
+
+    def ensure(
+        self, domain: int, ncols: int
+    ) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Return ``ncols`` float64 buffers plus the row buffer, each ≥ ``domain``."""
+        if domain > self._size:
+            self._size = int(domain)
+            self._cols = [np.empty(self._size) for _ in self._cols]
+            self._rows = np.empty(self._size, dtype=np.int64)
+        while len(self._cols) < ncols:
+            self._cols.append(np.empty(self._size))
+        if self._rows is None:
+            self._rows = np.empty(self._size, dtype=np.int64)
+        return self._cols[:ncols], self._rows
+
+
+def scatter_min_rows(
+    ids: np.ndarray,
+    cols: Sequence[np.ndarray],
+    *,
+    domain: int,
+    scratch: Optional[ScatterScratch] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Winning row per distinct id, without grouping or sorting the rows.
+
+    ``ids`` are int64 in ``[0, domain)`` (one per candidate row, in
+    arrival order) and ``cols`` the tie-break columns in priority order;
+    the winner of an id is the row minimizing
+    ``(cols[0], cols[1], ..., arrival index)`` — the paper's relaxation
+    tie-break when called with ``(distance, center)``.  Columns must be
+    float64 (cast integer columns first; ids fit exactly) and NaN-free.
+
+    Each pass resets the dense buffer only on the ids present in the
+    batch, scatter-mins the column, and keeps the rows that achieve
+    their id's minimum — so total work is O(rows · columns), independent
+    of ``domain``.  Returns ``(distinct ids ascending, winner row per
+    id)``.
+    """
+    scratch = scratch if scratch is not None else ScatterScratch()
+    num_rows = len(ids)
+    if num_rows == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    col_bufs, row_buf = scratch.ensure(domain, len(cols))
+
+    rows: Optional[np.ndarray] = None  # None = all rows still alive
+    sub_ids = ids
+    for col, buf in zip(cols, col_bufs):
+        if rows is not None:
+            col = col[rows]
+        buf[sub_ids] = np.inf
+        np.minimum.at(buf, sub_ids, col)
+        keep = col == buf[sub_ids]
+        rows = np.flatnonzero(keep) if rows is None else rows[keep]
+        sub_ids = ids[rows]
+    if rows is None:  # no tie-break columns: earliest arrival wins outright
+        rows = np.arange(num_rows, dtype=np.int64)
+        sub_ids = ids
+
+    row_buf[sub_ids] = _ROW_SENTINEL
+    np.minimum.at(row_buf, sub_ids, rows)
+    winners = rows[row_buf[sub_ids] == rows]
+    winner_ids = ids[winners]
+    order = np.argsort(winner_ids)  # distinct ids: tiny vs the row count
+    return winner_ids[order], winners[order]
+
+
+def counting_group_keys(
+    keys: np.ndarray, bound: int, *, with_offsets: bool = True
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Counting-sort shuffle of bounded int64 keys: histogram + prefix sum.
+
+    The grouping half of a stable counting sort — ``np.bincount`` over
+    the bounded key domain plus a prefix sum — in O(rows + bound),
+    replacing the engine's stable ``np.argsort``.  Returns
+    ``(group_keys, counts, offsets)``: distinct keys ascending, the size
+    of each group, and the ``g + 1`` prefix array, exactly the layout
+    the argsort shuffle derives (``offsets`` is ``None`` under
+    ``with_offsets=False`` — the engine's scatter path consumes only
+    keys and counts).  The rows themselves are *not* permuted; reducers
+    that need physically grouped rows still gather via argsort,
+    scatter-capable reducers never need them.
+    """
+    dense = np.bincount(keys, minlength=bound)
+    group_keys = np.flatnonzero(dense)
+    counts = dense[group_keys]
+    offsets = None
+    if with_offsets:
+        offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    return group_keys.astype(np.int64), counts.astype(np.int64), offsets
+
+
+def scatter_group_min_first(
+    keys: np.ndarray,
+    offsets: np.ndarray,
+    values: np.ndarray,
+    sort_cols: Optional[int] = None,
+):
+    """Scatter-min drop-in for :func:`repro.mr.batch.group_min_first`.
+
+    Same signature, same output — per group, the first row in input
+    order among those minimizing the leading ``sort_cols`` columns — but
+    the lexsort is replaced by one ``np.minimum.reduceat`` pass per
+    tie-break column over the (already grouped) rows, then a reduceat on
+    the row index for the first-arrival rule.  O(rows · columns)
+    instead of O(rows · log rows).  Assumes NaN-free columns.
+    """
+    num_groups = len(keys)
+    if num_groups == 0:
+        return keys, values, np.zeros(0, dtype=np.int64)
+    d = values.shape[1] if sort_cols is None else int(sort_cols)
+    starts = offsets[:-1]
+    sizes = np.diff(offsets)
+    gid = np.repeat(np.arange(num_groups, dtype=np.int64), sizes)
+
+    alive: Optional[np.ndarray] = None  # None = every row still tied
+    for c in range(d):
+        col = values[:, c]
+        if alive is None:
+            gmin = np.minimum.reduceat(col, starts)
+            alive = col == gmin[gid]
+        else:
+            gmin = np.minimum.reduceat(np.where(alive, col, np.inf), starts)
+            alive &= col == gmin[gid]
+
+    rows = np.arange(len(gid), dtype=np.int64)
+    if alive is not None:
+        rows = np.where(alive, rows, np.int64(len(gid)))
+    firsts = np.minimum.reduceat(rows, starts)
+    return keys, values[firsts], np.ones(num_groups, dtype=np.int64)
+
+
+def merge_candidates(keys, offsets, values):
+    """The growing-step merge as a batch reducer (scatter implementation).
+
+    Per target node, the winning ``(nd, center, dacc)`` row under the
+    paper's tie-break — smallest distance, then smallest center, then
+    earliest arrival (``sort_cols=2``: ``dacc`` rides along with the
+    winner, it never breaks ties).  Drop-in for the legacy
+    ``partial(group_min_first, sort_cols=2)`` reducer; a module-level
+    function so pool workers receive it by reference.
+    """
+    return scatter_group_min_first(keys, offsets, values, sort_cols=2)
+
+
+def _merge_candidates_ungrouped(keys, values, group_keys, bound, scratch):
+    """Ungrouped fast path of :func:`merge_candidates`.
+
+    Invoked by :meth:`repro.mr.engine.MREngine.round_batch` when the
+    counting-sort shuffle applies and the executor reduces in-process:
+    the candidate rows never get permuted — the winners come straight
+    from the dense scatter.  ``group_keys`` (ascending, from the
+    counting shuffle) is exactly the id set the scatter returns, so the
+    output matches the grouped reducer's bit for bit.
+    """
+    out_keys, rows = scatter_min_rows(
+        keys,
+        (values[:, 0], values[:, 1]),
+        domain=bound,
+        scratch=scratch,
+    )
+    return out_keys, values[rows], np.ones(len(out_keys), dtype=np.int64)
+
+
+#: Marks :func:`merge_candidates` as scatter-capable for the engine.
+merge_candidates.ungrouped_reduce = _merge_candidates_ungrouped

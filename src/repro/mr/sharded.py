@@ -175,9 +175,17 @@ class _ShardWorker:
 
     def reset(self):
         from repro.core.state import ClusterState
+        from repro.mr.kernels import ScatterScratch
 
         self.state = ClusterState(self.hi - self.lo)
         self.changed = np.zeros(self.hi - self.lo, dtype=bool)
+        #: Last merge's adopted local ids (ascending) — the live
+        #: frontier; lets every non-forced round run without an O(n)
+        #: mask rescan.
+        self.active = np.empty(0, dtype=np.int64)
+        #: Dense scatter buffers of the merge kernel, reused across
+        #: rounds (sized to this shard's node range).
+        self.scratch = ScatterScratch()
         self.pending = _empty_candidates()
         self.halo_best = np.full(len(self.halo), np.inf)
         # Frozen-replica ("ghost") state of halo nodes, filled by
@@ -200,6 +208,7 @@ class _ShardWorker:
         s.dist[live] = np.inf
         s.dist_acc[live] = np.inf
         self.changed[live] = False
+        self.active = np.empty(0, dtype=np.int64)
         s.frozen_iter[live] = 0
         # Remote distances reset with the stage, so shipped-best history
         # no longer implies anything about receiver state.
@@ -208,6 +217,42 @@ class _ShardWorker:
         s.center[picks] = picks + self.lo
         s.dist[picks] = 0.0
         s.dist_acc[picks] = 0.0
+
+    def _merge(self, cand_keys, cand_values):
+        """Per-target winner over this shard's resident candidate batch.
+
+        The scatter form of :func:`_min_by_target`: ``np.minimum.at``
+        passes over dense per-node buffers (``(nd, center, source)``
+        tie-break, all three columns unique per target — see the module
+        docstring), reusing the shard-sized scratch across rounds; the
+        per-group counts come from one ``np.bincount`` (counting-sort
+        histogram), which also yields the memory-model extremes.
+        ``REPRO_GROWING_KERNEL=sort`` selects the legacy sort-based
+        merge for the A/B benchmark and parity CI.
+        """
+        from repro.mr.kernels import merge_kernel_name, scatter_min_rows
+
+        if merge_kernel_name() == "sort":
+            return _min_by_target(cand_keys, cand_values)
+        local = cand_keys - self.lo
+        ids, rows = scatter_min_rows(
+            local,
+            (cand_values[:, 0], cand_values[:, 1], cand_values[:, 3]),
+            domain=self.hi - self.lo,
+            scratch=self.scratch,
+        )
+        # Group sizes over the distinct targets only (O(C log G + G)),
+        # not a shard-sized histogram: the counts feed nothing but the
+        # memory-model extremes.  argmax over ascending distinct ids
+        # picks the same first-maximum group as the sort path.
+        counts = np.bincount(np.searchsorted(ids, local), minlength=len(ids))
+        at = int(np.argmax(counts))
+        return (
+            ids + self.lo,
+            cand_values[rows],
+            int(counts[at]),
+            int(ids[at]) + self.lo,
+        )
 
     def apply_replicas(self, ids, center, dist, dacc, iteration):
         idx = np.searchsorted(self.halo, ids)
@@ -237,14 +282,15 @@ class _ShardWorker:
         max_group = 0
         max_group_key = -1
         num_groups = 0
-        self.changed[:] = False
+        self.changed[self.active] = False  # O(frontier), not O(n)
         newly = 0
+        adopted = np.empty(0, dtype=np.int64)
         if merged:
-            keys, values, max_group, max_group_key = _min_by_target(
+            keys, values, max_group, max_group_key = self._merge(
                 cand_keys, cand_values
             )
             num_groups = len(keys)
-            newly = apply_merged_candidates(
+            newly, adopted = apply_merged_candidates(
                 keys,
                 values[:, :3],
                 center=self.state.center,
@@ -254,9 +300,11 @@ class _ShardWorker:
                 changed=self.changed,
                 base=self.lo,
             )
-        updated = int(np.count_nonzero(self.changed))
+        self.active = adopted
+        updated = len(adopted)
 
-        # Emit through the shard's CSR rows, then route by owner.
+        # Emit through the shard's CSR rows, then route by owner.  The
+        # adopted frontier drives non-forced rounds directly.
         out_keys, out_values3, out_srcs = emit_frontier(
             self.indptr,
             self.indices,
@@ -272,6 +320,7 @@ class _ShardWorker:
             rescale=rescale,
             iteration=iteration,
             with_sources=True,
+            sources=None if force else self.active,
         )
         emitted = len(out_keys)
         outgoing = []
@@ -667,6 +716,11 @@ class ShardedExecutor:
     #: Marks this executor as building its own growing state
     #: (see :func:`repro.mrimpl.growing_mr.make_growing_state`).
     owns_growing_state = True
+
+    #: Non-growing batch rounds (e.g. the quotient construction) reduce
+    #: in the driver process, so scatter-capable reducers may take the
+    #: engine's ungrouped fast path.
+    in_process_batch = True
 
     def __init__(self, num_shards: Optional[int] = None):
         if num_shards is not None and num_shards < 1:

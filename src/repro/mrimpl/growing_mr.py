@@ -33,17 +33,20 @@ NumPy arrays, adjacency stays in the input CSR, and only the relaxation
 candidates cross the engine — an ``int64`` target-key array plus a
 ``(nd, center, dacc)`` float64 row per candidate.  The merge half of the
 step is one :meth:`~repro.mr.engine.MREngine.round_batch` with the
-min-by-(distance, center) batch reducer; the emission half expands the
-changed frontier through the CSR arrays.  Step timing, tie-breaking, and
-the forced-broadcast semantics are identical to the per-key path, so one
-engine round still equals one growing step.
+min-by-(distance, center) reducer — by default the O(candidates)
+scatter-min kernel of :mod:`repro.mr.kernels`
+(``REPRO_GROWING_KERNEL=sort`` restores the lexsort oracle); the
+emission half expands the adopted frontier, carried between rounds as
+an explicit index array, through the CSR arrays.  Step timing,
+tie-breaking, and the forced-broadcast semantics are identical to the
+per-key path, so one engine round still equals one growing step.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from functools import partial
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -51,6 +54,7 @@ from repro.graph.csr import CSRGraph
 from repro.mr.batch import group_min_first
 from repro.mr.engine import MREngine, Pair
 from repro.mr.executor import make_executor
+from repro.mr.kernels import merge_candidates, merge_kernel_name
 from repro.mr.model import MRSpec
 from repro.util import expand_ranges
 
@@ -66,13 +70,30 @@ __all__ = [
     "owned_engine",
     "apply_merged_candidates",
     "emit_frontier",
+    "merge_reducer",
 ]
 
 NO_CENTER = -1
 
-#: Batch reducer of the candidate merge: smallest ``nd``, then smallest
-#: center, earliest arrival on full ties — the exact legacy tie-break.
-MERGE_CANDIDATES = partial(group_min_first, sort_cols=2)
+#: Legacy (sort-based) reducer of the candidate merge: smallest ``nd``,
+#: then smallest center, earliest arrival on full ties.  Kept as the
+#: reference oracle; the default merge is the scatter kernel below.
+MERGE_CANDIDATES_SORT = partial(group_min_first, sort_cols=2)
+
+#: Default batch reducer of the candidate merge — the scatter-min kernel
+#: with the identical tie-break (``repro.mr.kernels.merge_candidates``).
+MERGE_CANDIDATES = merge_candidates
+
+
+def merge_reducer():
+    """The active candidate-merge reducer (scatter, or the sort oracle).
+
+    Honors ``REPRO_GROWING_KERNEL`` so benchmarks and the CI parity job
+    can A/B the two implementations on any backend.
+    """
+    if merge_kernel_name() == "sort":
+        return MERGE_CANDIDATES_SORT
+    return MERGE_CANDIDATES
 
 
 # --------------------------------------------------------------------- #
@@ -96,18 +117,20 @@ def apply_merged_candidates(
     frozen: np.ndarray,
     changed: np.ndarray,
     base: int = 0,
-) -> int:
+) -> Tuple[int, np.ndarray]:
     """Adopt per-target winning candidates into the state arrays.
 
     ``keys`` are the distinct target node ids (ascending) and ``values``
     the winning ``(nd, center, dacc)`` row per target, as produced by
     :data:`MERGE_CANDIDATES`.  State arrays are indexed locally; ``base``
     is the global id of local node 0 (0 for whole-graph state).  Marks
-    adopted targets in ``changed`` and returns how many of them were
-    previously unassigned.
+    adopted targets in ``changed`` and returns ``(newly_assigned,
+    adopted)`` — how many adopted targets were previously unassigned,
+    plus the adopted local indices themselves (ascending: the next
+    round's active frontier, so callers never rescan the full mask).
     """
     if not len(keys):
-        return 0
+        return 0, np.empty(0, dtype=np.int64)
     nd = values[:, 0]
     ctr = values[:, 1].astype(np.int64)
     dc = values[:, 2]
@@ -119,7 +142,7 @@ def apply_merged_candidates(
     dist[tgt] = nd[adopt]
     dacc[tgt] = dc[adopt]
     changed[tgt] = True
-    return newly
+    return newly, tgt
 
 
 def emit_frontier(
@@ -138,6 +161,7 @@ def emit_frontier(
     rescale: float = 0.0,
     iteration: int = 0,
     with_sources: bool = False,
+    sources: Optional[np.ndarray] = None,
 ):
     """Expand the new-contribution frontier through CSR rows.
 
@@ -152,39 +176,56 @@ def emit_frontier(
     relies on.  ``with_sources=True`` additionally returns each
     candidate's (local) source id.
 
+    ``sources``, when given, is the caller-maintained active frontier
+    (ascending local ids whose state changed last merge, i.e. the nodes
+    the ``changed`` mask would select): the whole call then costs
+    O(frontier + emitted arcs) with no O(n) mask scan.  ``None`` scans
+    every node — required on forced rounds, where unchanged (and
+    frozen) contributors re-emit.  Effective distances are computed on
+    the emitting subset only; no O(n) temporary is allocated on either
+    path.
+
     Returns ``(keys, values)`` — or ``(keys, values, sources)``.
     """
-    n = len(center)
-    if rescale:
-        frozen_eff = dist - rescale * (iteration - frozen_iter)
+    if sources is None:
+        src = np.flatnonzero((center != NO_CENTER) & (changed | force))
     else:
-        frozen_eff = np.zeros(n)
-    eff = np.where(frozen, frozen_eff, dist)
-    emit = (center != NO_CENTER) & (changed | force) & (eff < delta)
-    sources = np.flatnonzero(emit)
-    if not len(sources):
+        # Active-frontier nodes are adopted, hence assigned and (at
+        # adoption time) unfrozen; a later Contract may have frozen
+        # some and cleared their changed flag — drop those, exactly as
+        # the mask scan would.
+        src = sources[~frozen[sources]] if len(sources) else sources
+    if len(src):
+        eff = dist[src]  # fancy indexing: already a fresh O(|src|) buffer
+        fr = frozen[src]
+        if rescale:
+            eff[fr] = eff[fr] - rescale * (iteration - frozen_iter[src][fr])
+        else:
+            eff[fr] = 0.0
+        keep = eff < delta
+        src = src[keep]
+        eff = eff[keep]
+    if not len(src):
         empty = (
             np.empty(0, dtype=np.int64),
             np.empty((0, 3), dtype=np.float64),
         )
         return empty + (np.empty(0, dtype=np.int64),) if with_sources else empty
-    starts = indptr[sources]
-    counts = indptr[sources + 1] - starts
+    starts = indptr[src]
+    counts = indptr[src + 1] - starts
     arc_idx = expand_ranges(starts, counts)
     tgts = indices[arc_idx]
     w = weights[arc_idx]
-    src_rep = np.repeat(sources, counts)
-    nd_out = eff[src_rep] + w
+    src_rep = np.repeat(src, counts)
+    nd_out = np.repeat(eff, counts) + w
     ok = (w <= delta) & (nd_out <= delta)
-    cand_values = np.column_stack(
-        (
-            nd_out[ok],
-            center[src_rep[ok]].astype(np.float64),
-            dacc[src_rep[ok]] + w[ok],
-        )
-    )
+    keep_src = src_rep[ok]
+    cand_values = np.empty((len(keep_src), 3), dtype=np.float64)
+    cand_values[:, 0] = nd_out[ok]
+    cand_values[:, 1] = center[keep_src]
+    cand_values[:, 2] = dacc[keep_src] + w[ok]
     if with_sources:
-        return tgts[ok], cand_values, src_rep[ok]
+        return tgts[ok], cand_values, keep_src
     return tgts[ok], cand_values
 
 
@@ -436,6 +477,15 @@ class ArrayGrowingState:
     value rows.  Semantically equivalent to :class:`PairGrowingState`
     step for step — the backend-equivalence tests assert bit-identical
     clusterings.
+
+    Round cost is frontier-proportional: the state carries the active
+    index array (last merge's adopted targets) between rounds, so a
+    non-forced step touches O(frontier + candidates) elements — the
+    ``changed`` mask is maintained for the kernels but never rescanned
+    over all ``n`` nodes, and the engine's scatter scratch is reused
+    across rounds.  (Skinny tail rounds whose candidate count is far
+    below ``n`` fall back to sorting those few rows rather than paying
+    the O(n) counting histogram — see ``_key_bound``.)
     """
 
     def __init__(self, graph: CSRGraph):
@@ -450,6 +500,8 @@ class ArrayGrowingState:
         self.frozen_iter = np.zeros(n, dtype=np.int64)
         self._cand_keys = np.empty(0, dtype=np.int64)
         self._cand_values = np.empty((0, 3), dtype=np.float64)
+        #: Last merge's adopted node ids (ascending) — the live frontier.
+        self._active = np.empty(0, dtype=np.int64)
 
     def uncovered(self) -> np.ndarray:
         return np.flatnonzero(~self.frozen).astype(np.int64)
@@ -461,6 +513,7 @@ class ArrayGrowingState:
         self.dacc[live] = np.inf
         self.changed[live] = False
         self.frozen_iter[live] = 0
+        self._active = np.empty(0, dtype=np.int64)
         picks = np.asarray(picks, dtype=np.int64)
         self.center[picks] = picks
         self.dist[picks] = 0.0
@@ -476,12 +529,16 @@ class ArrayGrowingState:
         iteration: int = 0,
     ) -> Tuple[int, int]:
         # Merge: one batch round reduces last step's candidates to the
-        # winning (nd, center, dacc) per target node.
+        # winning (nd, center, dacc) per target node.  Keys are node
+        # ids, so the engine takes the counting-sort/scatter path.
         keys, values = engine.round_batch(
-            self._cand_keys, self._cand_values, MERGE_CANDIDATES
+            self._cand_keys,
+            self._cand_values,
+            merge_reducer(),
+            key_bound=self.num_nodes,
         )
-        self.changed[:] = False
-        newly = apply_merged_candidates(
+        self.changed[self._active] = False  # O(frontier), not O(n)
+        newly, self._active = apply_merged_candidates(
             keys,
             values,
             center=self.center,
@@ -490,9 +547,11 @@ class ArrayGrowingState:
             frozen=self.frozen,
             changed=self.changed,
         )
-        updated = int(np.count_nonzero(self.changed))
+        updated = len(self._active)
 
         # Emit: expand the new contribution set through the CSR arrays.
+        # Non-forced rounds pass the adopted frontier straight through —
+        # no per-round mask rescan.
         self._cand_keys, self._cand_values = emit_frontier(
             self.graph.indptr,
             self.graph.indices,
@@ -507,6 +566,7 @@ class ArrayGrowingState:
             force=force,
             rescale=rescale,
             iteration=iteration,
+            sources=None if force else self._active,
         )
 
         engine.counters.updates += updated
