@@ -1,0 +1,176 @@
+"""Fused emit pipeline — push vs pull vs auto, across the batch backends.
+
+PR 4 moved the reduce side to O(candidates); this bench measures the
+emit side's fused pipeline (``repro.mr.emit``): scratch-buffered
+candidate generation, direction-optimizing push/pull expansion, the
+improvement pre-filter, and the frozen-emission cache that replays
+forced rounds.  The same Figure-4-family workload as
+``bench_growing_kernels.py`` (R-MAT LCC, CLUSTER with capped growth)
+runs on every fused backend under each ``REPRO_EMIT_MODE``:
+
+* ``push`` — frontier-major expansion (the PR 4 shape, now scratch-
+  buffered and improvement-filtered);
+* ``pull`` — target-major streaming through the reverse CSR;
+* ``auto`` — per-round direction by frontier degree-sum, with forced
+  rounds replayed from the frozen-emission cache (the default).
+
+Every combination must produce the identical clustering *and*
+identical rounds/messages/updates counters (asserted below and by
+``tests/mr/test_emit_parity.py``); the wall-clock column is the point.
+Acceptance bars (enforced at full scale): ``auto`` beats the recorded
+PR 4 scatter baselines by ≥ 2x on ``vector`` and ≥ 1.3x on
+``parallel`` and ``sharded``.
+
+Run on demand (CI runs it at ``REPRO_BENCH_SCALE=12`` for smoke,
+artifact regeneration, and the bench-regression gate)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_emit_pipeline.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_bench_records, write_result
+from repro.bench.reporting import bench_record, format_table
+from repro.core.cluster import cluster
+from repro.core.config import ClusterConfig
+from repro.generators import rmat
+from repro.graph.ops import largest_connected_component
+from repro.mr.emit import EMIT_ENV
+from repro.mrimpl.cluster_mr import mr_cluster
+from repro.mrimpl.growing_mr import default_engine
+
+BACKENDS = ("vector", "parallel", "sharded")
+MODES = ("push", "pull", "auto")
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "18"))
+WORKERS = 4
+CFG = ClusterConfig(
+    seed=42, stage_threshold_factor=1.0, tau=64, growing_step_cap=6
+)
+
+#: PR 4's recorded R-MAT(18) scatter baselines (BENCH_growing_kernels
+#: .json at the time this bench was introduced) — what the acceptance
+#: bars are measured against.
+PR4_SCATTER_BASELINE = {"vector": 3.7918, "parallel": 9.421, "sharded": 13.5934}
+
+#: Required speedup of ``auto`` over the PR 4 baseline, per backend.
+ACCEPTANCE = {"vector": 2.0, "parallel": 1.3, "sharded": 1.3}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return largest_connected_component(rmat(SCALE, edge_factor=8, seed=11))[0]
+
+
+def _run(graph, backend: str, mode: str):
+    before = os.environ.get(EMIT_ENV)
+    os.environ[EMIT_ENV] = mode
+    try:
+        if backend == "serial-core":
+            start = time.perf_counter()
+            clustering = cluster(graph, config=CFG)
+            return clustering, None, time.perf_counter() - start
+        engine = default_engine(graph, executor=backend, num_workers=WORKERS)
+        start = time.perf_counter()
+        try:
+            clustering = mr_cluster(graph, config=CFG, engine=engine)
+        finally:
+            if hasattr(engine.executor, "close"):
+                engine.executor.close()
+        return clustering, engine, time.perf_counter() - start
+    finally:
+        if before is None:
+            os.environ.pop(EMIT_ENV, None)
+        else:
+            os.environ[EMIT_ENV] = before
+
+
+def test_emit_pipeline_report(benchmark, workload):
+    def sweep():
+        results = {("serial-core", "auto"): _run(workload, "serial-core", "auto")}
+        for backend in BACKENDS:
+            for mode in MODES:
+                results[(backend, mode)] = _run(workload, backend, mode)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    reference = results[("vector", "push")][0]
+    rows = []
+    bench_rows = []
+    core_time = results[("serial-core", "auto")][2]
+    for (backend, mode), (clustering, engine, elapsed) in results.items():
+        if backend != "serial-core":
+            # Directions may only move time, never results: identical
+            # clustering AND identical counters on every combination.
+            assert np.array_equal(clustering.center, reference.center)
+            assert np.array_equal(
+                clustering.dist_to_center, reference.dist_to_center
+            )
+            assert clustering.counters.rounds == reference.counters.rounds
+            assert clustering.counters.messages == reference.counters.messages
+            assert clustering.counters.updates == reference.counters.updates
+        timings = (
+            engine.counters.timing_snapshot()
+            if engine is not None
+            else clustering.counters.timing_snapshot()
+        )
+        rows.append(
+            {
+                "backend": backend,
+                "mode": mode,
+                "wall_s": round(elapsed, 3),
+                "emit_s": timings.get("emit", 0.0),
+                "reduce_s": timings.get("reduce", 0.0),
+                "rounds": clustering.counters.rounds,
+            }
+        )
+        bench_rows.append(
+            bench_record(
+                workload=f"rmat{SCALE}_lcc_cluster",
+                n=workload.num_nodes,
+                m=workload.num_edges,
+                backend=f"{backend}-{mode}" if backend != "serial-core" else backend,
+                wall_s=elapsed,
+                rounds=clustering.counters.rounds,
+                bytes_shipped=getattr(
+                    getattr(engine, "executor", None), "bytes_shipped", 0
+                )
+                if engine is not None
+                else 0,
+                emit_mode=mode,
+                timings=timings,
+            )
+        )
+    write_bench_records("BENCH_emit_pipeline.json", bench_rows)
+
+    write_result(
+        "emit_pipeline.txt",
+        format_table(
+            rows,
+            title=(
+                f"Fused emit pipeline on R-MAT({SCALE}) LCC "
+                f"(n={workload.num_nodes}, m={workload.num_edges}, "
+                f"{WORKERS} workers; serial-core wall {core_time:.2f}s; "
+                f"modes: push / pull / auto = direction-optimized + "
+                f"frozen-emission cache)"
+            ),
+        ),
+    )
+
+    # Acceptance bars apply at full scale only: at smoke scales the
+    # per-round constants dominate and wall-clock inverts on noise.
+    if SCALE >= 16:
+        for backend, factor in ACCEPTANCE.items():
+            auto_time = results[(backend, "auto")][2]
+            bar = PR4_SCATTER_BASELINE[backend] / factor
+            assert auto_time <= bar, (
+                f"{backend}: auto mode took {auto_time:.2f}s, acceptance "
+                f"bar is {bar:.2f}s ({factor}x over the PR 4 baseline "
+                f"{PR4_SCATTER_BASELINE[backend]:.2f}s)"
+            )

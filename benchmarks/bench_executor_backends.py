@@ -115,6 +115,7 @@ def test_backend_speedup_report(benchmark, workload):
                 bytes_shipped=getattr(engine.executor, "bytes_shipped", 0),
                 speedup=round(serial_time / elapsed, 2),
                 growing_steps=clustering.counters.growing_steps,
+                timings=engine.counters.timing_snapshot(),
             )
         )
     write_bench_records("BENCH_executor_backends.json", bench_rows)

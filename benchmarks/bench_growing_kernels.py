@@ -71,7 +71,8 @@ def _run(graph, backend: str, mode: str):
         if backend == "serial":
             start = time.perf_counter()
             clustering = cluster(graph, config=CFG)
-            return clustering, 0, time.perf_counter() - start
+            timings = clustering.counters.timing_snapshot()
+            return clustering, 0, time.perf_counter() - start, timings
         engine = default_engine(graph, executor=backend, num_workers=WORKERS)
         start = time.perf_counter()
         try:
@@ -80,7 +81,12 @@ def _run(graph, backend: str, mode: str):
             if hasattr(engine.executor, "close"):
                 engine.executor.close()
         elapsed = time.perf_counter() - start
-        return clustering, getattr(engine.executor, "bytes_shipped", 0), elapsed
+        return (
+            clustering,
+            getattr(engine.executor, "bytes_shipped", 0),
+            elapsed,
+            engine.counters.timing_snapshot(),
+        )
     finally:
         if before is None:
             os.environ.pop(KERNEL_ENV, None)
@@ -101,9 +107,9 @@ def test_kernel_speedup_report(benchmark, workload):
     rows = []
     bench_rows = []
     for backend in BACKENDS:
-        ref, _, sort_time = results[(backend, "sort")]
+        ref, _, sort_time, _ = results[(backend, "sort")]
         for mode in MODES:
-            clustering, shipped, elapsed = results[(backend, mode)]
+            clustering, shipped, elapsed, timings = results[(backend, mode)]
             # The kernels may only move time, never results: identical
             # clusterings AND identical counters, per backend.
             assert np.array_equal(clustering.center, ref.center)
@@ -135,6 +141,7 @@ def test_kernel_speedup_report(benchmark, workload):
                     kernel=mode,
                     speedup_vs_sort=round(sort_time / elapsed, 2),
                     updates=clustering.counters.updates,
+                    timings=timings,
                 )
             )
     write_bench_records("BENCH_growing_kernels.json", bench_rows)

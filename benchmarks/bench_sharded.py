@@ -131,6 +131,7 @@ def test_boundary_exchange_report(benchmark, stored_workload):
                 bytes_shipped=sum(moved),
                 bytes_shipped_after_warmup=sum(moved[WARMUP_ROUNDS:]),
                 shards=SHARDS if backend == "sharded" else 0,
+                timings=engine.counters.timing_snapshot(),
             )
         )
     write_bench_records("BENCH_sharded.json", bench_rows)

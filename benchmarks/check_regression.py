@@ -1,0 +1,118 @@
+"""Wall-clock regression gate over BENCH_*.json records.
+
+Compares a freshly produced benchmark artifact against a recorded
+baseline and fails (exit 1) when any shared ``(workload, backend)``
+record's ``wall_s`` regressed beyond the tolerance.  Because absolute
+wall-clock is machine-dependent — CI runners are not the machine the
+baseline was recorded on — the comparison can be *normalized* by a
+reference backend present in both files: every baseline time is scaled
+by ``current[reference] / baseline[reference]`` first, so machine speed
+cancels and only relative regressions trip the gate.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baselines/BENCH_emit_pipeline.smoke.json \
+        --current  benchmarks/results/BENCH_emit_pipeline.json \
+        --normalize serial-core --tolerance 0.25
+
+Records missing from either file are reported but never fail the gate
+(new backends appear, old ones retire); records faster than the
+baseline just print their improvement.  A small absolute slack
+(``--slack``, default 0.1 s) keeps sub-100 ms smoke records from
+tripping on scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_records(path: Path) -> dict:
+    rows = json.loads(path.read_text())
+    return {(r["workload"], r["backend"]): r for r in rows}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--current", required=True, type=Path)
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional wall_s regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--slack", type=float, default=0.1,
+        help="absolute seconds ignored on top of the tolerance",
+    )
+    parser.add_argument(
+        "--normalize", default=None, metavar="BACKEND",
+        help="backend whose wall_s calibrates machine speed "
+             "(must appear in both files, any workload)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+
+    scale = 1.0
+    if args.normalize:
+        base_ref = [r for (_, b), r in baseline.items() if b == args.normalize]
+        cur_ref = [r for (_, b), r in current.items() if b == args.normalize]
+        if not base_ref or not cur_ref:
+            print(
+                f"error: normalization backend {args.normalize!r} missing "
+                f"from {'baseline' if not base_ref else 'current'} records",
+                file=sys.stderr,
+            )
+            return 2
+        base_t = sum(r["wall_s"] for r in base_ref)
+        cur_t = sum(r["wall_s"] for r in cur_ref)
+        if base_t > 0:
+            scale = cur_t / base_t
+        print(f"machine calibration via {args.normalize!r}: x{scale:.3f}")
+
+    failures = []
+    compared = 0
+    for key in sorted(baseline):
+        if key not in current:
+            print(f"  [skip] {key}: not in current run")
+            continue
+        compared += 1
+        allowed = baseline[key]["wall_s"] * scale * (1 + args.tolerance)
+        allowed += args.slack
+        got = current[key]["wall_s"]
+        status = "ok" if got <= allowed else "REGRESSED"
+        print(
+            f"  [{status:>9}] {key[0]} / {key[1]}: {got:.3f}s "
+            f"(allowed {allowed:.3f}s, baseline {baseline[key]['wall_s']:.3f}s)"
+        )
+        if got > allowed:
+            failures.append(key)
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  [new]  {key}: {current[key]['wall_s']:.3f}s (no baseline)")
+
+    if failures:
+        print(
+            f"\n{len(failures)} record(s) regressed more than "
+            f"{args.tolerance:.0%} (+{args.slack}s): "
+            + ", ".join("/".join(k) for k in failures),
+            file=sys.stderr,
+        )
+        return 1
+    if compared == 0:
+        print(
+            "error: no record matched between baseline and current — "
+            "wrong scale or workload? (the gate refuses to pass vacuously)",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"\nno wall-clock regressions ({compared} record(s) compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

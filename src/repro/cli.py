@@ -73,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_conv.add_argument("input")
     p_conv.add_argument("output")
+    p_conv.add_argument(
+        "--reverse", action="store_true",
+        help="also write the reverse-CSR (rsrc) section pull-mode "
+             "growing steps memory-map (.rcsr outputs only)",
+    )
 
     p_gen = sub.add_parser("generate", help="generate a benchmark graph")
     p_gen.add_argument(
@@ -168,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--delta", default=None, help="bucket width (sssp)")
     p_run.add_argument("--exact", action="store_true",
                        help="also compute the exact answer (diameter)")
+    p_run.add_argument("--timings", action="store_true",
+                       help="print per-phase wall-clock (emit/shuffle/"
+                            "reduce/apply) after the run")
 
     sub.add_parser("algorithms", help="list the registered algorithms")
     return parser
@@ -211,9 +219,13 @@ def _cmd_info(args) -> int:
         print(f"edges        : {header.num_edges}")
         print(f"arcs         : {header.num_arcs}")
         print(f"file size    : {header.file_size} bytes")
-        print(f"sections     : indptr@{header.indptr_offset} "
-              f"indices@{header.indices_offset} "
-              f"weights@{header.weights_offset}")
+        sections = (f"indptr@{header.indptr_offset} "
+                    f"indices@{header.indices_offset} "
+                    f"weights@{header.weights_offset}")
+        if header.has_reverse:
+            sections += f" rsrc@{header.rsrc_offset}"
+        print(f"sections     : {sections}")
+        print(f"reverse csr  : {'yes' if header.has_reverse else 'no'}")
         return 0
 
     from repro.graph.io import read_auto
@@ -236,8 +248,16 @@ def _cmd_convert(args) -> int:
     if Path(args.output).suffix == STORE_SUFFIX:
         from repro.runtime import default_store
 
-        graph = default_store().convert(args.input, args.output)
+        graph = default_store().convert(
+            args.input, args.output, reverse=args.reverse
+        )
     else:
+        if args.reverse:
+            print(
+                "error: --reverse only applies to .rcsr outputs",
+                file=sys.stderr,
+            )
+            return 2
         from repro.graph.io import read_auto, write_auto
 
         graph = read_auto(args.input)
@@ -470,6 +490,12 @@ def _cmd_run(args) -> int:
     print(f"rounds       : {result.counters.rounds}")
     print(f"work         : {result.counters.work}")
     print(f"elapsed      : {result.elapsed:.3f}s")
+    if args.timings:
+        accounted = 0.0
+        for phase, seconds in result.timings.items():
+            print(f"  {phase:<11}: {seconds:.3f}s")
+            accounted += seconds
+        print(f"  {'other':<11}: {max(0.0, result.elapsed - accounted):.3f}s")
     return 0
 
 

@@ -28,12 +28,14 @@ of the work counts (messages = light arcs scanned from active sources).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.core.state import NO_CENTER, ClusterState
 from repro.graph.csr import CSRGraph
+from repro.mr.emit import PULL_DEGREE_FRACTION, emit_mode
 from repro.mr.kernels import ScatterScratch, merge_kernel_name, scatter_min_rows
 from repro.mr.metrics import Counters
 from repro.util import expand_ranges, first_occurrence
@@ -103,38 +105,80 @@ def delta_growing_step(
         counters.record_round(messages=0, updates=0)
         return np.empty(0, dtype=np.int64), 0
 
-    # Gather all arcs out of the active sources.
-    starts = graph.indptr[srcs]
-    counts = graph.indptr[srcs + 1] - starts
-    arc_idx = expand_ranges(starts, counts)
-    tgt = graph.indices[arc_idx]
-    w = graph.weights[arc_idx]
-    src_rep = np.repeat(srcs, counts)
-    eff_rep = np.repeat(eff, counts)
+    emit_start = perf_counter()
+    # Direction-optimizing expansion (mirrors repro.mr.emit): push
+    # gathers the frontier's CSR rows; pull streams every arc
+    # target-major once the frontier degree-sum crosses the threshold.
+    # Both produce the identical candidate multiset with ascending
+    # sources inside each target group, so winners cannot differ.
+    mode = emit_mode()
+    if mode == "auto":
+        degree_sum = int((graph.indptr[srcs + 1] - graph.indptr[srcs]).sum())
+        pull = graph.num_arcs and degree_sum > PULL_DEGREE_FRACTION * graph.num_arcs
+    else:
+        pull = mode == "pull"
 
-    # Messages = light arcs that exist in the *contracted* graph: arcs
-    # into frozen targets were removed by Contract (both endpoints covered
-    # → edge dropped; boundary edges point outward only), so a real
-    # implementation never sends along them.
-    light = w <= delta
-    open_target = ~state.frozen[tgt]
-    messages = int(np.count_nonzero(light & open_target))
+    if pull:
+        n = graph.num_nodes
+        effd = np.zeros(n)
+        emitting = np.zeros(n, dtype=bool)
+        emitting[srcs] = True
+        effd[srcs] = eff
+        rows = graph.arc_sources_view()  # reverse-CSR arc→row map
+        em = emitting[graph.indices]
+        w_all = graph.weights
+        light_all = w_all <= delta
+        open_all = ~state.frozen[rows]
+        msg_mask = em & light_all & open_all
+        messages = int(np.count_nonzero(msg_mask))
+        nd_all = effd[graph.indices] + w_all
+        ok_all = msg_mask & (nd_all <= delta) & (nd_all < state.dist[rows])
+        if not ok_all.any():
+            counters.record_round(messages=messages, updates=0)
+            counters.add_time("emit", perf_counter() - emit_start)
+            return np.empty(0, dtype=np.int64), 0
+        cand_t = rows[ok_all]
+        cand_d = nd_all[ok_all]
+        cand_s = graph.indices[ok_all]
+        cand_c = state.center[cand_s]
+        cand_acc = state.dist_acc[cand_s] + w_all[ok_all]
+    else:
+        # Gather all arcs out of the active sources.
+        starts = graph.indptr[srcs]
+        counts = graph.indptr[srcs + 1] - starts
+        arc_idx = expand_ranges(starts, counts)
+        tgt = graph.indices[arc_idx]
+        w = graph.weights[arc_idx]
+        src_rep = np.repeat(srcs, counts)
+        eff_rep = np.repeat(eff, counts)
 
-    nd = eff_rep + w
-    ok = light & (nd <= delta) & open_target & (nd < state.dist[tgt])
-    if not ok.any():
-        counters.record_round(messages=messages, updates=0)
-        return np.empty(0, dtype=np.int64), 0
+        # Messages = light arcs that exist in the *contracted* graph:
+        # arcs into frozen targets were removed by Contract (both
+        # endpoints covered → edge dropped; boundary edges point outward
+        # only), so a real implementation never sends along them.
+        light = w <= delta
+        open_target = ~state.frozen[tgt]
+        messages = int(np.count_nonzero(light & open_target))
 
-    cand_t = tgt[ok]
-    cand_d = nd[ok]
-    cand_c = state.center[src_rep[ok]]
-    cand_acc = state.dist_acc[src_rep[ok]] + w[ok]
+        nd = eff_rep + w
+        ok = light & (nd <= delta) & open_target & (nd < state.dist[tgt])
+        if not ok.any():
+            counters.record_round(messages=messages, updates=0)
+            counters.add_time("emit", perf_counter() - emit_start)
+            return np.empty(0, dtype=np.int64), 0
+
+        cand_t = tgt[ok]
+        cand_d = nd[ok]
+        cand_c = state.center[src_rep[ok]]
+        cand_acc = state.dist_acc[src_rep[ok]] + w[ok]
     relaxations = len(cand_t)
+    reduce_start = perf_counter()
+    counters.add_time("emit", reduce_start - emit_start)
 
     # Winner per target: smallest distance, then smallest center index
     # (any remaining tie is a duplicate (target, distance, center) row;
-    # both kernels keep the earliest arrival).
+    # both kernels keep the earliest arrival — which is the same row in
+    # push and pull order, as sources ascend within each target group).
     if merge_kernel_name() == "sort":
         order = np.lexsort((cand_c, cand_d, cand_t))
         sel = order[first_occurrence(cand_t[order])]
@@ -147,10 +191,13 @@ def delta_growing_step(
             scratch=scratch,
         )
 
+    apply_start = perf_counter()
+    counters.add_time("reduce", apply_start - reduce_start)
     newly_assigned = int(np.count_nonzero(state.center[upd] == NO_CENTER))
     state.dist[upd] = cand_d[sel]
     state.center[upd] = cand_c[sel]
     state.dist_acc[upd] = cand_acc[sel]
+    counters.add_time("apply", perf_counter() - apply_start)
 
     counters.record_round(messages=messages, updates=len(upd), relaxations=relaxations)
     return upd, newly_assigned

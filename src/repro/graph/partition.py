@@ -253,7 +253,10 @@ def write_partitioned_store(
     for k in range(num_shards):
         lo, hi = plan.shard_range(k)
         path = directory / f"part-{k}{STORE_SUFFIX}"
-        write_store(_shard_graph(graph, lo, hi), path)
+        # Shard stores carry the reverse-CSR section up front: workers
+        # memory-map their local arc→row map instead of rebuilding it,
+        # and the pull-mode growing step starts warm.
+        write_store(_shard_graph(graph, lo, hi), path, reverse=True)
         shard_paths.append(path)
 
     mtime_ns, size = _source_signature(store_path)

@@ -18,17 +18,30 @@ GraphStore on-disk layout (version 1, little-endian)::
     ------  ------------  ---------------------------------------------
     0       8             magic ``b"REPROCSR"``
     8       4             format version (uint32, currently 1)
-    12      4             flags (uint32, reserved, 0)
+    12      4             flags (uint32; bit 0 = reverse section present)
     16      8             num_nodes n (int64)
     24      8             num_arcs 2m (int64)
     32      8             indptr section offset (int64)
     40      8             indices section offset (int64)
     48      8             weights section offset (int64)
-    56      8             reserved (0)
+    56      8             rsrc section offset (int64, 0 when absent)
     ...                   sections, each 64-byte aligned:
                           indptr  (n+1) x int64
                           indices (2m)  x int64
                           weights (2m)  x float64
+                          rsrc    (2m)  x int64   [optional]
+
+The optional **reverse-CSR section** (``rsrc``, flag bit 0) stores the
+source row of every arc slot.  Stored graphs are symmetric with sorted
+rows, so the reverse CSR shares ``indptr``/``indices``/``weights`` with
+the forward one — reading row ``t`` target-major lists exactly ``t``'s
+in-arcs with ascending sources — and the arc→row map is the only
+structure the pull-mode growing step (:mod:`repro.mr.emit`) needs to
+gather by.  The section is written by ``write_store(...,
+reverse=True)`` or appended lazily by
+:meth:`repro.runtime.store.GraphStore.ensure_reverse`; readers that
+predate it ignore the flag and the trailing section (the field was
+reserved-zero before).
 
 Clusterings keep the npz form (:func:`save_clustering`), so a
 decomposition computed once (expensive at scale) can be re-analyzed
@@ -54,12 +67,14 @@ __all__ = [
     "save_clustering",
     "load_clustering",
     "write_store",
+    "ensure_reverse_section",
     "read_store_header",
     "open_store",
     "is_store",
     "StoreHeader",
     "STORE_SUFFIX",
     "STORE_VERSION",
+    "FLAG_REVERSE",
 ]
 
 PathLike = Union[str, Path]
@@ -74,7 +89,10 @@ STORE_VERSION = 1
 
 _STORE_MAGIC = b"REPROCSR"
 _HEADER_SIZE = 64
-_HEADER_FMT = "<8sII5q"  # magic, version, flags, n, arcs, 3 section offsets
+_HEADER_FMT = "<8sII6q"  # magic, version, flags, n, arcs, 4 section offsets
+
+#: Header flag bit: the reverse-CSR (``rsrc``) section is present.
+FLAG_REVERSE = 0x1
 
 
 def _align64(offset: int) -> int:
@@ -98,6 +116,8 @@ class StoreHeader:
     indices_offset: int
     weights_offset: int
     file_size: int
+    flags: int = 0
+    rsrc_offset: int = 0
 
     @property
     def num_edges(self) -> int:
@@ -105,9 +125,17 @@ class StoreHeader:
         return self.num_arcs // 2
 
     @property
+    def has_reverse(self) -> bool:
+        """Whether the reverse-CSR (``rsrc``) section is present."""
+        return bool(self.flags & FLAG_REVERSE) and self.rsrc_offset > 0
+
+    @property
     def data_bytes(self) -> int:
-        """Bytes occupied by the three array sections (without padding)."""
-        return 8 * (self.num_nodes + 1) + 16 * self.num_arcs
+        """Bytes occupied by the array sections (without padding)."""
+        base = 8 * (self.num_nodes + 1) + 16 * self.num_arcs
+        if self.has_reverse:
+            base += 8 * self.num_arcs
+        return base
 
 
 def is_store(path: PathLike) -> bool:
@@ -119,12 +147,17 @@ def is_store(path: PathLike) -> bool:
         return False
 
 
-def write_store(graph: CSRGraph, path: PathLike) -> Path:
+def write_store(graph: CSRGraph, path: PathLike, *, reverse: bool = False) -> Path:
     """Write ``graph`` as a GraphStore file and return its path.
 
     The write is atomic (temp file + ``os.replace``): a concurrent
     :class:`~repro.runtime.store.GraphStore` reader either sees the old
     file or the complete new one, never a torn header.
+
+    ``reverse=True`` additionally writes the reverse-CSR ``rsrc``
+    section (the source row of every arc slot) so pull-mode growing
+    steps can memory-map their gather index instead of rebuilding it
+    per process.
     """
     path = Path(path)
     n = graph.num_nodes
@@ -132,17 +165,28 @@ def write_store(graph: CSRGraph, path: PathLike) -> Path:
     indptr_off = _align64(_HEADER_SIZE)
     indices_off = _align64(indptr_off + 8 * (n + 1))
     weights_off = _align64(indices_off + 8 * arcs)
+    rsrc_off = _align64(weights_off + 8 * arcs) if reverse else 0
     header = struct.pack(
         _HEADER_FMT,
         _STORE_MAGIC,
         STORE_VERSION,
-        0,
+        FLAG_REVERSE if reverse else 0,
         n,
         arcs,
         indptr_off,
         indices_off,
         weights_off,
+        rsrc_off,
     ).ljust(_HEADER_SIZE, b"\x00")
+
+    sections = [
+        (indptr_off, graph.indptr),
+        (indices_off, graph.indices),
+        (weights_off, graph.weights),
+    ]
+    if reverse:
+        rsrc = graph.rsrc if graph.rsrc is not None else graph.arc_sources()
+        sections.append((rsrc_off, rsrc))
 
     import tempfile
 
@@ -158,11 +202,7 @@ def write_store(graph: CSRGraph, path: PathLike) -> Path:
         os.fchmod(fd, 0o666 & ~umask)
         with os.fdopen(fd, "wb") as fh:
             fh.write(header)
-            for offset, array in (
-                (indptr_off, graph.indptr),
-                (indices_off, graph.indices),
-                (weights_off, graph.weights),
-            ):
+            for offset, array in sections:
                 fh.write(b"\x00" * (offset - fh.tell()))
                 fh.write(np.ascontiguousarray(array).tobytes())
         os.replace(tmp, path)
@@ -170,6 +210,22 @@ def write_store(graph: CSRGraph, path: PathLike) -> Path:
         if os.path.exists(tmp):  # pragma: no cover - only on a failed write
             os.unlink(tmp)
     return path
+
+
+def ensure_reverse_section(path: PathLike) -> StoreHeader:
+    """Make sure ``path`` carries the reverse-CSR section; return its header.
+
+    A store that already has the section is untouched (O(1) header
+    read); otherwise the file is atomically rewritten with the ``rsrc``
+    section appended.  This is the lazy builder
+    :meth:`repro.runtime.store.GraphStore.ensure_reverse` delegates to.
+    """
+    header = read_store_header(path)
+    if header.has_reverse:
+        return header
+    graph = open_store(path)
+    write_store(graph, path, reverse=True)
+    return read_store_header(path)
 
 
 def read_store_header(path: PathLike) -> StoreHeader:
@@ -187,9 +243,8 @@ def read_store_header(path: PathLike) -> StoreHeader:
         raw = fh.read(_HEADER_SIZE)
     if len(raw) < _HEADER_SIZE or raw[: len(_STORE_MAGIC)] != _STORE_MAGIC:
         raise GraphFormatError(f"{path}: not a GraphStore file")
-    (_, version, _flags, n, arcs, indptr_off, indices_off, weights_off) = (
-        struct.unpack(_HEADER_FMT, raw[: struct.calcsize(_HEADER_FMT)])
-    )
+    (_, version, flags, n, arcs, indptr_off, indices_off, weights_off,
+     rsrc_off) = struct.unpack(_HEADER_FMT, raw[: struct.calcsize(_HEADER_FMT)])
     if version != STORE_VERSION:
         raise GraphFormatError(
             f"{path}: GraphStore version {version} not supported "
@@ -197,11 +252,13 @@ def read_store_header(path: PathLike) -> StoreHeader:
         )
     if n < 0 or arcs < 0:
         raise GraphFormatError(f"{path}: negative section length in header")
-    sections = (
+    sections = [
         (indptr_off, 8 * (n + 1)),
         (indices_off, 8 * arcs),
         (weights_off, 8 * arcs),
-    )
+    ]
+    if flags & FLAG_REVERSE:
+        sections.append((rsrc_off, 8 * arcs))
     for offset, length in sections:
         if offset < _HEADER_SIZE or offset + length > file_size:
             raise GraphFormatError(
@@ -217,6 +274,8 @@ def read_store_header(path: PathLike) -> StoreHeader:
         indices_offset=indices_off,
         weights_offset=weights_off,
         file_size=file_size,
+        flags=flags,
+        rsrc_offset=rsrc_off if flags & FLAG_REVERSE else 0,
     )
 
 

@@ -10,13 +10,14 @@ experiment measures).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import MemoryLimitExceeded
 from repro.mr.executor import SerialExecutor
-from repro.mr.kernels import ScatterScratch, counting_group_keys
+from repro.mr.kernels import CountScratch, ScatterScratch, counting_group_keys
 from repro.mr.metrics import Counters
 from repro.mr.model import MRSpec
 from repro.mr.partitioner import hash_partition, hash_partition_array
@@ -136,6 +137,9 @@ class MREngine:
         # Dense scatter buffers for ungrouped batch reducers, reused
         # across rounds (see round_batch's counting-sort fast path).
         self._scatter_scratch = ScatterScratch()
+        # Histogram/prefix-sum buffers of the counting-sort shuffle,
+        # reused across rounds and grown to the largest key_bound seen.
+        self._count_scratch = CountScratch()
 
     # ------------------------------------------------------------------ #
 
@@ -169,6 +173,7 @@ class MREngine:
                 combined.extend(combiner(key, values))
             pairs = combined
 
+        shuffle_start = perf_counter()
         groups: Dict[Hashable, List[object]] = {}
         total_words = 0
         for key, value in pairs:
@@ -183,13 +188,64 @@ class MREngine:
                 if words > self.spec.local_memory:
                     raise MemoryLimitExceeded(words, self.spec.local_memory, key)
 
+        reduce_start = perf_counter()
+        self.counters.add_time("shuffle", reduce_start - shuffle_start)
         output, worker_loads = self.executor.run(
             groups, reducer, self.spec.num_workers
         )
+        self.counters.add_time("reduce", perf_counter() - reduce_start)
 
         self.counters.record_round(messages=len(pairs), updates=0)
         self.simulated_time += max(worker_loads) if worker_loads else 0
         return output
+
+    # -- batch-round cost model (shared by round_batch and the fused  -- #
+    # -- growing pipeline of repro.mr.emit / mrimpl.growing_mr)       -- #
+
+    def check_total_memory(self, num_pairs: int, words_per_pair: int) -> None:
+        """Raise when a round's pair volume exceeds ``M_T``."""
+        if (
+            self.enforce_memory
+            and num_pairs * words_per_pair > self.spec.total_memory
+        ):
+            raise MemoryLimitExceeded(
+                num_pairs * words_per_pair, self.spec.total_memory
+            )
+
+    def check_local_memory(
+        self, group_keys: np.ndarray, counts: np.ndarray, words_per_pair: int
+    ) -> None:
+        """Raise when the largest reducer group exceeds ``M_L``."""
+        if self.enforce_memory and len(group_keys):
+            worst = int(counts.max()) * words_per_pair
+            if worst > self.spec.local_memory:
+                bad = int(group_keys[int(np.argmax(counts))])
+                raise MemoryLimitExceeded(worst, self.spec.local_memory, bad)
+
+    def account_batch_round(
+        self,
+        messages: int,
+        group_keys: np.ndarray,
+        counts: np.ndarray,
+        out_counts,
+    ) -> None:
+        """One batch round's counters + hash-partitioned critical path.
+
+        ``out_counts`` is the per-group output size (an array, or a
+        scalar for reducers that emit exactly one row per group).  This
+        is the *single* definition of the batch cost model: both
+        :meth:`round_batch` and the fused growing pipeline account
+        through it, so the two paths cannot drift apart.
+        """
+        self.counters.record_round(messages=messages, updates=0)
+        if group_keys is not None and len(group_keys):
+            workers = hash_partition_array(group_keys, self.spec.num_workers)
+            loads = np.bincount(
+                workers,
+                weights=counts + out_counts,
+                minlength=self.spec.num_workers,
+            )
+            self.simulated_time += int(loads.max())
 
     @property
     def supports_batch(self) -> bool:
@@ -265,11 +321,7 @@ class MREngine:
             values = np.ascontiguousarray(values, dtype=np.float64)
         width = values.shape[1]
         words_per_pair = 1 + max(width, 1)
-
-        if self.enforce_memory and len(keys) * words_per_pair > self.spec.total_memory:
-            raise MemoryLimitExceeded(
-                len(keys) * words_per_pair, self.spec.total_memory
-            )
+        self.check_total_memory(len(keys), words_per_pair)
 
         run_batch = getattr(self.executor, "run_batch", None)
         in_process = run_batch is None or getattr(
@@ -277,6 +329,7 @@ class MREngine:
         )
         ungrouped = getattr(reducer, "ungrouped_reduce", None)
 
+        shuffle_start = perf_counter()
         scatter_bound = None
         sorted_values = values
         if len(keys):
@@ -293,24 +346,24 @@ class MREngine:
             if bound is not None:
                 # Counting-sort shuffle: histogram + prefix sum,
                 # O(C + domain) — no permutation, rows stay put (the
-                # scatter reducer never reads offsets, so none are built).
+                # scatter reducer never reads offsets, so none are
+                # built), with the engine's reusable histogram buffers.
                 group_keys, counts, offsets = counting_group_keys(
-                    keys, bound, with_offsets=False
+                    keys, bound, with_offsets=False,
+                    scratch=self._count_scratch,
                 )
                 scatter_bound = bound
             else:
                 group_keys, offsets, sorted_values = _group_batch(keys, values)
                 counts = np.diff(offsets)
-            if self.enforce_memory:
-                worst = int(counts.max()) * words_per_pair
-                if worst > self.spec.local_memory:
-                    bad = int(group_keys[int(np.argmax(counts))])
-                    raise MemoryLimitExceeded(worst, self.spec.local_memory, bad)
+            self.check_local_memory(group_keys, counts, words_per_pair)
         else:
             group_keys = np.empty(0, dtype=np.int64)
             counts = np.empty(0, dtype=np.int64)
             offsets = np.zeros(1, dtype=np.int64)
 
+        reduce_start = perf_counter()
+        self.counters.add_time("shuffle", reduce_start - shuffle_start)
         if len(group_keys) == 0:
             out_keys = np.empty(0, dtype=np.int64)
             out_values = np.empty((0, width), dtype=np.float64)
@@ -327,16 +380,9 @@ class MREngine:
             out_keys, out_values, out_counts = reducer(
                 group_keys, offsets, sorted_values
             )
+        self.counters.add_time("reduce", perf_counter() - reduce_start)
 
-        self.counters.record_round(messages=len(keys), updates=0)
-        if len(group_keys):
-            workers = hash_partition_array(group_keys, self.spec.num_workers)
-            loads = np.bincount(
-                workers,
-                weights=counts + out_counts,
-                minlength=self.spec.num_workers,
-            )
-            self.simulated_time += int(loads.max())
+        self.account_batch_round(len(keys), group_keys, counts, out_counts)
         return out_keys, out_values
 
     def run_rounds(

@@ -56,9 +56,11 @@ import numpy as np
 
 __all__ = [
     "ScatterScratch",
+    "CountScratch",
     "scatter_min_rows",
     "scatter_group_min_first",
     "merge_candidates",
+    "merge_candidates_by_source",
     "counting_group_keys",
     "merge_kernel_name",
     "KERNEL_ENV",
@@ -165,13 +167,57 @@ def scatter_min_rows(
     return winner_ids[order], winners[order]
 
 
+class CountScratch:
+    """Reusable histogram / prefix-sum buffers for the counting shuffle.
+
+    :func:`counting_group_keys` historically allocated a fresh
+    O(key-domain) histogram (``np.bincount``) plus a fresh offsets array
+    every round.  A :class:`CountScratch` keyed by the largest
+    ``key_bound`` seen replaces both with buffers that are grown
+    monotonically and reused, mirroring what :class:`ScatterScratch`
+    already does on the reduce side: a state (or engine) that keeps one
+    scratch across rounds performs zero per-round dense allocation on
+    the shuffle side.  The histogram buffer is kept **all-zero between
+    calls** — after reading the counts, exactly the touched entries are
+    zeroed again — so a skinny round pays O(rows + groups), not
+    O(domain), to reset it.
+    """
+
+    __slots__ = ("_hist", "_offsets")
+
+    def __init__(self) -> None:
+        self._hist: Optional[np.ndarray] = None
+        self._offsets: Optional[np.ndarray] = None
+
+    def hist(self, bound: int) -> np.ndarray:
+        """An all-zero int64 histogram buffer of at least ``bound``."""
+        if self._hist is None or len(self._hist) < bound:
+            self._hist = np.zeros(
+                max(int(bound), 2 * len(self._hist) if self._hist is not None else 0),
+                dtype=np.int64,
+            )
+        return self._hist
+
+    def offsets(self, num_groups: int) -> np.ndarray:
+        """An int64 prefix-sum buffer of at least ``num_groups + 1``."""
+        if self._offsets is None or len(self._offsets) < num_groups + 1:
+            self._offsets = np.empty(
+                max(num_groups + 1, 1024), dtype=np.int64
+            )
+        return self._offsets
+
+
 def counting_group_keys(
-    keys: np.ndarray, bound: int, *, with_offsets: bool = True
+    keys: np.ndarray,
+    bound: int,
+    *,
+    with_offsets: bool = True,
+    scratch: Optional[CountScratch] = None,
 ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
     """Counting-sort shuffle of bounded int64 keys: histogram + prefix sum.
 
-    The grouping half of a stable counting sort — ``np.bincount`` over
-    the bounded key domain plus a prefix sum — in O(rows + bound),
+    The grouping half of a stable counting sort — a dense histogram
+    over the bounded key domain plus a prefix sum — in O(rows + bound),
     replacing the engine's stable ``np.argsort``.  Returns
     ``(group_keys, counts, offsets)``: distinct keys ascending, the size
     of each group, and the ``g + 1`` prefix array, exactly the layout
@@ -180,14 +226,33 @@ def counting_group_keys(
     keys and counts).  The rows themselves are *not* permuted; reducers
     that need physically grouped rows still gather via argsort,
     scatter-capable reducers never need them.
+
+    ``scratch``, when given, supplies the histogram and prefix-sum
+    buffers (reused across rounds, grown monotonically); without it the
+    function allocates fresh ones per call as before.  The returned
+    ``counts``/``offsets`` are views into the scratch, valid until the
+    next call with the same scratch.
     """
-    dense = np.bincount(keys, minlength=bound)
-    group_keys = np.flatnonzero(dense)
-    counts = dense[group_keys]
+    if scratch is None:
+        dense = np.bincount(keys, minlength=bound)
+        group_keys = np.flatnonzero(dense)
+        counts = dense[group_keys].astype(np.int64)
+    else:
+        dense = scratch.hist(bound)
+        np.add.at(dense, keys, 1)
+        group_keys = np.flatnonzero(dense[:bound])
+        counts = dense[group_keys].copy()
+        dense[group_keys] = 0  # restore the all-zero invariant
     offsets = None
     if with_offsets:
-        offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
-    return group_keys.astype(np.int64), counts.astype(np.int64), offsets
+        if scratch is None:
+            offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        else:
+            buf = scratch.offsets(len(group_keys))
+            buf[0] = 0
+            np.cumsum(counts, out=buf[1 : len(group_keys) + 1])
+            offsets = buf[: len(group_keys) + 1]
+    return group_keys.astype(np.int64), counts, offsets
 
 
 def scatter_group_min_first(
@@ -241,6 +306,26 @@ def merge_candidates(keys, offsets, values):
     function so pool workers receive it by reference.
     """
     return scatter_group_min_first(keys, offsets, values, sort_cols=2)
+
+
+def merge_candidates_by_source(keys, offsets, values):
+    """Order-free growing-step merge over ``(nd, center, source, dacc)`` rows.
+
+    Equivalent to :func:`merge_candidates` whenever a source contributes
+    at most one candidate per target (builders deduplicate edges):
+    within a target group, arrival order ascends with the source id, so
+    "earliest among the ``(nd, center)``-minimal rows" equals "the
+    ``(nd, center, source)``-minimal row".  Making the source an
+    explicit tie-break column frees the *producer* from arrival-order
+    guarantees — the fused emit pipeline's frozen-emission cache replays
+    rows out of arrival order, and pool workers merge them with this
+    reducer.  ``dacc`` rides with the winner; output rows are trimmed
+    back to the ``(nd, center, dacc)`` layout.
+    """
+    out_keys, out_values, out_counts = scatter_group_min_first(
+        keys, offsets, values, sort_cols=3
+    )
+    return out_keys, out_values[:, [0, 1, 3]], out_counts
 
 
 def _merge_candidates_ungrouped(keys, values, group_keys, bound, scratch):

@@ -16,7 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-__all__ = ["Counters"]
+__all__ = ["Counters", "PHASES"]
+
+#: Canonical wall-clock phase names of one growing-step round, in
+#: pipeline order: candidate generation, grouping/exchange, the
+#: per-target merge, and the state update.
+PHASES = ("emit", "shuffle", "reduce", "apply")
 
 
 @dataclass
@@ -51,6 +56,11 @@ class Counters:
     growing_steps: int = 0
     peak_round_messages: int = 0
     extra: Dict[str, int] = field(default_factory=dict)
+    #: Accumulated wall-clock seconds per pipeline phase (see
+    #: :data:`PHASES`).  Deliberately *not* part of :meth:`snapshot`:
+    #: snapshots are compared bit-for-bit across backends and kernel
+    #: modes, and wall-clock never is.  Read via :meth:`timing_snapshot`.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def work(self) -> int:
@@ -65,6 +75,23 @@ class Counters:
         self.relaxations += int(relaxations)
         self.peak_round_messages = max(self.peak_round_messages, int(messages))
 
+    def add_time(self, phase: str, seconds: float) -> None:
+        """Accumulate wall-clock seconds into one pipeline phase."""
+        self.timings[phase] = self.timings.get(phase, 0.0) + float(seconds)
+
+    def timing_snapshot(self) -> Dict[str, float]:
+        """Per-phase wall-clock seconds, canonical phases first.
+
+        Phases from :data:`PHASES` appear in pipeline order (0.0 when
+        never recorded, so reports have a stable shape); any extra
+        phases a backend recorded follow alphabetically.
+        """
+        out = {phase: round(self.timings.get(phase, 0.0), 6) for phase in PHASES}
+        for key in sorted(self.timings):
+            if key not in out:
+                out[key] = round(self.timings[key], 6)
+        return out
+
     def merge(self, other: "Counters") -> "Counters":
         """Accumulate ``other`` into ``self`` (returns ``self`` for chaining)."""
         self.rounds += other.rounds
@@ -77,6 +104,8 @@ class Counters:
         )
         for key, value in other.extra.items():
             self.extra[key] = self.extra.get(key, 0) + value
+        for key, value in other.timings.items():
+            self.timings[key] = self.timings.get(key, 0.0) + value
         return self
 
     def snapshot(self) -> Dict[str, int]:

@@ -129,6 +129,7 @@ class _ShardWorker:
 
     def __init__(self, shard_path, lo: int, hi: int, shard_id: int, starts):
         from repro.graph.serialize import open_store
+        from repro.mr.emit import EmitScratch
         from repro.mr.partitioner import range_partition_array
 
         shard = open_store(shard_path)  # local rows, global neighbour ids
@@ -141,6 +142,7 @@ class _ShardWorker:
         self.shard_id = shard_id
         self.starts = np.asarray(starts, dtype=np.int64)
         self.splitters = self.starts[1:-1]
+        self.state = None  # allocated by the reset() below
 
         # The halo: every external node this shard has an arc to — the
         # only possible sources of incoming (and targets of outgoing)
@@ -157,6 +159,23 @@ class _ShardWorker:
         self.ext_w = self.weights[external]
         self.halo = np.unique(self.ext_nbrs)
         self.ext_halo_idx = np.searchsorted(self.halo, self.ext_nbrs)
+
+        #: Fused emit pipeline over this shard's rows: scratch-buffered
+        #: push/pull expansion.  The reverse-CSR arc→row map memory-maps
+        #: from the shard store's ``rsrc`` section when present
+        #: (partitions written by this version carry it), and the
+        #: boundary slice (outward arcs pull cannot reach target-major)
+        #: stays resident as ``ext_rows`` + arc positions.
+        self.emit_scratch = EmitScratch(
+            self.indptr,
+            self.indices,
+            self.weights,
+            base=lo,
+            id_domain=int(self.starts[-1]),
+            arc_sources=shard.rsrc,
+            boundary_rows=self.ext_rows,
+            boundary_aidx=external,
+        )
 
         # Boundary incidence: for each local node with external arcs,
         # the distinct shards owning a neighbour — where its state must
@@ -175,26 +194,48 @@ class _ShardWorker:
 
     def reset(self):
         from repro.core.state import ClusterState
-        from repro.mr.kernels import ScatterScratch
+        from repro.mr.kernels import CountScratch, ScatterScratch
 
-        self.state = ClusterState(self.hi - self.lo)
-        self.changed = np.zeros(self.hi - self.lo, dtype=bool)
+        if self.state is None:
+            # First reset (from __init__): allocate everything once.
+            self.state = ClusterState(self.hi - self.lo)
+            self.changed = np.zeros(self.hi - self.lo, dtype=bool)
+            #: Dense scatter buffers of the merge kernel, reused across
+            #: rounds (sized to this shard's node range).
+            self.scratch = ScatterScratch()
+            #: Dense histogram buffer of the merge's group accounting.
+            self.count_scratch = CountScratch()
+            self.halo_best = np.full(len(self.halo), np.inf)
+            # Frozen-replica ("ghost") state of halo nodes, filled by
+            # freeze updates; immutable once set.
+            self.r_frozen = np.zeros(len(self.halo), dtype=bool)
+            self.r_center = np.full(len(self.halo), -1, dtype=np.int64)
+            self.r_dist = np.full(len(self.halo), np.inf)
+            self.r_dacc = np.full(len(self.halo), np.inf)
+            self.r_frozen_iter = np.zeros(len(self.halo), dtype=np.int64)
+        else:
+            # Later resets (CLUSTER2's second phase): refill in place —
+            # the state slice, scratch buffers, and candidate banks all
+            # survive the phase boundary instead of being reallocated.
+            s = self.state
+            s.center.fill(-1)
+            s.dist.fill(np.inf)
+            s.dist_acc.fill(np.inf)
+            s.frozen.fill(False)
+            s.frozen_iter.fill(0)
+            self.changed.fill(False)
+            self.halo_best.fill(np.inf)
+            self.r_frozen.fill(False)
+            self.r_center.fill(-1)
+            self.r_dist.fill(np.inf)
+            self.r_dacc.fill(np.inf)
+            self.r_frozen_iter.fill(0)
+            self.emit_scratch.reset()
         #: Last merge's adopted local ids (ascending) — the live
         #: frontier; lets every non-forced round run without an O(n)
         #: mask rescan.
         self.active = np.empty(0, dtype=np.int64)
-        #: Dense scatter buffers of the merge kernel, reused across
-        #: rounds (sized to this shard's node range).
-        self.scratch = ScatterScratch()
         self.pending = _empty_candidates()
-        self.halo_best = np.full(len(self.halo), np.inf)
-        # Frozen-replica ("ghost") state of halo nodes, filled by
-        # freeze updates; immutable once set.
-        self.r_frozen = np.zeros(len(self.halo), dtype=bool)
-        self.r_center = np.full(len(self.halo), -1, dtype=np.int64)
-        self.r_dist = np.full(len(self.halo), np.inf)
-        self.r_dacc = np.full(len(self.halo), np.inf)
-        self.r_frozen_iter = np.zeros(len(self.halo), dtype=np.int64)
 
     # -- commands ------------------------------------------------------ #
 
@@ -241,11 +282,15 @@ class _ShardWorker:
             domain=self.hi - self.lo,
             scratch=self.scratch,
         )
-        # Group sizes over the distinct targets only (O(C log G + G)),
-        # not a shard-sized histogram: the counts feed nothing but the
-        # memory-model extremes.  argmax over ascending distinct ids
-        # picks the same first-maximum group as the sort path.
-        counts = np.bincount(np.searchsorted(ids, local), minlength=len(ids))
+        # Group sizes via the reusable dense histogram (O(C + G), zero
+        # allocation beyond the G-sized gather; the buffer keeps its
+        # all-zero invariant between rounds).  The counts feed nothing
+        # but the memory-model extremes; argmax over ascending distinct
+        # ids picks the same first-maximum group as the sort path.
+        hist = self.count_scratch.hist(self.hi - self.lo)
+        np.add.at(hist, local, 1)
+        counts = hist[ids]
+        hist[ids] = 0
         at = int(np.argmax(counts))
         return (
             ids + self.lo,
@@ -263,6 +308,9 @@ class _ShardWorker:
         self.r_frozen_iter[idx] = iteration
 
     def step(self, delta, force, rescale, iteration, incoming, replicas):
+        from time import perf_counter
+
+        from repro.mr.kernels import merge_kernel_name
         from repro.mrimpl.growing_mr import (
             apply_merged_candidates,
             emit_frontier,
@@ -273,6 +321,7 @@ class _ShardWorker:
 
         # Merge: this shard's resident candidates plus the delivered
         # cross-shard blocks; order is irrelevant (see _min_by_target).
+        reduce_start = perf_counter()
         blocks = [self.pending] + [(k, v) for k, v in incoming]
         self.pending = _empty_candidates()
         cand_keys = np.concatenate([b[0] for b in blocks])
@@ -282,14 +331,17 @@ class _ShardWorker:
         max_group = 0
         max_group_key = -1
         num_groups = 0
-        self.changed[self.active] = False  # O(frontier), not O(n)
         newly = 0
         adopted = np.empty(0, dtype=np.int64)
+        keys = values = None
         if merged:
             keys, values, max_group, max_group_key = self._merge(
                 cand_keys, cand_values
             )
             num_groups = len(keys)
+        apply_start = perf_counter()
+        self.changed[self.active] = False  # O(frontier), not O(n)
+        if merged:
             newly, adopted = apply_merged_candidates(
                 keys,
                 values[:, :3],
@@ -304,7 +356,113 @@ class _ShardWorker:
         updated = len(adopted)
 
         # Emit through the shard's CSR rows, then route by owner.  The
-        # adopted frontier drives non-forced rounds directly.
+        # adopted frontier drives non-forced rounds directly.  The
+        # scatter kernels take the fused scratch pipeline (direction-
+        # optimized expansion, improvement filter on locally-owned
+        # targets); the sort oracle keeps the legacy emit verbatim.
+        emit_start = perf_counter()
+        if merge_kernel_name() == "sort":
+            emitted, outgoing, pending_blocks = self._emit_legacy(
+                emit_frontier, delta, force, rescale, iteration
+            )
+        else:
+            emitted, outgoing, pending_blocks = self._emit_fused(
+                delta, force, rescale, iteration
+            )
+        # Regenerate incoming frozen-external contributions locally: on
+        # a forced round every frozen replica contributes over this
+        # shard's own (symmetric) boundary arcs, exactly as its owner
+        # would have emitted them.  Appended to the resident pending
+        # block for the next merge — the same timing as shipped
+        # candidates.
+        if force and len(self.halo):
+            if merge_kernel_name() != "sort" and not rescale:
+                # Fused fast path (Contract semantics): a ghost's
+                # candidate distance is just the arc weight, and ghost
+                # targets are locally owned — so one boolean sweep over
+                # the boundary arcs applies every filter, including the
+                # winner-preserving improvement pre-filter, *before*
+                # any large array is compressed.
+                li = self.ext_rows
+                ok = self.r_frozen[self.ext_halo_idx]
+                np.logical_and(ok, self.ext_w <= delta, out=ok)
+                np.logical_and(ok, ~self.state.frozen[li], out=ok)
+                np.logical_and(ok, self.ext_w < self.state.dist[li], out=ok)
+                if ok.any():
+                    hidx = self.ext_halo_idx[ok]
+                    w = self.ext_w[ok]
+                    ghost_keys = self.ext_rows[ok] + self.lo
+                    ghost_values = np.column_stack(
+                        (
+                            w,  # nd = 0 + w for a frozen replica
+                            self.r_center[hidx].astype(np.float64),
+                            self.r_dacc[hidx] + w,
+                            self.halo[hidx].astype(np.float64),
+                        )
+                    )
+                    # Not added to ``emitted``: each ghost contribution
+                    # is the regeneration of a candidate its owner
+                    # already counted (and dropped from shipping).
+                    pending_blocks.append((ghost_keys, ghost_values))
+            else:
+                if rescale:
+                    r_eff = self.r_dist - rescale * (
+                        iteration - self.r_frozen_iter
+                    )
+                else:
+                    r_eff = np.zeros(len(self.halo))
+                emits = self.r_frozen & (r_eff < delta)
+                arc = emits[self.ext_halo_idx]
+                if arc.any():
+                    hidx = self.ext_halo_idx[arc]
+                    w = self.ext_w[arc]
+                    nd = r_eff[hidx] + w
+                    ok = (w <= delta) & (nd <= delta)
+                    hidx, w, nd = hidx[ok], w[ok], nd[ok]
+                    ghost_keys = self.ext_rows[arc][ok] + self.lo
+                    if merge_kernel_name() != "sort":
+                        # Rescaled (Contract2) fused path: improvement
+                        # pre-filter after the effective distances.
+                        li2 = ghost_keys - self.lo
+                        imp = ~self.state.frozen[li2] & (
+                            nd < self.state.dist[li2]
+                        )
+                        hidx, w, nd = hidx[imp], w[imp], nd[imp]
+                        ghost_keys = ghost_keys[imp]
+                    if len(ghost_keys):
+                        ghost_values = np.column_stack(
+                            (
+                                nd,
+                                self.r_center[hidx].astype(np.float64),
+                                self.r_dacc[hidx] + w,
+                                self.halo[hidx].astype(np.float64),
+                            )
+                        )
+                        pending_blocks.append((ghost_keys, ghost_values))
+        if pending_blocks:
+            self.pending = (
+                np.concatenate([b[0] for b in pending_blocks]),
+                np.concatenate([b[1] for b in pending_blocks]),
+            )
+        times = {
+            "reduce": apply_start - reduce_start,
+            "apply": emit_start - apply_start,
+            "emit": perf_counter() - emit_start,
+        }
+        return {
+            "updated": updated,
+            "newly": newly,
+            "merged": merged,
+            "emitted": emitted,
+            "groups": num_groups,
+            "max_group": max_group,
+            "max_group_key": max_group_key,
+            "outgoing": outgoing,
+            "times": times,
+        }
+
+    def _emit_legacy(self, emit_frontier, delta, force, rescale, iteration):
+        """The sort-oracle emission: emit_frontier + owner routing."""
         out_keys, out_values3, out_srcs = emit_frontier(
             self.indptr,
             self.indices,
@@ -336,7 +494,7 @@ class _ShardWorker:
             pending_blocks.append((out_keys[local], out_values[local]))
             # Cross-shard candidates from frozen sources are dropped at
             # the source: every neighbouring shard regenerates them from
-            # its frozen replicas (below), for free.
+            # its frozen replicas (the ghost pass), for free.
             live_remote = ~local & ~self.state.frozen[out_srcs]
             for dest in np.unique(owners[live_remote]):
                 mask = live_remote & (owners == dest)
@@ -345,56 +503,85 @@ class _ShardWorker:
                 )
                 if len(keys):
                     outgoing.append((int(dest), keys, values))
+        return emitted, outgoing, pending_blocks
 
-        # Regenerate incoming frozen-external contributions locally: on
-        # a forced round every frozen replica contributes over this
-        # shard's own (symmetric) boundary arcs, exactly as its owner
-        # would have emitted them.  Appended to the resident pending
-        # block for the next merge — the same timing as shipped
-        # candidates.
-        if force and len(self.halo):
-            if rescale:
-                r_eff = self.r_dist - rescale * (
-                    iteration - self.r_frozen_iter
-                )
-            else:
-                r_eff = np.zeros(len(self.halo))
-            emits = self.r_frozen & (r_eff < delta)
-            arc = emits[self.ext_halo_idx]
-            if arc.any():
-                hidx = self.ext_halo_idx[arc]
-                w = self.ext_w[arc]
-                nd = r_eff[hidx] + w
-                ok = (w <= delta) & (nd <= delta)
-                hidx, w, nd = hidx[ok], w[ok], nd[ok]
-                ghost_keys = self.ext_rows[arc][ok] + self.lo
-                ghost_values = np.column_stack(
-                    (
-                        nd,
-                        self.r_center[hidx].astype(np.float64),
-                        self.r_dacc[hidx] + w,
-                        self.halo[hidx].astype(np.float64),
-                    )
-                )
-                # Not added to ``emitted``: each ghost contribution is
-                # the regeneration of a candidate its owner already
-                # counted (and dropped from shipping) this step.
-                pending_blocks.append((ghost_keys, ghost_values))
-        if pending_blocks:
-            self.pending = (
-                np.concatenate([b[0] for b in pending_blocks]),
-                np.concatenate([b[1] for b in pending_blocks]),
-            )
-        return {
-            "updated": updated,
-            "newly": newly,
-            "merged": merged,
-            "emitted": emitted,
-            "groups": num_groups,
-            "max_group": max_group,
-            "max_group_key": max_group_key,
-            "outgoing": outgoing,
-        }
+    def _emit_fused(self, delta, force, rescale, iteration):
+        """Scratch-buffered fused emission (scatter kernels).
+
+        Runs the direction-optimized expansion of
+        :class:`~repro.mr.emit.EmitScratch` over the shard's rows, then
+        routes: locally-owned targets pass the improvement pre-filter
+        (their ``dist``/``frozen`` state is resident, so unadoptable
+        rows are dropped before their value columns exist — winner-
+        preserving, see :mod:`repro.mr.emit`); cross-shard rows cannot
+        be tested and ship exactly as before, through the same combine
+        and halo filters.  ``emitted`` still counts the full emission,
+        so the ``messages`` counter stays bit-identical to every other
+        backend.
+        """
+        s = self.state
+        keys, nd, src_local, aidx, emitted = self.emit_scratch.emit_raw(
+            center=s.center,
+            dist=s.dist,
+            frozen=s.frozen,
+            frozen_iter=s.frozen_iter,
+            delta=delta,
+            force=force,
+            rescale=rescale,
+            iteration=iteration,
+            sources=None if force else self.active,
+        )
+        outgoing = []
+        pending_blocks = []
+        if not emitted:
+            return 0, outgoing, pending_blocks
+        local = (keys >= self.lo) & (keys < self.hi)
+
+        # Locally-owned targets: improvement pre-filter, then one
+        # resident block with the value columns built per survivor.
+        lk = keys[local]
+        li = lk - self.lo
+        lnd = nd[local]
+        imp = ~s.frozen[li] & (lnd < s.dist[li])
+        if imp.any():
+            lk = lk[imp]
+            lnd = lnd[imp]
+            lsrc = src_local[local][imp]
+            lw = np.take(self.weights, aidx[local][imp])
+            block = np.empty((len(lk), CANDIDATE_WIDTH), dtype=np.float64)
+            block[:, 0] = lnd
+            block[:, 1] = s.center[lsrc]
+            block[:, 2] = s.dist_acc[lsrc]
+            block[:, 2] += lw
+            block[:, 3] = lsrc
+            block[:, 3] += self.lo
+            pending_blocks.append((lk.copy(), block))
+
+        # Cross-shard candidates: receiver state is unknown, ship the
+        # live-source rows through the usual combine/halo filters.
+        remote = ~local
+        remote &= ~s.frozen[src_local]
+        if remote.any():
+            from repro.mr.partitioner import range_partition_array
+
+            rk = keys[remote]
+            rnd = nd[remote]
+            rsrc = src_local[remote]
+            rw = np.take(self.weights, aidx[remote])
+            rvals = np.empty((len(rk), CANDIDATE_WIDTH), dtype=np.float64)
+            rvals[:, 0] = rnd
+            rvals[:, 1] = s.center[rsrc]
+            rvals[:, 2] = s.dist_acc[rsrc]
+            rvals[:, 2] += rw
+            rvals[:, 3] = rsrc
+            rvals[:, 3] += self.lo
+            owners = range_partition_array(rk, self.splitters)
+            for dest in np.unique(owners):
+                mask = owners == dest
+                okeys, ovalues = self._combine_outgoing(rk[mask], rvals[mask])
+                if len(okeys):
+                    outgoing.append((int(dest), okeys, ovalues))
+        return emitted, outgoing, pending_blocks
 
     def _combine_outgoing(self, keys, values):
         """Shrink one outgoing block to its improving per-target winners.
@@ -540,6 +727,18 @@ class ShardedGrowingState:
     counts match the other backends bit for bit.  ``simulated_time``
     accumulates the owner-compute critical path: the busiest shard's
     merged + produced candidates per step.
+
+    The memory-model checks and ``simulated_time`` are measured against
+    the **resident merge the workers actually perform** — under the
+    default fused pipeline that batch excludes locally-filtered
+    unadoptable candidates, so these two quantities are smaller than
+    under ``REPRO_GROWING_KERNEL=sort`` (which merges the unfiltered
+    batch) and are not comparable across kernel modes or to the
+    engine-managed backends.  This extends the existing convention
+    (this backend's critical path was already the owner-compute model,
+    reported but never cross-compared — see ``docs/mr_model.md`` §3);
+    results and the rounds/messages/updates counters remain
+    bit-identical everywhere.
     """
 
     def __init__(self, graph, engine, executor: "ShardedExecutor"):
@@ -597,7 +796,20 @@ class ShardedGrowingState:
         # Fixed per-worker command overhead (params + framing), so the
         # accounting never reads zero on an idle round.
         shipped += 64 * num_shards
+        from time import perf_counter
+
+        step_start = perf_counter()
         replies = self.executor._broadcast("step", per_worker=per_worker)
+        step_wall = perf_counter() - step_start
+        # Per-phase timers: the critical path (slowest shard) of each
+        # worker-reported phase; everything else — pickling, pipe
+        # transport, scheduling — is the exchange, booked as shuffle.
+        compute = 0.0
+        for phase in ("emit", "reduce", "apply"):
+            worst = max((r["times"][phase] for r in replies), default=0.0)
+            engine.counters.add_time(phase, worst)
+            compute += worst
+        engine.counters.add_time("shuffle", max(0.0, step_wall - compute))
 
         merged = sum(r["merged"] for r in replies)
         updated = sum(r["updated"] for r in replies)

@@ -46,17 +46,24 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from functools import partial
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.mr.batch import group_min_first
+from repro.mr.emit import EmitBatch, EmitScratch
 from repro.mr.engine import MREngine, Pair
 from repro.mr.executor import make_executor
-from repro.mr.kernels import merge_candidates, merge_kernel_name
+from repro.mr.kernels import (
+    merge_candidates,
+    merge_candidates_by_source,
+    merge_kernel_name,
+    scatter_min_rows,
+)
 from repro.mr.model import MRSpec
-from repro.util import expand_ranges
+from repro.util import expand_ranges, first_occurrence
 
 __all__ = [
     "graph_to_pairs",
@@ -478,14 +485,19 @@ class ArrayGrowingState:
     step for step — the backend-equivalence tests assert bit-identical
     clusterings.
 
-    Round cost is frontier-proportional: the state carries the active
-    index array (last merge's adopted targets) between rounds, so a
-    non-forced step touches O(frontier + candidates) elements — the
-    ``changed`` mask is maintained for the kernels but never rescanned
-    over all ``n`` nodes, and the engine's scatter scratch is reused
-    across rounds.  (Skinny tail rounds whose candidate count is far
-    below ``n`` fall back to sorting those few rows rather than paying
-    the O(n) counting histogram — see ``_key_bound``.)
+    Under the default scatter kernels the merge-then-emit round runs the
+    **fused pipeline** of :mod:`repro.mr.emit`: candidates are written
+    into a per-state :class:`~repro.mr.emit.EmitScratch`, unadoptable
+    rows are dropped before their value columns are materialized (the
+    counters and memory-model checks still see the full multiset), and
+    in-process executors hand the surviving rows straight to
+    :func:`~repro.mr.kernels.scatter_min_rows` — no intermediate copy,
+    key materialization, or counting-sort pass, and zero O(n)/O(m)
+    allocations on non-forced rounds.  Pool executors receive the
+    filtered rows grouped (stable argsort over what survives, not the
+    whole emission).  ``REPRO_EMIT_MODE`` selects push/pull/auto
+    expansion; ``REPRO_GROWING_KERNEL=sort`` restores the legacy
+    emit_frontier + ``round_batch`` pipeline verbatim as the oracle.
     """
 
     def __init__(self, graph: CSRGraph):
@@ -498,10 +510,35 @@ class ArrayGrowingState:
         self.dacc = np.full(n, np.inf)
         self.changed = np.zeros(n, dtype=bool)
         self.frozen_iter = np.zeros(n, dtype=np.int64)
-        self._cand_keys = np.empty(0, dtype=np.int64)
-        self._cand_values = np.empty((0, 3), dtype=np.float64)
+        #: In-flight emission: an :class:`EmitBatch` (fused pipeline) or
+        #: a ``("legacy", keys, values)`` tuple (sort-oracle pipeline).
+        self._pending = None
         #: Last merge's adopted node ids (ascending) — the live frontier.
         self._active = np.empty(0, dtype=np.int64)
+        self._emit_scratch = EmitScratch(
+            graph.indptr,
+            graph.indices,
+            graph.weights,
+            arc_sources=graph.rsrc,
+        )
+
+    def reset(self) -> None:
+        """Return to the pristine post-``__init__`` state, keeping scratch.
+
+        Called when a driver starts a new clustering phase on the same
+        graph (CLUSTER2's second phase): state arrays are refilled in
+        place and the emit scratch keeps its buffers (its frozen-emission
+        cache is cleared — phase-2 freezing starts over).
+        """
+        self.center.fill(NO_CENTER)
+        self.dist.fill(np.inf)
+        self.frozen.fill(False)
+        self.dacc.fill(np.inf)
+        self.changed.fill(False)
+        self.frozen_iter.fill(0)
+        self._pending = None
+        self._active = np.empty(0, dtype=np.int64)
+        self._emit_scratch.reset()
 
     def uncovered(self) -> np.ndarray:
         return np.flatnonzero(~self.frozen).astype(np.int64)
@@ -528,15 +565,26 @@ class ArrayGrowingState:
         rescale: float = 0.0,
         iteration: int = 0,
     ) -> Tuple[int, int]:
-        # Merge: one batch round reduces last step's candidates to the
-        # winning (nd, center, dacc) per target node.  Keys are node
-        # ids, so the engine takes the counting-sort/scatter path.
-        keys, values = engine.round_batch(
-            self._cand_keys,
-            self._cand_values,
-            merge_reducer(),
-            key_bound=self.num_nodes,
+        if merge_kernel_name() == "sort":
+            return self._step_legacy(engine, delta, force, rescale, iteration)
+
+        in_process = not hasattr(engine.executor, "run_batch") or getattr(
+            engine.executor, "in_process_batch", False
         )
+        # Merge: reduce last step's surviving candidates to the winning
+        # (nd, center, dacc) per target, with the accounting of the full
+        # emission (the batch carries it).  A pending batch is merged by
+        # its *own* layout, so flipping the kernel switch between steps
+        # cannot mispair an emission with the wrong merge.
+        if isinstance(self._pending, tuple):
+            _, cand_keys, cand_values = self._pending
+            keys, values = engine.round_batch(
+                cand_keys, cand_values, merge_reducer(), key_bound=self.num_nodes
+            )
+        else:
+            keys, values = self._merge_fused(engine, self._pending, in_process)
+        self._pending = None
+        apply_start = perf_counter()
         self.changed[self._active] = False  # O(frontier), not O(n)
         newly, self._active = apply_merged_candidates(
             keys,
@@ -548,11 +596,146 @@ class ArrayGrowingState:
             changed=self.changed,
         )
         updated = len(self._active)
+        emit_start = perf_counter()
+        engine.counters.add_time("apply", emit_start - apply_start)
 
-        # Emit: expand the new contribution set through the CSR arrays.
-        # Non-forced rounds pass the adopted frontier straight through —
-        # no per-round mask rescan.
-        self._cand_keys, self._cand_values = emit_frontier(
+        # Emit: fused expansion into the scratch banks.  Non-forced
+        # rounds pass the adopted frontier straight through.  Every
+        # fused consumer merges order-free — the in-process scatter and
+        # the pool reducer both break ties by (nd, center, source) — so
+        # the frozen-emission cache is available everywhere.
+        self._pending = self._emit_scratch.emit(
+            center=self.center,
+            dist=self.dist,
+            dacc=self.dacc,
+            frozen=self.frozen,
+            frozen_iter=self.frozen_iter,
+            delta=delta,
+            force=force,
+            rescale=rescale,
+            iteration=iteration,
+            sources=None if force else self._active,
+        )
+        engine.counters.add_time("emit", perf_counter() - emit_start)
+
+        engine.counters.updates += updated
+        engine.counters.growing_steps += 1
+        return updated, newly
+
+    def _merge_fused(
+        self, engine: MREngine, batch: Optional[EmitBatch], in_process: bool
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One merge round over a fused batch, with ``round_batch``'s
+        exact accounting — the shared engine cost-model helpers, fed
+        the *unfiltered* multiset the batch recorded at emit time."""
+        spec = engine.spec
+        emitted = batch.emitted if batch is not None else 0
+        words_per_pair = 4  # 1 key word + 3 payload words
+        engine.check_total_memory(emitted, words_per_pair)
+        shuffle_start = perf_counter()
+        if batch is not None:
+            engine.check_local_memory(
+                batch.group_keys, batch.group_counts, words_per_pair
+            )
+
+        if batch is None or batch.count == 0:
+            reduce_start = perf_counter()
+            out_keys = np.empty(0, dtype=np.int64)
+            out_values = np.empty((0, 3), dtype=np.float64)
+        elif in_process:
+            # No shuffle at all: the ungrouped scatter consumes the
+            # scratch banks directly; the (nd, center, source)
+            # tie-break equals the engine's stable-first rule for
+            # deduplicated edges.
+            reduce_start = perf_counter()
+            out_keys, rows = scatter_min_rows(
+                batch.keys,
+                (batch.nd, batch.ctr, batch.srcf),
+                domain=self.num_nodes,
+                scratch=engine._scatter_scratch,
+            )
+            out_values = np.empty((len(out_keys), 3), dtype=np.float64)
+            out_values[:, 0] = batch.nd[rows]
+            out_values[:, 1] = batch.ctr[rows]
+            out_values[:, 2] = self.dacc[batch.src[rows]]
+            out_values[:, 2] += batch.w[rows]
+        else:
+            # Pool executors need physically grouped rows — built over
+            # the filtered survivors only, inside the shuffle window
+            # (mirroring round_batch's attribution of the argsort
+            # grouping).  The source id ships as an explicit tie-break
+            # column so the merge is order-free (cache-replayed batches
+            # have no arrival-order guarantee).
+            values4 = np.empty((batch.count, 4), dtype=np.float64)
+            values4[:, 0] = batch.nd
+            values4[:, 1] = batch.ctr
+            values4[:, 2] = batch.srcf
+            values4[:, 3] = self.dacc[batch.src]
+            values4[:, 3] += batch.w
+            order = np.argsort(batch.keys, kind="stable")
+            sorted_keys = batch.keys[order]
+            starts = first_occurrence(sorted_keys)
+            offsets = np.concatenate(
+                (starts, [len(sorted_keys)])
+            ).astype(np.int64)
+            sorted_values = values4[order]
+            reduce_start = perf_counter()
+            out_keys, out_values, _counts = engine.executor.run_batch(
+                sorted_keys[starts],
+                offsets,
+                sorted_values,
+                merge_candidates_by_source,
+                spec.num_workers,
+            )
+        engine.counters.add_time("shuffle", reduce_start - shuffle_start)
+        engine.counters.add_time("reduce", perf_counter() - reduce_start)
+
+        engine.account_batch_round(
+            emitted,
+            batch.group_keys if batch is not None else None,
+            batch.group_counts if batch is not None else None,
+            1,  # the merge outputs one row per (full-multiset) group
+        )
+        return out_keys, out_values
+
+    def _step_legacy(
+        self, engine, delta, force, rescale, iteration
+    ) -> Tuple[int, int]:
+        """The sort-oracle pipeline: emit_frontier + ``round_batch``."""
+        if isinstance(self._pending, EmitBatch):
+            in_process = not hasattr(engine.executor, "run_batch") or getattr(
+                engine.executor, "in_process_batch", False
+            )
+            keys, values = self._merge_fused(engine, self._pending, in_process)
+            self._pending = None
+        else:
+            if isinstance(self._pending, tuple):
+                _, cand_keys, cand_values = self._pending
+            else:
+                cand_keys = np.empty(0, dtype=np.int64)
+                cand_values = np.empty((0, 3), dtype=np.float64)
+            keys, values = engine.round_batch(
+                cand_keys,
+                cand_values,
+                merge_reducer(),
+                key_bound=self.num_nodes,
+            )
+        apply_start = perf_counter()
+        self.changed[self._active] = False  # O(frontier), not O(n)
+        newly, self._active = apply_merged_candidates(
+            keys,
+            values,
+            center=self.center,
+            dist=self.dist,
+            dacc=self.dacc,
+            frozen=self.frozen,
+            changed=self.changed,
+        )
+        updated = len(self._active)
+        emit_start = perf_counter()
+        engine.counters.add_time("apply", emit_start - apply_start)
+
+        out_keys, out_values = emit_frontier(
             self.graph.indptr,
             self.graph.indices,
             self.graph.weights,
@@ -568,17 +751,22 @@ class ArrayGrowingState:
             iteration=iteration,
             sources=None if force else self._active,
         )
+        self._pending = ("legacy", out_keys, out_values)
+        engine.counters.add_time("emit", perf_counter() - emit_start)
 
         engine.counters.updates += updated
         engine.counters.growing_steps += 1
         return updated, newly
 
     def in_flight(self) -> bool:
-        return len(self._cand_keys) > 0
+        if self._pending is None:
+            return False
+        if isinstance(self._pending, tuple):
+            return len(self._pending[1]) > 0
+        return self._pending.emitted > 0
 
     def discard_candidates(self) -> None:
-        self._cand_keys = np.empty(0, dtype=np.int64)
-        self._cand_values = np.empty((0, 3), dtype=np.float64)
+        self._pending = None
 
     def freeze_assigned(self, iteration: int = 0) -> int:
         sel = (self.center != NO_CENTER) & ~self.frozen
@@ -608,11 +796,23 @@ def make_growing_state(graph: CSRGraph, engine: MREngine):
     persistent workers keep their slice resident across rounds) build it
     themselves; executors that run batch rounds natively get the array
     layout; the per-key executors keep the literal pair simulation.
+
+    Array states are cached on the engine: when a driver starts a new
+    phase on the same graph (CLUSTER2 after its base CLUSTER run), the
+    existing state is :meth:`~ArrayGrowingState.reset` in place instead
+    of being rebuilt — the candidate banks, emit scratch, and dense
+    buffers all survive the phase boundary.
     """
     if getattr(engine.executor, "owns_growing_state", False):
         return engine.executor.growing_state(graph, engine)
     if engine.supports_batch:
-        return ArrayGrowingState(graph)
+        cached = getattr(engine, "_array_growing_state", None)
+        if cached is not None and cached.graph is graph:
+            cached.reset()
+            return cached
+        state = ArrayGrowingState(graph)
+        engine._array_growing_state = state
+        return state
     return PairGrowingState(graph)
 
 

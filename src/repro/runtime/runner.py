@@ -88,6 +88,17 @@ class RunResult:
     elapsed: float = 0.0
     graph: Optional[CSRGraph] = None
 
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Per-phase wall-clock seconds (emit / shuffle / reduce / apply).
+
+        Accumulated by the growing-step pipeline across every round of
+        the run; phases a backend never recorded read 0.0.  Kept out of
+        :meth:`snapshot` — snapshots are compared bit-for-bit across
+        backends, wall-clock never is.
+        """
+        return self.counters.timing_snapshot()
+
     def snapshot(self) -> Dict[str, Any]:
         """Flat dict view: metrics + counters + run metadata."""
         return {

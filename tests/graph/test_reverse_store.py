@@ -1,0 +1,164 @@
+"""The GraphStore reverse-CSR (``rsrc``) section.
+
+Covers the format change (flag bit + fourth section offset in the
+previously-reserved header slot), writer/reader round-trips, the lazy
+builders (``ensure_reverse_section`` / ``GraphStore.ensure_reverse``),
+backward compatibility with section-less files, and the in-memory
+fallback (``CSRGraph.arc_sources_view``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.generators import mesh, rmat
+from repro.graph.csr import CSRGraph
+from repro.graph.ops import largest_connected_component
+from repro.graph.serialize import (
+    FLAG_REVERSE,
+    ensure_reverse_section,
+    open_store,
+    read_store_header,
+    write_store,
+)
+from repro.runtime.store import GraphStore
+
+
+@pytest.fixture()
+def graph():
+    return largest_connected_component(rmat(6, edge_factor=4, seed=3))[0]
+
+
+class TestFormat:
+    def test_write_with_reverse_round_trips(self, graph, tmp_path):
+        path = tmp_path / "g.rcsr"
+        write_store(graph, path, reverse=True)
+        header = read_store_header(path)
+        assert header.has_reverse
+        assert header.flags & FLAG_REVERSE
+        assert header.rsrc_offset % 64 == 0
+        opened = open_store(path)
+        assert opened == graph
+        np.testing.assert_array_equal(opened.rsrc, graph.arc_sources())
+        assert not opened.rsrc.flags.writeable
+
+    def test_write_without_reverse_unchanged(self, graph, tmp_path):
+        path = tmp_path / "g.rcsr"
+        write_store(graph, path)
+        header = read_store_header(path)
+        assert not header.has_reverse
+        assert header.rsrc_offset == 0
+        assert open_store(path).rsrc is None
+
+    def test_data_bytes_includes_section(self, graph, tmp_path):
+        plain = tmp_path / "plain.rcsr"
+        rev = tmp_path / "rev.rcsr"
+        write_store(graph, plain)
+        write_store(graph, rev, reverse=True)
+        hp = read_store_header(plain)
+        hr = read_store_header(rev)
+        assert hr.data_bytes == hp.data_bytes + 8 * graph.num_arcs
+        assert hr.file_size > hp.file_size
+
+    def test_truncated_reverse_section_rejected(self, graph, tmp_path):
+        from repro.errors import GraphFormatError
+
+        path = tmp_path / "g.rcsr"
+        write_store(graph, path, reverse=True)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 16])
+        with pytest.raises(GraphFormatError):
+            read_store_header(path)
+
+
+class TestLazyBuild:
+    def test_ensure_reverse_section_appends_once(self, graph, tmp_path):
+        path = tmp_path / "g.rcsr"
+        write_store(graph, path)
+        header = ensure_reverse_section(path)
+        assert header.has_reverse
+        size = path.stat().st_size
+        again = ensure_reverse_section(path)  # idempotent: O(1) no-op
+        assert again.has_reverse
+        assert path.stat().st_size == size
+        np.testing.assert_array_equal(
+            open_store(path).rsrc, graph.arc_sources()
+        )
+
+    def test_graphstore_ensure_reverse_converts_and_appends(self, tmp_path):
+        from repro.graph.io import write_auto
+
+        g = mesh(6, seed=1)
+        source = tmp_path / "mesh.gr"
+        write_auto(g, source)
+        store = GraphStore(cache_dir=tmp_path / "cache")
+        opened = store.ensure_reverse(source)
+        assert opened == g
+        assert opened.rsrc is not None
+        np.testing.assert_array_equal(opened.rsrc, g.arc_sources())
+        assert read_store_header(store.store_path(source)).has_reverse
+
+    def test_graphstore_ensure_reverse_direct_store(self, graph, tmp_path):
+        path = tmp_path / "g.rcsr"
+        write_store(graph, path)
+        store = GraphStore(cache_dir=tmp_path / "cache")
+        opened = store.ensure_reverse(path)
+        assert opened.rsrc is not None
+        assert read_store_header(path).has_reverse
+
+    def test_graphstore_leaves_read_only_stores_alone(self, graph, tmp_path):
+        """Read-only datasets stay read-only: no rewrite, no permission
+        reset — the reverse map falls back to in-memory computation."""
+        import os
+
+        path = tmp_path / "g.rcsr"
+        write_store(graph, path)
+        os.chmod(path, 0o444)
+        before = (path.stat().st_size, path.stat().st_mode)
+        store = GraphStore(cache_dir=tmp_path / "cache")
+        opened = store.ensure_reverse(path)
+        assert (path.stat().st_size, path.stat().st_mode) == before
+        assert not read_store_header(path).has_reverse
+        np.testing.assert_array_equal(
+            opened.arc_sources_view(), graph.arc_sources()
+        )
+
+    def test_store_convert_reverse_single_write(self, graph, tmp_path):
+        path = tmp_path / "g.rcsr"
+        store = GraphStore(cache_dir=tmp_path / "cache")
+        src = tmp_path / "src.rcsr"
+        write_store(graph, src)
+        opened = store.convert(src, path, reverse=True)
+        assert read_store_header(path).has_reverse
+        np.testing.assert_array_equal(opened.rsrc, graph.arc_sources())
+
+
+class TestInMemoryFallback:
+    def test_arc_sources_view_cached(self, graph):
+        view = graph.arc_sources_view()
+        np.testing.assert_array_equal(view, graph.arc_sources())
+        assert graph.arc_sources_view() is view  # cached
+        assert not view.flags.writeable
+        assert graph.rsrc is view
+
+    def test_mmap_view_preferred(self, graph, tmp_path):
+        path = tmp_path / "g.rcsr"
+        write_store(graph, path, reverse=True)
+        opened = open_store(path)
+        assert opened.arc_sources_view() is opened.rsrc
+
+    def test_shard_stores_carry_reverse(self, graph, tmp_path):
+        from repro.graph.partition import ensure_partitioned
+
+        path = tmp_path / "g.rcsr"
+        write_store(graph, path)
+        partitioned = ensure_partitioned(path, 2, graph=open_store(path))
+        for shard_path in partitioned.shard_paths:
+            header = read_store_header(shard_path)
+            assert header.has_reverse
+            shard = open_store(shard_path)
+            np.testing.assert_array_equal(
+                shard.rsrc,
+                np.repeat(
+                    np.arange(shard.num_nodes, dtype=np.int64), shard.degrees
+                ),
+            )

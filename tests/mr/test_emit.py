@@ -1,0 +1,339 @@
+"""Unit and property tests of the fused emit pipeline (repro.mr.emit).
+
+The contract under test: for any state, :meth:`EmitScratch.emit` must
+report the *unfiltered* emission (count and per-target histogram) of the
+legacy ``emit_frontier`` oracle while materializing exactly the
+candidates that could be adopted — and this must hold in every
+direction (push / pull / auto), across reused buffers, and across the
+frozen-emission cache's append/prune/invalidate transitions.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.generators import rmat
+from repro.graph.ops import largest_connected_component
+from repro.mr.emit import EMIT_ENV, EmitScratch, emit_mode
+from repro.mr.kernels import (
+    CountScratch,
+    counting_group_keys,
+    merge_candidates,
+    merge_candidates_by_source,
+)
+from repro.mrimpl.growing_mr import NO_CENTER, emit_frontier
+
+
+@pytest.fixture(autouse=True)
+def _restore_emit_mode():
+    before = os.environ.get(EMIT_ENV)
+    yield
+    if before is None:
+        os.environ.pop(EMIT_ENV, None)
+    else:
+        os.environ[EMIT_ENV] = before
+
+
+def small_graph(seed=7):
+    return largest_connected_component(rmat(7, edge_factor=6, seed=seed))[0]
+
+
+def random_state(graph, rng, frozen_frac=0.3, assigned_frac=0.8):
+    n = graph.num_nodes
+    assigned = rng.random(n) < assigned_frac
+    center = np.where(assigned, rng.integers(0, n, n), NO_CENTER).astype(np.int64)
+    dist = np.where(assigned, rng.random(n), np.inf)
+    frozen = assigned & (rng.random(n) < frozen_frac)
+    dacc = np.where(assigned, rng.random(n), np.inf)
+    changed = np.zeros(n, dtype=bool)
+    frozen_iter = np.zeros(n, dtype=np.int64)
+    return center, dist, frozen, dacc, changed, frozen_iter
+
+
+def legacy_reference(graph, state, delta, force, sources=None, rescale=0.0, iteration=0):
+    """The oracle: full emission, then the merge-time adoptability filter."""
+    center, dist, frozen, dacc, changed, frozen_iter = state
+    keys, values = emit_frontier(
+        graph.indptr,
+        graph.indices,
+        graph.weights,
+        center=center,
+        dist=dist,
+        dacc=dacc,
+        frozen=frozen,
+        changed=changed,
+        frozen_iter=frozen_iter,
+        delta=delta,
+        force=force,
+        rescale=rescale,
+        iteration=iteration,
+        sources=sources,
+    )
+    imp = (~frozen[keys]) & (values[:, 0] < dist[keys])
+    return keys, values, imp
+
+
+def sorted_rows(keys, nd, ctr, src):
+    order = np.lexsort((src, ctr, nd, keys))
+    return keys[order], nd[order], ctr[order], src[order]
+
+
+def assert_batch_matches_oracle(batch, graph, state, delta, force, sources=None):
+    keys, values, imp = legacy_reference(graph, state, delta, force, sources)
+    assert batch.emitted == len(keys)
+    # Full-multiset histogram.
+    dense = np.bincount(keys, minlength=graph.num_nodes)
+    np.testing.assert_array_equal(batch.group_keys, np.flatnonzero(dense))
+    np.testing.assert_array_equal(
+        batch.group_counts, dense[np.flatnonzero(dense)]
+    )
+    # The filtered rows are exactly the adoptable candidates (as a
+    # multiset — cache replay reorders rows).
+    assert batch.count == int(imp.sum())
+    # emit_frontier does not return source ids, so compare the
+    # (keys, nd, center) multiset plus the reconstructed dacc column.
+    got = sorted_rows(batch.keys, batch.nd, batch.ctr, batch.src.astype(np.float64))
+    ref = np.lexsort((values[imp][:, 1], values[imp][:, 0], keys[imp]))
+    rk, rv = keys[imp][ref], values[imp][ref]
+    np.testing.assert_array_equal(got[0], rk)
+    np.testing.assert_allclose(got[1], rv[:, 0])
+    np.testing.assert_allclose(got[2], rv[:, 1])
+    dacc_col = state[3][batch.src] + batch.w
+    np.testing.assert_allclose(np.sort(dacc_col), np.sort(rv[:, 2]))
+
+
+class TestEmitMatchesOracle:
+    @pytest.mark.parametrize("mode", ["push", "pull", "auto"])
+    @pytest.mark.parametrize("force", [True, False])
+    def test_random_states(self, mode, force):
+        os.environ[EMIT_ENV] = mode
+        graph = small_graph()
+        rng = np.random.default_rng(3)
+        for trial in range(8):
+            state = random_state(graph, rng)
+            delta = float(rng.random() * 0.8 + 0.1)
+            scratch = EmitScratch(graph.indptr, graph.indices, graph.weights)
+            if force:
+                sources = None
+            else:
+                assigned = np.flatnonzero(state[0] != NO_CENTER)
+                sources = rng.choice(
+                    assigned, size=min(20, len(assigned)), replace=False
+                )
+                sources.sort()
+            batch = scratch.emit(
+                center=state[0],
+                dist=state[1],
+                dacc=state[3],
+                frozen=state[2],
+                frozen_iter=state[5],
+                delta=delta,
+                force=force,
+                sources=sources,
+            )
+            assert_batch_matches_oracle(batch, graph, state, delta, force, sources)
+
+    def test_push_pull_identical_columns(self):
+        graph = small_graph(seed=13)
+        rng = np.random.default_rng(5)
+        state = random_state(graph, rng)
+        delta = 0.7
+        results = {}
+        for mode in ("push", "pull"):
+            os.environ[EMIT_ENV] = mode
+            scratch = EmitScratch(graph.indptr, graph.indices, graph.weights)
+            b = scratch.emit(
+                center=state[0], dist=state[1], dacc=state[3],
+                frozen=state[2], frozen_iter=state[5],
+                delta=delta, force=True,
+            )
+            results[mode] = (
+                b.emitted,
+                sorted_rows(b.keys, b.nd, b.ctr, b.srcf),
+                b.group_keys.copy(),
+                b.group_counts.copy(),
+            )
+        assert results["push"][0] == results["pull"][0]
+        for a, b in zip(results["push"][1], results["pull"][1]):
+            np.testing.assert_allclose(a, b)
+        np.testing.assert_array_equal(results["push"][2], results["pull"][2])
+        np.testing.assert_array_equal(results["push"][3], results["pull"][3])
+
+
+class TestScratchReuse:
+    def test_no_stale_rows_across_rounds(self):
+        """A big emission followed by small ones must not leak rows."""
+        os.environ[EMIT_ENV] = "auto"
+        graph = small_graph(seed=21)
+        rng = np.random.default_rng(11)
+        scratch = EmitScratch(graph.indptr, graph.indices, graph.weights)
+        for trial in range(12):
+            # Alternate huge forced rounds and skinny frontier rounds.
+            force = trial % 2 == 0
+            state = random_state(
+                graph, rng, assigned_frac=0.95 if force else 0.2
+            )
+            delta = float(rng.random() * 0.9 + 0.05)
+            sources = None
+            if not force:
+                assigned = np.flatnonzero(state[0] != NO_CENTER)
+                k = min(int(rng.integers(0, 6)), len(assigned))
+                sources = np.sort(
+                    rng.choice(assigned, size=k, replace=False)
+                ) if k else np.empty(0, dtype=np.int64)
+            batch = scratch.emit(
+                center=state[0], dist=state[1], dacc=state[3],
+                frozen=state[2], frozen_iter=state[5],
+                delta=delta, force=force, sources=sources,
+            )
+            # Fresh scratch = ground truth for this round.
+            fresh = EmitScratch(graph.indptr, graph.indices, graph.weights)
+            ref = fresh.emit(
+                center=state[0], dist=state[1], dacc=state[3],
+                frozen=state[2], frozen_iter=state[5],
+                delta=delta, force=force, sources=sources,
+            )
+            assert batch.emitted == ref.emitted
+            assert batch.count == ref.count
+            for got, want in (
+                (batch.keys, ref.keys), (batch.nd, ref.nd),
+                (batch.ctr, ref.ctr), (batch.src, ref.src), (batch.w, ref.w),
+            ):
+                got_s = np.sort(np.asarray(got))
+                np.testing.assert_allclose(got_s, np.sort(np.asarray(want)))
+
+    def test_cache_tracks_freezing_and_delta_changes(self):
+        """Forced-round replay must equal plain push through a realistic
+        freeze / delta-doubling / stage-reset history."""
+        graph = small_graph(seed=33)
+        n = graph.num_nodes
+        rng = np.random.default_rng(17)
+        scratch = EmitScratch(graph.indptr, graph.indices, graph.weights)
+        center = np.full(n, NO_CENTER, dtype=np.int64)
+        dist = np.full(n, np.inf)
+        frozen = np.zeros(n, dtype=bool)
+        dacc = np.full(n, np.inf)
+        fit = np.zeros(n, dtype=np.int64)
+        delta = 0.3
+        for stage in range(6):
+            # Freeze a few assigned nodes, reset the rest, pick centers.
+            newly = rng.random(n) < 0.15
+            frozen |= newly & (center != NO_CENTER)
+            live = ~frozen
+            center[live] = NO_CENTER
+            dist[live] = np.inf
+            dacc[live] = np.inf
+            picks = np.flatnonzero(live)[: 1 + stage]
+            center[picks] = picks
+            dist[picks] = 0.0
+            dacc[picks] = 0.0
+            if stage == 3:
+                delta *= 2  # invalidates the cache wholesale
+            os.environ[EMIT_ENV] = "auto"
+            batch = scratch.emit(
+                center=center, dist=dist, dacc=dacc, frozen=frozen,
+                frozen_iter=fit, delta=delta, force=True,
+            )
+            os.environ[EMIT_ENV] = "push"
+            ref = EmitScratch(graph.indptr, graph.indices, graph.weights).emit(
+                center=center, dist=dist, dacc=dacc, frozen=frozen,
+                frozen_iter=fit, delta=delta, force=True,
+            )
+            assert batch.emitted == ref.emitted
+            assert batch.count == ref.count
+            np.testing.assert_array_equal(batch.group_keys, ref.group_keys)
+            np.testing.assert_array_equal(batch.group_counts, ref.group_counts)
+            got = sorted_rows(batch.keys, batch.nd, batch.ctr, batch.srcf)
+            want = sorted_rows(ref.keys, ref.nd, ref.ctr, ref.srcf)
+            for a, b in zip(got, want):
+                np.testing.assert_allclose(a, b)
+        assert scratch.cache_hits >= 1
+
+    def test_reset_clears_cache_but_keeps_working(self):
+        graph = small_graph(seed=9)
+        rng = np.random.default_rng(23)
+        scratch = EmitScratch(graph.indptr, graph.indices, graph.weights)
+        state = random_state(graph, rng)
+        kwargs = dict(
+            center=state[0], dist=state[1], dacc=state[3], frozen=state[2],
+            frozen_iter=state[5], delta=0.6, force=True,
+        )
+        os.environ[EMIT_ENV] = "auto"
+        first = scratch.emit(**kwargs)
+        scratch.reset()
+        again = scratch.emit(**kwargs)
+        assert first.emitted == again.emitted
+        assert first.count == again.count
+
+
+class TestDirectionPlanning:
+    def test_env_modes(self):
+        os.environ[EMIT_ENV] = "pull"
+        assert emit_mode() == "pull"
+        os.environ[EMIT_ENV] = "bogus"
+        assert emit_mode() == "auto"
+        os.environ.pop(EMIT_ENV, None)
+        assert emit_mode() == "auto"
+
+    def test_auto_threshold(self):
+        graph = small_graph()
+        scratch = EmitScratch(graph.indptr, graph.indices, graph.weights)
+        assert scratch.plan_direction(0, "auto") == "push"
+        assert scratch.plan_direction(graph.num_arcs, "auto") == "pull"
+        assert scratch.plan_direction(graph.num_arcs, "push") == "push"
+        assert scratch.plan_direction(0, "pull") == "pull"
+
+
+class TestOrderFreeReducer:
+    def test_matches_arrival_reducer_on_dedup_batches(self):
+        """(nd, center, source) tie-break == arrival order when each
+        source ships at most one row per target."""
+        rng = np.random.default_rng(31)
+        for _ in range(20):
+            groups = rng.integers(1, 6)
+            keys, rows4, rows3 = [], [], []
+            for g in range(groups):
+                srcs = rng.choice(50, size=rng.integers(1, 8), replace=False)
+                srcs.sort()  # arrival order = ascending source
+                for s in srcs:
+                    nd = float(rng.integers(0, 3))
+                    c = float(rng.integers(0, 3))
+                    dacc = float(rng.random())
+                    keys.append(g)
+                    rows3.append((nd, c, dacc))
+                    rows4.append((nd, c, float(s), dacc))
+            keys = np.asarray(keys, dtype=np.int64)
+            rows3 = np.asarray(rows3)
+            rows4 = np.asarray(rows4)
+            starts = np.flatnonzero(np.diff(keys, prepend=-1))
+            offsets = np.concatenate((starts, [len(keys)])).astype(np.int64)
+            gk = keys[starts]
+            k3, v3, _ = merge_candidates(gk, offsets, rows3)
+            # Shuffle rows inside each group: the by-source reducer must
+            # not care about arrival order.
+            perm = np.concatenate(
+                [s + rng.permutation(e - s) for s, e in zip(offsets, offsets[1:])]
+            )
+            k4, v4, _ = merge_candidates_by_source(gk, offsets, rows4[perm])
+            np.testing.assert_array_equal(k3, k4)
+            np.testing.assert_allclose(v3, v4)
+
+
+class TestCountScratch:
+    def test_matches_plain_counting(self):
+        rng = np.random.default_rng(41)
+        scratch = CountScratch()
+        for _ in range(10):
+            bound = int(rng.integers(5, 200))
+            keys = rng.integers(0, bound, size=rng.integers(0, 500)).astype(np.int64)
+            plain = counting_group_keys(keys, bound)
+            reused = counting_group_keys(keys, bound, scratch=scratch)
+            for a, b in zip(plain, reused):
+                np.testing.assert_array_equal(a, b)
+
+    def test_histogram_invariant_restored(self):
+        scratch = CountScratch()
+        keys = np.array([3, 3, 7, 1], dtype=np.int64)
+        counting_group_keys(keys, 10, scratch=scratch)
+        assert not scratch.hist(10).any()

@@ -1,0 +1,90 @@
+"""Per-phase wall-clock timers: Counters plumbing, RunResult, CLI."""
+
+import numpy as np
+
+from repro.generators import mesh
+from repro.mr.metrics import PHASES, Counters
+from repro.runtime import run
+
+
+class TestCounters:
+    def test_add_time_accumulates(self):
+        c = Counters()
+        c.add_time("emit", 0.5)
+        c.add_time("emit", 0.25)
+        assert c.timings["emit"] == 0.75
+
+    def test_merge_sums_timings(self):
+        a, b = Counters(), Counters()
+        a.add_time("emit", 1.0)
+        b.add_time("emit", 0.5)
+        b.add_time("reduce", 0.25)
+        a.merge(b)
+        assert a.timings == {"emit": 1.5, "reduce": 0.25}
+
+    def test_timing_snapshot_shape(self):
+        c = Counters()
+        c.add_time("reduce", 0.125)
+        c.add_time("custom", 0.5)
+        snap = c.timing_snapshot()
+        assert list(snap)[: len(PHASES)] == list(PHASES)
+        assert snap["reduce"] == 0.125
+        assert snap["custom"] == 0.5
+        assert snap["emit"] == 0.0
+
+    def test_snapshot_excludes_timings(self):
+        """Counter snapshots are compared bit-for-bit across backends;
+        wall-clock must stay out of them."""
+        c = Counters()
+        c.add_time("emit", 1.0)
+        assert "emit" not in c.snapshot()
+        assert "timings" not in c.snapshot()
+
+
+class TestRunResult:
+    def test_engine_run_reports_phases(self):
+        result = run(
+            "cluster", mesh(12, seed=3), tau=4, seed=1, executor="vector"
+        )
+        timings = result.timings
+        assert set(timings) >= set(PHASES)
+        assert timings["emit"] > 0.0
+        assert sum(timings.values()) <= result.elapsed + 1.0
+
+    def test_core_run_reports_phases(self):
+        result = run("cluster", mesh(12, seed=3), tau=4, seed=1)
+        assert result.timings["emit"] > 0.0
+        assert result.timings["reduce"] > 0.0
+
+    def test_snapshot_unaffected(self):
+        result = run("cluster", mesh(12, seed=3), tau=4, seed=1)
+        assert "timings" not in result.snapshot()
+
+
+class TestCli:
+    def test_run_timings_flag(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.graph.io import write_auto
+
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "cache"))
+        path = tmp_path / "mesh.gr"
+        write_auto(mesh(8, seed=1), path)
+        rc = main(
+            ["run", "cluster", str(path), "--tau", "4", "--seed", "1",
+             "--executor", "vector", "--timings"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for phase in PHASES:
+            assert phase in out
+        assert "other" in out
+
+    def test_run_without_flag_silent(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.graph.io import write_auto
+
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "cache"))
+        path = tmp_path / "mesh.gr"
+        write_auto(mesh(8, seed=1), path)
+        assert main(["run", "cluster", str(path), "--tau", "4"]) == 0
+        assert "shuffle" not in capsys.readouterr().out
