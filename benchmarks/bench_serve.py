@@ -1,0 +1,275 @@
+"""Serve daemon under load — resident graphs vs one-shot CLI runs.
+
+The daemon's whole value proposition is measured here:
+
+* **load** — 16 client threads fire ≥1000 mixed queries (diameter /
+  cluster / cluster2 / sssp / eccentricity / components, several
+  configs, two executors) at one daemon holding three resident graphs;
+  per-query latency is recorded client-side and reported as p50/p99,
+  with throughput (queries/sec) and the result-cache hit rate;
+* **warm vs cold** — a cached repeat answered from the daemon's event
+  loop, against the same query as a cold one-shot ``repro`` CLI
+  subprocess that pays interpreter + import + graph open + engine
+  build every time.  Acceptance (full scale): the warm repeat is
+  ≥ 50x faster than the cold CLI;
+* **parity under load** — every load response's digest must equal the
+  direct ``runtime.run()`` digest for its query; a served-but-wrong
+  answer fails the bench, not just the test suite.
+
+Records land in ``BENCH_serve.json`` (schema: repro.bench.reporting).
+``backend="direct"`` rows are in-process reference runs — use them with
+``check_regression.py --normalize direct`` to compare machines.
+
+Run on demand (CI runs it at ``REPRO_BENCH_SCALE=12``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from conftest import write_bench_records, write_result
+from repro.bench.reporting import bench_record, format_table
+from repro.generators import gnm_random_graph, mesh, road_network
+from repro.graph import write_store
+from repro.runtime import run
+from repro.serve import ServeClient, ServerConfig, start_server_thread
+from repro.serve.protocol import result_digest
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "18"))
+N_CLIENTS = 16
+N_QUERIES = 1200  # total across all clients; acceptance floor is 1000
+WARM_REPEATS = 30
+COLD_CLI_SPEEDUP = 50.0
+
+#: Graph families resident in the daemon for the whole bench.
+def _family_sizes():
+    mesh_side = max(12, 2 ** max(3, SCALE // 2 - 2))
+    road_side = max(10, 2 ** max(3, SCALE // 2 - 3))
+    gnm_nodes = max(256, 2 ** max(8, SCALE - 8))
+    return mesh_side, road_side, gnm_nodes
+
+
+@pytest.fixture(scope="module")
+def resident_graphs(tmp_path_factory):
+    """Three stored graphs of different families, written once."""
+    root = tmp_path_factory.mktemp("bench-serve-graphs")
+    mesh_side, road_side, gnm_nodes = _family_sizes()
+    stored = {}
+    for name, graph in (
+        ("mesh", mesh(mesh_side, seed=42)),
+        ("road", road_network(road_side, seed=42)),
+        ("gnm", gnm_random_graph(gnm_nodes, 4 * gnm_nodes, seed=42,
+                                 connect=True)),
+    ):
+        path = root / f"{name}.rcsr"
+        write_store(graph, str(path))
+        stored[name] = (str(path), graph.num_nodes, graph.num_edges)
+    return stored
+
+
+def _workload(resident_graphs):
+    """The mixed query pool clients draw from, round-robin."""
+    entries = []
+    for name in ("mesh", "road", "gnm"):
+        path, _, _ = resident_graphs[name]
+        for seed in (0, 1, 2):
+            entries.append((name, path, "cluster", {"tau": 32, "seed": seed},
+                            None, None))
+        entries.append((name, path, "diameter", {"tau": 32}, None, None))
+        entries.append((name, path, "diameter", {"tau": 32}, "vector", None))
+        entries.append((name, path, "cluster2", {"tau": 32}, None, None))
+        entries.append((name, path, "sssp", {}, None, {"source": 0}))
+        entries.append((name, path, "eccentricity", {"tau": 32}, None, None))
+        entries.append((name, path, "components", {"tau": 32}, None, None))
+    return entries
+
+
+@pytest.fixture(scope="module")
+def server(resident_graphs):
+    handle = start_server_thread(
+        ServerConfig(
+            socket_path=None,
+            port=0,
+            max_workers=2,
+            max_pending=N_CLIENTS * 4,
+            max_queue_depth=N_CLIENTS * 4,
+            cache_entries=512,
+            preload=tuple(path for path, _, _ in resident_graphs.values()),
+        )
+    )
+    yield handle
+    handle.stop()
+
+
+def test_serve_load_report(benchmark, server, resident_graphs):
+    workload = _workload(resident_graphs)
+
+    # Direct reference digests — served answers must match bit-for-bit.
+    reference = {}
+    direct_walls = {}
+    for name, path, algorithm, config, executor, options in workload:
+        key = (path, algorithm, tuple(sorted(config.items())), executor)
+        if key in reference:
+            continue
+        start = time.perf_counter()
+        result = run(algorithm, path, executor=executor,
+                     **config, **(options or {}))
+        direct_walls.setdefault(name, []).append(time.perf_counter() - start)
+        reference[key] = result_digest(result.raw)
+
+    latencies = []
+    hits = [0]
+    failures = []
+    lock = threading.Lock()
+    per_client = N_QUERIES // N_CLIENTS
+
+    def client_main(offset):
+        try:
+            with ServeClient(port=server.port) as client:
+                for i in range(per_client):
+                    name, path, algorithm, config, executor, options = (
+                        workload[(offset + i) % len(workload)]
+                    )
+                    start = time.perf_counter()
+                    response = client.query(
+                        path, algorithm, config=config,
+                        executor=executor, options=options,
+                    )
+                    elapsed = time.perf_counter() - start
+                    key = (path, algorithm,
+                           tuple(sorted(config.items())), executor)
+                    with lock:
+                        latencies.append(elapsed)
+                        if response["serve"]["cache_hit"]:
+                            hits[0] += 1
+                        if response["digest"] != reference[key]:
+                            failures.append(key)
+        except Exception as exc:  # pragma: no cover - failure path
+            with lock:
+                failures.append(exc)
+
+    def load():
+        latencies.clear()
+        hits[0] = 0
+        threads = [
+            threading.Thread(target=client_main, args=(i * 3,))
+            for i in range(N_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return time.perf_counter() - start
+
+    load_wall = benchmark.pedantic(load, rounds=1, iterations=1)
+
+    assert not failures, failures[:3]
+    total = len(latencies)
+    assert total == per_client * N_CLIENTS >= 1000
+    latencies.sort()
+    p50_ms = 1e3 * latencies[total // 2]
+    p99_ms = 1e3 * latencies[int(total * 0.99)]
+    qps = total / load_wall
+    hit_rate = hits[0] / total
+
+    # ------------------------------------------------------------------ #
+    # Warm cached repeat vs cold one-shot CLI on the same query.
+    # ------------------------------------------------------------------ #
+    mesh_path, mesh_n, mesh_m = resident_graphs["mesh"]
+    with ServeClient(port=server.port) as client:
+        client.query(mesh_path, "diameter", tau=32)  # ensure cached
+        warm_samples = []
+        for _ in range(WARM_REPEATS):
+            start = time.perf_counter()
+            response = client.query(mesh_path, "diameter", tau=32)
+            warm_samples.append(time.perf_counter() - start)
+            assert response["serve"]["cache_hit"] is True
+    warm_wall = statistics.median(warm_samples)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "diameter", mesh_path, "--tau", "32"],
+        env=env, capture_output=True, text=True, timeout=600,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    cli_wall = time.perf_counter() - start
+    assert proc.returncode == 0, proc.stderr
+    speedup = cli_wall / warm_wall
+
+    stats = None
+    with ServeClient(port=server.port) as client:
+        stats = client.stats()
+
+    # ------------------------------------------------------------------ #
+    # Records + report
+    # ------------------------------------------------------------------ #
+    records = []
+    total_n = sum(n for _, n, _ in resident_graphs.values())
+    total_m = sum(m for _, _, m in resident_graphs.values())
+    for name in ("mesh", "road", "gnm"):
+        path, n, m = resident_graphs[name]
+        records.append(bench_record(
+            workload=f"serve-{name}", n=n, m=m, backend="direct",
+            wall_s=statistics.median(direct_walls[name]),
+            rounds=0, bytes_shipped=0,
+        ))
+    records.append(bench_record(
+        workload="serve-mixed-load", n=total_n, m=total_m,
+        backend="serve-load", wall_s=load_wall, rounds=0, bytes_shipped=0,
+        queries=total, clients=N_CLIENTS, qps=round(qps, 1),
+        p50_ms=round(p50_ms, 3), p99_ms=round(p99_ms, 3),
+        cache_hit_rate=round(hit_rate, 4),
+        resident_graphs=len(resident_graphs),
+    ))
+    records.append(bench_record(
+        workload="serve-warm-repeat", n=mesh_n, m=mesh_m,
+        backend="serve-warm", wall_s=warm_wall, rounds=0, bytes_shipped=0,
+        repeats=WARM_REPEATS,
+    ))
+    records.append(bench_record(
+        workload="serve-warm-repeat", n=mesh_n, m=mesh_m,
+        backend="cli-cold", wall_s=cli_wall, rounds=0, bytes_shipped=0,
+        speedup_vs_warm=round(speedup, 1),
+    ))
+    write_bench_records("BENCH_serve.json", records)
+
+    table_rows = [
+        {"metric": "concurrent queries", "value": total},
+        {"metric": "client threads", "value": N_CLIENTS},
+        {"metric": "resident graphs", "value": len(resident_graphs)},
+        {"metric": "wall (s)", "value": round(load_wall, 3)},
+        {"metric": "throughput (q/s)", "value": round(qps, 1)},
+        {"metric": "p50 latency (ms)", "value": round(p50_ms, 3)},
+        {"metric": "p99 latency (ms)", "value": round(p99_ms, 3)},
+        {"metric": "cache hit rate", "value": round(hit_rate, 4)},
+        {"metric": "warm repeat (ms)", "value": round(1e3 * warm_wall, 3)},
+        {"metric": "cold CLI (s)", "value": round(cli_wall, 3)},
+        {"metric": "warm speedup vs CLI", "value": round(speedup, 1)},
+        {"metric": "scheduler peak pending",
+         "value": stats["scheduler"]["peak_pending"]},
+    ]
+    write_result(
+        "serve_load.txt",
+        format_table(table_rows, ["metric", "value"],
+                     title=f"repro serve under load (scale {SCALE})"),
+    )
+
+    # Acceptance bars.
+    assert hit_rate > 0.5, "mixed workload should be cache-dominated"
+    if SCALE >= 18:
+        assert speedup >= COLD_CLI_SPEEDUP, (
+            f"warm cached repeat only {speedup:.1f}x faster than the "
+            f"cold CLI (bar: {COLD_CLI_SPEEDUP}x)"
+        )

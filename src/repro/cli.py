@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro._version import __version__
+from repro.errors import ConfigurationError
 
 __all__ = ["main", "build_parser"]
 
@@ -178,6 +179,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "reduce/apply) after the run")
 
     sub.add_parser("algorithms", help="list the registered algorithms")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent graph-analytics daemon (see docs/serve.md)",
+    )
+    p_serve.add_argument("--socket", default=None,
+                         help="unix socket path to listen on")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="TCP port to listen on (0 picks a free port)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--max-workers", type=int, default=2,
+                         help="concurrent queries across all graphs")
+    p_serve.add_argument("--queue-depth", type=int, default=16,
+                         help="waiting queries per graph before 429 busy")
+    p_serve.add_argument("--max-pending", type=int, default=64,
+                         help="total admitted queries before 429 busy")
+    p_serve.add_argument("--cache-entries", type=int, default=256,
+                         help="result-cache capacity (0 disables caching)")
+    p_serve.add_argument("--graph-capacity", type=int, default=8,
+                         help="resident graphs kept warm (LRU)")
+    p_serve.add_argument("--no-shutdown-op", action="store_true",
+                         help="refuse the remote 'shutdown' op")
+    p_serve.add_argument("--preload", action="append", default=[],
+                         metavar="GRAPH",
+                         help="make GRAPH resident at boot (repeatable)")
+
+    p_shell = sub.add_parser(
+        "shell", help="interactive client for a running serve daemon"
+    )
+    p_shell.add_argument("--socket", default=None,
+                         help="unix socket of the daemon")
+    p_shell.add_argument("--port", type=int, default=None,
+                         help="TCP port of the daemon")
+    p_shell.add_argument("--host", default="127.0.0.1")
     return parser
 
 
@@ -508,6 +543,64 @@ def _cmd_algorithms(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ReproServer, ServerConfig
+
+    try:
+        config = ServerConfig(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            max_workers=args.max_workers,
+            max_queue_depth=args.queue_depth,
+            max_pending=args.max_pending,
+            cache_entries=args.cache_entries,
+            graph_capacity=args.graph_capacity,
+            allow_shutdown=not args.no_shutdown_op,
+            preload=tuple(args.preload),
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = ReproServer(config)
+
+    async def _main():
+        await server.start()
+        where = []
+        if config.socket_path:
+            where.append(f"unix:{config.socket_path}")
+        if server.bound_port is not None:
+            where.append(f"{config.host}:{server.bound_port}")
+        print(f"repro serve listening on {', '.join(where)} "
+              f"({config.max_workers} workers)")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("\nrepro serve stopped")
+    return 0
+
+
+def _cmd_shell(args) -> int:
+    from repro.serve import run_shell
+    from repro.serve.protocol import ServeError
+
+    if (args.socket is None) == (args.port is None):
+        print("error: give exactly one of --socket or --port",
+              file=sys.stderr)
+        return 2
+    try:
+        return run_shell(
+            socket_path=args.socket, host=args.host, port=args.port
+        )
+    except (ConnectionError, ServeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "convert": _cmd_convert,
@@ -520,6 +613,8 @@ _COMMANDS = {
     "components": _cmd_components,
     "run": _cmd_run,
     "algorithms": _cmd_algorithms,
+    "serve": _cmd_serve,
+    "shell": _cmd_shell,
 }
 
 

@@ -157,7 +157,7 @@ def _decompose(ctx, *, use_cluster2: bool):
     with owned_engine(
         ctx.graph,
         config.with_(executor=ctx.executor),
-        None,
+        ctx.engine,
         num_workers=ctx.workers,
     ) as engine:
         clustering = decompose(ctx.graph, config=config, engine=engine)
@@ -189,6 +189,7 @@ def _run_diameter(ctx):
             config=ctx.config.with_(
                 executor=ctx.executor, use_cluster2=use_cluster2
             ),
+            engine=ctx.engine,
             num_workers=ctx.workers,
         )
     ctx.counters.merge(est.counters)

@@ -61,6 +61,11 @@ class RunContext:
     workers: Optional[int] = None
     options: Mapping[str, Any] = field(default_factory=dict)
     counters: Counters = field(default_factory=Counters)
+    #: Caller-owned MR engine to reuse (``repro serve`` keeps one warm
+    #: per resident graph so scratch buffers and pooled executors
+    #: survive across queries).  ``None`` builds a per-run engine whose
+    #: executor is closed when the run ends.
+    engine: Optional[Any] = None
 
     @property
     def seed(self) -> Optional[int]:
@@ -148,6 +153,7 @@ def run(
     executor: Optional[str] = None,
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    engine: Optional[Any] = None,
     store: Optional[GraphStore] = None,
     registry: Optional[AlgorithmRegistry] = None,
     **options: Any,
@@ -174,6 +180,14 @@ def run(
         Shard count for ``executor="sharded"`` (default: ``workers``,
         falling back to the CPU count).  Rejected with any other
         executor.
+    engine:
+        A caller-owned :class:`~repro.mr.engine.MREngine` for the spec
+        to reuse instead of building (and closing) one per run.  The
+        engine must have been built for *this* graph and executor kind;
+        its per-run counters are reset before the spec executes, but its
+        scratch buffers, growing state, and pooled executor stay warm —
+        this is how ``repro serve`` amortizes engine start-up across
+        queries.  Requires a non-``None`` ``executor``.
     store, registry:
         Override the process-wide defaults (mostly for tests).
     **options:
@@ -197,6 +211,8 @@ def run(
         raise ConfigurationError("workers must be >= 1")
     if workers is not None and executor is None:
         raise ConfigurationError("workers requires an executor")
+    if engine is not None and executor is None:
+        raise ConfigurationError("engine requires an executor")
     if shards is not None and executor != "sharded":
         raise ConfigurationError("shards requires executor='sharded'")
     if shards is not None and shards < 1:
@@ -246,12 +262,22 @@ def run(
             graph, workers
         )
 
+    if engine is not None:
+        # A reused engine accumulates counters/simulated-time across
+        # runs; each run must start from zero so the RunResult's
+        # counters stay bit-comparable with a fresh-engine run.  Every
+        # component reads ``engine.counters`` live, so swapping the
+        # object is safe.
+        engine.counters = Counters()
+        engine.simulated_time = 0
+
     ctx = RunContext(
         graph=_resolve_graph(graph, store),
         config=_resolve_config(config, seed, tau, shards),
         executor=executor,
         workers=workers,
         options=dict(options),
+        engine=engine,
     )
     start = time.perf_counter()
     result = spec.fn(ctx)

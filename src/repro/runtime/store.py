@@ -27,9 +27,11 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.errors import GraphFormatError
 from repro.graph.csr import CSRGraph
@@ -92,11 +94,40 @@ class GraphStore:
         self.max_cache_bytes = max_cache_bytes
         self.capacity = capacity
         self._lru: "OrderedDict[tuple, CSRGraph]" = OrderedDict()
+        #: key → number of in-flight pins; pinned entries are never
+        #: evicted, so a long query's graph keeps its identity (and the
+        #: engine state cached against it) even under eviction pressure.
+        self._pins: Dict[tuple, int] = {}
+        #: get/pin/clear run from server worker threads concurrently;
+        #: the LRU bookkeeping is guarded by one reentrant lock (the
+        #: conversion itself happens outside the lock — it is keyed by
+        #: signature, so a duplicate conversion is wasted work, not a
+        #: correctness problem: write_store is atomic).
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.conversions = 0
 
     # ------------------------------------------------------------------ #
+
+    def _resolved_store(self, path: PathLike) -> Path:
+        """``store_path(path)``, converting the source if needed."""
+        store_file = self.store_path(path)
+        if not store_file.exists():
+            self._convert(Path(path), store_file)
+        return store_file
+
+    def signature(self, path: PathLike) -> Tuple[str, int, int]:
+        """``path``'s store identity: (store file, mtime_ns, size).
+
+        This is exactly the key the in-process LRU uses, so two calls
+        return equal signatures iff :meth:`get` would return the same
+        cached graph.  Mutating (rewriting) the store file changes the
+        signature — result caches keyed by it invalidate automatically.
+        """
+        store_file = self._resolved_store(path)
+        stat = store_file.stat()
+        return (str(store_file), stat.st_mtime_ns, stat.st_size)
 
     def get(self, path: PathLike) -> CSRGraph:
         """Return ``path``'s graph, memory-mapped, converting if needed.
@@ -105,22 +136,64 @@ class GraphStore:
         graph (converted once, then opened from the cache directory), or
         the legacy ``.npz`` dump (likewise converted).
         """
-        store_file = self.store_path(path)
-        if not store_file.exists():
-            self._convert(Path(path), store_file)
+        return self._lookup(path)[1]
+
+    def _lookup(self, path: PathLike) -> Tuple[tuple, CSRGraph]:
+        store_file = self._resolved_store(path)
         stat = store_file.stat()
         key = (str(store_file), stat.st_mtime_ns, stat.st_size)
-        cached = self._lru.get(key)
-        if cached is not None:
-            self._lru.move_to_end(key)
-            self.hits += 1
-            return cached
-        self.misses += 1
+        with self._lock:
+            cached = self._lru.get(key)
+            if cached is not None:
+                self._lru.move_to_end(key)
+                self.hits += 1
+                return key, cached
+        # Mapping the file happens outside the lock (it touches the
+        # filesystem); a racing thread may map the same store twice, in
+        # which case the second mapping wins the slot — both views are
+        # read-only over the same bytes.
         graph = CSRGraph.open_mmap(store_file)
-        self._lru[key] = graph
-        while len(self._lru) > self.capacity:
-            self._lru.popitem(last=False)
-        return graph
+        with self._lock:
+            self.misses += 1
+            self._lru[key] = graph
+            self._trim_lru()
+        return key, graph
+
+    def _trim_lru(self) -> None:
+        """Evict oldest *unpinned* entries down to capacity (lock held)."""
+        if len(self._lru) <= self.capacity:
+            return
+        for key in list(self._lru):
+            if len(self._lru) <= self.capacity:
+                break
+            if self._pins.get(key):
+                continue
+            del self._lru[key]
+
+    @contextmanager
+    def pin(self, path: PathLike) -> Iterator[CSRGraph]:
+        """Context manager yielding ``path``'s graph, pinned in the LRU.
+
+        While pinned, the entry cannot be evicted: a concurrent
+        ``get(path)`` returns the *same* :class:`CSRGraph` object, so
+        state keyed by graph identity (warm engine scratch, resident
+        shard workers) survives any amount of cache pressure from other
+        graphs.  Pins nest; the entry becomes evictable again when the
+        last pin exits (the LRU is re-trimmed at that point).
+        """
+        key, graph = self._lookup(path)
+        with self._lock:
+            self._pins[key] = self._pins.get(key, 0) + 1
+        try:
+            yield graph
+        finally:
+            with self._lock:
+                remaining = self._pins.get(key, 1) - 1
+                if remaining <= 0:
+                    self._pins.pop(key, None)
+                else:
+                    self._pins[key] = remaining
+                self._trim_lru()
 
     def store_path(self, path: PathLike) -> Path:
         """The ``.rcsr`` file ``get(path)`` will open (may not exist yet).
@@ -319,11 +392,15 @@ class GraphStore:
         return self.get(destination)
 
     def clear(self) -> None:
-        """Drop every LRU entry (open graphs stay valid)."""
-        self._lru.clear()
+        """Drop every unpinned LRU entry (open graphs stay valid)."""
+        with self._lock:
+            for key in list(self._lru):
+                if not self._pins.get(key):
+                    del self._lru[key]
 
     def __len__(self) -> int:
-        return len(self._lru)
+        with self._lock:
+            return len(self._lru)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

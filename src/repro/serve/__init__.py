@@ -1,0 +1,62 @@
+"""``repro.serve`` — the persistent graph-analytics daemon.
+
+The package splits along the daemon's moving parts:
+
+* :mod:`~repro.serve.protocol` — request/response shapes, config
+  canonicalization, cache keys, result digests (transport-free);
+* :mod:`~repro.serve.cache` — the bounded result cache;
+* :mod:`~repro.serve.scheduler` — per-graph FIFO queues over a bounded
+  worker pool, with backpressure;
+* :mod:`~repro.serve.graphs` — resident (pinned, warm-engine) graphs;
+* :mod:`~repro.serve.daemon` — the asyncio server, NDJSON + HTTP;
+* :mod:`~repro.serve.client` / :mod:`~repro.serve.shell` — the blocking
+  client and the ``repro shell`` REPL built on it.
+
+See ``docs/serve.md`` for the protocol and operational semantics.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient, ServeRemoteError, http_request
+from repro.serve.daemon import (
+    ReproServer,
+    ServerConfig,
+    ServerHandle,
+    start_server_thread,
+)
+from repro.serve.graphs import GraphPool, ResidentGraph
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    QueryRequest,
+    ServeError,
+    cache_key,
+    canonical_config,
+    parse_query,
+    result_digest,
+    result_payload,
+)
+from repro.serve.scheduler import QueryScheduler
+from repro.serve.shell import ShellSession, run_shell
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "GraphPool",
+    "QueryRequest",
+    "QueryScheduler",
+    "ReproServer",
+    "ResidentGraph",
+    "ResultCache",
+    "ServeClient",
+    "ServeError",
+    "ServeRemoteError",
+    "ServerConfig",
+    "ServerHandle",
+    "ShellSession",
+    "cache_key",
+    "canonical_config",
+    "http_request",
+    "parse_query",
+    "result_digest",
+    "result_payload",
+    "run_shell",
+    "start_server_thread",
+]

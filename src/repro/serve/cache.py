@@ -1,0 +1,94 @@
+"""The daemon's result cache: O(1) repeats on unchanged graphs.
+
+Keys come from :func:`repro.serve.protocol.cache_key` — (store
+signature, algorithm, canonical config, execution platform, options) —
+so the cache invalidates itself exactly when the runtime would produce
+different bytes: a mutated store file changes its (mtime, size)
+signature and therefore every key derived from it; equivalent spellings
+of one configuration collapse to one entry; differing configurations
+never collide (the property suite in ``tests/serve`` proves both).
+
+Entries store the JSON-safe ``result`` payload dict.  Payloads are
+treated as immutable after insertion (the daemon attaches per-response
+``serve`` metadata to a *shallow copy*), so hits are literal O(1)
+dictionary reads — no recomputation, no re-serialization of arrays.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU of query-result payloads."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError("ResultCache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or ``None`` (counted either way)."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Insert (or refresh) ``key``; evicts the LRU tail past capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_signature(self, signature) -> int:
+        """Drop every entry computed against ``signature``; returns count.
+
+        Signature keys are baked into the opaque hash, so entries carry
+        their signature in the payload's ``graph.signature`` field —
+        this is the eager eviction path the daemon uses when it notices
+        a store file changed under a resident graph (lazy invalidation
+        via key mismatch would work too, but would let dead entries
+        occupy LRU slots).
+        """
+        want = list(signature)
+        with self._lock:
+            stale = [
+                key
+                for key, payload in self._entries.items()
+                if payload.get("graph", {}).get("signature") == want
+            ]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

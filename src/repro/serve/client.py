@@ -1,0 +1,189 @@
+"""Blocking clients for the ``repro serve`` daemon.
+
+:class:`ServeClient` speaks the NDJSON protocol over a unix socket or
+TCP connection — one JSON line out, one JSON line back, requests
+pipelined in order.  :func:`http_request` exercises the HTTP/JSON
+surface through the standard library, so tests and scripts can hit both
+surfaces without extra dependencies.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, Optional
+
+from repro.serve.protocol import ServeError
+
+__all__ = ["ServeClient", "ServeRemoteError", "http_request"]
+
+
+class ServeRemoteError(ServeError):
+    """An error *response* from the daemon, re-raised client-side.
+
+    Subclasses :class:`ServeError` so callers can switch on ``kind`` /
+    ``status`` exactly as the server constructed them.
+    """
+
+
+class ServeClient:
+    """One NDJSON connection to a running daemon.
+
+    >>> with ServeClient(socket_path="/tmp/repro.sock") as client:
+    ...     client.ping()
+    ...     client.query("road.gr", "diameter", tau=64)
+    """
+
+    def __init__(
+        self,
+        *,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: Optional[float] = 600.0,
+    ):
+        if (socket_path is None) == (port is None):
+            raise ValueError("give exactly one of socket_path or port")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+
+    def request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw request object; return the matching response.
+
+        Raises :class:`ServeRemoteError` when the daemon answers with an
+        error response, :class:`ConnectionError` when it hangs up.
+        """
+        self._next_id += 1
+        obj = dict(obj)
+        obj.setdefault("id", self._next_id)
+        self._sock.sendall(json.dumps(obj).encode() + b"\n")
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise ServeRemoteError(
+                error.get("kind", "internal"),
+                error.get("message", "unknown server error"),
+                int(error.get("status", 500)),
+            )
+        return response["result"]
+
+    def send_raw(self, data: bytes) -> Dict[str, Any]:
+        """Ship arbitrary bytes (fault-injection tests) and read one line."""
+        self._sock.sendall(data)
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    # ------------------------------------------------------------------ #
+    # Convenience ops
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def graphs(self) -> Dict[str, Any]:
+        return self.request({"op": "graphs"})
+
+    def algorithms(self) -> Dict[str, Any]:
+        return self.request({"op": "algorithms"})
+
+    def open(self, graph: str) -> Dict[str, Any]:
+        return self.request({"op": "open", "graph": graph})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    def query(
+        self,
+        graph: str,
+        algorithm: str,
+        *,
+        config: Optional[Dict[str, Any]] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        options: Optional[Dict[str, Any]] = None,
+        **config_kwargs: Any,
+    ) -> Dict[str, Any]:
+        """Run ``algorithm`` on ``graph``; extra kwargs become config keys."""
+        merged = dict(config or {})
+        merged.update(config_kwargs)
+        request: Dict[str, Any] = {
+            "op": "query",
+            "graph": graph,
+            "algorithm": algorithm,
+        }
+        if merged:
+            request["config"] = merged
+        if executor is not None:
+            request["executor"] = executor
+        if workers is not None:
+            request["workers"] = workers
+        if shards is not None:
+            request["shards"] = shards
+        if options:
+            request["options"] = options
+        return self.request(request)
+
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def http_request(
+    method: str,
+    path: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int,
+    body: Optional[Dict[str, Any]] = None,
+    timeout: float = 600.0,
+) -> Dict[str, Any]:
+    """One HTTP/JSON exchange with the daemon; returns (parsed body).
+
+    Raises :class:`ServeRemoteError` on non-2xx responses carrying the
+    daemon's error object.
+    """
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        data = json.loads(response.read())
+        if response.status >= 400:
+            error = data.get("error", {}) if isinstance(data, dict) else {}
+            raise ServeRemoteError(
+                error.get("kind", "internal"),
+                error.get("message", f"HTTP {response.status}"),
+                response.status,
+            )
+        return data
+    finally:
+        conn.close()

@@ -1,0 +1,185 @@
+"""``repro shell`` — an interactive client for the serve daemon.
+
+A thin REPL over :class:`~repro.serve.client.ServeClient`: connect to a
+running daemon by socket or port, then issue line commands::
+
+    repro> open data/road.gr
+    repro> run data/road.gr diameter tau=64 executor=vector
+    repro> run data/road.gr sssp source=0 delta=2.0
+    repro> graphs
+    repro> stats
+    repro> quit
+
+``run`` arguments are ``key=value`` pairs; keys that name
+:class:`ClusterConfig` fields go into ``config``, ``executor`` /
+``workers`` / ``shards`` ride at top level, and anything else is passed
+through as an algorithm option (``source``, ``delta``, ``exact``...).
+Values parse as JSON when they can (``tau=64`` → int, ``exact=true`` →
+bool) and fall back to strings.
+
+The REPL reads from / writes to injectable streams so the test suite
+can drive it without a TTY.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from typing import Any, Dict, IO, Optional
+
+from repro.core.config import ClusterConfig
+from repro.serve.client import ServeClient, ServeRemoteError
+from repro.serve.protocol import ServeError
+
+__all__ = ["ShellSession", "run_shell"]
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(ClusterConfig))
+_TOP_LEVEL = frozenset({"executor", "workers", "shards"})
+
+_HELP = """\
+commands:
+  open <graph>                      make a graph resident on the server
+  run <graph> <algorithm> [k=v...]  run a query (tau=64 seed=1 executor=vector
+                                    source=0 exact=true ...)
+  graphs                            list resident graphs
+  algorithms                        list available algorithms
+  stats                             server statistics
+  ping                              liveness check
+  shutdown                          stop the server (if permitted)
+  help                              this text
+  quit / exit                       leave the shell
+"""
+
+
+def _parse_value(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+class ShellSession:
+    """The REPL engine; one instance per connection."""
+
+    def __init__(
+        self,
+        client: ServeClient,
+        *,
+        stdin: Optional[IO[str]] = None,
+        stdout: Optional[IO[str]] = None,
+    ):
+        self.client = client
+        self.stdin = stdin if stdin is not None else sys.stdin
+        self.stdout = stdout if stdout is not None else sys.stdout
+        self.interactive = self.stdin.isatty() if hasattr(self.stdin, "isatty") else False
+
+    # ------------------------------------------------------------------ #
+
+    def _print(self, text: str = "") -> None:
+        self.stdout.write(text + "\n")
+        self.stdout.flush()
+
+    def _print_json(self, obj: Any) -> None:
+        self._print(json.dumps(obj, indent=2, sort_keys=True))
+
+    def repl(self) -> int:
+        """Read-eval-print until EOF or ``quit``; returns an exit code."""
+        pong = self.client.ping()
+        self._print(
+            f"connected to repro serve v{pong.get('version', '?')} "
+            f"(protocol {pong.get('protocol', '?')}); 'help' lists commands"
+        )
+        while True:
+            if self.interactive:
+                self.stdout.write("repro> ")
+                self.stdout.flush()
+            line = self.stdin.readline()
+            if not line:
+                return 0
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line in ("quit", "exit"):
+                return 0
+            try:
+                if not self.dispatch(line):
+                    return 0
+            except (ServeRemoteError, ServeError) as exc:
+                self._print(f"error [{exc.kind}/{exc.status}]: {exc}")
+            except ConnectionError as exc:
+                self._print(f"connection lost: {exc}")
+                return 1
+
+    def dispatch(self, line: str) -> bool:
+        """Run one command line; ``False`` means the REPL should exit."""
+        parts = line.split()
+        command, args = parts[0], parts[1:]
+        if command == "help":
+            self._print(_HELP)
+        elif command == "ping":
+            self._print_json(self.client.ping())
+        elif command == "stats":
+            self._print_json(self.client.stats())
+        elif command == "graphs":
+            self._print_json(self.client.graphs())
+        elif command == "algorithms":
+            for spec in self.client.algorithms()["algorithms"]:
+                opts = f" (options: {', '.join(spec['options'])})" if spec["options"] else ""
+                self._print(f"  {spec['name']:<20} {spec['summary']}{opts}")
+        elif command == "open":
+            if len(args) != 1:
+                raise ServeError.bad_request("usage: open <graph>")
+            self._print_json(self.client.open(args[0]))
+        elif command == "run":
+            if len(args) < 2:
+                raise ServeError.bad_request(
+                    "usage: run <graph> <algorithm> [key=value ...]"
+                )
+            self._print_json(self._run(args[0], args[1], args[2:]))
+        elif command == "shutdown":
+            self._print_json(self.client.shutdown())
+            return False
+        else:
+            raise ServeError.bad_request(
+                f"unknown command {command!r}; 'help' lists commands"
+            )
+        return True
+
+    def _run(self, graph: str, algorithm: str, pairs) -> Dict[str, Any]:
+        config: Dict[str, Any] = {}
+        options: Dict[str, Any] = {}
+        top: Dict[str, Any] = {}
+        for pair in pairs:
+            key, sep, raw = pair.partition("=")
+            if not sep:
+                raise ServeError.bad_request(
+                    f"argument {pair!r} is not key=value"
+                )
+            value = _parse_value(raw)
+            if key in _TOP_LEVEL:
+                top[key] = value
+            elif key in _CONFIG_FIELDS:
+                config[key] = value
+            else:
+                options[key] = value
+        return self.client.query(
+            graph,
+            algorithm,
+            config=config or None,
+            options=options or None,
+            **top,
+        )
+
+
+def run_shell(
+    *,
+    socket_path: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    stdin: Optional[IO[str]] = None,
+    stdout: Optional[IO[str]] = None,
+) -> int:
+    """Connect and run the REPL; the ``repro shell`` CLI entry point."""
+    with ServeClient(socket_path=socket_path, host=host, port=port) as client:
+        return ShellSession(client, stdin=stdin, stdout=stdout).repl()

@@ -1,0 +1,162 @@
+"""GraphStore pinning: eviction must never change a pinned graph's
+object identity (warm engine state and growing-state caches are keyed
+by it), even while a long query is mid-flight on another thread."""
+
+import threading
+
+import pytest
+
+from repro.generators import gnm_random_graph, mesh
+from repro.graph.serialize import write_store
+from repro.runtime import run
+from repro.runtime.store import GraphStore
+
+
+def _stored(tmp_path, name, graph):
+    path = tmp_path / name
+    write_store(graph, str(path))
+    return path
+
+
+@pytest.fixture
+def store(tmp_path):
+    return GraphStore(cache_dir=tmp_path / "cache", capacity=2)
+
+
+class TestPinSemantics:
+    def test_pin_survives_eviction_pressure(self, store, tmp_path):
+        main = _stored(tmp_path, "main.rcsr", mesh(6, seed=1))
+        others = [
+            _stored(tmp_path, f"o{i}.rcsr", mesh(4 + i, seed=i))
+            for i in range(4)
+        ]
+        with store.pin(main) as pinned:
+            for path in others:  # churn far past capacity=2
+                store.get(path)
+            assert store.get(main) is pinned
+        # Unpinned now: new churn may evict it, and a reopen is a miss.
+        for path in others:
+            store.get(path)
+        misses = store.misses
+        store.get(main)
+        assert store.misses == misses + 1
+
+    def test_pins_nest(self, store, tmp_path):
+        path = _stored(tmp_path, "g.rcsr", mesh(5, seed=2))
+        filler = [
+            _stored(tmp_path, f"f{i}.rcsr", mesh(4, seed=10 + i))
+            for i in range(3)
+        ]
+        with store.pin(path) as outer:
+            with store.pin(path) as inner:
+                assert inner is outer
+            # Inner released; the outer pin still protects the entry.
+            for f in filler:
+                store.get(f)
+            assert store.get(path) is outer
+
+    def test_signature_matches_lru_identity(self, store, tmp_path):
+        path = _stored(tmp_path, "g.rcsr", mesh(5, seed=3))
+        sig1 = store.signature(path)
+        g1 = store.get(path)
+        assert store.signature(path) == sig1
+        write_store(mesh(7, seed=4), str(path))  # mutate in place
+        sig2 = store.signature(path)
+        assert sig2 != sig1
+        g2 = store.get(path)
+        assert g2 is not g1
+        assert g2.num_nodes == 49
+
+    def test_clear_keeps_pinned_entries(self, store, tmp_path):
+        path = _stored(tmp_path, "g.rcsr", mesh(5, seed=5))
+        other = _stored(tmp_path, "o.rcsr", mesh(4, seed=6))
+        with store.pin(path) as pinned:
+            store.get(other)
+            store.clear()
+            assert store.get(path) is pinned
+        store.clear()
+        assert len(store) == 0
+
+
+class TestEvictionDuringQuery:
+    def test_eviction_during_long_cluster_run(self, tmp_path):
+        """Regression: evicting a graph's LRU slot while a cluster run
+        is in flight on it must not invalidate the run — the pin keeps
+        the mapping (and identity) alive until the query finishes."""
+        store = GraphStore(cache_dir=tmp_path / "cache", capacity=1)
+        target = _stored(
+            tmp_path, "target.rcsr",
+            gnm_random_graph(300, 1200, seed=7, connect=True),
+        )
+        churn = [
+            _stored(tmp_path, f"churn{i}.rcsr", mesh(4 + i, seed=20 + i))
+            for i in range(4)
+        ]
+
+        started = threading.Event()
+        stop_churn = threading.Event()
+        result_box = {}
+
+        def long_query():
+            with store.pin(target) as graph:
+                started.set()
+                result_box["result"] = run(
+                    "cluster", graph, tau=8, seed=9, executor="vector"
+                )
+                # The store still resolves to the very object we ran on.
+                result_box["same_identity"] = store.get(target) is graph
+
+        def churner():
+            while not stop_churn.is_set():
+                for path in churn:
+                    store.get(path)
+
+        query_thread = threading.Thread(target=long_query)
+        churn_thread = threading.Thread(target=churner)
+        query_thread.start()
+        assert started.wait(30)
+        churn_thread.start()
+        query_thread.join(120)
+        stop_churn.set()
+        churn_thread.join(30)
+        assert not query_thread.is_alive()
+
+        assert result_box["same_identity"] is True
+        reference = run("cluster", store.get(target), tau=8, seed=9,
+                        executor="vector")
+        got = result_box["result"]
+        assert got.value == reference.value
+        assert got.counters.snapshot() == reference.counters.snapshot()
+
+    def test_concurrent_gets_race_safely(self, tmp_path):
+        """Hammer get() from several threads across more graphs than
+        capacity; every returned graph must be readable and sized
+        correctly (no torn LRU state)."""
+        store = GraphStore(cache_dir=tmp_path / "cache", capacity=2)
+        sizes = {}
+        paths = []
+        for i in range(5):
+            side = 4 + i
+            path = _stored(tmp_path, f"g{i}.rcsr", mesh(side, seed=i))
+            sizes[str(path)] = side * side
+            paths.append(path)
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(60):
+                    path = paths[(offset + i) % len(paths)]
+                    graph = store.get(path)
+                    assert graph.num_nodes == sizes[str(path)]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(store) <= 2

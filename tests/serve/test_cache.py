@@ -1,0 +1,107 @@
+"""ResultCache unit tests: LRU bounds, stats, signature invalidation."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.cache import ResultCache
+
+
+def _payload(sig, value=1.0):
+    return {"value": value, "graph": {"signature": list(sig)}}
+
+
+SIG_A = ("a.rcsr", 1, 100)
+SIG_B = ("b.rcsr", 2, 200)
+
+
+class TestLRU:
+    def test_get_put_roundtrip(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", _payload(SIG_A))
+        assert cache.get("k")["value"] == 1.0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_capacity_evicts_lru_tail(self):
+        cache = ResultCache(capacity=2)
+        cache.put("k1", _payload(SIG_A))
+        cache.put("k2", _payload(SIG_A))
+        cache.get("k1")  # k1 recently used; k2 is now the tail
+        cache.put("k3", _payload(SIG_A))
+        assert cache.get("k1") is not None
+        assert cache.get("k2") is None
+        assert cache.get("k3") is not None
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ResultCache(capacity=0)
+        cache.put("k", _payload(SIG_A))
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_refresh_moves_to_front(self):
+        cache = ResultCache(capacity=2)
+        cache.put("k1", _payload(SIG_A, 1.0))
+        cache.put("k2", _payload(SIG_A, 2.0))
+        cache.put("k1", _payload(SIG_A, 3.0))  # refresh k1; k2 is the tail
+        cache.put("k3", _payload(SIG_A))
+        assert cache.get("k1")["value"] == 3.0
+        assert cache.get("k2") is None
+
+
+class TestInvalidation:
+    def test_invalidate_signature_drops_only_matches(self):
+        cache = ResultCache(capacity=8)
+        cache.put("a1", _payload(SIG_A))
+        cache.put("a2", _payload(SIG_A))
+        cache.put("b1", _payload(SIG_B))
+        dropped = cache.invalidate_signature(SIG_A)
+        assert dropped == 2
+        assert cache.get("a1") is None and cache.get("a2") is None
+        assert cache.get("b1") is not None
+
+    def test_invalidate_missing_signature_is_noop(self):
+        cache = ResultCache(capacity=8)
+        cache.put("b1", _payload(SIG_B))
+        assert cache.invalidate_signature(("x", 9, 9)) == 0
+        assert len(cache) == 1
+
+
+def test_snapshot_reports_counters():
+    cache = ResultCache(capacity=3)
+    cache.put("k", _payload(SIG_A))
+    cache.get("k")
+    cache.get("missing")
+    snap = cache.snapshot()
+    assert snap == {
+        "entries": 1,
+        "capacity": 3,
+        "hits": 1,
+        "misses": 1,
+        "evictions": 0,
+    }
+
+
+def test_concurrent_access_is_safe():
+    cache = ResultCache(capacity=16)
+    errors = []
+
+    def worker(tid):
+        try:
+            for i in range(300):
+                key = f"k{(tid + i) % 24}"
+                cache.put(key, _payload(SIG_A, float(i)))
+                cache.get(key)
+                if i % 50 == 0:
+                    cache.invalidate_signature(SIG_A)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) <= 16

@@ -1,0 +1,307 @@
+"""Fault injection: the daemon must survive misbehaving clients,
+dying pool workers, and graphs mutating on disk — recovering without
+leaked shared-memory segments or orphaned worker processes."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.generators import gnm_random_graph, mesh
+from repro.graph import write_store
+from repro.runtime import run
+from repro.serve import ServeClient
+from repro.serve.client import ServeRemoteError
+from repro.serve.protocol import result_digest
+
+from .conftest import shm_segments
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="fault suite drives POSIX processes/sockets"
+)
+
+
+class TestMalformedInput:
+    def test_invalid_json_gets_error_not_disconnect(self, server):
+        with ServeClient(socket_path=server.socket_path) as client:
+            response = client.send_raw(b"this is not json\n")
+            assert response["ok"] is False
+            assert response["error"]["status"] == 400
+            # Same connection still serves valid requests.
+            assert client.ping()["pong"] is True
+
+    def test_non_object_json_rejected(self, server):
+        with ServeClient(socket_path=server.socket_path) as client:
+            response = client.send_raw(b"[1, 2, 3]\n")
+            assert response["error"]["status"] == 400
+            assert client.ping()["pong"] is True
+
+    def test_oversized_request_gets_413(self, make_server):
+        handle = make_server(max_request_bytes=4096)
+        with ServeClient(socket_path=handle.socket_path) as client:
+            padding = "x" * 8192
+            response = client.send_raw(
+                json.dumps({"op": "ping", "pad": padding}).encode() + b"\n"
+            )
+            assert response["error"]["status"] == 413
+            # Under the limit again: connection recovered.
+            assert client.ping()["pong"] is True
+
+    def test_request_past_stream_limit_closes_cleanly(self, make_server):
+        # Past max_request_bytes + slack the reader cannot even frame
+        # the line: the daemon answers 413 and drops the connection.
+        handle = make_server(max_request_bytes=4096)
+        with ServeClient(socket_path=handle.socket_path) as client:
+            blob = b"y" * (4096 + 65536 + 4096) + b"\n"
+            response = client.send_raw(blob)
+            assert response["error"]["status"] == 413
+        # The server is still alive for new connections.
+        with ServeClient(socket_path=handle.socket_path) as client:
+            assert client.ping()["pong"] is True
+
+    def test_garbage_http_request_line(self, server):
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=30
+        ) as raw:
+            raw.sendall(b"GET not-a-valid-request\r\n\r\n")
+            data = raw.makefile("rb").read()
+        assert b"400" in data
+
+
+class TestClientDisconnect:
+    def test_disconnect_before_response(self, server, stored_graphs):
+        """A client that fires a query and hangs up only kills its own
+        connection; the query result still lands in the cache."""
+        request = {
+            "op": "query",
+            "graph": stored_graphs["gnm"],
+            "algorithm": "cluster",
+            "config": {"tau": 6, "seed": 91},
+        }
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as raw:
+            raw.connect(server.socket_path)
+            raw.sendall(json.dumps(request).encode() + b"\n")
+            # Hang up immediately — the server will try to write the
+            # response into a dead socket.
+        deadline = time.time() + 60
+        with ServeClient(socket_path=server.socket_path) as client:
+            while time.time() < deadline:
+                response = client.query(
+                    stored_graphs["gnm"], "cluster", tau=6, seed=91
+                )
+                if response["serve"]["cache_hit"]:
+                    break
+                time.sleep(0.05)
+            assert response["serve"]["cache_hit"] is True
+            direct = run("cluster", stored_graphs["gnm"], tau=6, seed=91)
+            assert response["digest"] == result_digest(direct.raw)
+
+    def test_abrupt_reset_mid_stream(self, server):
+        for _ in range(5):
+            raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            raw.connect(server.socket_path)
+            raw.sendall(b'{"op": "stats"')  # half a request, no newline
+            # SO_LINGER(0) → RST instead of FIN on close.
+            raw.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                __import__("struct").pack("ii", 1, 0),
+            )
+            raw.close()
+        with ServeClient(socket_path=server.socket_path) as client:
+            assert client.ping()["pong"] is True
+
+
+def _engine_worker_pids(handle) -> set:
+    """PIDs of pool workers owned by the daemon's resident engines."""
+    pids = set()
+    for entry in handle.server.graphs._entries.values():
+        for engine in entry._engines.values():
+            pool = getattr(getattr(engine, "executor", None), "_pool", None)
+            procs = getattr(pool, "_processes", None)
+            if procs:
+                pids.update(procs.keys())
+    return pids
+
+
+class TestWorkerDeath:
+    def test_killed_pool_worker_recovers(self, make_server, stored_graphs):
+        before_shm = shm_segments()
+        handle = make_server()
+        with ServeClient(socket_path=handle.socket_path) as client:
+            # Warm a process-pool engine.
+            first = client.query(
+                stored_graphs["big"], "cluster", tau=16, seed=21,
+                executor="parallel", workers=1,
+            )
+            assert first["serve"]["cache_hit"] is False
+
+            pids = _engine_worker_pids(handle)
+            assert pids, "parallel engine should own pool workers"
+
+            # Race a cold query against SIGKILLing the pool workers.
+            outcome = {}
+
+            def fire():
+                try:
+                    outcome["response"] = client.query(
+                        stored_graphs["big"], "cluster", tau=16, seed=22,
+                        executor="parallel", workers=1,
+                    )
+                except ServeRemoteError as exc:
+                    outcome["error"] = exc
+
+            thread = threading.Thread(target=fire)
+            thread.start()
+            for pid in pids:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+            thread.join(120)
+            assert not thread.is_alive()
+            # The race is legitimate: the query either finished first or
+            # died with the pool — but the daemon must survive either.
+            if "error" in outcome:
+                assert outcome["error"].status == 500
+
+            # Recovery: the broken engine was dropped; a fresh query
+            # rebuilds it and matches a direct run bit-for-bit.
+            after = client.query(
+                stored_graphs["big"], "cluster", tau=16, seed=23,
+                executor="parallel", workers=1,
+            )
+            direct = run(
+                "cluster", stored_graphs["big"], tau=16, seed=23,
+                executor="parallel", workers=1,
+            )
+            assert after["digest"] == result_digest(direct.raw)
+            assert after["counters"] == direct.counters.snapshot()
+        handle.stop()
+        # No zombie workers: every engine pool was shut down with the
+        # server; reap anything fork left behind, then check /dev/shm.
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            try:
+                if os.waitpid(-1, os.WNOHANG) == (0, 0):
+                    break
+            except ChildProcessError:
+                break
+            time.sleep(0.05)
+        assert shm_segments() - before_shm == set()
+
+
+class TestStoreMutation:
+    def test_mutated_store_refreshes_and_purges_cache(
+        self, make_server, tmp_path
+    ):
+        path = str(tmp_path / "mutable.rcsr")
+        write_store(mesh(9, seed=1), path)
+        handle = make_server()
+        with ServeClient(socket_path=handle.socket_path) as client:
+            first = client.query(path, "diameter", tau=8, seed=4)
+            hit = client.query(path, "diameter", tau=8, seed=4)
+            assert hit["serve"]["cache_hit"] is True
+            old_signature = first["graph"]["signature"]
+
+            # Rewrite the store in place with a different graph.
+            write_store(gnm_random_graph(70, 180, seed=8, connect=True), path)
+
+            fresh = client.query(path, "diameter", tau=8, seed=4)
+            assert fresh["serve"]["cache_hit"] is False, (
+                "stale cache hit after the store file changed"
+            )
+            assert fresh["graph"]["signature"] != old_signature
+            assert fresh["graph"]["n"] == 70
+            direct = run("diameter", path, tau=8, seed=4)
+            assert fresh["digest"] == result_digest(direct.raw)
+
+            # The pool noticed the refresh and the old residency is gone.
+            stats = client.stats()
+            assert stats["graphs"]["refreshes"] >= 1
+            resident = {
+                tuple(g["signature"]) for g in client.graphs()["graphs"]
+            }
+            assert tuple(old_signature) not in resident
+
+            # Old cached results are purged, not just shadowed: a repeat
+            # of the original query computes against the new graph.
+            again = client.query(path, "diameter", tau=8, seed=4)
+            assert again["digest"] == fresh["digest"]
+        handle.stop()
+
+    def test_deleted_store_is_not_found(self, make_server, tmp_path):
+        path = str(tmp_path / "vanishing.rcsr")
+        write_store(mesh(6, seed=2), path)
+        handle = make_server()
+        with ServeClient(socket_path=handle.socket_path) as client:
+            client.query(path, "diameter", tau=8)
+            os.unlink(path)
+            with pytest.raises(ServeRemoteError) as excinfo:
+                client.query(path, "diameter", tau=8, seed=99)
+            assert excinfo.value.status == 404
+            assert client.ping()["pong"] is True
+
+
+class TestLeakHygiene:
+    def test_serve_lifecycle_leaks_nothing(self, tmp_path, stored_graphs):
+        """Boot → mixed queries on every backend → stop: /dev/shm is
+        clean and no worker processes outlive the daemon."""
+        from repro.serve import ServerConfig, start_server_thread
+
+        before_shm = shm_segments()
+        handle = start_server_thread(
+            ServerConfig(
+                socket_path=str(tmp_path / "leak.sock"), max_workers=2
+            )
+        )
+        with ServeClient(socket_path=handle.socket_path) as client:
+            client.query(stored_graphs["mesh"], "diameter", tau=8)
+            client.query(
+                stored_graphs["mesh"], "cluster", tau=8,
+                executor="vector",
+            )
+            client.query(
+                stored_graphs["big"], "cluster", tau=16,
+                executor="parallel", workers=1,
+            )
+            pids = _engine_worker_pids(handle)
+        handle.stop()
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            alive = [pid for pid in pids if _pid_alive(pid)]
+            if not alive:
+                break
+            time.sleep(0.05)
+        assert not [pid for pid in pids if _pid_alive(pid)], (
+            "pool workers outlived the daemon"
+        )
+        assert shm_segments() - before_shm == set()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    # Might be a zombie we can reap (fork children of this process).
+    try:
+        done, _ = os.waitpid(pid, os.WNOHANG)
+        if done == pid:
+            return False
+    except ChildProcessError:
+        return False
+    except OSError:
+        pass
+    try:
+        with open(f"/proc/{pid}/stat") as fh:
+            return fh.read().split()[2] != "Z"
+    except OSError:
+        return False

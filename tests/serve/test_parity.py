@@ -1,0 +1,181 @@
+"""Concurrency parity: N clients racing mixed queries get responses
+bit-identical to direct ``runtime.run()`` — same digests (full result
+arrays), same values, same counters — cache hits included."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.runtime import run
+from repro.serve import ServeClient
+from repro.serve.protocol import result_digest
+
+# The mixed workload each client draws from, round-robin.  Spans
+# algorithms, configs, and executors; several entries repeat so the
+# cache serves a share of the answers.
+WORKLOAD = [
+    ("mesh", "diameter", {"tau": 16}, None),
+    ("mesh", "diameter", {"tau": 16}, None),  # repeat → cache hit
+    ("mesh", "cluster", {"tau": 8, "seed": 1}, None),
+    ("mesh", "diameter", {"tau": 16}, "vector"),
+    ("gnm", "cluster", {"tau": 8, "seed": 2}, None),
+    ("gnm", "cluster2", {"tau": 8, "seed": 2}, None),
+    ("gnm", "eccentricity", {"tau": 8}, None),
+    ("gnm", "diameter", {"tau": 8, "seed": 3}, "vector"),
+    ("mesh2", "sssp", {}, None),
+    ("mesh2", "components", {"tau": 8}, None),
+    ("mesh2", "diameter", {"tau": 8}, None),
+    ("mesh2", "diameter", {"tau": 8}, None),  # repeat → cache hit
+]
+
+_SSSP_OPTIONS = {"source": 0}
+
+
+def _direct_reference(stored_graphs):
+    """What runtime.run() says each workload entry must produce."""
+    reference = {}
+    for graph_name, algorithm, config, executor in WORKLOAD:
+        key = (graph_name, algorithm, tuple(sorted(config.items())), executor)
+        if key in reference:
+            continue
+        options = _SSSP_OPTIONS if algorithm == "sssp" else {}
+        result = run(
+            algorithm,
+            stored_graphs[graph_name],
+            executor=executor,
+            **config,
+            **options,
+        )
+        reference[key] = {
+            "value": result.value,
+            "digest": result_digest(result.raw),
+            "counters": result.counters.snapshot(),
+        }
+    return reference
+
+
+def test_concurrent_clients_match_direct_runs(server, stored_graphs):
+    reference = _direct_reference(stored_graphs)
+    n_clients = 4
+    rounds = 3  # each client walks the whole workload this many times
+    failures = []
+    responses = []
+    lock = threading.Lock()
+
+    def client_main(offset):
+        try:
+            with ServeClient(socket_path=server.socket_path) as client:
+                for round_no in range(rounds):
+                    for step, entry in enumerate(WORKLOAD):
+                        graph_name, algorithm, config, executor = WORKLOAD[
+                            (offset + step) % len(WORKLOAD)
+                        ]
+                        options = (
+                            _SSSP_OPTIONS if algorithm == "sssp" else None
+                        )
+                        response = client.query(
+                            stored_graphs[graph_name],
+                            algorithm,
+                            config=config,
+                            executor=executor,
+                            options=options,
+                        )
+                        key = (
+                            graph_name,
+                            algorithm,
+                            tuple(sorted(config.items())),
+                            executor,
+                        )
+                        with lock:
+                            responses.append((key, response))
+        except Exception as exc:  # pragma: no cover - failure path
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=client_main, args=(i,))
+        for i in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not failures, failures
+    assert len(responses) == n_clients * rounds * len(WORKLOAD)
+
+    hits = 0
+    for key, response in responses:
+        want = reference[key]
+        assert response["digest"] == want["digest"], key
+        assert response["value"] == want["value"], key
+        assert response["counters"] == want["counters"], key
+        if response["serve"]["cache_hit"]:
+            hits += 1
+    # The workload repeats entries and every client walks it 3 times:
+    # the cache must have served a large share.
+    assert hits >= len(responses) // 2
+
+
+def test_same_query_raced_by_many_clients_is_coherent(
+    server, stored_graphs
+):
+    """Clients racing the *same* cold query all get one bit-identical
+    answer: either they computed it or they hit the cache the first
+    finisher populated."""
+    digests = []
+    errors = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(4)
+
+    def racer():
+        try:
+            with ServeClient(socket_path=server.socket_path) as client:
+                barrier.wait(timeout=60)
+                response = client.query(
+                    stored_graphs["gnm"],
+                    "cluster",
+                    tau=6,
+                    seed=77,  # unique to this test → first round is cold
+                )
+                with lock:
+                    digests.append(response["digest"])
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=racer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    assert len(set(digests)) == 1
+
+    direct = run("cluster", stored_graphs["gnm"], tau=6, seed=77)
+    assert digests[0] == result_digest(direct.raw)
+
+
+def test_warm_engine_reuse_does_not_drift(server, stored_graphs):
+    """Back-to-back runs on one resident engine stay bit-identical to a
+    fresh engine (counters reset fully between queries)."""
+    with ServeClient(socket_path=server.socket_path) as client:
+        first = client.query(
+            stored_graphs["mesh"], "cluster", tau=8, seed=41,
+            executor="vector",
+        )
+        # Different config on the same warm engine, then the original
+        # again — any state bleed would change digest or counters.
+        client.query(
+            stored_graphs["mesh"], "cluster", tau=4, seed=42,
+            executor="vector",
+        )
+        # seed 43 run forces a third distinct computation on the engine
+        client.query(
+            stored_graphs["mesh"], "diameter", tau=8, seed=43,
+            executor="vector",
+        )
+    direct = run(
+        "cluster", stored_graphs["mesh"], tau=8, seed=41, executor="vector"
+    )
+    assert first["digest"] == result_digest(direct.raw)
+    assert first["counters"] == direct.counters.snapshot()
+    assert first["value"] == direct.value
