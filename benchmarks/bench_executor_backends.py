@@ -11,9 +11,11 @@ component of an R-MAT graph with ≥ 100 000 nodes) and measures
 * ``parallel`` — the batch path with reducers fanned out to a
   shared-memory process pool.
 
-All three must return the *identical* clustering (same centers, same
-radius, same round/step counts — asserted below); the point of the bench
-is the wall-clock column.  Expected shape: ``vector`` beats ``serial``
+PR 7 adds ``vector-native`` / ``parallel-native`` rows — the same batch
+backends on the native C kernel tier — when a toolchain is available.
+Every combination must return the *identical* clustering (same centers,
+same radius, same round/step counts — asserted below); the point of the
+bench is the wall-clock column.  Expected shape: ``vector`` beats ``serial``
 by an order of magnitude (the engine stops being the bottleneck);
 ``parallel`` tracks ``vector`` on a single-core host (pool of 1 plus IPC
 overhead) and pulls ahead on multi-core hosts once per-round work
@@ -38,10 +40,17 @@ from repro.bench.reporting import bench_record, format_table
 from repro.core.config import ClusterConfig
 from repro.generators import rmat
 from repro.graph.ops import largest_connected_component
+from repro.mr import native
 from repro.mrimpl.cluster_mr import mr_cluster
 from repro.mrimpl.growing_mr import default_engine
 
 BACKENDS = ("serial", "vector", "parallel")
+#: Batch backends additionally run on the native C kernel tier when a
+#: toolchain is available (the per-key dict path has no array kernels
+#: for the native tier to replace, so ``serial`` stays py-only).
+NATIVE_BACKENDS = (
+    ("vector", "parallel") if native.native_available() else ()
+)
 #: R-MAT scale 18 (edge factor 8): the LCC has ~148k nodes / ~1.97M edges.
 #: ``REPRO_BENCH_SCALE`` shrinks the instance for CI smoke runs.
 SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "18"))
@@ -56,15 +65,16 @@ def workload():
     return largest_connected_component(rmat(SCALE, edge_factor=8, seed=11))[0]
 
 
-def _run_backend(graph, backend: str):
-    engine = default_engine(graph, executor=backend, num_workers=WORKERS)
-    start = time.perf_counter()
-    try:
-        clustering = mr_cluster(graph, config=CFG, engine=engine)
-    finally:
-        if hasattr(engine.executor, "close"):
-            engine.executor.close()
-    elapsed = time.perf_counter() - start
+def _run_backend(graph, backend: str, impl: str = "py"):
+    with native.impl_overrides(impl, None):
+        engine = default_engine(graph, executor=backend, num_workers=WORKERS)
+        start = time.perf_counter()
+        try:
+            clustering = mr_cluster(graph, config=CFG, engine=engine)
+        finally:
+            if hasattr(engine.executor, "close"):
+                engine.executor.close()
+        elapsed = time.perf_counter() - start
     return clustering, engine, elapsed
 
 
@@ -75,15 +85,20 @@ def test_backend_speedup_report(benchmark, workload):
         )
 
     def sweep():
-        return {b: _run_backend(workload, b) for b in BACKENDS}
+        results = {b: _run_backend(workload, b) for b in BACKENDS}
+        for b in NATIVE_BACKENDS:
+            results[f"{b}-native"] = _run_backend(workload, b, "native")
+        return results
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     reference, _, serial_time = results["serial"]
     rows = []
     bench_rows = []
-    for backend in BACKENDS:
+    names = list(BACKENDS) + [f"{b}-native" for b in NATIVE_BACKENDS]
+    for backend in names:
         clustering, engine, elapsed = results[backend]
+        impl = "native" if backend.endswith("-native") else "py"
         # Identical results on every backend — the speedup is free.
         assert np.array_equal(clustering.center, reference.center)
         assert np.allclose(clustering.dist_to_center, reference.dist_to_center)
@@ -96,6 +111,7 @@ def test_backend_speedup_report(benchmark, workload):
         rows.append(
             {
                 "backend": backend,
+                "impl": impl,
                 "wall_s": round(elapsed, 2),
                 "speedup": round(serial_time / elapsed, 2),
                 "rounds": clustering.counters.rounds,
@@ -114,6 +130,7 @@ def test_backend_speedup_report(benchmark, workload):
                 rounds=clustering.counters.rounds,
                 bytes_shipped=getattr(engine.executor, "bytes_shipped", 0),
                 speedup=round(serial_time / elapsed, 2),
+                impl=impl,
                 growing_steps=clustering.counters.growing_steps,
                 timings=engine.counters.timing_snapshot(),
             )

@@ -46,12 +46,16 @@ from repro.core.cluster import cluster
 from repro.core.config import ClusterConfig
 from repro.generators import rmat
 from repro.graph.ops import largest_connected_component
+from repro.mr import native
 from repro.mr.kernels import KERNEL_ENV
 from repro.mrimpl.cluster_mr import mr_cluster
 from repro.mrimpl.growing_mr import default_engine
 
 BACKENDS = ("serial", "vector", "parallel", "sharded")
 MODES = ("sort", "scatter")
+#: The native C tier A/Bs the scatter path only (the sort path is the
+#: legacy baseline); rows get a ``-native`` suffix.
+IMPLS = ("py", "native") if native.native_available() else ("py",)
 SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "18"))
 WORKERS = 4
 CFG = ClusterConfig(
@@ -64,9 +68,11 @@ def workload():
     return largest_connected_component(rmat(SCALE, edge_factor=8, seed=11))[0]
 
 
-def _run(graph, backend: str, mode: str):
+def _run(graph, backend: str, mode: str, impl: str = "py"):
     before = os.environ.get(KERNEL_ENV)
     os.environ[KERNEL_ENV] = mode
+    _stack = native.impl_overrides(impl, None)
+    _stack.__enter__()
     try:
         if backend == "serial":
             start = time.perf_counter()
@@ -88,6 +94,7 @@ def _run(graph, backend: str, mode: str):
             engine.counters.timing_snapshot(),
         )
     finally:
+        _stack.__exit__(None, None, None)
         if before is None:
             os.environ.pop(KERNEL_ENV, None)
         else:
@@ -96,20 +103,30 @@ def _run(graph, backend: str, mode: str):
 
 def test_kernel_speedup_report(benchmark, workload):
     def sweep():
-        return {
-            (backend, mode): _run(workload, backend, mode)
+        results = {
+            (backend, mode, "py"): _run(workload, backend, mode)
             for backend in BACKENDS
             for mode in MODES
         }
+        if "native" in IMPLS:
+            for backend in BACKENDS:
+                results[(backend, "scatter", "native")] = _run(
+                    workload, backend, "scatter", "native"
+                )
+        return results
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     rows = []
     bench_rows = []
     for backend in BACKENDS:
-        ref, _, sort_time, _ = results[(backend, "sort")]
-        for mode in MODES:
-            clustering, shipped, elapsed, timings = results[(backend, mode)]
+        ref, _, sort_time, _ = results[(backend, "sort", "py")]
+        for mode, impl in [(m, "py") for m in MODES] + (
+            [("scatter", "native")] if "native" in IMPLS else []
+        ):
+            clustering, shipped, elapsed, timings = results[
+                (backend, mode, impl)
+            ]
             # The kernels may only move time, never results: identical
             # clusterings AND identical counters, per backend.
             assert np.array_equal(clustering.center, ref.center)
@@ -123,22 +140,27 @@ def test_kernel_speedup_report(benchmark, workload):
                 {
                     "backend": backend,
                     "kernel": mode,
+                    "impl": impl,
                     "wall_s": round(elapsed, 2),
                     "speedup_vs_sort": round(sort_time / elapsed, 2),
                     "rounds": clustering.counters.rounds,
                     "updates": clustering.counters.updates,
                 }
             )
+            name = f"{backend}-{mode}"
+            if impl == "native":
+                name += "-native"
             bench_rows.append(
                 bench_record(
                     workload=f"rmat{SCALE}_lcc_cluster",
                     n=workload.num_nodes,
                     m=workload.num_edges,
-                    backend=f"{backend}-{mode}",
+                    backend=name,
                     wall_s=elapsed,
                     rounds=clustering.counters.rounds,
                     bytes_shipped=shipped,
                     kernel=mode,
+                    impl=impl,
                     speedup_vs_sort=round(sort_time / elapsed, 2),
                     updates=clustering.counters.updates,
                     timings=timings,
@@ -164,8 +186,8 @@ def test_kernel_speedup_report(benchmark, workload):
     # bars only apply from R-MAT(16) up (CI smoke checks parity and
     # artifact generation, not speed).
     if SCALE >= 16:
-        vector_sort = results[("vector", "sort")][2]
-        vector_scatter = results[("vector", "scatter")][2]
+        vector_sort = results[("vector", "sort", "py")][2]
+        vector_scatter = results[("vector", "scatter", "py")][2]
         # The acceptance bar: the scatter kernels at least halve the
         # vector backend's wall-clock (the 19.7 s baseline recorded in
         # BENCH_executor_backends.json was this sort path).

@@ -177,6 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--timings", action="store_true",
                        help="print per-phase wall-clock (emit/shuffle/"
                             "reduce/apply) after the run")
+    p_run.add_argument("--kernel-impl", choices=["auto", "py", "native"],
+                       default=None,
+                       help="kernel tier: native C kernels, pure NumPy, "
+                            "or auto (native when a compiler exists)")
+    p_run.add_argument("--emit-threads", type=int, default=None,
+                       help="threads for the native emit expansion "
+                            "(default: REPRO_EMIT_THREADS or CPU count)")
 
     sub.add_parser("algorithms", help="list the registered algorithms")
 
@@ -513,11 +520,21 @@ def _cmd_run(args) -> int:
         executor=args.executor,
         workers=args.workers,
         shards=args.shards,
+        kernel_impl=args.kernel_impl,
+        emit_threads=args.emit_threads,
         **options,
     )
     print(f"algorithm    : {result.algorithm}")
     if args.executor is not None:
         print(f"executor     : {args.executor} ({result.workers} workers)")
+    if result.kernel_impl is not None:
+        threads = result.emit_threads
+        suffix = (
+            f" ({threads} emit threads)"
+            if threads and result.kernel_impl == "native"
+            else ""
+        )
+        print(f"kernels      : {result.kernel_impl}{suffix}")
     print(f"value        : {result.value:.6g}")
     for key, value in result.metrics.items():
         shown = f"{value:.6g}" if isinstance(value, float) else value

@@ -85,6 +85,17 @@ class ClusterConfig:
     shards:
         Shard count for the ``sharded`` executor (``None`` = CPU
         count).  Ignored by the other backends.
+    kernel_impl:
+        Kernel tier for the hot Δ-growing loops: ``"auto"`` (compiled C
+        kernels when a toolchain is available, pure NumPy otherwise),
+        ``"py"`` (force the pure tier — the parity oracle), or
+        ``"native"`` (request the C tier; degrades to ``"py"`` with a
+        warning when it cannot build).  Both tiers are bit-identical.
+        Overrides ``REPRO_KERNEL_IMPL`` for the run.
+    emit_threads:
+        Thread count for the native tier's chunked emit expansion
+        (``None``: ``REPRO_EMIT_THREADS``, else ``os.cpu_count()``).
+        Any count produces the same bit-identical batches.
     """
 
     tau: Optional[int] = None
@@ -100,6 +111,8 @@ class ClusterConfig:
     quotient_exact_limit: int = 3000
     executor: str = "serial"
     shards: Optional[int] = None
+    kernel_impl: str = "auto"
+    emit_threads: Optional[int] = None
 
     def __post_init__(self):
         if self.tau is not None and self.tau < 1:
@@ -133,6 +146,10 @@ class ClusterConfig:
             )
         if self.shards is not None and self.shards < 1:
             raise ConfigurationError("shards must be >= 1")
+        if self.kernel_impl not in ("auto", "py", "native"):
+            raise ConfigurationError("kernel_impl must be auto|py|native")
+        if self.emit_threads is not None and self.emit_threads < 1:
+            raise ConfigurationError("emit_threads must be >= 1")
 
     # ------------------------------------------------------------------ #
 

@@ -95,6 +95,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.mr import native as _native
+
 __all__ = [
     "EMIT_ENV",
     "EMIT_MODES",
@@ -263,6 +265,9 @@ class EmitScratch:
         # slices can test global neighbour ids directly).
         self._eff: Optional[np.ndarray] = None
         self._mask: Optional[np.ndarray] = None
+        # Dense all-zero histogram for the native accounting pass
+        # (rk_count_keys restores the invariant in-kernel).
+        self._hist0: Optional[np.ndarray] = None
         # Frozen-emission cache (auto mode, rescale == 0, forced rounds).
         self._cache_delta: Optional[float] = None
         self._cache_in: Optional[np.ndarray] = None
@@ -271,6 +276,15 @@ class EmitScratch:
         self._cache_aidx = _EMPTY_I8
         self._cache_inert = 0  # rows whose target froze: counted, not stored
         self._cache_hist: Optional[np.ndarray] = None  # all cached rows
+        # Native-tier cache storage: preallocated capacity columns with
+        # an explicit length, so forced rounds append/retire in place
+        # instead of reconcatenating the whole cache (the public
+        # ``_cache_keys``/``_cache_src``/``_cache_aidx`` become views).
+        self._cache_len = 0
+        self._cbuf_k: Optional[np.ndarray] = None
+        self._cbuf_s: Optional[np.ndarray] = None
+        self._cbuf_a: Optional[np.ndarray] = None
+        self._degs: Optional[np.ndarray] = None  # static out-degrees
         #: Forced rounds answered from the frozen-emission cache.
         self.cache_hits = 0
 
@@ -287,6 +301,7 @@ class EmitScratch:
         self._cache_src = _EMPTY_I8
         self._cache_aidx = _EMPTY_I8
         self._cache_inert = 0
+        self._cache_len = 0
 
     def _arc_rows_view(self) -> np.ndarray:
         if self._arc_rows is None:
@@ -307,6 +322,15 @@ class EmitScratch:
         """Resolve ``auto`` against the frontier degree-sum threshold."""
         if mode != "auto":
             return mode
+        if _native.use_native():
+            # The C push expansion scans exactly the frontier's
+            # degree-sum arcs with zero allocation, so it never loses
+            # to a full-arc pull scan (pull exists for the NumPy tier,
+            # where push pays for expand/repeat materialization, and
+            # for the explicit REPRO_EMIT_MODE=pull A/B switch).  Both
+            # directions emit the identical candidate multiset, so the
+            # choice cannot perturb results or counters.
+            return "push"
         if self.num_arcs and degree_sum > PULL_DEGREE_FRACTION * self.num_arcs:
             return "pull"
         return "push"
@@ -327,6 +351,27 @@ class EmitScratch:
         total = int(counts.sum())
         if total == 0:
             return _EMPTY_I8, _EMPTY_F8, _EMPTY_I8, _EMPTY_I8, 0
+        if _native.use_native():
+            # Fused native expansion: one C pass (chunk-threaded over
+            # the frontier when REPRO_EMIT_THREADS > 1) replaces the
+            # gid/aidx gather cascade below, writing the already
+            # light/Δ-filtered columns straight into the banks.
+            keys_b = self._i8.get("full_keys", total)
+            nd_b = self._f8.get("full_nd", total)
+            src_b = self._i8.get("full_src", total)
+            aidx_b = self._i8.get("full_aidx", total)
+            count = _native.emit_push_into(
+                indptr, self.indices, self.weights,
+                src_ids, np.ascontiguousarray(eff, dtype=np.float64),
+                delta, counts,
+                keys_b, nd_b, src_b, aidx_b, _native.emit_threads(),
+            )
+            if count == 0:
+                return _EMPTY_I8, _EMPTY_F8, _EMPTY_I8, _EMPTY_I8, 0
+            return (
+                keys_b[:count], nd_b[:count], src_b[:count],
+                aidx_b[:count], count,
+            )
         # gid: position of each expanded arc's source inside src_ids —
         # the np.repeat(arange(len(src_ids)), counts) expansion, built
         # in reused buffers (np.add.at absorbs zero-degree sources).
@@ -373,6 +418,8 @@ class EmitScratch:
             return _EMPTY_I8, _EMPTY_F8, _EMPTY_I8, _EMPTY_I8, 0
         indices = self.indices
         weights = self.weights
+        if _native.use_native():
+            return self._emit_pull_native(mask, eff, delta)
         em = np.take(mask, indices, out=self._b1.get("pull_em", arcs))
         nd = np.take(eff, indices, out=self._f8.get("pull_nd", arcs))
         nd += weights
@@ -422,6 +469,54 @@ class EmitScratch:
             src_c[count:total] = bsrc
             aidx_c[count:total] = baidx
         return keys_c, nd_c, src_c, aidx_c, total
+
+    def _emit_pull_native(self, mask: np.ndarray, eff: np.ndarray, delta: float):
+        """Native tier of :meth:`_emit_pull`: same columns, same order.
+
+        The local-target block streams through one C pass over the
+        reverse CSR (chunk-threaded over contiguous arc ranges when
+        ``REPRO_EMIT_THREADS > 1``); the shard-boundary block — a few
+        outward arcs at most — stays in NumPy and is appended after it,
+        exactly like the pure path.
+        """
+        arcs = self.num_arcs
+        indices = self.indices
+        weights = self.weights
+
+        # Boundary slice first so the banks can be sized for the total.
+        bk = bnd = bsrc = baidx = None
+        bcount = 0
+        if self._b_aidx is not None and len(self._b_aidx):
+            bw = np.take(weights, self._b_aidx)
+            bsrc_g = self._b_rows + self.base if self.base else self._b_rows
+            bem = mask[bsrc_g]
+            bnd_all = eff[bsrc_g]
+            bnd_all = bnd_all + bw
+            bok = bem & (bw <= delta) & (bnd_all <= delta)
+            bcount = int(np.count_nonzero(bok))
+            if bcount:
+                bk = np.take(indices, self._b_aidx)[bok]
+                bnd = bnd_all[bok]
+                bsrc = self._b_rows[bok]
+                baidx = self._b_aidx[bok]
+
+        keys_b = self._i8.get("full_keys", arcs + bcount)
+        nd_b = self._f8.get("full_nd", arcs + bcount)
+        src_b = self._i8.get("full_src", arcs + bcount)
+        aidx_b = self._i8.get("full_aidx", arcs + bcount)
+        count = _native.emit_pull_into(
+            self._arc_rows_view(), indices, weights, mask, eff, delta,
+            self.base, keys_b, nd_b, src_b, aidx_b, _native.emit_threads(),
+        )
+        total = count + bcount
+        if total == 0:
+            return _EMPTY_I8, _EMPTY_F8, _EMPTY_I8, _EMPTY_I8, 0
+        if bcount:
+            keys_b[count:total] = bk
+            nd_b[count:total] = bnd
+            src_b[count:total] = bsrc
+            aidx_b[count:total] = baidx
+        return keys_b[:total], nd_b[:total], src_b[:total], aidx_b[:total], total
 
     def _arange(self, size: int) -> np.ndarray:
         buf = self._i8._bufs.get("arange")
@@ -520,16 +615,23 @@ class EmitScratch:
         lo, hi = self.base, self.base + self.num_rows
         m_loc = mask[lo:hi]
         e_loc = eff[lo:hi]
+        if self._degs is None:
+            self._degs = self.indptr[1:] - self.indptr[:-1]
+        if rescale == 0.0 and _native.use_native():
+            # One C pass builds mask, eff, and the degree sum together.
+            degree_sum = _native.forced_sets(
+                center, dist, frozen, self._degs, delta, m_loc, e_loc
+            )
+            return mask, eff, degree_sum
         np.not_equal(center, NO_CENTER, out=m_loc)
         np.copyto(e_loc, dist)
         if rescale:
             fidx = np.flatnonzero(frozen)
             e_loc[fidx] = dist[fidx] - rescale * (iteration - frozen_iter[fidx])
         else:
-            e_loc[frozen] = 0.0
+            np.copyto(e_loc, 0.0, where=frozen)
         np.logical_and(m_loc, e_loc < delta, out=m_loc)
-        degs = self.indptr[1:] - self.indptr[:-1]
-        degree_sum = int(degs[m_loc].sum())
+        degree_sum = int(np.sum(self._degs, where=m_loc, initial=0))
         return mask, eff, degree_sum
 
     # -- the fused emit: filter + accounting (whole-graph layout) ------- #
@@ -609,6 +711,41 @@ class EmitScratch:
         batch.emitted = count
         if count == 0:
             return batch
+        if _native.use_native():
+            # Fused finish: one C stream over the candidate columns does
+            # the accounting histogram (stamped, ascending — identical
+            # to _histogram) AND the improvement filter + column
+            # materialization, replacing two full passes with one.
+            domain = self.num_rows
+            if self._hist0 is None or len(self._hist0) < domain:
+                self._hist0 = np.zeros(domain, dtype=np.int64)
+            gk_b = self._i8.get("hist_gk", count)
+            gc_b = self._i8.get("hist_gc", count)
+            f_keys = self._i8.get("f_keys", count)
+            f_nd = self._f8.get("f_nd", count)
+            f_src = self._i8.get("f_src", count)
+            f_w = self._f8.get("f_w", count)
+            f_ctr = self._f8.get("f_ctr", count)
+            f_srcf = self._f8.get("f_srcf", count)
+            kept, g = _native.finish_batch(
+                keys_c, nd_c, src_c, aidx_c, dist, frozen,
+                self.weights, center,
+                self._hist0, gk_b, gc_b, accounting,
+                f_keys, f_nd, f_src, f_w, f_ctr, f_srcf,
+            )
+            if accounting:
+                batch.group_keys = gk_b[:g].copy()
+                batch.group_counts = gc_b[:g].copy()
+            batch.count = kept
+            if kept == 0:
+                return batch
+            batch.keys = f_keys[:kept]
+            batch.nd = f_nd[:kept]
+            batch.src = f_src[:kept]
+            batch.w = f_w[:kept]
+            batch.ctr = f_ctr[:kept]
+            batch.srcf = f_srcf[:kept]
+            return batch
         if accounting:
             batch.group_keys, batch.group_counts = self._histogram(keys_c)
         tgt_dist = np.take(dist, keys_c, out=self._f8.get("flt_dist", count))
@@ -656,7 +793,11 @@ class EmitScratch:
             self._cache_src = _EMPTY_I8
             self._cache_aidx = _EMPTY_I8
             self._cache_inert = 0
+            self._cache_len = 0
             self._cache_delta = delta
+        if _native.use_native():
+            self._cache_update_native(frozen, delta, lo, hi)
+            return
 
         newly = np.flatnonzero(frozen & ~self._cache_in)
         if len(newly):
@@ -670,7 +811,11 @@ class EmitScratch:
                     self._cache_inert += ext
                     k, s, a = k[owned], s[owned], a[owned]
                 if len(k):
-                    np.add.at(self._cache_hist, k - lo if lo else k, 1)
+                    k_loc = k - lo if lo else k
+                    if _native.use_native():
+                        _native.bincount_into(k_loc, self._cache_hist)
+                    else:
+                        np.add.at(self._cache_hist, k_loc, 1)
                     self._cache_keys = np.concatenate((self._cache_keys, k))
                     self._cache_src = np.concatenate((self._cache_src, s))
                     self._cache_aidx = np.concatenate((self._cache_aidx, a))
@@ -685,6 +830,78 @@ class EmitScratch:
                 self._cache_keys = self._cache_keys[open_t]
                 self._cache_src = self._cache_src[open_t]
                 self._cache_aidx = self._cache_aidx[open_t]
+
+    def _cache_reserve(self, need: int) -> None:
+        """Grow the in-place cache columns to hold ``need`` rows."""
+        if self._cbuf_k is not None and len(self._cbuf_k) >= need:
+            return
+        cap = max(int(need), 4096)
+        if self._cbuf_k is not None:
+            cap = max(cap, len(self._cbuf_k) + (len(self._cbuf_k) >> 1))
+        for name in ("_cbuf_k", "_cbuf_s", "_cbuf_a"):
+            old = getattr(self, name)
+            buf = np.empty(cap, dtype=np.int64)
+            if old is not None and self._cache_len:
+                buf[: self._cache_len] = old[: self._cache_len]
+            setattr(self, name, buf)
+
+    def _cache_update_native(self, frozen, delta, lo, hi) -> None:
+        """Native cache maintenance: append + retire in place.
+
+        Same append/retire semantics as the NumPy branch, but the cache
+        lives in preallocated capacity columns so forced rounds never
+        reconcatenate it; ``_cache_keys``/``_cache_src``/``_cache_aidx``
+        become prefix views over those columns.
+        """
+        if len(self._cache_keys) and (
+            self._cbuf_k is None or self._cache_keys.base is not self._cbuf_k
+        ):
+            # The cache was last maintained by the NumPy branch (kernel
+            # tier flipped mid-lifetime): resync the capacity columns.
+            n = len(self._cache_keys)
+            self._cache_len = 0
+            self._cache_reserve(n)
+            self._cbuf_k[:n] = self._cache_keys
+            self._cbuf_s[:n] = self._cache_src
+            self._cbuf_a[:n] = self._cache_aidx
+            self._cache_len = n
+
+        newly = np.flatnonzero(frozen & ~self._cache_in)
+        if len(newly):
+            # Fused expansion: frozen sources emit at effective distance
+            # 0, so the light/Δ filter and the owned-range append run in
+            # one C pass straight into the capacity columns (no
+            # intermediate candidate banks).
+            bound = int(
+                (self.indptr[newly + 1] - self.indptr[newly]).sum()
+            )
+            self._cache_reserve(self._cache_len + bound)
+            appended, cnt = _native.cache_emit(
+                self.indptr, self.indices, self.weights, newly,
+                delta, lo, hi, self._cache_hist,
+                self._cbuf_k, self._cbuf_s, self._cbuf_a,
+                self._cache_len,
+            )
+            self._cache_inert += cnt - appended
+            self._cache_len += appended
+            self._cache_in[newly] = True
+
+        if self._cache_len:
+            new_len = _native.cache_retire(
+                self._cbuf_k, self._cbuf_s, self._cbuf_a,
+                self._cache_len, frozen, lo,
+            )
+            self._cache_inert += self._cache_len - new_len
+            self._cache_len = new_len
+        n = self._cache_len
+        if n:
+            self._cache_keys = self._cbuf_k[:n]
+            self._cache_src = self._cbuf_s[:n]
+            self._cache_aidx = self._cbuf_a[:n]
+        else:
+            self._cache_keys = _EMPTY_I8
+            self._cache_src = _EMPTY_I8
+            self._cache_aidx = _EMPTY_I8
 
     def _emit_forced_cached(
         self, batch, live_ids, eff, center, dist, frozen, delta, accounting
@@ -706,13 +923,60 @@ class EmitScratch:
         if accounting:
             hist = self._cache_hist.copy()
             if lcnt:
-                np.add.at(hist, lk, 1)
+                if _native.use_native():
+                    _native.bincount_into(lk, hist)
+                else:
+                    np.add.at(hist, lk, 1)
             gk = np.flatnonzero(hist)
             batch.group_keys = gk
             batch.group_counts = hist[gk]
 
         # 4. Improvement filter: active cache rows first, live rows after
         # (order-free consumers only — recorded on the batch).
+        if _native.use_native():
+            cap = f_active + lcnt
+            b_keys = self._i8.get("fc_keys", cap)
+            b_nd = self._f8.get("fc_nd", cap)
+            b_src = self._i8.get("fc_src", cap)
+            b_aidx = self._i8.get("fc_aidx", cap)
+            b_w = self._f8.get("fc_w", cap)
+            b_ctr = self._f8.get("fc_ctr", cap)
+            b_srcf = self._f8.get("fc_srcf", cap)
+            fcnt = 0
+            if f_active:
+                # Cache rows survive when the arc weight still improves
+                # the target; nd is the weight itself (eff = 0).
+                fcnt = _native.cache_replay(
+                    self._cache_keys, self._cache_src, self._cache_aidx,
+                    f_active, self.weights, dist,
+                    b_keys, b_nd, b_src, b_aidx,
+                )
+            lkept = 0
+            if lcnt:
+                lkept = _native.filter_improve(
+                    lk, lnd, lsrc, laidx, dist, frozen,
+                    self.weights, center,
+                    b_keys[fcnt:], b_nd[fcnt:], b_src[fcnt:],
+                    b_w[fcnt:], b_ctr[fcnt:], b_srcf[fcnt:],
+                )
+            kept = fcnt + lkept
+            batch.count = kept
+            if kept == 0:
+                return batch
+            if fcnt:
+                # Fill the cache block's materialized columns (the live
+                # block's were produced by filter_improve above).
+                _native.materialize(
+                    b_src[:fcnt], b_aidx[:fcnt], self.weights, center,
+                    b_w[:fcnt], b_ctr[:fcnt], b_srcf[:fcnt],
+                )
+            batch.keys = b_keys[:kept]
+            batch.nd = b_nd[:kept]
+            batch.src = b_src[:kept]
+            batch.w = b_w[:kept]
+            batch.ctr = b_ctr[:kept]
+            batch.srcf = b_srcf[:kept]
+            return batch
         if f_active:
             fw = np.take(self.weights, self._cache_aidx)
             f_imp = fw < dist[self._cache_keys]
@@ -758,6 +1022,15 @@ class EmitScratch:
     def _histogram(self, keys_c: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Full-multiset per-target histogram ``(group_keys, counts)``."""
         domain = self.num_rows
+        if _native.use_native():
+            # One stamped C pass, O(batch + distinct·log distinct): the
+            # same (group_keys, counts) values as either branch below.
+            if self._hist0 is None or len(self._hist0) < domain:
+                self._hist0 = np.zeros(domain, dtype=np.int64)
+            gk_b = self._i8.get("hist_gk", len(keys_c))
+            gc_b = self._i8.get("hist_gc", len(keys_c))
+            g = _native.count_keys(keys_c, self._hist0, gk_b, gc_b)
+            return gk_b[:g].copy(), gc_b[:g].copy()
         if domain <= 4 * len(keys_c) + self._HIST_SLACK:
             dense = np.bincount(keys_c, minlength=domain)
             gk = np.flatnonzero(dense)

@@ -16,6 +16,7 @@ from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import MemoryLimitExceeded
+from repro.mr import native as _native
 from repro.mr.executor import SerialExecutor
 from repro.mr.kernels import CountScratch, ScatterScratch, counting_group_keys
 from repro.mr.metrics import Counters
@@ -140,6 +141,9 @@ class MREngine:
         # Histogram/prefix-sum buffers of the counting-sort shuffle,
         # reused across rounds and grown to the largest key_bound seen.
         self._count_scratch = CountScratch()
+        # Per-worker load scratch for the native critical-path
+        # accounting (all-zero between rounds).
+        self._loads: np.ndarray = None
 
     # ------------------------------------------------------------------ #
 
@@ -239,6 +243,18 @@ class MREngine:
         """
         self.counters.record_round(messages=messages, updates=0)
         if group_keys is not None and len(group_keys):
+            if _native.use_native():
+                # Fused hash-route + weighted max-load in one C pass
+                # (the mix matches hash_partition_array bit for bit,
+                # and int64 accumulation equals the float bincount for
+                # any realistic load sum).
+                if self._loads is None or len(self._loads) < self.spec.num_workers:
+                    self._loads = np.zeros(self.spec.num_workers, dtype=np.int64)
+                weights = np.add(counts, out_counts, dtype=np.int64)
+                self.simulated_time += _native.partition_loads(
+                    group_keys, weights, self.spec.num_workers, self._loads
+                )
+                return
             workers = hash_partition_array(group_keys, self.spec.num_workers)
             loads = np.bincount(
                 workers,

@@ -510,6 +510,15 @@ class _PoolBatchExecutor:
             import os
             from concurrent.futures import ProcessPoolExecutor
 
+            # Build (and load) the native kernel library once in the
+            # parent before any worker starts: forked children inherit
+            # the loaded .so, and spawn-based children find the cached
+            # build instead of racing N simultaneous compiles.  A
+            # no-compiler host is a cheap no-op (pure-tier fallback).
+            from repro.mr import native
+
+            native.native_available()
+
             # Prefer fork: workers share the parent's resource tracker,
             # start instantly, and inherit mmap-backed graphs without a
             # single copied page; fall back to the platform default

@@ -54,6 +54,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.mr import native as _native
+
 __all__ = [
     "ScatterScratch",
     "CountScratch",
@@ -95,12 +97,19 @@ class ScatterScratch:
     on the dense side.
     """
 
-    __slots__ = ("_cols", "_rows", "_size")
+    __slots__ = ("_cols", "_rows", "_size", "_stamp", "_gen", "_out")
 
     def __init__(self) -> None:
         self._cols: List[np.ndarray] = []
         self._rows: Optional[np.ndarray] = None
         self._size = 0
+        # Native-tier extras (allocated on first native dispatch): a
+        # generation-stamp buffer that lets the single-pass C kernel
+        # skip the per-call dense reset, plus the distinct-id/row output
+        # buffers it sorts into.
+        self._stamp: Optional[np.ndarray] = None
+        self._gen = 0
+        self._out: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def ensure(
         self, domain: int, ncols: int
@@ -115,6 +124,19 @@ class ScatterScratch:
         if self._rows is None:
             self._rows = np.empty(self._size, dtype=np.int64)
         return self._cols[:ncols], self._rows
+
+    def ensure_native(self, domain: int, ncols: int):
+        """Buffers + stamp generation for the native single-pass kernel."""
+        cols, rows = self.ensure(domain, ncols)
+        if self._stamp is None or len(self._stamp) < self._size:
+            self._stamp = np.zeros(self._size, dtype=np.int64)
+            self._gen = 0  # fresh zeros can never equal a positive gen
+            self._out = (
+                np.empty(self._size, dtype=np.int64),
+                np.empty(self._size, dtype=np.int64),
+            )
+        self._gen += 1
+        return cols, rows, self._stamp, self._gen, self._out[0], self._out[1]
 
 
 def scatter_min_rows(
@@ -143,6 +165,10 @@ def scatter_min_rows(
     num_rows = len(ids)
     if num_rows == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    if len(cols) <= 3 and _native.use_native():
+        return _native.scatter_min_rows(
+            ids, cols, domain=domain, scratch=scratch
+        )
     col_bufs, row_buf = scratch.ensure(domain, len(cols))
 
     rows: Optional[np.ndarray] = None  # None = all rows still alive
@@ -183,11 +209,22 @@ class CountScratch:
     O(domain), to reset it.
     """
 
-    __slots__ = ("_hist", "_offsets")
+    __slots__ = ("_hist", "_offsets", "_gk", "_gc")
 
     def __init__(self) -> None:
         self._hist: Optional[np.ndarray] = None
         self._offsets: Optional[np.ndarray] = None
+        # Native-tier distinct-key/count output buffers (sized to the
+        # key bound: the distinct count can never exceed it).
+        self._gk: Optional[np.ndarray] = None
+        self._gc: Optional[np.ndarray] = None
+
+    def native_out(self, bound: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Distinct-key and count buffers of at least ``bound``."""
+        if self._gk is None or len(self._gk) < bound:
+            self._gk = np.empty(max(int(bound), 1024), dtype=np.int64)
+            self._gc = np.empty(max(int(bound), 1024), dtype=np.int64)
+        return self._gk, self._gc
 
     def hist(self, bound: int) -> np.ndarray:
         """An all-zero int64 histogram buffer of at least ``bound``."""
@@ -237,6 +274,13 @@ def counting_group_keys(
         dense = np.bincount(keys, minlength=bound)
         group_keys = np.flatnonzero(dense)
         counts = dense[group_keys].astype(np.int64)
+    elif _native.use_native():
+        # Single C pass replaces the buffered np.add.at scatter; the
+        # scratch histogram's all-zero invariant is restored in-kernel.
+        gk_buf, gc_buf = scratch.native_out(bound)
+        g = _native.count_keys(keys, scratch.hist(bound), gk_buf, gc_buf)
+        group_keys = gk_buf[:g]  # the astype below makes the owned copy
+        counts = gc_buf[:g].copy()
     else:
         dense = scratch.hist(bound)
         np.add.at(dense, keys, 1)
@@ -274,6 +318,10 @@ def scatter_group_min_first(
     if num_groups == 0:
         return keys, values, np.zeros(0, dtype=np.int64)
     d = values.shape[1] if sort_cols is None else int(sort_cols)
+    if _native.use_native():
+        firsts = _native.group_min_first_rows(values, d, offsets)
+        if firsts is not None:  # None: layout needs the pure fallback
+            return keys, values[firsts], np.ones(num_groups, dtype=np.int64)
     starts = offsets[:-1]
     sizes = np.diff(offsets)
     gid = np.repeat(np.arange(num_groups, dtype=np.int64), sizes)

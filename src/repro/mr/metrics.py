@@ -61,6 +61,12 @@ class Counters:
     #: snapshots are compared bit-for-bit across backends and kernel
     #: modes, and wall-clock never is.  Read via :meth:`timing_snapshot`.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Resolved execution environment of the run — kernel tier
+    #: (``py``/``native``), emit thread count, native availability —
+    #: stamped by the runner.  Like :attr:`timings`, excluded from
+    #: :meth:`snapshot`: the tier must never perturb the comparable
+    #: counters, only annotate them.  Read via :meth:`impl_snapshot`.
+    impl: Dict[str, object] = field(default_factory=dict)
 
     @property
     def work(self) -> int:
@@ -92,6 +98,10 @@ class Counters:
                 out[key] = round(self.timings[key], 6)
         return out
 
+    def impl_snapshot(self) -> Dict[str, object]:
+        """Resolved kernel-tier metadata (empty until a runner stamps it)."""
+        return dict(self.impl)
+
     def merge(self, other: "Counters") -> "Counters":
         """Accumulate ``other`` into ``self`` (returns ``self`` for chaining)."""
         self.rounds += other.rounds
@@ -106,6 +116,8 @@ class Counters:
             self.extra[key] = self.extra.get(key, 0) + value
         for key, value in other.timings.items():
             self.timings[key] = self.timings.get(key, 0.0) + value
+        if other.impl:
+            self.impl.update(other.impl)
         return self
 
     def snapshot(self) -> Dict[str, int]:

@@ -62,6 +62,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import MemoryLimitExceeded
+from repro.mr import native as _native
 
 __all__ = ["ShardedExecutor", "ShardedGrowingState"]
 
@@ -288,7 +289,10 @@ class _ShardWorker:
         # but the memory-model extremes; argmax over ascending distinct
         # ids picks the same first-maximum group as the sort path.
         hist = self.count_scratch.hist(self.hi - self.lo)
-        np.add.at(hist, local, 1)
+        if _native.use_native():
+            _native.bincount_into(local, hist)
+        else:
+            np.add.at(hist, local, 1)
         counts = hist[ids]
         hist[ids] = 0
         at = int(np.argmax(counts))

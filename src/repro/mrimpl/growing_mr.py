@@ -62,6 +62,7 @@ from repro.mr.kernels import (
     merge_kernel_name,
     scatter_min_rows,
 )
+from repro.mr import native as _native
 from repro.mr.model import MRSpec
 from repro.util import expand_ranges, first_occurrence
 
@@ -544,12 +545,21 @@ class ArrayGrowingState:
         return np.flatnonzero(~self.frozen).astype(np.int64)
 
     def begin_stage(self, picks: np.ndarray) -> None:
-        live = ~self.frozen
-        self.center[live] = NO_CENTER
-        self.dist[live] = np.inf
-        self.dacc[live] = np.inf
-        self.changed[live] = False
-        self.frozen_iter[live] = 0
+        if _native.use_native():
+            # One C pass resets all five columns of the live rows.
+            _native.begin_stage(
+                self.frozen, self.center, self.dist, self.dacc,
+                self.changed, self.frozen_iter,
+            )
+        else:
+            live = ~self.frozen
+            # copyto-with-where: one masked store per column, no index
+            # materialization (begin_stage runs once per stage over all n).
+            np.copyto(self.center, NO_CENTER, where=live)
+            np.copyto(self.dist, np.inf, where=live)
+            np.copyto(self.dacc, np.inf, where=live)
+            np.copyto(self.changed, False, where=live)
+            np.copyto(self.frozen_iter, 0, where=live)
         self._active = np.empty(0, dtype=np.int64)
         picks = np.asarray(picks, dtype=np.int64)
         self.center[picks] = picks
@@ -769,10 +779,15 @@ class ArrayGrowingState:
         self._pending = None
 
     def freeze_assigned(self, iteration: int = 0) -> int:
+        if _native.use_native():
+            return _native.freeze_assigned(
+                self.center, iteration,
+                self.frozen, self.changed, self.frozen_iter,
+            )
         sel = (self.center != NO_CENTER) & ~self.frozen
-        self.frozen[sel] = True
-        self.changed[sel] = False
-        self.frozen_iter[sel] = iteration
+        np.copyto(self.frozen, True, where=sel)
+        np.copyto(self.changed, False, where=sel)
+        np.copyto(self.frozen_iter, iteration, where=sel)
         return int(np.count_nonzero(sel))
 
     def make_singletons(self, iteration: int = 0) -> int:

@@ -104,6 +104,18 @@ class RunResult:
         """
         return self.counters.timing_snapshot()
 
+    @property
+    def kernel_impl(self) -> Optional[str]:
+        """Resolved kernel tier of the run (``"py"`` or ``"native"``)."""
+        impl = self.counters.impl.get("kernel_impl")
+        return str(impl) if impl is not None else None
+
+    @property
+    def emit_threads(self) -> Optional[int]:
+        """Resolved emit thread count of the run (native tier)."""
+        threads = self.counters.impl.get("emit_threads")
+        return int(threads) if threads is not None else None
+
     def snapshot(self) -> Dict[str, Any]:
         """Flat dict view: metrics + counters + run metadata."""
         return {
@@ -113,6 +125,7 @@ class RunResult:
             **self.counters.snapshot(),
             "executor": self.executor or "core",
             "elapsed_s": self.elapsed,
+            **self.counters.impl_snapshot(),
         }
 
 
@@ -129,6 +142,8 @@ def _resolve_config(
     seed: Optional[int],
     tau: Optional[int],
     shards: Optional[int] = None,
+    kernel_impl: Optional[str] = None,
+    emit_threads: Optional[int] = None,
 ) -> ClusterConfig:
     if config is None:
         # The CLI's historical defaults: practical stage threshold, the
@@ -140,6 +155,10 @@ def _resolve_config(
         config = config.with_(tau=tau)
     if shards is not None:
         config = config.with_(shards=shards)
+    if kernel_impl is not None:
+        config = config.with_(kernel_impl=kernel_impl)
+    if emit_threads is not None:
+        config = config.with_(emit_threads=emit_threads)
     return config
 
 
@@ -153,6 +172,8 @@ def run(
     executor: Optional[str] = None,
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    kernel_impl: Optional[str] = None,
+    emit_threads: Optional[int] = None,
     engine: Optional[Any] = None,
     store: Optional[GraphStore] = None,
     registry: Optional[AlgorithmRegistry] = None,
@@ -180,6 +201,11 @@ def run(
         Shard count for ``executor="sharded"`` (default: ``workers``,
         falling back to the CPU count).  Rejected with any other
         executor.
+    kernel_impl, emit_threads:
+        Kernel-tier overrides applied on top of the config (see
+        :class:`~repro.core.config.ClusterConfig`): ``"py"``/``"native"``
+        /``"auto"`` tier and the native emit thread count.  The resolved
+        values are stamped on ``result.counters.impl``.
     engine:
         A caller-owned :class:`~repro.mr.engine.MREngine` for the spec
         to reuse instead of building (and closing) one per run.  The
@@ -273,14 +299,24 @@ def run(
 
     ctx = RunContext(
         graph=_resolve_graph(graph, store),
-        config=_resolve_config(config, seed, tau, shards),
+        config=_resolve_config(
+            config, seed, tau, shards, kernel_impl, emit_threads
+        ),
         executor=executor,
         workers=workers,
         options=dict(options),
         engine=engine,
     )
+    from repro.mr import native
+
     start = time.perf_counter()
-    result = spec.fn(ctx)
+    # The config's kernel tier / thread count apply for the whole run
+    # (environment-scoped so pool workers fork with the same setting);
+    # the resolved values are stamped on the counters for reporting —
+    # never into the snapshot, which stays tier-invariant.
+    with native.impl_overrides(ctx.config.kernel_impl, ctx.config.emit_threads):
+        result = spec.fn(ctx)
+        ctx.counters.impl.update(native.resolved_info())
     result.elapsed = time.perf_counter() - start
     result.algorithm = name
     result.counters = ctx.counters

@@ -397,6 +397,7 @@ def result_payload(result, signature: Tuple[str, int, int]) -> Dict[str, Any]:
         "timings": jsonify(result.timings),
         "executor": result.executor,
         "workers": result.workers,
+        "kernels": jsonify(result.counters.impl_snapshot()) or None,
         "elapsed_s": round(float(result.elapsed), 6),
         "digest": result_digest(result.raw),
         "graph": {

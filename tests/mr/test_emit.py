@@ -15,6 +15,7 @@ import pytest
 
 from repro.generators import rmat
 from repro.graph.ops import largest_connected_component
+from repro.mr import native
 from repro.mr.emit import EMIT_ENV, EmitScratch, emit_mode
 from repro.mr.kernels import (
     CountScratch,
@@ -280,7 +281,14 @@ class TestDirectionPlanning:
         graph = small_graph()
         scratch = EmitScratch(graph.indptr, graph.indices, graph.weights)
         assert scratch.plan_direction(0, "auto") == "push"
-        assert scratch.plan_direction(graph.num_arcs, "auto") == "pull"
+        # auto resolves by tier: the NumPy pull scan beats NumPy push
+        # on heavy frontiers, while the C push never loses (it scans
+        # exactly the frontier's arcs), so native auto stays push.
+        with native.impl_overrides("py", None):
+            assert scratch.plan_direction(graph.num_arcs, "auto") == "pull"
+        if native.native_available():
+            with native.impl_overrides("native", None):
+                assert scratch.plan_direction(graph.num_arcs, "auto") == "push"
         assert scratch.plan_direction(graph.num_arcs, "push") == "push"
         assert scratch.plan_direction(0, "pull") == "pull"
 
