@@ -19,10 +19,13 @@ Commands
     Run Δ-stepping SSSP and report eccentricity/rounds/work.
 ``compare <file> [--tau N]``
     One Table-2-style row: CL-DIAM vs best-Δ Δ-stepping.
-``partition <file> [--shards K]``
+``partition <file> [--shards K] [--partitioner lp|range] [--report]``
     Write (or refresh) the graph's owner-compute shard partition —
-    ``<store>.rcsr.shards/<K>/part-*.rcsr`` + manifest — and print the
-    per-shard edge-cut report.  ``--executor sharded`` reuses it.
+    ``<store>.rcsr.shards/<K>[-lp]/part-*.rcsr`` + manifest — and print
+    the edge-cut summary (``--report`` adds the per-shard table).
+    ``--executor sharded`` reuses it; the default partitioner mirrors
+    the backend's (``REPRO_SHARD_PARTITIONER`` or the locality-aware
+    ``lp``), while ``range`` keeps the contiguous planner for A/B.
 ``run <algorithm> <file> [options]``
     Dispatch any registered algorithm through the runtime layer
     (``repro algorithms`` lists them) and print its metrics.
@@ -129,7 +132,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_part.add_argument("file")
     p_part.add_argument("--shards", type=int, default=4,
-                        help="number of contiguous node-range shards")
+                        help="number of shards")
+    p_part.add_argument(
+        "--partitioner", choices=("lp", "range"), default=None,
+        help="node-to-shard assignment: locality-aware 'lp' (default, "
+        "env REPRO_SHARD_PARTITIONER) or contiguous 'range'",
+    )
+    p_part.add_argument(
+        "--report", action="store_true",
+        help="print the per-shard edge-cut table",
+    )
 
     p_sssp = sub.add_parser("sssp", help="run delta-stepping SSSP")
     p_sssp.add_argument("file")
@@ -268,6 +280,7 @@ def _cmd_info(args) -> int:
             sections += f" rsrc@{header.rsrc_offset}"
         print(f"sections     : {sections}")
         print(f"reverse csr  : {'yes' if header.has_reverse else 'no'}")
+        _print_partitions(args.file)
         return 0
 
     from repro.graph.io import read_auto
@@ -282,6 +295,34 @@ def _cmd_info(args) -> int:
     print(f"mean weight  : {graph.mean_weight:.6g}")
     print(f"max degree   : {graph.degrees.max() if graph.num_nodes else 0}")
     return 0
+
+
+def _print_partitions(store_file) -> None:
+    """Summarize the cached shard partitions of a store, if any."""
+    import json
+
+    from repro.graph.partition import MANIFEST_NAME
+
+    shards_root = Path(str(store_file) + ".shards")
+    if not shards_root.is_dir():
+        return
+    lines = []
+    for directory in sorted(shards_root.iterdir()):
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.is_file():
+            continue
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, ValueError):
+            continue
+        num_arcs = int(manifest.get("num_arcs", 0) or 0)
+        cut = sum(manifest.get("cut_arcs", [])) / num_arcs if num_arcs else 0.0
+        lines.append(
+            f"{manifest.get('num_shards')}-way "
+            f"{manifest.get('partitioner', 'range')} (cut {cut:.1%})"
+        )
+    if lines:
+        print(f"partitions   : {', '.join(lines)}")
 
 
 def _cmd_convert(args) -> int:
@@ -378,37 +419,48 @@ def _cmd_diameter(args) -> int:
 
 
 def _cmd_partition(args) -> int:
+    import os
+
     from repro.bench.reporting import format_table
     from repro.runtime import default_store
 
     if args.shards < 1:
         print("error: --shards must be >= 1", file=sys.stderr)
         return 2
-    partitioned = default_store().get_partitioned(args.file, args.shards)
-    plan = partitioned.plan
-    rows = []
-    for k in range(plan.num_shards):
-        lo, hi = plan.shard_range(k)
-        rows.append(
-            {
-                "shard": k,
-                "nodes": hi - lo,
-                "range": f"[{lo}, {hi})",
-                "arcs": int(plan.shard_arcs[k]),
-                "cut_arcs": int(plan.cut_arcs[k]),
-                "boundary_nodes": int(plan.boundary_nodes[k]),
-            }
-        )
-    print(
-        format_table(
-            rows,
-            title=(
-                f"{plan.num_shards}-way partition of {args.file} "
-                f"(n={plan.num_nodes}, arcs={plan.num_arcs}, "
-                f"cut={plan.cut_fraction:.2%})"
-            ),
-        )
+    partitioner = args.partitioner
+    if partitioner is None:
+        # Mirror the sharded backend's resolution, so the partition
+        # written here is the one ``--executor sharded`` memory-maps.
+        partitioner = os.environ.get("REPRO_SHARD_PARTITIONER") or "lp"
+    partitioned = default_store().get_partitioned(
+        args.file, args.shards, partitioner=partitioner
     )
+    plan = partitioned.plan
+    shard_nodes = plan.shard_nodes
+    balance = (
+        float(plan.shard_arcs.max() / (plan.num_arcs / plan.num_shards))
+        if plan.num_arcs
+        else 1.0
+    )
+    print(
+        f"{plan.num_shards}-way {plan.mode} partition of {args.file}: "
+        f"n={plan.num_nodes}, arcs={plan.num_arcs}, "
+        f"cut={plan.cut_fraction:.2%}, arc balance={balance:.2f}x"
+    )
+    if args.report:
+        rows = []
+        for k in range(plan.num_shards):
+            row = {"shard": k, "nodes": int(shard_nodes[k])}
+            if plan.mode == "range":
+                lo, hi = plan.shard_range(k)
+                row["range"] = f"[{lo}, {hi})"
+            row.update(
+                arcs=int(plan.shard_arcs[k]),
+                cut_arcs=int(plan.cut_arcs[k]),
+                boundary_nodes=int(plan.boundary_nodes[k]),
+            )
+            rows.append(row)
+        print(format_table(rows, title="per-shard edge-cut report"))
     print(f"shards       : {partitioned.directory}")
     return 0
 

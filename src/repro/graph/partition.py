@@ -1,27 +1,40 @@
-"""Owner-compute graph partitioning: contiguous node ranges on disk.
+"""Owner-compute graph partitioning on disk: range and locality-aware.
 
 The paper's MR algorithms assume each machine holds a fixed subgraph and
 that a round exchanges only the messages crossing machine boundaries.
 This module provides the storage half of that contract:
 
-* :func:`plan_partition` — split ``[0, n)`` into ``num_shards``
-  contiguous node ranges balanced by arc count, and report the edge cut
-  (per-shard internal/cut arcs and boundary-node counts).  Assignment of
-  a node id to its owning shard is one
-  :func:`~repro.mr.partitioner.range_partition_array` call against the
-  plan's interior boundaries.
+* :func:`plan_partition` — assign every node to one of ``num_shards``
+  shards and report the edge cut (per-shard internal/cut arcs and
+  boundary-node counts).  Two partitioners:
+
+  - ``"range"`` — contiguous node ranges balanced by arc count; shard
+    ownership of a node id is one
+    :func:`~repro.mr.partitioner.range_partition_array` call against the
+    plan's interior boundaries.
+  - ``"lp"`` — the locality-aware multilevel label-propagation pipeline
+    (:func:`~repro.mr.partitioner.lp_assignment`); ownership is an
+    explicit node→shard ``assignment`` array.  Node ids are *never*
+    relabeled — a shard simply owns a non-contiguous row set — which is
+    what keeps sharded results bit-identical across partitioners.
 * :func:`write_partitioned_store` / :func:`ensure_partitioned` — the
   partitioned on-disk layout next to a GraphStore file::
 
       graph.rcsr                     the (unsharded) store
-      graph.rcsr.shards/<K>/
+      graph.rcsr.shards/<K>/         range partition (K shards)
+      graph.rcsr.shards/<K>-lp/      locality-aware partition
           manifest.json              plan + source signature (commit point)
           part-0.rcsr … part-K-1.rcsr
+          assignment.i32             lp only: node → owning shard
+          localidx.i32               lp only: node → dense local row
 
   Each ``part-k.rcsr`` is a GraphStore container (written through the
   same atomic :func:`~repro.graph.serialize.write_store` path) holding
-  the CSR *rows* of shard ``k``'s node range: a local ``indptr`` of
-  length ``len(range) + 1`` whose ``indices`` keep **global** node ids.
+  the CSR *rows* of shard ``k``'s node set: a local ``indptr`` of
+  length ``num_rows + 1`` whose ``indices`` keep **global** node ids.
+  Under ``lp`` the row set is non-contiguous; the two int32 sidecars
+  (memory-mapped, so forked workers share their pages) give the
+  node→shard and node→local-row maps workers route by.
   A shard-owning worker memory-maps exactly its rows — O(shard) pages,
   never the whole graph — and routes emitted messages by comparing the
   global neighbour ids against the plan's boundaries.
@@ -52,7 +65,7 @@ import numpy as np
 from repro.errors import GraphFormatError
 from repro.graph.csr import CSRGraph
 from repro.graph.serialize import STORE_SUFFIX, open_store, write_store
-from repro.mr.partitioner import range_partition_array
+from repro.mr.partitioner import lp_assignment, range_partition_array
 
 __all__ = [
     "PartitionPlan",
@@ -65,6 +78,10 @@ __all__ = [
     "MANIFEST_NAME",
     "SHARDS_DIR_SUFFIX",
     "PARTITION_VERSION",
+    "PARTITIONERS",
+    "DEFAULT_PARTITIONER",
+    "ASSIGNMENT_NAME",
+    "LOCALIDX_NAME",
 ]
 
 PathLike = Union[str, Path]
@@ -75,21 +92,34 @@ MANIFEST_NAME = "manifest.json"
 #: shared with the GraphStore cache's cleanup/budget accounting.
 SHARDS_DIR_SUFFIX = ".shards"
 #: Partitioned-layout format version (bump on incompatible changes).
-PARTITION_VERSION = 1
+#: v2 added the partitioner field and the lp sidecar files.
+PARTITION_VERSION = 2
+#: Supported partitioner names.
+PARTITIONERS = ("range", "lp")
+#: Partitioner used when none is requested (kept as the library default
+#: so existing range-based callers and caches stay valid).
+DEFAULT_PARTITIONER = "range"
+#: Sidecar file names for lp partitions (int32, one entry per node).
+ASSIGNMENT_NAME = "assignment.i32"
+LOCALIDX_NAME = "localidx.i32"
 
 
 @dataclass(frozen=True)
 class PartitionPlan:
-    """A contiguous-range node partition plus its edge-cut report.
+    """A node partition plus its edge-cut report.
 
     Attributes
     ----------
     num_nodes, num_arcs:
         Shape of the partitioned graph.
     starts:
-        int64 array of length ``num_shards + 1``; shard ``k`` owns the
-        node range ``[starts[k], starts[k+1])``.  ``starts[0] == 0`` and
-        ``starts[-1] == num_nodes`` always hold.
+        int64 array of length ``num_shards + 1``.  Under ``range`` mode
+        shard ``k`` owns the contiguous node range
+        ``[starts[k], starts[k+1])``; under ``lp`` mode the entries are
+        the prefix sums of per-shard node counts (``np.diff(starts)`` is
+        the shard-size vector in both modes, but lp row sets are not
+        contiguous).  ``starts[0] == 0`` and ``starts[-1] == num_nodes``
+        always hold.
     shard_arcs:
         Arcs whose *source* lies in each shard (these are the rows the
         shard stores; they sum to ``num_arcs``).
@@ -100,6 +130,10 @@ class PartitionPlan:
     boundary_nodes:
         Nodes per shard with at least one cut arc — the set whose
         updates can ever need to cross a shard boundary.
+    mode:
+        ``"range"`` or ``"lp"``.
+    assignment:
+        ``lp`` only: int32 node→shard map (``None`` for range plans).
     """
 
     num_nodes: int
@@ -108,6 +142,8 @@ class PartitionPlan:
     shard_arcs: np.ndarray
     cut_arcs: np.ndarray
     boundary_nodes: np.ndarray
+    mode: str = "range"
+    assignment: Optional[np.ndarray] = None
 
     @property
     def num_shards(self) -> int:
@@ -116,7 +152,14 @@ class PartitionPlan:
     @property
     def splitters(self) -> np.ndarray:
         """Interior boundaries, in :func:`range_partition_array` form."""
+        if self.mode != "range":
+            raise ValueError("splitters are defined for range plans only")
         return self.starts[1:-1]
+
+    @property
+    def shard_nodes(self) -> np.ndarray:
+        """Nodes owned per shard (valid in both modes)."""
+        return np.diff(self.starts)
 
     @property
     def total_cut_arcs(self) -> int:
@@ -128,26 +171,94 @@ class PartitionPlan:
         return self.total_cut_arcs / self.num_arcs if self.num_arcs else 0.0
 
     def owner_of(self, keys) -> np.ndarray:
-        """Owning shard of each node id (vectorized range partition)."""
-        return range_partition_array(keys, self.splitters)
+        """Owning shard of each node id (vectorized)."""
+        if self.mode == "range":
+            return range_partition_array(keys, self.starts[1:-1])
+        return self.assignment[np.asarray(keys)].astype(np.int64)
 
     def shard_range(self, shard: int) -> tuple:
-        """``(lo, hi)`` node range owned by ``shard``."""
+        """``(lo, hi)`` node range owned by ``shard`` (range mode only)."""
+        if self.mode != "range":
+            raise ValueError(
+                "shard_range is undefined for lp plans; use shard_rows"
+            )
         return int(self.starts[shard]), int(self.starts[shard + 1])
 
+    def shard_rows(self, shard: int) -> np.ndarray:
+        """Ascending global node ids owned by ``shard`` (either mode)."""
+        if self.mode == "range":
+            lo, hi = self.shard_range(shard)
+            return np.arange(lo, hi, dtype=np.int64)
+        return np.flatnonzero(self.assignment == shard).astype(np.int64)
 
-def plan_partition(graph: CSRGraph, num_shards: int) -> PartitionPlan:
-    """Split ``graph`` into ``num_shards`` contiguous ranges balanced by arcs.
 
-    Boundaries are chosen on the ``indptr`` prefix sums so every shard
-    owns roughly ``num_arcs / num_shards`` arcs (up to one node's
-    degree); shards may be empty when ``num_shards > num_nodes``.  The
-    ranges always cover ``[0, num_nodes)`` exactly.
+def _cut_report(graph: CSRGraph, row_shard: np.ndarray, num_shards: int):
+    """Per-shard (shard_arcs, cut_arcs, boundary_nodes) for an assignment."""
+    shard_arcs = np.zeros(num_shards, dtype=np.int64)
+    cut_arcs = np.zeros(num_shards, dtype=np.int64)
+    boundary = np.zeros(num_shards, dtype=np.int64)
+    if graph.num_arcs:
+        arc_src_shard = np.repeat(row_shard, graph.degrees)
+        cut = arc_src_shard != row_shard[graph.indices]
+        shard_arcs = np.bincount(arc_src_shard, minlength=num_shards)
+        cut_arcs = np.bincount(arc_src_shard[cut], minlength=num_shards)
+        cut_sources = np.unique(graph.arc_sources()[cut])
+        boundary = np.bincount(row_shard[cut_sources], minlength=num_shards)
+    return (
+        shard_arcs.astype(np.int64),
+        cut_arcs.astype(np.int64),
+        boundary.astype(np.int64),
+    )
+
+
+def plan_partition(
+    graph: CSRGraph,
+    num_shards: int,
+    *,
+    partitioner: str = DEFAULT_PARTITIONER,
+    slack: float = 0.5,
+    seed: int = 0,
+) -> PartitionPlan:
+    """Assign ``graph``'s nodes to ``num_shards`` shards.
+
+    ``partitioner="range"`` chooses contiguous boundaries on the
+    ``indptr`` prefix sums so every shard owns roughly
+    ``num_arcs / num_shards`` arcs (up to one node's degree); shards may
+    be empty when ``num_shards > num_nodes``.  ``partitioner="lp"`` runs
+    the locality-aware multilevel label-propagation pipeline
+    (:func:`~repro.mr.partitioner.lp_assignment`), trading up to
+    ``1 + slack`` arc-load imbalance for a lower edge cut; it never cuts
+    more than the range plan.  Either way the shards cover
+    ``[0, num_nodes)`` exactly.
     """
     if num_shards < 1:
         raise ValueError("num_shards must be >= 1")
+    if partitioner not in PARTITIONERS:
+        raise ValueError(
+            f"unknown partitioner {partitioner!r} (expected one of "
+            f"{', '.join(PARTITIONERS)})"
+        )
     n = graph.num_nodes
     arcs = graph.num_arcs
+    if partitioner == "lp":
+        assignment = lp_assignment(graph, num_shards, slack=slack, seed=seed)
+        row_shard = assignment.astype(np.int64)
+        counts = np.bincount(row_shard, minlength=num_shards)
+        starts = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        shard_arcs, cut_arcs, boundary = _cut_report(
+            graph, row_shard, num_shards
+        )
+        return PartitionPlan(
+            num_nodes=n,
+            num_arcs=arcs,
+            starts=starts,
+            shard_arcs=shard_arcs,
+            cut_arcs=cut_arcs,
+            boundary_nodes=boundary,
+            mode="lp",
+            assignment=assignment,
+        )
+
     targets = (arcs * np.arange(1, num_shards, dtype=np.int64)) // num_shards
     cuts = np.searchsorted(graph.indptr, targets, side="left")
     starts = np.concatenate(
@@ -158,51 +269,52 @@ def plan_partition(graph: CSRGraph, num_shards: int) -> PartitionPlan:
     row_shard = np.repeat(
         np.arange(num_shards, dtype=np.int64), np.diff(starts)
     )
-    shard_arcs = np.zeros(num_shards, dtype=np.int64)
-    cut_arcs = np.zeros(num_shards, dtype=np.int64)
-    boundary = np.zeros(num_shards, dtype=np.int64)
-    if arcs:
-        splitters = starts[1:-1]
-        arc_src_shard = np.repeat(row_shard, graph.degrees)
-        nbr_shard = range_partition_array(graph.indices, splitters)
-        cut = arc_src_shard != nbr_shard
-        shard_arcs = np.bincount(arc_src_shard, minlength=num_shards)
-        cut_arcs = np.bincount(arc_src_shard[cut], minlength=num_shards)
-        cut_sources = np.unique(graph.arc_sources()[cut])
-        boundary = np.bincount(
-            row_shard[cut_sources], minlength=num_shards
-        )
+    shard_arcs, cut_arcs, boundary = _cut_report(graph, row_shard, num_shards)
     return PartitionPlan(
         num_nodes=n,
         num_arcs=arcs,
         starts=starts,
-        shard_arcs=shard_arcs.astype(np.int64),
-        cut_arcs=cut_arcs.astype(np.int64),
-        boundary_nodes=boundary.astype(np.int64),
+        shard_arcs=shard_arcs,
+        cut_arcs=cut_arcs,
+        boundary_nodes=boundary,
     )
 
 
 @dataclass(frozen=True)
 class PartitionedStore:
-    """A partition on disk: the plan plus where its shard files live."""
+    """A partition on disk: the plan plus where its shard files live.
+
+    For lp partitions, ``assignment`` and ``localidx`` are the two
+    memory-mapped int32 sidecars (node→shard and node→local-row); they
+    are ``None`` for range partitions, where both maps are arithmetic.
+    """
 
     directory: Path
     plan: PartitionPlan
     shard_paths: List[Path]
     source: Path
+    assignment: Optional[np.ndarray] = None
+    localidx: Optional[np.ndarray] = None
 
     def open_shard(self, shard: int) -> CSRGraph:
         """Memory-map one shard's rows (local indptr, global indices)."""
         return open_store(self.shard_paths[shard])
 
 
-def shards_dir_for(store_path: PathLike, num_shards: int) -> Path:
+def shards_dir_for(
+    store_path: PathLike,
+    num_shards: int,
+    partitioner: str = DEFAULT_PARTITIONER,
+) -> Path:
     """Directory holding ``store_path``'s ``num_shards``-way partition."""
     store_path = Path(store_path)
+    leaf = str(num_shards) if partitioner == "range" else (
+        f"{num_shards}-{partitioner}"
+    )
     return (
         store_path.parent
         / (store_path.name + SHARDS_DIR_SUFFIX)
-        / str(num_shards)
+        / leaf
     )
 
 
@@ -222,6 +334,38 @@ def _shard_graph(graph: CSRGraph, lo: int, hi: int) -> CSRGraph:
     )
 
 
+def _shard_graph_rows(graph: CSRGraph, rows: np.ndarray) -> CSRGraph:
+    """Gather an arbitrary (ascending) row set as an array container."""
+    rows = np.asarray(rows, dtype=np.int64)
+    degs = (graph.indptr[rows + 1] - graph.indptr[rows]).astype(np.int64)
+    local_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(degs, out=local_indptr[1:])
+    total = int(local_indptr[-1])
+    # Arc positions of each local arc: row start + within-row offset.
+    pos = np.repeat(
+        graph.indptr[rows].astype(np.int64) - local_indptr[:-1], degs
+    ) + np.arange(total, dtype=np.int64)
+    return CSRGraph(
+        local_indptr,
+        graph.indices[pos],
+        graph.weights[pos],
+        validate=False,
+    )
+
+
+def _localidx_of(assignment: np.ndarray, num_shards: int) -> np.ndarray:
+    """Node → dense local row within its owning shard (rows ascending)."""
+    n = len(assignment)
+    order = np.argsort(assignment, kind="stable")
+    counts = np.bincount(assignment, minlength=num_shards)
+    group_start = np.concatenate(([0], np.cumsum(counts)))[:-1]
+    localidx = np.empty(n, dtype=np.int32)
+    localidx[order] = (
+        np.arange(n, dtype=np.int64) - np.repeat(group_start, counts)
+    ).astype(np.int32)
+    return localidx
+
+
 def write_partitioned_store(
     graph: CSRGraph,
     store_path: PathLike,
@@ -229,35 +373,56 @@ def write_partitioned_store(
     *,
     plan: Optional[PartitionPlan] = None,
     directory: Optional[PathLike] = None,
+    partitioner: str = DEFAULT_PARTITIONER,
 ) -> PartitionedStore:
     """Write ``graph``'s ``num_shards``-way partition next to ``store_path``.
 
     ``store_path`` is the *source* store the manifest records (it must
     exist — its signature is what invalidates the shards); ``directory``
-    overrides the default ``<store>.shards/<K>/`` location.  Shard files
-    go through the atomic :func:`write_store` path, and the manifest is
-    written last (temp file + ``os.replace``) as the commit point.
+    overrides the default ``<store>.shards/<K>[-lp]/`` location.  Shard
+    files go through the atomic :func:`write_store` path, lp sidecars
+    follow, and the manifest is written last (temp file +
+    ``os.replace``) as the commit point.
     """
     store_path = Path(store_path)
-    plan = plan or plan_partition(graph, num_shards)
+    if plan is None:
+        plan = plan_partition(graph, num_shards, partitioner=partitioner)
+    elif plan.mode != partitioner:
+        raise ValueError("plan mode does not match requested partitioner")
     if plan.num_shards != num_shards:
         raise ValueError("plan shard count does not match num_shards")
     directory = (
         Path(directory)
         if directory is not None
-        else shards_dir_for(store_path, num_shards)
+        else shards_dir_for(store_path, num_shards, partitioner)
     )
     directory.mkdir(parents=True, exist_ok=True)
 
     shard_paths: List[Path] = []
     for k in range(num_shards):
-        lo, hi = plan.shard_range(k)
         path = directory / f"part-{k}{STORE_SUFFIX}"
         # Shard stores carry the reverse-CSR section up front: workers
         # memory-map their local arc→row map instead of rebuilding it,
         # and the pull-mode growing step starts warm.
-        write_store(_shard_graph(graph, lo, hi), path, reverse=True)
+        if plan.mode == "range":
+            lo, hi = plan.shard_range(k)
+            shard = _shard_graph(graph, lo, hi)
+        else:
+            shard = _shard_graph_rows(graph, plan.shard_rows(k))
+        write_store(shard, path, reverse=True)
         shard_paths.append(path)
+
+    assignment = localidx = None
+    if plan.mode == "lp":
+        assignment = np.ascontiguousarray(plan.assignment, dtype=np.int32)
+        localidx = _localidx_of(assignment, num_shards)
+        for name, arr in (
+            (ASSIGNMENT_NAME, assignment),
+            (LOCALIDX_NAME, localidx),
+        ):
+            tmp = directory / (name + ".tmp")
+            arr.tofile(tmp)
+            os.replace(tmp, directory / name)
 
     mtime_ns, size = _source_signature(store_path)
     manifest = {
@@ -268,6 +433,7 @@ def write_partitioned_store(
         "num_nodes": plan.num_nodes,
         "num_arcs": plan.num_arcs,
         "num_shards": num_shards,
+        "partitioner": plan.mode,
         "starts": [int(s) for s in plan.starts],
         "shard_arcs": [int(a) for a in plan.shard_arcs],
         "cut_arcs": [int(a) for a in plan.cut_arcs],
@@ -282,10 +448,14 @@ def write_partitioned_store(
         plan=plan,
         shard_paths=shard_paths,
         source=store_path,
+        assignment=assignment,
+        localidx=localidx,
     )
 
 
-def _plan_from_manifest(manifest: dict) -> PartitionPlan:
+def _plan_from_manifest(
+    manifest: dict, assignment: Optional[np.ndarray] = None
+) -> PartitionPlan:
     return PartitionPlan(
         num_nodes=int(manifest["num_nodes"]),
         num_arcs=int(manifest["num_arcs"]),
@@ -295,7 +465,22 @@ def _plan_from_manifest(manifest: dict) -> PartitionPlan:
         boundary_nodes=np.asarray(
             manifest["boundary_nodes"], dtype=np.int64
         ),
+        mode=manifest.get("partitioner", "range"),
+        assignment=assignment,
     )
+
+
+def _mmap_sidecar(directory: Path, name: str, num_nodes: int) -> np.ndarray:
+    path = directory / name
+    try:
+        arr = np.memmap(path, dtype=np.int32, mode="r")
+    except (OSError, ValueError) as exc:
+        raise GraphFormatError(f"{path}: unreadable sidecar ({exc})") from None
+    if len(arr) != num_nodes:
+        raise GraphFormatError(
+            f"{path}: sidecar has {len(arr)} entries, expected {num_nodes}"
+        )
+    return arr
 
 
 def load_partitioned(directory: PathLike) -> PartitionedStore:
@@ -305,7 +490,7 @@ def load_partitioned(directory: PathLike) -> PartitionedStore:
     ------
     GraphFormatError
         If the manifest is missing, unreadable, of a different format
-        version, or names shard files that do not exist.
+        version, or names shard or sidecar files that do not exist.
     """
     directory = Path(directory)
     manifest_path = directory / MANIFEST_NAME
@@ -324,15 +509,27 @@ def load_partitioned(directory: PathLike) -> PartitionedStore:
     missing = [p for p in shard_paths if not p.exists()]
     if missing:
         raise GraphFormatError(f"{directory}: missing shard files {missing}")
+    assignment = localidx = None
+    if manifest.get("partitioner", "range") == "lp":
+        num_nodes = int(manifest["num_nodes"])
+        assignment = _mmap_sidecar(directory, ASSIGNMENT_NAME, num_nodes)
+        localidx = _mmap_sidecar(directory, LOCALIDX_NAME, num_nodes)
     return PartitionedStore(
         directory=directory,
-        plan=_plan_from_manifest(manifest),
+        plan=_plan_from_manifest(manifest, assignment),
         shard_paths=shard_paths,
         source=Path(manifest["source"]),
+        assignment=assignment,
+        localidx=localidx,
     )
 
 
-def _manifest_fresh(directory: Path, store_path: Path, num_shards: int) -> bool:
+def _manifest_fresh(
+    directory: Path,
+    store_path: Path,
+    num_shards: int,
+    partitioner: str,
+) -> bool:
     try:
         manifest = json.loads((directory / MANIFEST_NAME).read_text())
     except (OSError, ValueError):
@@ -340,6 +537,8 @@ def _manifest_fresh(directory: Path, store_path: Path, num_shards: int) -> bool:
     if manifest.get("version") != PARTITION_VERSION:
         return False
     if manifest.get("num_shards") != num_shards:
+        return False
+    if manifest.get("partitioner", "range") != partitioner:
         return False
     try:
         mtime_ns, size = _source_signature(store_path)
@@ -357,21 +556,23 @@ def ensure_partitioned(
     *,
     graph: Optional[CSRGraph] = None,
     directory: Optional[PathLike] = None,
+    partitioner: str = DEFAULT_PARTITIONER,
 ) -> PartitionedStore:
     """Return a fresh partition of ``store_path``, (re)writing if stale.
 
-    The cached partition under ``<store>.shards/<K>/`` is reused when
-    its manifest matches the store's current (mtime, size) signature and
-    the requested shard count; otherwise the shards are recomputed from
-    ``graph`` (or the store, memory-mapped) and rewritten.
+    The cached partition under ``<store>.shards/<K>[-lp]/`` is reused
+    when its manifest matches the store's current (mtime, size)
+    signature, the requested shard count, and the requested partitioner;
+    otherwise the shards are recomputed from ``graph`` (or the store,
+    memory-mapped) and rewritten.
     """
     store_path = Path(store_path)
     directory = (
         Path(directory)
         if directory is not None
-        else shards_dir_for(store_path, num_shards)
+        else shards_dir_for(store_path, num_shards, partitioner)
     )
-    if _manifest_fresh(directory, store_path, num_shards):
+    if _manifest_fresh(directory, store_path, num_shards, partitioner):
         try:
             return load_partitioned(directory)
         except GraphFormatError:
@@ -379,5 +580,6 @@ def ensure_partitioned(
     if graph is None:
         graph = open_store(store_path)
     return write_partitioned_store(
-        graph, store_path, num_shards, directory=directory
+        graph, store_path, num_shards,
+        directory=directory, partitioner=partitioner,
     )

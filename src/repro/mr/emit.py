@@ -226,6 +226,15 @@ class EmitScratch:
     (:meth:`repro.graph.csr.CSRGraph.arc_sources_view` — memory-mapped
     from the store's ``rsrc`` section when present); otherwise it is
     computed once on first pull-mode use.
+
+    **Mapped layout** (lp-partitioned shards): when ``row_gids`` is
+    given, local row ``r`` is global node ``row_gids[r]`` and the row
+    set is *not* contiguous — ``base`` must be 0 and ``localidx`` /
+    ``owners`` (the partition sidecars, indexed by global id) and
+    ``shard_id`` supply the reverse maps.  The mapped layout keeps the
+    native push expansion (its keys come straight from ``indices``) but
+    takes the NumPy pull and cache-maintenance branches, whose id
+    arithmetic assumes contiguity.
     """
 
     def __init__(
@@ -239,7 +248,13 @@ class EmitScratch:
         arc_sources: Optional[np.ndarray] = None,
         boundary_rows: Optional[np.ndarray] = None,
         boundary_aidx: Optional[np.ndarray] = None,
+        row_gids: Optional[np.ndarray] = None,
+        localidx: Optional[np.ndarray] = None,
+        owners: Optional[np.ndarray] = None,
+        shard_id: int = 0,
     ):
+        if row_gids is not None and base:
+            raise ValueError("mapped layout requires base == 0")
         self.indptr = indptr
         self.indices = indices
         self.weights = weights
@@ -249,6 +264,14 @@ class EmitScratch:
         self.id_domain = (
             int(id_domain) if id_domain is not None else base + self.num_rows
         )
+        self.row_gids = row_gids
+        self.localidx = localidx
+        self.owners = owners
+        self.shard_id = shard_id
+        # Mapped layouts keep forced-round mask/eff in dedicated local
+        # buffers (the contiguous layouts use dense-window views).
+        self._m_loc: Optional[np.ndarray] = None
+        self._e_loc: Optional[np.ndarray] = None
         self._arc_rows = arc_sources  # local row of every arc slot
         # Boundary slice of a shard: arcs whose target lives on another
         # shard (local source row + absolute arc index per arc).  The
@@ -302,6 +325,27 @@ class EmitScratch:
         self._cache_aidx = _EMPTY_I8
         self._cache_inert = 0
         self._cache_len = 0
+
+    def release_buffers(self) -> None:
+        """Free the per-round scratch: banks and dense id-domain buffers.
+
+        Everything dropped here is reallocated on next use with its
+        zero-invariant intact (``_dense``/``_hist0`` allocate zeros,
+        banks are write-before-read), so correctness is untouched —
+        only the high-water allocation is surrendered.  What carries
+        cross-round state survives: the frozen-emission cache columns
+        and masks, and the static degree column.  The out-of-core
+        sharded tier calls this when a shard is evicted so an evicted
+        worker's footprint is O(state + cache), not O(its arcs).
+        """
+        self._i8 = _Bank(np.int64)
+        self._f8 = _Bank(np.float64)
+        self._b1 = _Bank(bool)
+        self._eff = None
+        self._mask = None
+        self._hist0 = None
+        self._m_loc = None
+        self._e_loc = None
 
     def _arc_rows_view(self) -> np.ndarray:
         if self._arc_rows is None:
@@ -418,7 +462,9 @@ class EmitScratch:
             return _EMPTY_I8, _EMPTY_F8, _EMPTY_I8, _EMPTY_I8, 0
         indices = self.indices
         weights = self.weights
-        if _native.use_native():
+        if _native.use_native() and self.row_gids is None:
+            # The native pull kernel derives keys/sources by contiguous
+            # id arithmetic; mapped layouts stay on the NumPy branch.
             return self._emit_pull_native(mask, eff, delta)
         em = np.take(mask, indices, out=self._b1.get("pull_em", arcs))
         nd = np.take(eff, indices, out=self._f8.get("pull_nd", arcs))
@@ -435,7 +481,10 @@ class EmitScratch:
         bcount = 0
         if self._b_aidx is not None and len(self._b_aidx):
             bw = np.take(weights, self._b_aidx)
-            bsrc_g = self._b_rows + self.base if self.base else self._b_rows
+            if self.row_gids is not None:
+                bsrc_g = self.row_gids[self._b_rows]
+            else:
+                bsrc_g = self._b_rows + self.base if self.base else self._b_rows
             bem = mask[bsrc_g]
             bnd_all = eff[bsrc_g]
             bnd_all = bnd_all + bw
@@ -456,11 +505,15 @@ class EmitScratch:
         aidx_c = self._i8.get("full_aidx", total)
         if count:
             np.compress(ok, self._arc_rows_view(), out=keys_c[:count])
-            if self.base:
+            if self.row_gids is not None:
+                keys_c[:count] = self.row_gids[keys_c[:count]]
+            elif self.base:
                 keys_c[:count] += self.base
             np.compress(ok, nd, out=nd_c[:count])
             np.compress(ok, indices, out=src_c[:count])
-            if self.base:
+            if self.row_gids is not None:
+                src_c[:count] = self.localidx[src_c[:count]]
+            elif self.base:
                 src_c[:count] -= self.base
             np.compress(ok, self._arange(arcs), out=aidx_c[:count])
         if bcount:
@@ -555,11 +608,11 @@ class EmitScratch:
         """
         mode = emit_mode() if mode is None else mode
         if force:
-            mask, eff, degree_sum = self._forced_sets(
+            m_loc, e_loc, degree_sum = self._forced_sets(
                 center, dist, frozen, frozen_iter, delta, rescale, iteration
             )
             if allow_cache and rescale == 0.0 and mode == "auto":
-                live_loc = mask[self.base : self.base + self.num_rows] & ~frozen
+                live_loc = m_loc & ~frozen
                 live_ids = np.flatnonzero(live_loc)
                 live_sum = int(
                     (self.indptr[live_ids + 1] - self.indptr[live_ids]).sum()
@@ -573,7 +626,7 @@ class EmitScratch:
                     self.cache_hits += 1
                     self._cache_update(frozen, delta)
                     lk, lnd, lsrc, laidx, lcnt = self._emit_push(
-                        live_ids, eff[live_ids + self.base], delta
+                        live_ids, e_loc[live_ids], delta
                     )
                     active = len(self._cache_keys)
                     emitted = self._cache_inert + active + lcnt
@@ -585,9 +638,10 @@ class EmitScratch:
                     aidx = np.concatenate((self._cache_aidx, laidx))
                     return keys, nd, src, aidx, emitted
             if self.plan_direction(degree_sum, mode) == "pull":
+                eff, mask = self._pull_dense(m_loc, e_loc)
                 return self._emit_pull(mask, eff, delta)
-            src = np.flatnonzero(mask[self.base : self.base + self.num_rows])
-            return self._emit_push(src, eff[src + self.base], delta)
+            src = np.flatnonzero(m_loc)
+            return self._emit_push(src, e_loc[src], delta)
         src = sources if sources is not None else _EMPTY_I8
         if len(src):
             src = src[~frozen[src]]
@@ -601,20 +655,53 @@ class EmitScratch:
         degs = self.indptr[src + 1] - self.indptr[src]
         if self.plan_direction(int(degs.sum()), mode) == "pull":
             eff, mask = self._dense()
-            mask[self.base : self.base + self.num_rows].fill(False)
-            mask[src + self.base] = True
-            eff[src + self.base] = eff_vals
+            if self.row_gids is None:
+                mask[self.base : self.base + self.num_rows].fill(False)
+                mask[src + self.base] = True
+                eff[src + self.base] = eff_vals
+            else:
+                mask[self.row_gids] = False
+                gsrc = self.row_gids[src]
+                mask[gsrc] = True
+                eff[gsrc] = eff_vals
             return self._emit_pull(mask, eff, delta)
         return self._emit_push(src, eff_vals, delta)
+
+    def _local_sets(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row (mask, eff) buffers — dense-window views when the row
+        set is contiguous, dedicated local arrays when mapped."""
+        if self.row_gids is None:
+            eff, mask = self._dense()
+            lo, hi = self.base, self.base + self.num_rows
+            return mask[lo:hi], eff[lo:hi]
+        if self._m_loc is None:
+            self._m_loc = np.zeros(self.num_rows, dtype=bool)
+            self._e_loc = np.zeros(self.num_rows, dtype=np.float64)
+        return self._m_loc, self._e_loc
+
+    def _pull_dense(
+        self, m_loc: np.ndarray, e_loc: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense global (eff, mask) for the pull direction.
+
+        Contiguous layouts already maintained the dense window in place;
+        mapped layouts scatter their local buffers to the rows' global
+        positions (clearing only previously-written positions — every
+        dense write in mapped mode lands on a ``row_gids`` entry).
+        """
+        eff, mask = self._dense()
+        if self.row_gids is not None:
+            mask[self.row_gids] = False
+            on = self.row_gids[m_loc]
+            mask[on] = True
+            eff[on] = e_loc[m_loc]
+        return eff, mask
 
     def _forced_sets(
         self, center, dist, frozen, frozen_iter, delta, rescale, iteration
     ):
-        """Dense emitting mask + effective distances for a forced round."""
-        eff, mask = self._dense()
-        lo, hi = self.base, self.base + self.num_rows
-        m_loc = mask[lo:hi]
-        e_loc = eff[lo:hi]
+        """Per-row emitting mask + effective distances for a forced round."""
+        m_loc, e_loc = self._local_sets()
         if self._degs is None:
             self._degs = self.indptr[1:] - self.indptr[:-1]
         if rescale == 0.0 and _native.use_native():
@@ -622,7 +709,7 @@ class EmitScratch:
             degree_sum = _native.forced_sets(
                 center, dist, frozen, self._degs, delta, m_loc, e_loc
             )
-            return mask, eff, degree_sum
+            return m_loc, e_loc, degree_sum
         np.not_equal(center, NO_CENTER, out=m_loc)
         np.copyto(e_loc, dist)
         if rescale:
@@ -632,7 +719,7 @@ class EmitScratch:
             np.copyto(e_loc, 0.0, where=frozen)
         np.logical_and(m_loc, e_loc < delta, out=m_loc)
         degree_sum = int(np.sum(self._degs, where=m_loc, initial=0))
-        return mask, eff, degree_sum
+        return m_loc, e_loc, degree_sum
 
     # -- the fused emit: filter + accounting (whole-graph layout) ------- #
 
@@ -684,25 +771,26 @@ class EmitScratch:
             )
             return self._finish(batch, cols, center, dist, frozen, accounting)
 
-        mask, eff, degree_sum = self._forced_sets(
+        m_loc, e_loc, degree_sum = self._forced_sets(
             center, dist, frozen, frozen_iter, delta, rescale, iteration
         )
         if order_free and rescale == 0.0 and mode == "auto":
-            live_loc = mask[: self.num_rows] & ~frozen
+            live_loc = m_loc & ~frozen
             live_ids = np.flatnonzero(live_loc)
             live_sum = int(
                 (self.indptr[live_ids + 1] - self.indptr[live_ids]).sum()
             )
             if live_sum <= PULL_DEGREE_FRACTION * self.num_arcs:
                 return self._emit_forced_cached(
-                    batch, live_ids, eff, center, dist, frozen, delta,
+                    batch, live_ids, e_loc, center, dist, frozen, delta,
                     accounting,
                 )
         if self.plan_direction(degree_sum, mode) == "pull":
+            eff, mask = self._pull_dense(m_loc, e_loc)
             cols = self._emit_pull(mask, eff, delta)
         else:
-            src = np.flatnonzero(mask[: self.num_rows])
-            cols = self._emit_push(src, eff[src], delta)
+            src = np.flatnonzero(m_loc)
+            cols = self._emit_push(src, e_loc[src], delta)
         return self._finish(batch, cols, center, dist, frozen, accounting)
 
     def _finish(self, batch, cols, center, dist, frozen, accounting):
@@ -795,7 +883,9 @@ class EmitScratch:
             self._cache_inert = 0
             self._cache_len = 0
             self._cache_delta = delta
-        if _native.use_native():
+        if _native.use_native() and self.row_gids is None:
+            # The native maintenance kernels test ownership by the
+            # contiguous [lo, hi) range; mapped layouts stay in NumPy.
             self._cache_update_native(frozen, delta, lo, hi)
             return
 
@@ -805,15 +895,24 @@ class EmitScratch:
                 newly, np.zeros(len(newly)), delta
             )
             if cnt:
-                owned = (k >= lo) & (k < hi)
+                if self.row_gids is not None:
+                    owned = self.owners[k] == self.shard_id
+                else:
+                    owned = (k >= lo) & (k < hi)
                 ext = cnt - int(np.count_nonzero(owned))
                 if ext:
                     self._cache_inert += ext
                     k, s, a = k[owned], s[owned], a[owned]
                 if len(k):
-                    k_loc = k - lo if lo else k
+                    if self.row_gids is not None:
+                        k_loc = self.localidx[k]
+                    else:
+                        k_loc = k - lo if lo else k
                     if _native.use_native():
-                        _native.bincount_into(k_loc, self._cache_hist)
+                        _native.bincount_into(
+                            np.ascontiguousarray(k_loc, dtype=np.int64),
+                            self._cache_hist,
+                        )
                     else:
                         np.add.at(self._cache_hist, k_loc, 1)
                     self._cache_keys = np.concatenate((self._cache_keys, k))
@@ -822,7 +921,10 @@ class EmitScratch:
             self._cache_in[newly] = True
 
         if len(self._cache_keys):
-            loc = self._cache_keys - lo if lo else self._cache_keys
+            if self.row_gids is not None:
+                loc = self.localidx[self._cache_keys]
+            else:
+                loc = self._cache_keys - lo if lo else self._cache_keys
             open_t = ~frozen[loc]
             dropped = len(open_t) - int(np.count_nonzero(open_t))
             if dropped:

@@ -4,23 +4,21 @@ The pool backends (``parallel``/``mmap``) re-publish every round's whole
 grouped batch to stateless workers, so per-round cost scales with total
 state even when only a thin frontier changed.  This module inverts that:
 
-* the graph is partitioned once into contiguous node ranges
-  (:mod:`repro.graph.partition`) and written as per-shard GraphStore
-  files;
-* each **persistent worker process** memory-maps its shard's CSR rows
-  *once* at spawn and keeps its slice of the growing state
+* the graph is partitioned once — contiguous node ranges or the
+  locality-aware lp assignment (:mod:`repro.graph.partition`) — and
+  written as per-shard GraphStore files;
+* each **persistent worker** memory-maps its shard's CSR rows *once*
+  and keeps its slice of the growing state
   (:class:`~repro.core.state.ClusterState` + a ``changed`` mask)
   resident across rounds, stages, and even the two phases of CLUSTER2;
 * a Δ-growing step becomes: every worker merges the candidates that
   arrived for *its* nodes, adopts winners, expands its local frontier
   through its CSR rows, keeps the candidates whose targets it owns, and
-  returns only the **cross-shard** candidates;
-* the driver routes those boundary candidates to their owning shards for
-  the next step.
+  ships the **cross-shard** candidates to their owners.
 
-Three boundary-traffic reductions keep the exchange proportional to the
-*improving live frontier* rather than the cut size (all three are
-semantics-preserving — see the respective docstrings for the argument):
+Three semantics-preserving boundary-traffic reductions keep the
+exchange proportional to the *improving live frontier* rather than the
+cut size (see the respective docstrings for the argument):
 
 1. **map-side combining** — at most one candidate per (shard, halo
    target) ships per round;
@@ -32,6 +30,30 @@ semantics-preserving — see the respective docstrings for the argument):
    from its own symmetric arcs, so the per-stage forced broadcast of
    frozen nodes costs zero bytes.
 
+On top of the candidate-volume reductions, three execution tiers:
+
+* **Locality-aware partitioning** (``partitioner="lp"``, the backend
+  default): shards are the multilevel label-propagation assignment of
+  :func:`repro.mr.partitioner.lp_assignment`, which cuts far fewer
+  arcs than contiguous ranges on generator-ordered graphs — smaller
+  halos, smaller exchanges.  Node ids are *never* relabeled; the two
+  int32 partition sidecars (node→shard, node→local row) supply the
+  global↔local maps, so every candidate on the wire still carries
+  global ids and results stay bit-identical across partitioners.
+* **Compute/exchange overlap** (``exchange="async"``, the default with
+  >1 process worker): workers emit their *boundary* frontier first,
+  hand the outgoing blocks to per-peer sender threads, then expand the
+  interior frontier while the pipes drain.  Arrivals are collected at
+  the end of the step and merge next step — exactly when the serial
+  driver would have delivered them — so the overlap changes wall-clock
+  only, never results (the merge is order-free, see below).
+* **Out-of-core residency** (``REPRO_SHARD_RESIDENT_MB``): workers run
+  sequentially in-process and their CSR mmaps are opened/released
+  under an explicit byte budget, so no two shards need be resident
+  together and graphs larger than memory stream through one shard at
+  a time.  Per-shard growing state (O(nodes + cut)) stays resident;
+  only the O(arcs) CSR pages page in and out.
+
 Bit-identical results are by construction, not luck: workers run the
 same :func:`~repro.mrimpl.growing_mr.apply_merged_candidates` /
 :func:`~repro.mrimpl.growing_mr.emit_frontier` kernels as the
@@ -41,20 +63,23 @@ edges, so a target receives at most one candidate per source and
 "earliest arrival" equals "smallest source id" — the winner is simply
 the row minimizing ``(nd, center, source)``.  ``tests/mr/
 test_sharded_parity.py`` asserts equality against ``serial``/``vector``
-across shard counts.
+across shard counts, partitioners, and exchange modes.
 
-The exchange transport is the worker pipes (pickled NumPy arrays).  On
-one host this costs one copy each way; the point of the architecture is
-that the driver↔worker protocol is already message-passing over
-explicit byte streams, so a multi-host transport is a serialization
-detail, not a rewrite.
+The exchange transport is pipes (pickled NumPy arrays): driver↔worker
+for commands and results, worker↔worker for the async candidate mesh.
+On one host this costs one copy each way; the point of the architecture
+is that the protocol is already message-passing over explicit byte
+streams, so a multi-host transport is a serialization detail, not a
+rewrite.
 """
 
 from __future__ import annotations
 
 import os
+import queue
 import shutil
 import tempfile
+import threading
 import weakref
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -64,12 +89,46 @@ import numpy as np
 from repro.errors import MemoryLimitExceeded
 from repro.mr import native as _native
 
-__all__ = ["ShardedExecutor", "ShardedGrowingState"]
+__all__ = [
+    "ShardedExecutor",
+    "ShardedGrowingState",
+    "EXCHANGE_ENV",
+    "PARTITIONER_ENV",
+    "RESIDENT_ENV",
+]
 
 #: Candidate rows on the wire: ``(nd, center, dacc, source)``.  The
 #: source column exists for the order-free merge tie-break; the state
 #: kernels consume only the first three columns.
 CANDIDATE_WIDTH = 4
+
+#: Exchange mode override: ``async`` (default) overlaps boundary
+#: shipping with interior expansion; ``serial`` routes every candidate
+#: through the driver (the A/B baseline, and the only mode of the
+#: in-process out-of-core pool).
+EXCHANGE_ENV = "REPRO_SHARD_EXCHANGE"
+
+#: Partitioner override for the sharded backend: ``lp`` (default) or
+#: ``range``.  Library callers of ``ensure_partitioned`` still default
+#: to ``range``; only this backend opts into lp.
+PARTITIONER_ENV = "REPRO_SHARD_PARTITIONER"
+
+#: Out-of-core residency budget in MiB.  When set, shard workers run
+#: sequentially in-process and their CSR mmaps are LRU-released so the
+#: mapped shard bytes stay under the budget.
+RESIDENT_ENV = "REPRO_SHARD_RESIDENT_MB"
+
+#: Kernel-selection environment, re-applied in every worker on each
+#: ``reset`` broadcast: persistent workers outlive driver-side env
+#: changes (tests and the runner's ``impl_overrides`` both mutate
+#: these between runs), so the driver ships its snapshot along.
+_KERNEL_ENV_KEYS = (
+    "REPRO_KERNEL_IMPL",
+    "REPRO_NATIVE_DISABLE",
+    "REPRO_EMIT_THREADS",
+    "REPRO_EMIT_MODE",
+    "REPRO_GROWING_KERNEL",
+)
 
 
 def _empty_candidates() -> Tuple[np.ndarray, np.ndarray]:
@@ -115,92 +174,312 @@ def _min_by_target(keys: np.ndarray, values: np.ndarray):
     )
 
 
+class _Ownership:
+    """One shard's node-id geometry under either partitioner.
+
+    Everything the worker needs to translate between the global id
+    space (candidates on the wire, ``indices`` entries) and its local
+    row space (state arrays):
+
+    * ``range`` — local row ``r`` is global node ``lo + r``; ownership
+      and both maps are arithmetic on the ``starts`` boundaries.
+    * ``lp`` — local row ``r`` is global node ``row_gids[r]``; the maps
+      come from the partition's two memory-mapped int32 sidecars
+      (node→shard ``owners`` and node→local-row ``localidx``), shared
+      read-only across all forked workers through the page cache.
+
+    Both layouts keep ``localidx`` order-preserving (ascending global
+    id ↔ ascending local row), which the merge relies on: converting
+    ascending global group keys to local ids preserves ascending order,
+    so the scatter- and sort-merge paths pick identical first-maximum
+    groups and ``apply_merged_candidates`` sees its documented ordering.
+    """
+
+    __slots__ = (
+        "mode",
+        "shard_id",
+        "num_shards",
+        "num_nodes",
+        "num_rows",
+        "lo",
+        "hi",
+        "starts",
+        "splitters",
+        "owners",
+        "localidx",
+        "row_gids",
+    )
+
+    def __init__(self, shard_id: int, spec: dict):
+        self.mode = spec["mode"]
+        self.shard_id = shard_id
+        if self.mode == "range":
+            starts = np.asarray(spec["starts"], dtype=np.int64)
+            self.starts = starts
+            self.splitters = starts[1:-1]
+            self.num_shards = len(starts) - 1
+            self.num_nodes = int(starts[-1])
+            self.lo = int(starts[shard_id])
+            self.hi = int(starts[shard_id + 1])
+            self.num_rows = self.hi - self.lo
+            self.owners = None
+            self.localidx = None
+            self.row_gids = None
+        elif self.mode == "lp":
+            self.num_shards = int(spec["num_shards"])
+            self.num_nodes = int(spec["num_nodes"])
+            shape = (self.num_nodes,)
+            self.owners = np.memmap(
+                spec["owners_path"], dtype=np.int32, mode="r", shape=shape
+            )
+            self.localidx = np.memmap(
+                spec["localidx_path"], dtype=np.int32, mode="r", shape=shape
+            )
+            self.row_gids = np.flatnonzero(
+                self.owners == np.int32(shard_id)
+            ).astype(np.int64)
+            self.num_rows = len(self.row_gids)
+            self.lo = self.hi = -1
+            self.starts = self.splitters = None
+        else:  # pragma: no cover - driver validates first
+            raise ValueError(f"unknown partition mode {self.mode!r}")
+
+    def is_local(self, gids: np.ndarray) -> np.ndarray:
+        if self.mode == "range":
+            return (gids >= self.lo) & (gids < self.hi)
+        return self.owners[gids] == np.int32(self.shard_id)
+
+    def owner_of(self, gids: np.ndarray) -> np.ndarray:
+        if self.mode == "range":
+            from repro.mr.partitioner import range_partition_array
+
+            return range_partition_array(gids, self.splitters)
+        return self.owners[gids].astype(np.int64)
+
+    def to_local(self, gids):
+        if self.mode == "range":
+            return gids - self.lo
+        return self.localidx[gids].astype(np.int64)
+
+    def to_global(self, lids):
+        if self.mode == "range":
+            return lids + self.lo
+        return self.row_gids[lids]
+
+
+def _sender_loop(send_queue: "queue.Queue", conn) -> None:
+    """Drain one peer's outgoing queue (a worker-side sender thread).
+
+    One thread per destination pipe: with a single shared sender a full
+    pipe to a slow peer would stall shipping to every other peer, and a
+    cycle of full pipes could deadlock the mesh.  Per-destination
+    threads make every send independent, and since each worker receives
+    exactly one message per peer per step before the driver's barrier,
+    every queued send is eventually drained.  ``None`` is the shutdown
+    sentinel; payloads travel wrapped in a 1-tuple so ``(None,)`` — "no
+    candidates this step" — stays distinct from it.
+    """
+    while True:
+        item = send_queue.get()
+        if item is None:
+            break
+        try:
+            conn.send(item[0])
+        except (OSError, ValueError):  # peer gone: shutdown in progress
+            break
+
+
 # --------------------------------------------------------------------- #
 # Worker side
 # --------------------------------------------------------------------- #
 
 
 class _ShardWorker:
-    """State and step logic of one shard-owning worker process.
+    """State and step logic of one shard-owning worker.
 
-    Lives in the child process; the parent only ever sees the command /
-    reply tuples.  All node ids crossing the pipe are global; state
-    arrays are local to the shard's range ``[lo, hi)``.
+    Lives in a forked worker process under :class:`_PipePool` (commands
+    arrive over a pipe) or directly in the driver process under
+    :class:`_InprocPool` (the out-of-core tier).  All node ids crossing
+    a pipe are global; state arrays are local rows ``[0, num_rows)``
+    mapped to global ids by :class:`_Ownership`.
     """
 
-    def __init__(self, shard_path, lo: int, hi: int, shard_id: int, starts):
+    def __init__(
+        self,
+        shard_path,
+        shard_id: int,
+        spec: dict,
+        peer_conns: Optional[dict] = None,
+        exchange: str = "serial",
+    ):
         from repro.graph.serialize import open_store
         from repro.mr.emit import EmitScratch
-        from repro.mr.partitioner import range_partition_array
+
+        self.shard_path = shard_path
+        self.shard_id = shard_id
+        own = _Ownership(shard_id, spec)
+        self.own = own
 
         shard = open_store(shard_path)  # local rows, global neighbour ids
         self.indptr = shard.indptr
         self.indices = shard.indices
         self.weights = shard.weights
         self._shard = shard  # keeps the mmap alive
-        self.lo = lo
-        self.hi = hi
-        self.shard_id = shard_id
-        self.starts = np.asarray(starts, dtype=np.int64)
-        self.splitters = self.starts[1:-1]
+        self._rsrc_from_store = shard.rsrc is not None
+        self.graph_open = True
+        num_rows = len(self.indptr) - 1
+        if num_rows != own.num_rows:
+            raise ValueError(
+                f"shard {shard_id}: store has {num_rows} rows, "
+                f"partition assigns {own.num_rows}"
+            )
+        self.num_rows = num_rows
         self.state = None  # allocated by the reset() below
 
         # The halo: every external node this shard has an arc to — the
         # only possible sources of incoming (and targets of outgoing)
         # cross-shard contributions, thanks to edge symmetry.
-        external = np.flatnonzero(
-            (self.indices < lo) | (self.indices >= hi)
-        )
+        external = np.flatnonzero(~own.is_local(self.indices))
         degrees = np.diff(self.indptr)
-        rows = np.repeat(
-            np.arange(hi - lo, dtype=np.int64), degrees
-        )
+        rows = np.repeat(np.arange(num_rows, dtype=np.int64), degrees)
         self.ext_rows = rows[external]  # local target of the reverse arc
         self.ext_nbrs = self.indices[external]  # external endpoint
         self.ext_w = self.weights[external]
         self.halo = np.unique(self.ext_nbrs)
         self.ext_halo_idx = np.searchsorted(self.halo, self.ext_nbrs)
+        #: Rows with at least one external arc — the only rows whose
+        #: emission can produce cross-shard candidates; the async
+        #: exchange emits them first so the pipes fill while the
+        #: interior expands.
+        self.is_boundary_row = np.zeros(num_rows, dtype=bool)
+        self.is_boundary_row[self.ext_rows] = True
 
         #: Fused emit pipeline over this shard's rows: scratch-buffered
         #: push/pull expansion.  The reverse-CSR arc→row map memory-maps
         #: from the shard store's ``rsrc`` section when present
         #: (partitions written by this version carry it), and the
         #: boundary slice (outward arcs pull cannot reach target-major)
-        #: stays resident as ``ext_rows`` + arc positions.
-        self.emit_scratch = EmitScratch(
-            self.indptr,
-            self.indices,
-            self.weights,
-            base=lo,
-            id_domain=int(self.starts[-1]),
+        #: stays resident as ``ext_rows`` + arc positions.  Under lp the
+        #: scratch takes the mapped layout: ``base=0`` plus the sidecar
+        #: maps, candidate keys still global.
+        scratch_args = dict(
+            id_domain=own.num_nodes,
             arc_sources=shard.rsrc,
             boundary_rows=self.ext_rows,
             boundary_aidx=external,
+        )
+        if own.mode == "range":
+            scratch_args["base"] = own.lo
+        else:
+            scratch_args.update(
+                row_gids=own.row_gids,
+                localidx=own.localidx,
+                owners=own.owners,
+                shard_id=shard_id,
+            )
+        self.emit_scratch = EmitScratch(
+            self.indptr, self.indices, self.weights, **scratch_args
         )
 
         # Boundary incidence: for each local node with external arcs,
         # the distinct shards owning a neighbour — where its state must
         # be replicated when it freezes.
         if len(external):
-            owners = range_partition_array(self.ext_nbrs, self.splitters)
+            owners = own.owner_of(self.ext_nbrs)
             pairs = np.unique(
                 np.stack((self.ext_rows, owners), axis=1), axis=0
             )
-            self.boundary_nodes = pairs[:, 0]
+            self.boundary_nodes = pairs[:, 0]  # local rows
             self.boundary_dests = pairs[:, 1]
         else:
             self.boundary_nodes = np.empty(0, dtype=np.int64)
             self.boundary_dests = np.empty(0, dtype=np.int64)
+
+        # Async exchange plumbing: one duplex pipe and one sender
+        # thread per peer (see _sender_loop for the deadlock argument).
+        self.peer_conns = dict(peer_conns) if peer_conns else {}
+        self.exchange = exchange
+        self._async_on = exchange == "async" and bool(self.peer_conns)
+        self._send_queues: Dict[int, queue.Queue] = {}
+        self._sender_threads: List[threading.Thread] = []
+        if self._async_on:
+            for dest in sorted(self.peer_conns):
+                send_queue: queue.Queue = queue.Queue()
+                thread = threading.Thread(
+                    target=_sender_loop,
+                    args=(send_queue, self.peer_conns[dest]),
+                    daemon=True,
+                )
+                thread.start()
+                self._send_queues[dest] = send_queue
+                self._sender_threads.append(thread)
+        self._shipped_this_step = False
         self.reset()
 
-    def reset(self):
+    # -- graph residency (out-of-core tier) ----------------------------- #
+
+    def release_graph(self) -> None:
+        """Drop the CSR mmap and arc-domain scratch of this shard.
+
+        Everything that survives (halo, boundary slices, frozen-emission
+        cache, state slice) is O(nodes + cut); the O(arcs) memory —
+        the ``indptr``/``indices``/``weights``/``rsrc`` maps *and* the
+        emit scratch's candidate banks — is released.  Releasing means
+        actually unmapping/freeing — the address space, not just the
+        pages, must shrink for a hard ``RLIMIT_AS`` (or a residency
+        budget) to be satisfiable.
+        """
+        if not self.graph_open:
+            return
+        scratch = self.emit_scratch
+        scratch.indptr = scratch.indices = scratch.weights = None
+        if self._rsrc_from_store:
+            scratch._arc_rows = None
+        # Also surrender the arc-domain emit scratch: an evicted shard
+        # keeping its candidate banks would pin O(its arcs) of anonymous
+        # memory and the out-of-core peak would sum to O(graph) anyway.
+        scratch.release_buffers()
+        self.indptr = self.indices = self.weights = None
+        self._shard = None
+        self.graph_open = False
+
+    def acquire_graph(self) -> None:
+        """Re-map the shard store released by :meth:`release_graph`."""
+        if self.graph_open:
+            return
+        from repro.graph.serialize import open_store
+
+        shard = open_store(self.shard_path)
+        self._shard = shard
+        self.indptr = shard.indptr
+        self.indices = shard.indices
+        self.weights = shard.weights
+        scratch = self.emit_scratch
+        scratch.indptr = shard.indptr
+        scratch.indices = shard.indices
+        scratch.weights = shard.weights
+        if self._rsrc_from_store:
+            scratch._arc_rows = shard.rsrc
+        self.graph_open = True
+
+    # -- commands ------------------------------------------------------ #
+
+    def reset(self, env: Optional[dict] = None):
         from repro.core.state import ClusterState
         from repro.mr.kernels import CountScratch, ScatterScratch
 
+        if env is not None:
+            # Sync the kernel-selection environment from the driver:
+            # this worker may predate the driver's current overrides.
+            for key in _KERNEL_ENV_KEYS:
+                if key in env:
+                    os.environ[key] = env[key]
+                else:
+                    os.environ.pop(key, None)
         if self.state is None:
             # First reset (from __init__): allocate everything once.
-            self.state = ClusterState(self.hi - self.lo)
-            self.changed = np.zeros(self.hi - self.lo, dtype=bool)
+            self.state = ClusterState(self.num_rows)
+            self.changed = np.zeros(self.num_rows, dtype=bool)
             #: Dense scatter buffers of the merge kernel, reused across
             #: rounds (sized to this shard's node range).
             self.scratch = ScatterScratch()
@@ -237,11 +516,14 @@ class _ShardWorker:
         #: mask rescan.
         self.active = np.empty(0, dtype=np.int64)
         self.pending = _empty_candidates()
-
-    # -- commands ------------------------------------------------------ #
+        # The resolved kernel tier, as seen by the process that will
+        # actually run the emit kernels; stamped into Counters.impl.
+        return _native.resolved_info()
 
     def uncovered(self):
-        return np.flatnonzero(~self.state.frozen).astype(np.int64) + self.lo
+        return self.own.to_global(
+            np.flatnonzero(~self.state.frozen).astype(np.int64)
+        )
 
     def begin_stage(self, picks):
         s = self.state
@@ -255,32 +537,40 @@ class _ShardWorker:
         # Remote distances reset with the stage, so shipped-best history
         # no longer implies anything about receiver state.
         self.halo_best[:] = np.inf
-        picks = np.asarray(picks, dtype=np.int64) - self.lo
-        s.center[picks] = picks + self.lo
-        s.dist[picks] = 0.0
-        s.dist_acc[picks] = 0.0
+        picks = np.asarray(picks, dtype=np.int64)
+        local = self.own.to_local(picks)
+        s.center[local] = picks
+        s.dist[local] = 0.0
+        s.dist_acc[local] = 0.0
 
     def _merge(self, cand_keys, cand_values):
         """Per-target winner over this shard's resident candidate batch.
 
-        The scatter form of :func:`_min_by_target`: ``np.minimum.at``
-        passes over dense per-node buffers (``(nd, center, source)``
-        tie-break, all three columns unique per target — see the module
-        docstring), reusing the shard-sized scratch across rounds; the
-        per-group counts come from one ``np.bincount`` (counting-sort
-        histogram), which also yields the memory-model extremes.
+        Wire keys are global; the returned group keys are **local**
+        (``apply_merged_candidates`` runs with ``base=0``) and stay
+        ascending because both ownership layouts keep the global→local
+        map order-preserving.  The scatter form of
+        :func:`_min_by_target`: ``np.minimum.at`` passes over dense
+        per-node buffers (``(nd, center, source)`` tie-break, all three
+        columns unique per target — see the module docstring), reusing
+        the shard-sized scratch across rounds; the per-group counts
+        come from one ``np.bincount`` (counting-sort histogram), which
+        also yields the memory-model extremes.
         ``REPRO_GROWING_KERNEL=sort`` selects the legacy sort-based
         merge for the A/B benchmark and parity CI.
         """
         from repro.mr.kernels import merge_kernel_name, scatter_min_rows
 
         if merge_kernel_name() == "sort":
-            return _min_by_target(cand_keys, cand_values)
-        local = cand_keys - self.lo
+            gkeys, winners, max_group, max_group_key = _min_by_target(
+                cand_keys, cand_values
+            )
+            return self.own.to_local(gkeys), winners, max_group, max_group_key
+        local = self.own.to_local(cand_keys)
         ids, rows = scatter_min_rows(
             local,
             (cand_values[:, 0], cand_values[:, 1], cand_values[:, 3]),
-            domain=self.hi - self.lo,
+            domain=self.num_rows,
             scratch=self.scratch,
         )
         # Group sizes via the reusable dense histogram (O(C + G), zero
@@ -288,7 +578,7 @@ class _ShardWorker:
         # all-zero invariant between rounds).  The counts feed nothing
         # but the memory-model extremes; argmax over ascending distinct
         # ids picks the same first-maximum group as the sort path.
-        hist = self.count_scratch.hist(self.hi - self.lo)
+        hist = self.count_scratch.hist(self.num_rows)
         if _native.use_native():
             _native.bincount_into(local, hist)
         else:
@@ -297,10 +587,10 @@ class _ShardWorker:
         hist[ids] = 0
         at = int(np.argmax(counts))
         return (
-            ids + self.lo,
+            ids,
             cand_values[rows],
             int(counts[at]),
-            int(ids[at]) + self.lo,
+            int(self.own.to_global(int(ids[at]))),
         )
 
     def apply_replicas(self, ids, center, dist, dacc, iteration):
@@ -315,11 +605,9 @@ class _ShardWorker:
         from time import perf_counter
 
         from repro.mr.kernels import merge_kernel_name
-        from repro.mrimpl.growing_mr import (
-            apply_merged_candidates,
-            emit_frontier,
-        )
+        from repro.mrimpl.growing_mr import apply_merged_candidates
 
+        self._shipped_this_step = False
         for block in replicas:
             self.apply_replicas(*block)
 
@@ -354,25 +642,21 @@ class _ShardWorker:
                 dacc=self.state.dist_acc,
                 frozen=self.state.frozen,
                 changed=self.changed,
-                base=self.lo,
+                base=0,
             )
         self.active = adopted
         updated = len(adopted)
 
         # Emit through the shard's CSR rows, then route by owner.  The
-        # adopted frontier drives non-forced rounds directly.  The
-        # scatter kernels take the fused scratch pipeline (direction-
-        # optimized expansion, improvement filter on locally-owned
-        # targets); the sort oracle keeps the legacy emit verbatim.
+        # adopted frontier drives non-forced rounds directly.  Under
+        # the async exchange the boundary frontier goes first and its
+        # cross-shard candidates ship immediately (sender threads),
+        # overlapping the interior expansion; otherwise the driver
+        # routes everything next step.
         emit_start = perf_counter()
-        if merge_kernel_name() == "sort":
-            emitted, outgoing, pending_blocks = self._emit_legacy(
-                emit_frontier, delta, force, rescale, iteration
-            )
-        else:
-            emitted, outgoing, pending_blocks = self._emit_fused(
-                delta, force, rescale, iteration
-            )
+        emitted, outgoing, pending_blocks, sent_bytes = self._emit_round(
+            delta, force, rescale, iteration
+        )
         # Regenerate incoming frozen-external contributions locally: on
         # a forced round every frozen replica contributes over this
         # shard's own (symmetric) boundary arcs, exactly as its owner
@@ -395,7 +679,7 @@ class _ShardWorker:
                 if ok.any():
                     hidx = self.ext_halo_idx[ok]
                     w = self.ext_w[ok]
-                    ghost_keys = self.ext_rows[ok] + self.lo
+                    ghost_keys = self.own.to_global(self.ext_rows[ok])
                     ghost_values = np.column_stack(
                         (
                             w,  # nd = 0 + w for a frozen replica
@@ -423,17 +707,16 @@ class _ShardWorker:
                     nd = r_eff[hidx] + w
                     ok = (w <= delta) & (nd <= delta)
                     hidx, w, nd = hidx[ok], w[ok], nd[ok]
-                    ghost_keys = self.ext_rows[arc][ok] + self.lo
+                    ghost_rows = self.ext_rows[arc][ok]
                     if merge_kernel_name() != "sort":
                         # Rescaled (Contract2) fused path: improvement
                         # pre-filter after the effective distances.
-                        li2 = ghost_keys - self.lo
-                        imp = ~self.state.frozen[li2] & (
-                            nd < self.state.dist[li2]
+                        imp = ~self.state.frozen[ghost_rows] & (
+                            nd < self.state.dist[ghost_rows]
                         )
                         hidx, w, nd = hidx[imp], w[imp], nd[imp]
-                        ghost_keys = ghost_keys[imp]
-                    if len(ghost_keys):
+                        ghost_rows = ghost_rows[imp]
+                    if len(ghost_rows):
                         ghost_values = np.column_stack(
                             (
                                 nd,
@@ -442,7 +725,21 @@ class _ShardWorker:
                                 self.halo[hidx].astype(np.float64),
                             )
                         )
-                        pending_blocks.append((ghost_keys, ghost_values))
+                        pending_blocks.append(
+                            (self.own.to_global(ghost_rows), ghost_values)
+                        )
+        emit_end = perf_counter()
+        if self._async_on:
+            # Every peer sends exactly one (possibly empty) message per
+            # step; a round that emitted nothing still must not leave
+            # peers blocked on their end-of-step receive.
+            if not self._shipped_this_step:
+                sent_bytes += self._ship_outgoing([])
+            # What peers shipped *during this step* joins the resident
+            # pending block and merges next step — the same delivery
+            # timing as the serial driver's routing.  Timed after the
+            # emit phase closes: the wait is exchange, not compute.
+            pending_blocks.extend(self._recv_arrivals())
         if pending_blocks:
             self.pending = (
                 np.concatenate([b[0] for b in pending_blocks]),
@@ -451,7 +748,7 @@ class _ShardWorker:
         times = {
             "reduce": apply_start - reduce_start,
             "apply": emit_start - apply_start,
-            "emit": perf_counter() - emit_start,
+            "emit": emit_end - emit_start,
         }
         return {
             "updated": updated,
@@ -462,11 +759,62 @@ class _ShardWorker:
             "max_group": max_group,
             "max_group_key": max_group_key,
             "outgoing": outgoing,
+            "sent_bytes": sent_bytes,
             "times": times,
         }
 
-    def _emit_legacy(self, emit_frontier, delta, force, rescale, iteration):
+    # -- emission ------------------------------------------------------- #
+
+    def _emit_round(self, delta, force, rescale, iteration):
+        """One round's emission, split for the async exchange.
+
+        Serial mode: a single pass, cross-shard blocks returned to the
+        driver.  Async mode: the cross-shard blocks never reach the
+        driver — forced rounds emit once and ship, non-forced rounds
+        emit the boundary frontier first (every cross-shard candidate
+        comes from a boundary row, by definition of ``is_boundary_row``)
+        and ship while the interior frontier expands.  Splitting the
+        frontier cannot change results: emission is per-source, the two
+        halves partition the active set, and the merge is order-free.
+        Returns ``(emitted, outgoing, pending_blocks, sent_bytes)``.
+        """
+        from repro.mr.kernels import merge_kernel_name
+
+        emit_fn = (
+            self._emit_legacy
+            if merge_kernel_name() == "sort"
+            else self._emit_fused
+        )
+        if not self._async_on:
+            sources = None if force else self.active
+            emitted, outgoing, pending = emit_fn(
+                delta, force, rescale, iteration, sources
+            )
+            return emitted, outgoing, pending, 0
+        if force:
+            emitted, outgoing, pending = emit_fn(
+                delta, force, rescale, iteration, None
+            )
+            sent = self._ship_outgoing(outgoing)
+            return emitted, [], pending, sent
+        boundary = self.is_boundary_row[self.active]
+        e1, out1, pend1 = emit_fn(
+            delta, force, rescale, iteration, self.active[boundary]
+        )
+        sent = self._ship_outgoing(out1)
+        e2, out2, pend2 = emit_fn(
+            delta, force, rescale, iteration, self.active[~boundary]
+        )
+        if out2:
+            raise AssertionError(
+                "interior frontier rows produced cross-shard candidates"
+            )
+        return e1 + e2, [], pend1 + pend2, sent
+
+    def _emit_legacy(self, delta, force, rescale, iteration, sources):
         """The sort-oracle emission: emit_frontier + owner routing."""
+        from repro.mrimpl.growing_mr import emit_frontier
+
         out_keys, out_values3, out_srcs = emit_frontier(
             self.indptr,
             self.indices,
@@ -482,18 +830,19 @@ class _ShardWorker:
             rescale=rescale,
             iteration=iteration,
             with_sources=True,
-            sources=None if force else self.active,
+            sources=sources,
         )
         emitted = len(out_keys)
         outgoing = []
         pending_blocks = []
         if emitted:
-            from repro.mr.partitioner import range_partition_array
-
             out_values = np.column_stack(
-                (out_values3, (out_srcs + self.lo).astype(np.float64))
+                (
+                    out_values3,
+                    self.own.to_global(out_srcs).astype(np.float64),
+                )
             )
-            owners = range_partition_array(out_keys, self.splitters)
+            owners = self.own.owner_of(out_keys)
             local = owners == self.shard_id
             pending_blocks.append((out_keys[local], out_values[local]))
             # Cross-shard candidates from frozen sources are dropped at
@@ -509,7 +858,7 @@ class _ShardWorker:
                     outgoing.append((int(dest), keys, values))
         return emitted, outgoing, pending_blocks
 
-    def _emit_fused(self, delta, force, rescale, iteration):
+    def _emit_fused(self, delta, force, rescale, iteration, sources):
         """Scratch-buffered fused emission (scatter kernels).
 
         Runs the direction-optimized expansion of
@@ -533,18 +882,18 @@ class _ShardWorker:
             force=force,
             rescale=rescale,
             iteration=iteration,
-            sources=None if force else self.active,
+            sources=sources,
         )
         outgoing = []
         pending_blocks = []
         if not emitted:
             return 0, outgoing, pending_blocks
-        local = (keys >= self.lo) & (keys < self.hi)
+        local = self.own.is_local(keys)
 
         # Locally-owned targets: improvement pre-filter, then one
         # resident block with the value columns built per survivor.
         lk = keys[local]
-        li = lk - self.lo
+        li = self.own.to_local(lk)
         lnd = nd[local]
         imp = ~s.frozen[li] & (lnd < s.dist[li])
         if imp.any():
@@ -557,8 +906,7 @@ class _ShardWorker:
             block[:, 1] = s.center[lsrc]
             block[:, 2] = s.dist_acc[lsrc]
             block[:, 2] += lw
-            block[:, 3] = lsrc
-            block[:, 3] += self.lo
+            block[:, 3] = self.own.to_global(lsrc)
             pending_blocks.append((lk.copy(), block))
 
         # Cross-shard candidates: receiver state is unknown, ship the
@@ -566,8 +914,6 @@ class _ShardWorker:
         remote = ~local
         remote &= ~s.frozen[src_local]
         if remote.any():
-            from repro.mr.partitioner import range_partition_array
-
             rk = keys[remote]
             rnd = nd[remote]
             rsrc = src_local[remote]
@@ -577,9 +923,8 @@ class _ShardWorker:
             rvals[:, 1] = s.center[rsrc]
             rvals[:, 2] = s.dist_acc[rsrc]
             rvals[:, 2] += rw
-            rvals[:, 3] = rsrc
-            rvals[:, 3] += self.lo
-            owners = range_partition_array(rk, self.splitters)
+            rvals[:, 3] = self.own.to_global(rsrc)
+            owners = self.own.owner_of(rk)
             for dest in np.unique(owners):
                 mask = owners == dest
                 okeys, ovalues = self._combine_outgoing(rk[mask], rvals[mask])
@@ -614,6 +959,71 @@ class _ShardWorker:
         self.halo_best[idx[keep]] = nd[keep]
         return keys[keep], values[keep]
 
+    # -- async exchange ------------------------------------------------- #
+
+    def _ship_outgoing(self, outgoing) -> int:
+        """Queue one message per peer (async exchange, once per step)."""
+        by_dest = {dest: (keys, values) for dest, keys, values in outgoing}
+        sent = 0
+        for dest, send_queue in self._send_queues.items():
+            block = by_dest.pop(dest, None)
+            if block is not None:
+                sent += block[0].nbytes + block[1].nbytes
+            send_queue.put((block,))
+        if by_dest:  # pragma: no cover - owners are always peers
+            raise ValueError(f"no pipe to shards {sorted(by_dest)}")
+        self._shipped_this_step = True
+        return sent
+
+    def _recv_arrivals(self):
+        """Collect this step's one message from every peer (sorted)."""
+        arrivals = []
+        for peer in sorted(self.peer_conns):
+            block = self.peer_conns[peer].recv()
+            if block is not None:
+                arrivals.append(block)
+        return arrivals
+
+    def abort_step(self) -> None:
+        """Keep peers unblocked when this worker's step failed.
+
+        Peers block on their end-of-step receive; send them the empty
+        message this step still owes (if unshipped), then drain their
+        messages so nobody's sender thread wedges on a full pipe.  The
+        driver surfaces the original traceback either way.
+        """
+        if not self._async_on:
+            return
+        if not self._shipped_this_step:
+            try:
+                self._ship_outgoing([])
+            except Exception:  # pragma: no cover - best-effort unblock
+                pass
+        for peer in sorted(self.peer_conns):
+            conn = self.peer_conns[peer]
+            try:
+                if conn.poll(5):
+                    conn.recv()
+            except (EOFError, OSError):  # pragma: no cover - peer gone
+                pass
+
+    def close_exchange(self) -> None:
+        for send_queue in self._send_queues.values():
+            send_queue.put(None)
+        for thread in self._sender_threads:
+            thread.join(timeout=5)
+        for conn in self.peer_conns.values():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._send_queues = {}
+        self._sender_threads = []
+        self.peer_conns = {}
+        self._async_on = False
+
+    # -- stage control -------------------------------------------------- #
+
     def freeze_assigned(self, iteration):
         s = self.state
         sel = (s.center != -1) & ~s.frozen
@@ -634,7 +1044,7 @@ class _ShardWorker:
                     (
                         int(dest),
                         (
-                            picked + self.lo,
+                            self.own.to_global(picked),
                             s.center[picked].copy(),
                             s.dist[picked].copy(),
                             s.dist_acc[picked].copy(),
@@ -647,7 +1057,7 @@ class _ShardWorker:
     def make_singletons(self, iteration):
         s = self.state
         leftover = np.flatnonzero(~s.frozen)
-        s.center[leftover] = leftover + self.lo
+        s.center[leftover] = self.own.to_global(leftover)
         s.dist[leftover] = 0.0
         s.dist_acc[leftover] = 0.0
         s.frozen[leftover] = True
@@ -668,10 +1078,33 @@ class _ShardWorker:
         return self.state
 
 
-def _shard_worker_main(conn, shard_path, lo, hi, shard_id, starts):
+def _dispatch(worker: _ShardWorker, command: str, args):
+    """Run one driver command — shared by the pipe loop and _InprocPool."""
+    if command == "step":
+        return worker.step(*args)
+    if command == "uncovered":
+        return worker.uncovered()
+    if command == "begin_stage":
+        return worker.begin_stage(*args)
+    if command == "freeze_assigned":
+        return worker.freeze_assigned(*args)
+    if command == "make_singletons":
+        return worker.make_singletons(*args)
+    if command == "discard":
+        return worker.discard_candidates()
+    if command == "reset":
+        return worker.reset(*args)
+    if command == "result":
+        return worker.result()
+    raise ValueError(f"unknown worker command {command!r}")
+
+
+def _shard_worker_main(conn, shard_path, shard_id, spec, peers, exchange):
     """Entry point of a shard-owning worker process."""
     try:
-        worker = _ShardWorker(shard_path, lo, hi, shard_id, starts)
+        worker = _ShardWorker(
+            shard_path, shard_id, spec, peer_conns=peers, exchange=exchange
+        )
     except BaseException as exc:  # noqa: BLE001 - reported to the driver
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
         conn.close()
@@ -684,33 +1117,230 @@ def _shard_worker_main(conn, shard_path, lo, hi, shard_id, starts):
             break
         command = message[0]
         if command == "close":
+            worker.close_exchange()
             conn.send(("ok", None))
             break
         try:
-            if command == "step":
-                reply = worker.step(*message[1:])
-            elif command == "uncovered":
-                reply = worker.uncovered()
-            elif command == "begin_stage":
-                reply = worker.begin_stage(message[1])
-            elif command == "freeze_assigned":
-                reply = worker.freeze_assigned(message[1])
-            elif command == "make_singletons":
-                reply = worker.make_singletons(message[1])
-            elif command == "discard":
-                reply = worker.discard_candidates()
-            elif command == "reset":
-                reply = worker.reset()
-            elif command == "result":
-                reply = worker.result()
-            else:
-                raise ValueError(f"unknown worker command {command!r}")
+            reply = _dispatch(worker, command, message[1:])
             conn.send(("ok", reply))
-        except BaseException as exc:  # noqa: BLE001 - reported to the driver
+        except BaseException:  # noqa: BLE001 - reported to the driver
             import traceback
 
-            conn.send(("error", traceback.format_exc() or str(exc)))
+            if command == "step":
+                worker.abort_step()
+            conn.send(("error", traceback.format_exc()))
     conn.close()
+
+
+# --------------------------------------------------------------------- #
+# Worker pools
+# --------------------------------------------------------------------- #
+
+
+class _PipePool:
+    """Forked worker processes driven over per-worker command pipes.
+
+    The default pool: one persistent process per shard, commands and
+    replies over a dedicated driver↔worker pipe.  Under the async
+    exchange the pool additionally wires a full duplex pipe mesh
+    between the workers *before* forking, so candidate blocks travel
+    peer-to-peer without a driver hop.
+    """
+
+    kind = "pipe"
+
+    def __init__(self, shard_paths, spec, exchange: str):
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        num = len(shard_paths)
+        self.num_shards = num
+        self.exchange_active = exchange == "async" and num > 1
+        mesh = [dict() for _ in range(num)]
+        mesh_ends = []
+        if self.exchange_active:
+            for i in range(num):
+                for j in range(i + 1, num):
+                    end_i, end_j = ctx.Pipe(duplex=True)
+                    mesh[i][j] = end_i
+                    mesh[j][i] = end_j
+                    mesh_ends.extend((end_i, end_j))
+        self._procs: List = []
+        self._conns: List = []
+        try:
+            for k, path in enumerate(shard_paths):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(
+                        child,
+                        str(path),
+                        k,
+                        spec,
+                        mesh[k],
+                        "async" if self.exchange_active else "serial",
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._procs.append(proc)
+                self._conns.append(parent)
+        finally:
+            # The children hold their mesh ends (inherited or shipped
+            # at spawn); the parent's copies would otherwise keep every
+            # pipe open forever.
+            for end in mesh_ends:
+                end.close()
+        for k, conn in enumerate(self._conns):
+            status, payload = conn.recv()
+            if status != "ok":
+                self.close()
+                raise RuntimeError(
+                    f"shard worker {k} failed to start: {payload}"
+                )
+
+    def broadcast(self, command: str, per_worker=None):
+        """Send one command to every worker and gather the replies.
+
+        ``per_worker`` supplies each worker's argument (a tuple is
+        splatted into the command message).  All sends complete before
+        any receive, so workers proceed in lockstep without deadlock.
+        """
+        if not self._conns:
+            raise RuntimeError("sharded workers are not running")
+        for k, conn in enumerate(self._conns):
+            if per_worker is None:
+                conn.send((command,))
+            else:
+                args = per_worker[k]
+                if not isinstance(args, tuple):
+                    args = (args,)
+                conn.send((command,) + args)
+        replies = []
+        errors = []
+        for k, conn in enumerate(self._conns):
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                errors.append(f"shard worker {k} died: {exc!r}")
+                continue
+            if status == "ok":
+                replies.append(payload)
+            else:
+                errors.append(f"shard worker {k}: {payload}")
+        if errors:
+            raise RuntimeError(
+                "sharded execution failed:\n" + "\n".join(errors)
+            )
+        return replies
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (OSError, ValueError):
+                pass
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        self._procs = []
+        self._conns = []
+
+
+class _InprocPool:
+    """Sequential in-process shard workers under a residency budget.
+
+    The out-of-core tier: every :class:`_ShardWorker` lives in the
+    driver process and commands dispatch directly (no pipes, no pickle,
+    serial exchange).  The pool holds shard CSR mmaps open LRU-style
+    under ``resident_bytes``: a worker's graph is (re)opened only for
+    its ``step`` — the only command that reads CSR arrays; merge, ghost
+    regeneration, and stage control run on resident O(nodes + cut)
+    copies — and the coldest open shards are fully unmapped first.  At
+    most one shard *needs* to be mapped at a time, so the peak mapped
+    footprint is ``max(budget, largest shard)`` no matter how big the
+    graph is.  Results are bit-identical to the process pool's serial
+    exchange: same workers, same command order, same delivery timing.
+    """
+
+    kind = "inproc"
+    exchange_active = False
+
+    def __init__(self, shard_paths, spec, resident_bytes: int):
+        self.num_shards = len(shard_paths)
+        self.resident_bytes = int(resident_bytes)
+        self._sizes = [os.path.getsize(p) for p in shard_paths]
+        self._open: List[int] = []  # open shard ids, coldest first
+        self._open_bytes = 0
+        #: High-water marks, surfaced in benchmarks to prove the budget
+        #: held (max_open_shards == 1 under a tight budget).
+        self.max_resident_bytes = 0
+        self.max_open_shards = 0
+        self.workers: List[_ShardWorker] = []
+        for k, path in enumerate(shard_paths):
+            # Construction itself reads the CSR (halo/boundary scans):
+            # make room *before* the worker opens its store, so even
+            # the build phase respects the budget.
+            self._make_room(self._sizes[k])
+            self.workers.append(_ShardWorker(str(path), k, spec))
+            self._note_open(k)
+
+    def _make_room(self, need: int) -> None:
+        while self._open and self._open_bytes + need > self.resident_bytes:
+            victim = self._open.pop(0)
+            self.workers[victim].release_graph()
+            self._open_bytes -= self._sizes[victim]
+
+    def _note_open(self, shard: int) -> None:
+        self._open.append(shard)
+        self._open_bytes += self._sizes[shard]
+        self.max_resident_bytes = max(
+            self.max_resident_bytes, self._open_bytes
+        )
+        self.max_open_shards = max(self.max_open_shards, len(self._open))
+
+    def _acquire(self, shard: int) -> None:
+        if self.workers[shard].graph_open:
+            self._open.remove(shard)
+            self._open.append(shard)  # refresh LRU position
+            return
+        self._make_room(self._sizes[shard])
+        self.workers[shard].acquire_graph()
+        self._note_open(shard)
+
+    def broadcast(self, command: str, per_worker=None):
+        if not self.workers:
+            raise RuntimeError("sharded workers are not running")
+        replies = []
+        for k, worker in enumerate(self.workers):
+            if command == "step":
+                self._acquire(k)
+            if per_worker is None:
+                args = ()
+            else:
+                args = per_worker[k]
+                if not isinstance(args, tuple):
+                    args = (args,)
+            replies.append(_dispatch(worker, command, args))
+        return replies
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.release_graph()
+        self.workers = []
+        self._open = []
+        self._open_bytes = 0
 
 
 # --------------------------------------------------------------------- #
@@ -751,25 +1381,57 @@ class ShardedGrowingState:
         self.executor = executor
         executor._ensure_workers(graph)
         self.plan = executor.plan
-        executor._broadcast("reset")
+        # Reset every worker, shipping the driver's kernel-selection
+        # environment (persistent workers may predate it), and stamp
+        # the workers' *own* resolved tier into the run's impl info —
+        # the workers do the emitting, so their resolution is the one
+        # benchmarks must report.
+        env = {
+            key: os.environ[key]
+            for key in _KERNEL_ENV_KEYS
+            if key in os.environ
+        }
+        replies = executor._broadcast(
+            "reset", per_worker=[(env,)] * executor.num_shards
+        )
+        if replies and isinstance(replies[0], dict):
+            info = dict(replies[0])
+            info["partitioner"] = self.plan.mode
+            info["exchange"] = (
+                "async" if executor.exchange_active else "serial"
+            )
+            engine.counters.impl.update(info)
         # remote[dest] -> list of (keys, values) awaiting delivery.
         self._remote: Dict[int, List] = {}
         # replica_updates[dest] -> list of freeze blocks to deliver.
         self._replica_updates: Dict[int, List] = {}
         self._emitted_last = 0
+        # Bytes the workers shipped peer-to-peer during the previous
+        # step (async exchange): delivered — merged — this step.
+        self._sent_prev = 0
 
     # -- growing-state interface --------------------------------------- #
 
     def uncovered(self) -> np.ndarray:
         parts = self.executor._broadcast("uncovered")
-        return np.concatenate(parts) if parts else np.empty(0, np.int64)
+        if not parts:
+            return np.empty(0, np.int64)
+        out = np.concatenate(parts)
+        if self.plan.mode != "range":
+            # Each shard's block is ascending, but only the contiguous
+            # range layout makes the concatenation globally sorted —
+            # and the drivers' seeded sampling depends on the order.
+            out = np.sort(out, kind="stable")
+        return out
 
     def begin_stage(self, picks: np.ndarray) -> None:
         picks = np.asarray(picks, dtype=np.int64)
         owners = self.plan.owner_of(picks)
         self.executor._broadcast(
             "begin_stage",
-            per_worker=[picks[owners == k] for k in range(self.executor.num_shards)],
+            per_worker=[
+                picks[owners == k] for k in range(self.executor.num_shards)
+            ],
         )
 
     def step(
@@ -797,6 +1459,10 @@ class ShardedGrowingState:
             per_worker.append(
                 (delta, force, rescale, iteration, incoming, ghosts)
             )
+        # Async exchange: candidates shipped worker-to-worker during
+        # the previous step are delivered (merged) this step.
+        shipped += self._sent_prev
+        self._sent_prev = 0
         # Fixed per-worker command overhead (params + framing), so the
         # accounting never reads zero on an idle round.
         shipped += 64 * num_shards
@@ -807,7 +1473,8 @@ class ShardedGrowingState:
         step_wall = perf_counter() - step_start
         # Per-phase timers: the critical path (slowest shard) of each
         # worker-reported phase; everything else — pickling, pipe
-        # transport, scheduling — is the exchange, booked as shuffle.
+        # transport, scheduling, the async arrival wait — is the
+        # exchange, booked as shuffle.
         compute = 0.0
         for phase in ("emit", "reduce", "apply"):
             worst = max((r["times"][phase] for r in replies), default=0.0)
@@ -818,6 +1485,7 @@ class ShardedGrowingState:
         merged = sum(r["merged"] for r in replies)
         updated = sum(r["updated"] for r in replies)
         newly = sum(r["newly"] for r in replies)
+        sent_now = sum(r.get("sent_bytes", 0) for r in replies)
         for k, reply in enumerate(replies):
             for dest, keys, values in reply["outgoing"]:
                 self._remote.setdefault(dest, []).append((keys, values))
@@ -853,6 +1521,7 @@ class ShardedGrowingState:
         self.executor.bytes_shipped_per_round.append(shipped)
         self.executor.bytes_exchanged_per_round.append(
             shipped
+            + sent_now
             + sum(
                 _candidate_bytes(
                     [(k2, v2) for _, k2, v2 in r["outgoing"]]
@@ -860,6 +1529,7 @@ class ShardedGrowingState:
                 for r in replies
             )
         )
+        self._sent_prev = sent_now
         return updated, newly
 
     def in_flight(self) -> bool:
@@ -868,6 +1538,7 @@ class ShardedGrowingState:
     def discard_candidates(self) -> None:
         self._remote = {}
         self._emitted_last = 0
+        self._sent_prev = 0
         self.executor._broadcast("discard")
 
     def freeze_assigned(self, iteration: int = 0) -> int:
@@ -885,7 +1556,8 @@ class ShardedGrowingState:
     def make_singletons(self, iteration: int = 0) -> int:
         return sum(
             self.executor._broadcast(
-                "make_singletons", per_worker=[iteration] * self.executor.num_shards
+                "make_singletons",
+                per_worker=[iteration] * self.executor.num_shards,
             )
         )
 
@@ -893,8 +1565,18 @@ class ShardedGrowingState:
         from repro.core.state import ClusterState
 
         slices = self.executor._broadcast("result")
-        full = ClusterState.concat(slices)
-        return full.center.copy(), full.dist_acc.copy()
+        if self.plan.mode == "range":
+            full = ClusterState.concat(slices)
+            return full.center.copy(), full.dist_acc.copy()
+        # lp shards hold arbitrary row sets: scatter-stitch each
+        # shard's slice back to its global rows.
+        center = np.full(self.num_nodes, -1, dtype=np.int64)
+        dacc = np.full(self.num_nodes, np.inf)
+        for k, state in enumerate(slices):
+            rows = self.plan.shard_rows(k)
+            center[rows] = state.center
+            dacc[rows] = state.dist_acc
+        return center, dacc
 
 
 class ShardedExecutor:
@@ -913,20 +1595,41 @@ class ShardedExecutor:
     in-process, so a ``sharded`` engine executes every round kind; only
     growing steps use the owner-compute protocol.
 
-    Attributes
+    Parameters
     ----------
     num_shards:
         Worker/shard count (default: CPU count).
+    partitioner:
+        ``"lp"`` (default; env ``REPRO_SHARD_PARTITIONER``) or
+        ``"range"``.  The backend defaults to the locality-aware
+        assignment; library callers of ``ensure_partitioned`` keep the
+        ``range`` default.
+    exchange:
+        ``"async"`` (default; env ``REPRO_SHARD_EXCHANGE``) overlaps
+        boundary shipping with interior expansion over a worker pipe
+        mesh; ``"serial"`` routes all candidates through the driver.
+        Single-shard and in-process pools are always effectively
+        serial.
+    resident_mb:
+        Out-of-core residency budget in MiB (env
+        ``REPRO_SHARD_RESIDENT_MB``).  When set, workers run
+        sequentially in-process and shard CSR mmaps are LRU-released
+        to keep the mapped bytes under the budget — the big-graph
+        tier; implies the serial exchange.
+
+    Attributes
+    ----------
     plan:
         The :class:`~repro.graph.partition.PartitionPlan` in effect
         (after workers spawn).
     bytes_shipped_per_round:
-        Driver→worker bytes delivered each growing step: cross-shard
-        candidate blocks plus one-time frozen-replica updates — the
-        boundary exchange the sharded architecture exists to shrink.
+        Bytes delivered to workers each growing step: cross-shard
+        candidate blocks (driver-routed or peer-shipped last step)
+        plus one-time frozen-replica updates — the boundary exchange
+        the sharded architecture exists to shrink.
     bytes_exchanged_per_round:
-        Same plus the worker→driver boundary candidates collected that
-        step (both directions of the exchange).
+        Same plus the boundary candidates produced that step (both
+        directions of the exchange).
     """
 
     #: Marks this executor as building its own growing state
@@ -938,17 +1641,50 @@ class ShardedExecutor:
     #: engine's ungrouped fast path.
     in_process_batch = True
 
-    def __init__(self, num_shards: Optional[int] = None):
+    def __init__(
+        self,
+        num_shards: Optional[int] = None,
+        *,
+        partitioner: Optional[str] = None,
+        exchange: Optional[str] = None,
+        resident_mb: Optional[float] = None,
+    ):
         if num_shards is not None and num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.num_shards = num_shards or os.cpu_count() or 1
+        if partitioner is None:
+            partitioner = os.environ.get(PARTITIONER_ENV) or "lp"
+        if partitioner not in ("range", "lp"):
+            raise ValueError(
+                f"unknown partitioner {partitioner!r} (use 'range' or 'lp')"
+            )
+        self.partitioner = partitioner
+        if exchange is None:
+            exchange = os.environ.get(EXCHANGE_ENV) or "async"
+        if exchange not in ("serial", "async"):
+            raise ValueError(
+                f"unknown exchange {exchange!r} (use 'serial' or 'async')"
+            )
+        if resident_mb is None:
+            raw = os.environ.get(RESIDENT_ENV)
+            if raw:
+                resident_mb = float(raw)
+        if resident_mb is not None and resident_mb <= 0:
+            raise ValueError("resident_mb must be > 0")
+        self.resident_bytes = (
+            int(resident_mb * 1024 * 1024) if resident_mb is not None else None
+        )
+        if self.resident_bytes is not None:
+            # The out-of-core pool runs shards sequentially in-process;
+            # a peer mesh cannot overlap anything there.
+            exchange = "serial"
+        self.exchange = exchange
         self.plan = None
         self.partitioned = None
         self.bytes_shipped_per_round: List[int] = []
         self.bytes_exchanged_per_round: List[int] = []
         self._graph = None
-        self._procs: List = []
-        self._conns: List = []
+        self._pool = None
         self._tmpdir: Optional[str] = None
         self._finalizer = None
         self.spawn_count = 0
@@ -956,6 +1692,21 @@ class ShardedExecutor:
     @property
     def bytes_shipped(self) -> int:
         return sum(self.bytes_shipped_per_round)
+
+    @property
+    def exchange_active(self) -> bool:
+        """Whether the peer-to-peer async exchange is actually running."""
+        return bool(self._pool is not None and self._pool.exchange_active)
+
+    @property
+    def max_resident_bytes(self) -> Optional[int]:
+        """Out-of-core pool's peak mapped shard bytes (else ``None``)."""
+        return getattr(self._pool, "max_resident_bytes", None)
+
+    @property
+    def max_open_shards(self) -> Optional[int]:
+        """Out-of-core pool's peak concurrently-mapped shard count."""
+        return getattr(self._pool, "max_open_shards", None)
 
     # -- engine executor protocol (non-growing rounds) ------------------ #
 
@@ -975,10 +1726,14 @@ class ShardedExecutor:
     # -- worker lifecycle ----------------------------------------------- #
 
     def _ensure_workers(self, graph) -> None:
-        if self._procs and self._graph is graph:
+        if self._pool is not None and self._graph is graph:
             return
         self.close()
-        from repro.graph.partition import ensure_partitioned
+        from repro.graph.partition import (
+            ASSIGNMENT_NAME,
+            LOCALIDX_NAME,
+            ensure_partitioned,
+        )
         from repro.graph.serialize import write_store
 
         if graph.is_mmap and graph.store_path is not None:
@@ -989,7 +1744,10 @@ class ShardedExecutor:
             write_store(graph, store_path)
         try:
             self.partitioned = ensure_partitioned(
-                store_path, self.num_shards, graph=graph
+                store_path,
+                self.num_shards,
+                graph=graph,
+                partitioner=self.partitioner,
             )
         except OSError:
             # Store directory not writable (read-only datasets): fall
@@ -1001,98 +1759,43 @@ class ShardedExecutor:
                 self.num_shards,
                 graph=graph,
                 directory=Path(self._tmpdir) / "shards",
+                partitioner=self.partitioner,
             )
         self.plan = self.partitioned.plan
-
-        import multiprocessing
-
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
-        starts = self.plan.starts
-        for k in range(self.num_shards):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_shard_worker_main,
-                args=(
-                    child,
-                    str(self.partitioned.shard_paths[k]),
-                    int(starts[k]),
-                    int(starts[k + 1]),
-                    k,
-                    np.asarray(starts),
-                ),
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            self._procs.append(proc)
-            self._conns.append(parent)
+        if self.plan.mode == "range":
+            spec = {
+                "mode": "range",
+                "starts": np.asarray(self.plan.starts, dtype=np.int64),
+            }
+        else:
+            directory = Path(self.partitioned.directory)
+            spec = {
+                "mode": "lp",
+                "num_shards": self.num_shards,
+                "num_nodes": int(graph.num_nodes),
+                "owners_path": str(directory / ASSIGNMENT_NAME),
+                "localidx_path": str(directory / LOCALIDX_NAME),
+            }
+        shard_paths = [str(p) for p in self.partitioned.shard_paths]
+        if self.resident_bytes is not None:
+            self._pool = _InprocPool(shard_paths, spec, self.resident_bytes)
+        else:
+            self._pool = _PipePool(shard_paths, spec, self.exchange)
         self.spawn_count += 1
         self._graph = graph
-        for k, conn in enumerate(self._conns):
-            status, payload = conn.recv()
-            if status != "ok":
-                self.close()
-                raise RuntimeError(f"shard worker {k} failed to start: {payload}")
         self._finalizer = weakref.finalize(
-            self, self._cleanup, list(self._procs), list(self._conns),
-            self._tmpdir,
+            self, self._cleanup, self._pool, self._tmpdir
         )
 
     def _broadcast(self, command: str, per_worker=None):
-        """Send one command to every worker and gather the replies.
-
-        ``per_worker`` supplies each worker's argument (a tuple is
-        splatted into the command message).  All sends complete before
-        any receive, so workers proceed in lockstep without deadlock.
-        """
-        if not self._conns:
+        if self._pool is None:
             raise RuntimeError("sharded workers are not running")
-        for k, conn in enumerate(self._conns):
-            if per_worker is None:
-                conn.send((command,))
-            else:
-                args = per_worker[k]
-                if not isinstance(args, tuple):
-                    args = (args,)
-                conn.send((command,) + args)
-        replies = []
-        errors = []
-        for k, conn in enumerate(self._conns):
-            try:
-                status, payload = conn.recv()
-            except (EOFError, OSError) as exc:
-                errors.append(f"shard worker {k} died: {exc!r}")
-                continue
-            if status == "ok":
-                replies.append(payload)
-            else:
-                errors.append(f"shard worker {k}: {payload}")
-        if errors:
-            raise RuntimeError(
-                "sharded execution failed:\n" + "\n".join(errors)
-            )
-        return replies
+        return self._pool.broadcast(command, per_worker)
 
     @staticmethod
-    def _cleanup(procs, conns, tmpdir) -> None:
-        for conn in conns:
-            try:
-                conn.send(("close",))
-            except (OSError, ValueError):
-                pass
-        for conn in conns:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
-        for proc in procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - stuck worker
-                proc.terminate()
-                proc.join(timeout=5)
+    def _cleanup(pool, tmpdir) -> None:
+        if pool is not None:
+            pool.close()
         if tmpdir is not None:
             shutil.rmtree(tmpdir, ignore_errors=True)
 
@@ -1101,10 +1804,9 @@ class ShardedExecutor:
         if self._finalizer is not None:
             self._finalizer()  # runs _cleanup once, then detaches
             self._finalizer = None
-        elif self._procs:
-            self._cleanup(self._procs, self._conns, self._tmpdir)
-        self._procs = []
-        self._conns = []
+        elif self._pool is not None:
+            self._cleanup(self._pool, self._tmpdir)
+        self._pool = None
         self._tmpdir = None
         self._graph = None
 

@@ -283,9 +283,15 @@ def run(
     if executor == "sharded" and not isinstance(graph, CSRGraph):
         # Partition through the GraphStore so the shard directories are
         # written (and trimmed) under the cache's byte budget; the
-        # executor then finds a fresh manifest and reuses it.
+        # executor then finds a fresh manifest and reuses it.  Resolve
+        # the partitioner the same way the executor will, so the two
+        # agree on the cache leaf.
+        import os
+
+        from repro.mr.sharded import PARTITIONER_ENV
+
         (store if store is not None else default_store()).get_partitioned(
-            graph, workers
+            graph, workers, partitioner=os.environ.get(PARTITIONER_ENV) or "lp"
         )
 
     if engine is not None:

@@ -344,25 +344,34 @@ class GraphStore:
                 pass
         return self.get(path)
 
-    def get_partitioned(self, path: PathLike, num_shards: int):
+    def get_partitioned(
+        self,
+        path: PathLike,
+        num_shards: int,
+        partitioner: Optional[str] = None,
+    ):
         """Return ``path``'s ``num_shards``-way partition, building if needed.
 
         The graph is resolved through :meth:`get` (converted and
         memory-mapped as usual) and its partition is cached on disk
-        under ``<store>.shards/<num_shards>/`` next to the store file
-        (see :mod:`repro.graph.partition` for the layout).  The cache
-        invalidates itself: converted stores are signature-keyed files,
-        so an edited source yields a fresh store *and* fresh shards,
-        while a rewritten ``.rcsr`` is caught by the manifest's
-        (mtime, size) record and re-partitioned.
+        under ``<store>.shards/<K>[-lp]/`` next to the store file
+        (see :mod:`repro.graph.partition` for the layout and the two
+        partitioners).  The cache invalidates itself: converted stores
+        are signature-keyed files, so an edited source yields a fresh
+        store *and* fresh shards, while a rewritten ``.rcsr`` is caught
+        by the manifest's (mtime, size) record and re-partitioned.
 
         Returns a :class:`~repro.graph.partition.PartitionedStore`.
         """
-        from repro.graph.partition import ensure_partitioned
+        from repro.graph.partition import DEFAULT_PARTITIONER, ensure_partitioned
 
+        if partitioner is None:
+            partitioner = DEFAULT_PARTITIONER
         store_file = self.store_path(path)
         graph = self.get(path)
-        partitioned = ensure_partitioned(store_file, num_shards, graph=graph)
+        partitioned = ensure_partitioned(
+            store_file, num_shards, graph=graph, partitioner=partitioner
+        )
         if store_file.parent == self.cache_dir:
             # Shard partitions count toward the cache budget like the
             # stores they belong to; re-trim now that one was written.

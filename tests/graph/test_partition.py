@@ -235,5 +235,7 @@ class TestGraphStorePartitionCache:
             executor="sharded", shards=2,
         )
         assert np.array_equal(core.raw.center, sharded.raw.center)
-        shards_dir = shards_dir_for(store.store_path(source), 2)
+        # The runner defaults to the locality-aware partitioner, so the
+        # cached shards live in the "lp" layout directory.
+        shards_dir = shards_dir_for(store.store_path(source), 2, "lp")
         assert (shards_dir / MANIFEST_NAME).exists()

@@ -1,0 +1,121 @@
+"""Property suite for the locality-aware (label-propagation) partitioner.
+
+``lp_assignment`` is only admissible as a drop-in replacement for the
+contiguous range plan because it upholds three contracts: every node
+gets exactly one shard (coverage), the heaviest shard stays within the
+slack-bounded arc budget (balance — up to the indivisible-node floor),
+and the cut never regresses past the range plan it competes against
+(the range candidate is always in the final selection).  This suite
+pins all three plus determinism, across the three regimes that matter:
+power-law (R-MAT, where LP wins big), lattice (mesh, where contiguity
+is already near-optimal and LP must tie), and star (degenerate hub,
+where every balanced partition cuts everything).
+"""
+
+import numpy as np
+import pytest
+
+from repro.generators import mesh, rmat, star_graph
+from repro.mr.partitioner import (
+    assignment_cut_fraction,
+    _range_owner,
+    lp_assignment,
+)
+
+SHARD_COUNTS = (2, 4, 7)
+SLACK = 0.5
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        "rmat": rmat(12, seed=4),
+        "mesh": mesh(32, seed=1),
+        "star": star_graph(500),
+    }
+
+
+class TestAssignmentContract:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("name", ["rmat", "mesh", "star"])
+    def test_every_node_owned_exactly_once(self, graphs, name, shards):
+        graph = graphs[name]
+        owner = lp_assignment(graph, shards, slack=SLACK, seed=0)
+        assert owner.dtype == np.int32
+        assert len(owner) == graph.num_nodes
+        assert owner.min() >= 0
+        assert owner.max() < shards
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("name", ["rmat", "mesh", "star"])
+    def test_balance_bound(self, graphs, name, shards):
+        """Heaviest shard <= (1 + slack) * arcs / K, except that a single
+        node's arcs are indivisible — a hub whose degree alone exceeds
+        the budget (star) sets the floor instead."""
+        graph = graphs[name]
+        owner = lp_assignment(graph, shards, slack=SLACK, seed=0)
+        degs = np.diff(graph.indptr).astype(np.float64)
+        loads = np.bincount(owner, weights=degs, minlength=shards)
+        cap = (1.0 + SLACK) * graph.num_arcs / shards
+        assert loads.max() <= max(cap, degs.max()) * (1.0 + 1e-9)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("name", ["rmat", "mesh", "star"])
+    def test_cut_never_worse_than_range(self, graphs, name, shards):
+        """The range plan competes in the final candidate selection, so
+        lp can tie it but never lose to it."""
+        graph = graphs[name]
+        owner = lp_assignment(graph, shards, slack=SLACK, seed=0)
+        lp_cut = assignment_cut_fraction(graph, owner)
+        range_cut = assignment_cut_fraction(
+            graph, _range_owner(graph, shards)
+        )
+        assert lp_cut <= range_cut + 1e-12
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_strictly_better_on_powerlaw(self, graphs, shards):
+        """On R-MAT the contiguous plan is near-random locality; the
+        multilevel pipeline must beat it by a real margin, not noise."""
+        graph = graphs["rmat"]
+        lp_cut = assignment_cut_fraction(
+            graph, lp_assignment(graph, shards, slack=SLACK, seed=0)
+        )
+        range_cut = assignment_cut_fraction(
+            graph, _range_owner(graph, shards)
+        )
+        assert lp_cut <= range_cut - 0.10
+
+    def test_mesh_cut_stays_low(self, graphs):
+        """Lattices have an obvious good partition; the pipeline must
+        not wander away from it."""
+        graph = graphs["mesh"]
+        owner = lp_assignment(graph, 4, slack=SLACK, seed=0)
+        assert assignment_cut_fraction(graph, owner) <= 0.06
+
+    @pytest.mark.parametrize("name", ["rmat", "mesh", "star"])
+    def test_deterministic(self, graphs, name):
+        """Same graph + seed => identical assignment; the on-disk shard
+        cache and every parity test depend on this."""
+        graph = graphs[name]
+        first = lp_assignment(graph, 4, slack=SLACK, seed=0)
+        second = lp_assignment(graph, 4, slack=SLACK, seed=0)
+        assert np.array_equal(first, second)
+
+    def test_single_shard_is_trivial(self, graphs):
+        owner = lp_assignment(graphs["mesh"], 1)
+        assert np.array_equal(
+            owner, np.zeros(graphs["mesh"].num_nodes, dtype=np.int32)
+        )
+
+    def test_invalid_shard_count(self, graphs):
+        with pytest.raises(ValueError):
+            lp_assignment(graphs["mesh"], 0)
+
+    def test_empty_graph(self):
+        from repro.graph.builder import from_edges
+
+        empty = np.empty(0, dtype=np.int64)
+        graph = from_edges(empty, empty, empty.astype(np.float64), 0)
+        owner = lp_assignment(graph, 3)
+        assert len(owner) == 0
+        assert assignment_cut_fraction(graph, owner) == 0.0

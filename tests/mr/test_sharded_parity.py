@@ -18,7 +18,11 @@ from repro.core.config import ClusterConfig
 from repro.core.diameter import approximate_diameter
 from repro.generators import gnm_random_graph, mesh, path_graph
 from repro.graph.serialize import open_store, write_store
-from repro.mr.sharded import ShardedExecutor
+from repro.mr.sharded import (
+    EXCHANGE_ENV,
+    RESIDENT_ENV,
+    ShardedExecutor,
+)
 from repro.mrimpl.cluster2_mr import mr_cluster2
 from repro.mrimpl.cluster_mr import mr_cluster
 from repro.mrimpl.diameter_mr import mr_approximate_diameter
@@ -172,7 +176,8 @@ class TestShardedMachinery:
             stored, config=CFG.with_(executor="sharded", shards=2)
         )
         assert_identical(result, reference)
-        assert (tmp_path / "mesh.rcsr.shards" / "2" / "part-0.rcsr").exists()
+        leaf = "2-lp" if ShardedExecutor().partitioner == "lp" else "2"
+        assert (tmp_path / "mesh.rcsr.shards" / leaf / "part-0.rcsr").exists()
 
     def test_boundary_traffic_stays_small_on_path(self):
         """On a path graph split in two, only the single cut edge can
@@ -208,7 +213,7 @@ class TestShardedMachinery:
 
         engine = default_engine(graphs["mesh"], executor="sharded", shards=2)
         mr_cluster(graphs["mesh"], config=CFG, engine=engine)
-        procs = list(engine.executor._procs)
+        procs = list(engine.executor._pool._procs)
         assert all(p.is_alive() for p in procs)
         engine.executor.close()
         assert all(not p.is_alive() for p in procs)
@@ -221,6 +226,124 @@ class TestShardedMachinery:
     def test_invalid_shard_count(self):
         with pytest.raises(ValueError):
             ShardedExecutor(num_shards=0)
+
+
+class TestAsyncExchangeParity:
+    """Compute/exchange overlap must be invisible in the results.
+
+    The async tier ships boundary candidates while interior emission is
+    still running; it is only admissible because every worker still
+    sees exactly the same merged blocks at the same step boundaries as
+    the lock-step serial exchange.  Full matrix: CLUSTER / CLUSTER2 /
+    CL-DIAM x 1/2/7 shards x push/pull/auto emit — clusterings AND
+    counters bit-identical.
+    """
+
+    @pytest.mark.parametrize("emit", ["push", "pull", "auto"])
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("algo", ["cluster", "cluster2"])
+    def test_matrix_bit_identical(
+        self, graphs, monkeypatch, algo, shards, emit
+    ):
+        fn = mr_cluster if algo == "cluster" else mr_cluster2
+        cfg = CFG.with_(executor="sharded", shards=shards)
+        monkeypatch.setenv("REPRO_EMIT_MODE", emit)
+        monkeypatch.setenv(EXCHANGE_ENV, "serial")
+        lockstep = fn(graphs["gnm"], config=cfg)
+        monkeypatch.setenv(EXCHANGE_ENV, "async")
+        overlapped = fn(graphs["gnm"], config=cfg)
+        assert_identical(overlapped, lockstep)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_diameter_matrix(self, graphs, monkeypatch, shards):
+        cfg = ClusterConfig(seed=3, stage_threshold_factor=1.0, tau=4)
+        monkeypatch.setenv(EXCHANGE_ENV, "serial")
+        lockstep = mr_approximate_diameter(
+            graphs["gnm"], config=cfg.with_(executor="sharded", shards=shards)
+        )
+        monkeypatch.setenv(EXCHANGE_ENV, "async")
+        overlapped = mr_approximate_diameter(
+            graphs["gnm"], config=cfg.with_(executor="sharded", shards=shards)
+        )
+        assert overlapped.value == lockstep.value
+        assert overlapped.radius == lockstep.radius
+        assert overlapped.num_clusters == lockstep.num_clusters
+
+    def test_exchange_actually_active(self, graphs):
+        """Guard against the matrix silently comparing serial to serial:
+        a multi-shard async run must bring the peer mesh up."""
+        executor = ShardedExecutor(num_shards=2, exchange="async")
+        from repro.mr.engine import MREngine
+        from repro.mr.model import MRSpec
+
+        engine = MREngine(
+            MRSpec(total_memory=10**9, local_memory=10**6, num_workers=2),
+            executor=executor,
+        )
+        try:
+            mr_cluster(graphs["gnm"], config=CFG, engine=engine)
+            assert executor.exchange_active
+        finally:
+            executor.close()
+
+    def test_invalid_exchange(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(num_shards=2, exchange="bogus")
+
+
+class TestOutOfCoreParity:
+    """A residency budget changes *when* shards are mapped, never what
+    they compute: results and counters stay bit-identical while the
+    pool holds at most one shard at a time under a starvation budget."""
+
+    def test_tiny_budget_bit_identical(self, graphs, tmp_path):
+        path = tmp_path / "gnm.rcsr"
+        write_store(graphs["gnm"], path)
+        stored = open_store(path)
+        reference = mr_cluster(
+            graphs["gnm"], config=CFG.with_(executor="vector")
+        )
+        executor = ShardedExecutor(num_shards=3, resident_mb=0.001)
+        from repro.mr.engine import MREngine
+        from repro.mr.model import MRSpec
+
+        engine = MREngine(
+            MRSpec(total_memory=10**9, local_memory=10**6, num_workers=3),
+            executor=executor,
+        )
+        try:
+            result = mr_cluster(stored, config=CFG, engine=engine)
+            assert_identical(result, reference)
+            # A 1 KiB budget can never fit two shards: the LRU must
+            # evict down to a single mapped store at all times.
+            assert executor.max_open_shards == 1
+            assert not executor.exchange_active
+        finally:
+            executor.close()
+
+    def test_env_budget_and_forced_serial(self, monkeypatch):
+        monkeypatch.setenv(RESIDENT_ENV, "0.25")
+        executor = ShardedExecutor(num_shards=2, exchange="async")
+        assert executor.resident_bytes == 256 * 1024
+        assert executor.exchange == "serial"
+        executor.close()
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(num_shards=2, resident_mb=0)
+
+    def test_run_dispatch_with_budget(self, graphs, monkeypatch):
+        """End-to-end through ``runtime.run``: the env knob alone must
+        select the out-of-core pool and still match the core result."""
+        from repro.runtime import run
+
+        core = run("cluster", graphs["gnm"], tau=4, seed=2)
+        monkeypatch.setenv(RESIDENT_ENV, "0.001")
+        budgeted = run(
+            "cluster", graphs["gnm"], tau=4, seed=2,
+            executor="sharded", shards=3,
+        )
+        assert np.array_equal(core.raw.center, budgeted.raw.center)
 
 
 class TestRuntimeIntegration:

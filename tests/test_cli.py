@@ -160,12 +160,27 @@ class TestPartition:
         return str(out)
 
     def test_writes_shards_and_reports_cut(self, store_file, capsys, tmp_path):
-        assert main(["partition", store_file, "--shards", "3"]) == 0
+        assert main(["partition", store_file, "--shards", "3", "--report"]) == 0
         out = capsys.readouterr().out
-        assert "3-way partition" in out
+        assert "3-way lp partition" in out
         assert "cut_arcs" in out
-        assert (tmp_path / "g.rcsr.shards" / "3" / "part-2.rcsr").exists()
-        assert (tmp_path / "g.rcsr.shards" / "3" / "manifest.json").exists()
+        assert (tmp_path / "g.rcsr.shards" / "3-lp" / "part-2.rcsr").exists()
+        assert (tmp_path / "g.rcsr.shards" / "3-lp" / "manifest.json").exists()
+
+    def test_range_partitioner_and_info_summary(self, store_file, capsys,
+                                                tmp_path):
+        rc = main(
+            ["partition", store_file, "--shards", "2",
+             "--partitioner", "range"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2-way range partition" in out
+        assert (tmp_path / "g.rcsr.shards" / "2" / "part-1.rcsr").exists()
+        assert main(["info", store_file]) == 0
+        out = capsys.readouterr().out
+        assert "partitions   :" in out
+        assert "2-way range" in out
 
     def test_sharded_executor_reuses_partition(self, store_file, capsys):
         assert main(["partition", store_file, "--shards", "2"]) == 0
