@@ -189,6 +189,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--timings", action="store_true",
                        help="print per-phase wall-clock (emit/shuffle/"
                             "reduce/apply) after the run")
+    p_run.add_argument(
+        "--checkpoint", nargs="?", const="5", default=None, metavar="EVERY",
+        help="checkpoint at safe points every EVERY rounds (or '<x>s' "
+             "seconds); bare --checkpoint means every 5 rounds",
+    )
+    p_run.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest valid checkpoint (fresh run if none)",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="checkpoint tree location (default: <store>.ckpt next to "
+             "the graph store; env REPRO_CHECKPOINT_DIR)",
+    )
     p_run.add_argument("--kernel-impl", choices=["auto", "py", "native"],
                        default=None,
                        help="kernel tier: native C kernels, pure NumPy, "
@@ -218,6 +232,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="result-cache capacity (0 disables caching)")
     p_serve.add_argument("--graph-capacity", type=int, default=8,
                          help="resident graphs kept warm (LRU)")
+    p_serve.add_argument("--query-deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="default per-query wall-clock budget; "
+                              "expired queries answer degraded instead "
+                              "of erroring (default: no deadline)")
+    p_serve.add_argument("--shutdown-grace", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="seconds shutdown waits for in-flight "
+                              "queries before abandoning them")
     p_serve.add_argument("--no-shutdown-op", action="store_true",
                          help="refuse the remote 'shutdown' op")
     p_serve.add_argument("--preload", action="append", default=[],
@@ -574,6 +597,9 @@ def _cmd_run(args) -> int:
         shards=args.shards,
         kernel_impl=args.kernel_impl,
         emit_threads=args.emit_threads,
+        checkpoint_every=args.checkpoint,
+        resume=args.resume,
+        checkpoint_dir=args.checkpoint_dir,
         **options,
     )
     print(f"algorithm    : {result.algorithm}")
@@ -587,6 +613,12 @@ def _cmd_run(args) -> int:
             else ""
         )
         print(f"kernels      : {result.kernel_impl}{suffix}")
+    resume_round = result.counters.impl.get("resume_round")
+    if resume_round is not None:
+        print(f"resumed from : round {resume_round}")
+    saved = result.counters.impl.get("checkpoint_rounds")
+    if saved:
+        print(f"checkpoints  : rounds {', '.join(str(r) for r in saved)}")
     print(f"value        : {result.value:.6g}")
     for key, value in result.metrics.items():
         shown = f"{value:.6g}" if isinstance(value, float) else value
@@ -629,6 +661,8 @@ def _cmd_serve(args) -> int:
             graph_capacity=args.graph_capacity,
             allow_shutdown=not args.no_shutdown_op,
             preload=tuple(args.preload),
+            query_deadline_s=args.query_deadline,
+            shutdown_grace_s=args.shutdown_grace,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -595,6 +595,19 @@ class _PoolBatchExecutor:
                     if first_error is None:
                         first_error = exc
             if first_error is not None:
+                from concurrent.futures.process import BrokenProcessPool
+
+                if isinstance(first_error, (BrokenProcessPool, BrokenPipeError)):
+                    # A pool process died (OOM kill, SIGKILL): surface
+                    # the structured fault so the recovery loop can
+                    # rebuild the pool and replay, instead of the raw
+                    # executor internals.  The pool object is broken
+                    # beyond this round either way.
+                    from repro.errors import WorkerFailure
+
+                    raise WorkerFailure(
+                        f"pool worker died: {first_error!r}"
+                    ) from first_error
                 raise first_error
 
         out_keys = np.concatenate([r[0] for r in results])

@@ -1,0 +1,154 @@
+"""Deterministic fault injection for the sharded backend.
+
+``REPRO_FAULT_PLAN`` names a schedule of worker kills that the driver
+executes at exact growing-step ordinals, so the crash/recovery test
+matrix is reproducible down to the round::
+
+    REPRO_FAULT_PLAN="kill:shard=2,round=5;kill:shard=driver,round=9"
+
+``shard=<k>`` kills shard worker *k* at the start of growing step
+``round`` (the worker calls ``os._exit(1)`` — indistinguishable from a
+SIGKILL as far as the driver's pipes are concerned; under the
+in-process pool a simulated :class:`~repro.errors.WorkerFailure` is
+raised instead, since ``os._exit`` would take the driver with it).
+``shard=driver`` makes the *driver* process ``os._exit(1)`` at that
+step, which is how the CLI ``--resume`` tests produce a SIGKILL-style
+death with a durable checkpoint behind it.
+
+Each entry fires **once per process**: the plan is consumed as it
+triggers, so an in-process recovery replay passing through the same
+ordinal does not re-fire (the counters restored from the checkpoint
+keep the ordinal monotone, and the consumed set persists).  A resumed
+*process* starts with a fresh plan — resume tests unset the variable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "get_fault_plan",
+    "maybe_kill_driver",
+    "reset_fault_plan",
+]
+
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Sentinel shard id meaning "kill the driver process itself".
+DRIVER = "driver"
+
+
+class FaultPlan:
+    """Parsed, one-shot-per-entry kill schedule."""
+
+    def __init__(self, raw: str):
+        self.raw = raw
+        #: round ordinal -> list of shard targets (ints or ``DRIVER``)
+        self._kills: Dict[int, List[object]] = {}
+        self._consumed: set = set()
+        for entry in raw.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            action, _, params = entry.partition(":")
+            if action.strip() != "kill":
+                raise ValueError(
+                    f"unsupported fault action {action.strip()!r} in plan {raw!r}"
+                )
+            shard: Optional[object] = None
+            rnd: Optional[int] = None
+            for field in params.split(","):
+                key, _, value = field.partition("=")
+                key = key.strip()
+                value = value.strip()
+                if key == "shard":
+                    shard = DRIVER if value == DRIVER else int(value)
+                elif key == "round":
+                    rnd = int(value)
+                else:
+                    raise ValueError(
+                        f"unknown fault field {key!r} in plan {raw!r}"
+                    )
+            if shard is None or rnd is None:
+                raise ValueError(
+                    f"fault entry {entry!r} needs both shard= and round="
+                )
+            self._kills.setdefault(rnd, []).append(shard)
+
+    def shard_kills(self, ordinal: int) -> List[int]:
+        """Consume and return the shard ids to kill at this step ordinal.
+
+        Each (round, shard) entry fires at most once per plan instance.
+        """
+        shards: List[int] = []
+        for target in self._kills.get(ordinal, ()):
+            if target == DRIVER:
+                continue
+            key = (ordinal, target)
+            if key in self._consumed:
+                continue
+            self._consumed.add(key)
+            shards.append(target)
+        return shards
+
+    def driver_kill(self, ordinal: int) -> bool:
+        """Consume and return whether the driver dies at this ordinal."""
+        key = (ordinal, DRIVER)
+        if DRIVER in self._kills.get(ordinal, ()) and key not in self._consumed:
+            self._consumed.add(key)
+            return True
+        return False
+
+
+_plan: Optional[FaultPlan] = None
+
+
+def get_fault_plan() -> Optional[FaultPlan]:
+    """The process-wide plan for the current ``REPRO_FAULT_PLAN`` value.
+
+    Re-parsed (with consumption state reset) whenever the env string
+    changes; ``None`` when unset.  Tests that reuse one plan string
+    across several runs in a single process must call
+    :func:`reset_fault_plan` between runs.
+    """
+    global _plan
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if not raw:
+        _plan = None
+        return None
+    if _plan is None or _plan.raw != raw:
+        _plan = FaultPlan(raw)
+    return _plan
+
+
+def reset_fault_plan() -> None:
+    """Forget consumption state so the plan can fire again (test helper)."""
+    global _plan
+    _plan = None
+
+
+def maybe_kill_driver(ordinal: int, checkpoint=None) -> None:
+    """Fire a scheduled ``shard=driver`` kill: ``os._exit(1)``, no cleanup.
+
+    Called by the CLUSTER/CLUSTER2 driver loops at each growing-step
+    ordinal.  ``os._exit`` skips atexit/finally exactly like a SIGKILL
+    would, which is the point — the ``--resume`` tests want a driver
+    death that only a durable checkpoint survives.
+
+    ``checkpoint`` (a :class:`RunCheckpointer`), when given, is drained
+    before the exit: the plan schedules kills in growing-step ordinals,
+    and letting the write-behind publish land first keeps "which rounds
+    are durable at ordinal R" deterministic instead of a race between
+    the writer thread and the simulated death.
+    """
+    plan = get_fault_plan()
+    if plan is not None and plan.driver_kill(ordinal):
+        if checkpoint is not None:
+            try:
+                checkpoint.flush()
+            except Exception:
+                pass  # dying anyway; resume falls back to older rounds
+        os._exit(1)

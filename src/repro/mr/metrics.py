@@ -132,3 +132,32 @@ class Counters:
             "work": self.work,
             **self.extra,
         }
+
+    _KNOWN_FIELDS = (
+        "rounds",
+        "messages",
+        "updates",
+        "relaxations",
+        "growing_steps",
+        "peak_round_messages",
+    )
+
+    @classmethod
+    def restore_into(cls, counters: "Counters", snapshot: Dict[str, int]) -> None:
+        """Overwrite ``counters``'s comparable fields from a :meth:`snapshot`.
+
+        The checkpoint/recovery inverse of :meth:`snapshot`: a resumed
+        or replayed run continues accumulating from exactly the counts
+        the snapshot recorded, so the final counters are bit-identical
+        to an uninterrupted run.  ``work`` is derived and dropped; every
+        other unknown key goes back to ``extra``.  :attr:`timings` and
+        :attr:`impl` are untouched — wall-clock and environment are
+        never bit-compared.
+        """
+        for name in cls._KNOWN_FIELDS:
+            setattr(counters, name, int(snapshot.get(name, 0)))
+        counters.extra = {
+            key: value
+            for key, value in snapshot.items()
+            if key not in cls._KNOWN_FIELDS and key != "work"
+        }

@@ -27,13 +27,29 @@ import warnings
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["NATIVE_DIR_ENV", "build_library", "library_path"]
+__all__ = [
+    "NATIVE_DIR_ENV",
+    "BUILD_TIMEOUT_ENV",
+    "build_library",
+    "library_path",
+]
 
 #: Override for the build cache directory.
 NATIVE_DIR_ENV = "REPRO_NATIVE_DIR"
+#: Wall-clock limit (seconds) on one compiler invocation; a hung
+#: toolchain degrades to the pure tier instead of wedging the run.
+BUILD_TIMEOUT_ENV = "REPRO_NATIVE_BUILD_TIMEOUT_S"
 
 _SOURCE = Path(__file__).with_name("_kernels.c")
 _CFLAGS = ("-O3", "-fPIC", "-shared", "-std=c11", "-fno-math-errno")
+
+
+def _build_timeout() -> float:
+    try:
+        timeout = float(os.environ.get(BUILD_TIMEOUT_ENV, "120"))
+    except ValueError:
+        return 120.0
+    return timeout if timeout > 0 else 120.0
 
 
 def _cache_dir() -> Path:
@@ -90,11 +106,24 @@ def build_library() -> Optional[Path]:
         # Host tuning first (the cache is per-machine); a compiler that
         # rejects -march=native gets a second, portable attempt.
         proc = None
+        timeout = _build_timeout()
         for extra in (("-march=native",), ()):
             cmd = [cc, *_CFLAGS, *extra, "-o", str(tmp), str(_SOURCE)]
-            proc = subprocess.run(
-                cmd, capture_output=True, text=True, timeout=120
-            )
+            try:
+                proc = subprocess.run(
+                    cmd, capture_output=True, text=True, timeout=timeout
+                )
+            except subprocess.TimeoutExpired:
+                warnings.warn(
+                    f"repro native kernels: {cc} exceeded the "
+                    f"{timeout:.0f}s build deadline "
+                    f"({BUILD_TIMEOUT_ENV} to change); "
+                    "using the pure NumPy tier",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                tmp.unlink(missing_ok=True)
+                return None
             if proc.returncode == 0:
                 break
         if proc is None or proc.returncode != 0:

@@ -86,7 +86,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import MemoryLimitExceeded
+from repro.errors import MemoryLimitExceeded, WorkerFailure
 from repro.mr import native as _native
 
 __all__ = [
@@ -95,6 +95,7 @@ __all__ = [
     "EXCHANGE_ENV",
     "PARTITIONER_ENV",
     "RESIDENT_ENV",
+    "WORKER_TIMEOUT_ENV",
 ]
 
 #: Candidate rows on the wire: ``(nd, center, dacc, source)``.  The
@@ -117,6 +118,12 @@ PARTITIONER_ENV = "REPRO_SHARD_PARTITIONER"
 #: sequentially in-process and their CSR mmaps are LRU-released so the
 #: mapped shard bytes stay under the budget.
 RESIDENT_ENV = "REPRO_SHARD_RESIDENT_MB"
+
+#: Per-command worker deadline in seconds (default 60).  A worker that
+#: neither replies nor heartbeats within the window is declared dead
+#: and the whole pool is torn down with a
+#: :class:`~repro.errors.WorkerFailure` for the recovery loop.
+WORKER_TIMEOUT_ENV = "REPRO_WORKER_TIMEOUT_S"
 
 #: Kernel-selection environment, re-applied in every worker on each
 #: ``reset`` broadcast: persistent workers outlive driver-side env
@@ -311,12 +318,17 @@ class _ShardWorker:
         spec: dict,
         peer_conns: Optional[dict] = None,
         exchange: str = "serial",
+        in_process: bool = False,
     ):
         from repro.graph.serialize import open_store
         from repro.mr.emit import EmitScratch
 
         self.shard_path = shard_path
         self.shard_id = shard_id
+        #: Whether this worker shares the driver's process (_InprocPool):
+        #: injected faults then raise instead of ``os._exit`` — exiting
+        #: would take the driver down with the "worker".
+        self.in_process = in_process
         own = _Ownership(shard_id, spec)
         self.own = own
 
@@ -601,12 +613,26 @@ class _ShardWorker:
         self.r_dacc[idx] = dacc
         self.r_frozen_iter[idx] = iteration
 
-    def step(self, delta, force, rescale, iteration, incoming, replicas):
+    def step(
+        self, delta, force, rescale, iteration, incoming, replicas, fault=None
+    ):
         from time import perf_counter
 
         from repro.mr.kernels import merge_kernel_name
         from repro.mrimpl.growing_mr import apply_merged_candidates
 
+        if fault == "kill":
+            # REPRO_FAULT_PLAN injection: die exactly like a SIGKILL —
+            # no unwinding, no pipe goodbye — so the supervision path
+            # under test is the real one.  In-process "workers" raise a
+            # simulated failure instead (they share the driver).
+            if self.in_process:
+                from repro.errors import WorkerFailure
+
+                raise WorkerFailure(
+                    "injected fault", shard=self.shard_id, command="step"
+                )
+            os._exit(1)
         self._shipped_this_step = False
         for block in replicas:
             self.apply_replicas(*block)
@@ -1077,6 +1103,63 @@ class _ShardWorker:
     def result(self):
         return self.state
 
+    # -- checkpoint support --------------------------------------------- #
+
+    def snapshot_state(self):
+        """This shard's slice of the global state (read-only command).
+
+        Valid at safe points only (no resident pending candidates); the
+        driver stitches the slices into the global checkpoint arrays.
+        """
+        s = self.state
+        return (
+            s.center.copy(),
+            s.dist.copy(),
+            s.dist_acc.copy(),
+            s.frozen.copy(),
+            s.frozen_iter.copy(),
+            self.changed.copy(),
+        )
+
+    def restore_state(self, center, dist, dacc, frozen, frozen_iter, changed):
+        """Rehydrate this shard from the *global* checkpoint arrays.
+
+        The worker slices its own rows and rebuilds the frozen-replica
+        ghosts for every frozen halo node eagerly.  Eager install is
+        equivalent to the pending freeze-block delivery an uninterrupted
+        run would perform: replicas are immutable once set and nothing
+        reads ``r_*`` before the next step's replica-application point,
+        by which time the blocks would have arrived anyway.  The
+        shipped-best history and emit scratch are reset — both are pure
+        traffic/caching state, never results.
+        """
+        gids = self.own.to_global(np.arange(self.num_rows, dtype=np.int64))
+        s = self.state
+        s.center[:] = center[gids]
+        s.dist[:] = dist[gids]
+        s.dist_acc[:] = dacc[gids]
+        s.frozen[:] = frozen[gids]
+        s.frozen_iter[:] = frozen_iter[gids]
+        self.changed[:] = changed[gids]
+        h = self.halo
+        hf = frozen[h]
+        self.r_frozen[:] = hf
+        self.r_center.fill(-1)
+        self.r_dist.fill(np.inf)
+        self.r_dacc.fill(np.inf)
+        self.r_frozen_iter.fill(0)
+        idx = np.flatnonzero(hf)
+        if len(idx):
+            hg = h[idx]
+            self.r_center[idx] = center[hg]
+            self.r_dist[idx] = dist[hg]
+            self.r_dacc[idx] = dacc[hg]
+            self.r_frozen_iter[idx] = frozen_iter[hg]
+        self.halo_best[:] = np.inf
+        self.pending = _empty_candidates()
+        self.active = np.flatnonzero(self.changed).astype(np.int64)
+        self.emit_scratch.reset()
+
 
 def _dispatch(worker: _ShardWorker, command: str, args):
     """Run one driver command — shared by the pipe loop and _InprocPool."""
@@ -1096,11 +1179,81 @@ def _dispatch(worker: _ShardWorker, command: str, args):
         return worker.reset(*args)
     if command == "result":
         return worker.result()
+    if command == "snapshot":
+        return worker.snapshot_state()
+    if command == "restore":
+        return worker.restore_state(*args)
     raise ValueError(f"unknown worker command {command!r}")
+
+
+def _worker_timeout() -> float:
+    """Per-command deadline in seconds (``REPRO_WORKER_TIMEOUT_S``)."""
+    try:
+        timeout = float(os.environ.get(WORKER_TIMEOUT_ENV, "60"))
+    except ValueError:
+        return 60.0
+    return timeout if timeout > 0 else 60.0
+
+
+def _hb_interval(timeout: float) -> float:
+    """Heartbeat period: several beats fit inside one deadline window."""
+    return min(5.0, timeout / 4.0)
+
+
+def _hb_loop(conn, lock, busy, stop, interval) -> None:
+    """Worker-side heartbeat: ``("hb",)`` frames while a command runs.
+
+    Beats are sent **only while a command is executing** (the ``busy``
+    window): an idle worker writing unacknowledged frames would
+    eventually fill the pipe buffer and deadlock against the driver —
+    serve keeps workers warm between queries for hours.  During a
+    command the driver drains the pipe continuously, so in-window beats
+    are always consumed; each one pushes the driver's deadline out, so
+    a *slow* round is distinguished from a *dead* worker no matter how
+    long the round runs.  The send lock is shared with the reply path —
+    a beat interleaved into a reply frame would corrupt the stream.
+    """
+    while not stop.is_set():
+        if not busy.wait(timeout=0.25):
+            continue
+        while busy.is_set() and not stop.is_set():
+            if stop.wait(interval):
+                return
+            if not busy.is_set():
+                break
+            with lock:
+                if not busy.is_set():
+                    break
+                try:
+                    conn.send(("hb",))
+                except (OSError, ValueError):  # driver gone
+                    return
+
+
+def _orphan_watchdog(stop, ppid) -> None:
+    """Exit when the driver process disappears.
+
+    A driver killed with SIGKILL (or ``os._exit``, as the fault plan's
+    ``shard=driver`` injection does) never runs the pool's close path,
+    and EOF alone cannot unwind the pool: each forked worker inherits
+    copies of the earlier workers' driver-pipe ends, so the orphans
+    keep each other's pipes open in a ring.  Reparenting is the one
+    signal that survives any driver death, so every worker polls its
+    parent pid and exits once it changes.
+    """
+    while not stop.wait(1.0):
+        if os.getppid() != ppid:
+            os._exit(2)
 
 
 def _shard_worker_main(conn, shard_path, shard_id, spec, peers, exchange):
     """Entry point of a shard-owning worker process."""
+    watchdog_stop = threading.Event()
+    threading.Thread(
+        target=_orphan_watchdog,
+        args=(watchdog_stop, os.getppid()),
+        daemon=True,
+    ).start()
     try:
         worker = _ShardWorker(
             shard_path, shard_id, spec, peer_conns=peers, exchange=exchange
@@ -1109,7 +1262,18 @@ def _shard_worker_main(conn, shard_path, shard_id, spec, peers, exchange):
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
         conn.close()
         return
-    conn.send(("ok", None))
+    send_lock = threading.Lock()
+    busy = threading.Event()
+    stop = threading.Event()
+    timeout = _worker_timeout()
+    hb_thread = threading.Thread(
+        target=_hb_loop,
+        args=(conn, send_lock, busy, stop, _hb_interval(timeout)),
+        daemon=True,
+    )
+    hb_thread.start()
+    with send_lock:
+        conn.send(("ok", None))
     while True:
         try:
             message = conn.recv()
@@ -1118,17 +1282,25 @@ def _shard_worker_main(conn, shard_path, shard_id, spec, peers, exchange):
         command = message[0]
         if command == "close":
             worker.close_exchange()
-            conn.send(("ok", None))
+            stop.set()
+            with send_lock:
+                conn.send(("ok", None))
             break
+        busy.set()
         try:
             reply = _dispatch(worker, command, message[1:])
-            conn.send(("ok", reply))
+            busy.clear()
+            with send_lock:
+                conn.send(("ok", reply))
         except BaseException:  # noqa: BLE001 - reported to the driver
             import traceback
 
+            busy.clear()
             if command == "step":
                 worker.abort_step()
-            conn.send(("error", traceback.format_exc()))
+            with send_lock:
+                conn.send(("error", traceback.format_exc()))
+    stop.set()
     conn.close()
 
 
@@ -1170,6 +1342,7 @@ class _PipePool:
                     mesh_ends.extend((end_i, end_j))
         self._procs: List = []
         self._conns: List = []
+        self._early: Dict[int, tuple] = {}
         try:
             for k, path in enumerate(shard_paths):
                 parent, child = ctx.Pipe()
@@ -1196,7 +1369,14 @@ class _PipePool:
             for end in mesh_ends:
                 end.close()
         for k, conn in enumerate(self._conns):
-            status, payload = conn.recv()
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                self.terminate()
+                raise WorkerFailure(
+                    f"shard worker {k} died during startup: {exc!r}",
+                    shard=k,
+                ) from exc
             if status != "ok":
                 self.close()
                 raise RuntimeError(
@@ -1209,34 +1389,141 @@ class _PipePool:
         ``per_worker`` supplies each worker's argument (a tuple is
         splatted into the command message).  All sends complete before
         any receive, so workers proceed in lockstep without deadlock.
+
+        Supervision: any send or receive failure — broken pipe, EOF, a
+        dead process, or a deadline miss with no heartbeat — terminates
+        the **whole pool** and raises :class:`WorkerFailure`.  Never
+        heal the mesh in place: under the async exchange the surviving
+        peers block on pipes to the dead worker, and a single-worker
+        respawn could not restore cross-shard consistency anyway.  The
+        recovery loop respawns everything from the last checkpoint.
+        Worker-side Python exceptions (shipped back as tracebacks) stay
+        ``RuntimeError`` — the worker is alive and consistent, that is
+        an application error, not a fault.
         """
         if not self._conns:
             raise RuntimeError("sharded workers are not running")
-        for k, conn in enumerate(self._conns):
-            if per_worker is None:
-                conn.send((command,))
-            else:
-                args = per_worker[k]
-                if not isinstance(args, tuple):
-                    args = (args,)
-                conn.send((command,) + args)
-        replies = []
-        errors = []
+        #: replies recovered out of order from a worker that finished a
+        #: command and *then* died — consumed by index in _recv_reply.
+        self._early: Dict[int, tuple] = {}
         for k, conn in enumerate(self._conns):
             try:
-                status, payload = conn.recv()
-            except (EOFError, OSError) as exc:
-                errors.append(f"shard worker {k} died: {exc!r}")
-                continue
-            if status == "ok":
-                replies.append(payload)
-            else:
-                errors.append(f"shard worker {k}: {payload}")
+                if per_worker is None:
+                    conn.send((command,))
+                else:
+                    args = per_worker[k]
+                    if not isinstance(args, tuple):
+                        args = (args,)
+                    conn.send((command,) + args)
+            except (OSError, ValueError, InterruptedError) as exc:
+                self.terminate()
+                raise WorkerFailure(
+                    f"lost pipe to shard worker {k}: {exc!r}",
+                    shard=k,
+                    command=command,
+                ) from exc
+        timeout = _worker_timeout()
+        replies = []
+        errors = []
+        try:
+            for k in range(len(self._conns)):
+                status, payload = self._recv_reply(k, timeout)
+                if status == "ok":
+                    replies.append(payload)
+                else:
+                    errors.append(f"shard worker {k}: {payload}")
+        except WorkerFailure as exc:
+            if exc.command is None:
+                exc.command = command
+            self.terminate()
+            raise
         if errors:
             raise RuntimeError(
                 "sharded execution failed:\n" + "\n".join(errors)
             )
         return replies
+
+    def _recv_reply(self, k: int, timeout: float):
+        """One worker's reply, with heartbeat-extended deadline.
+
+        Polls in short slices so a *different* worker's death is
+        noticed promptly even while this one's (possibly long) round is
+        still running.  This cross-check must not wait for worker *k*'s
+        reply or deadline: under the async exchange the survivors block
+        on the dead peer's mesh pipes **while still heart-beating**, so
+        a kill that only watched the in-order worker would extend its
+        deadline forever.  ``poll(0)`` alone cannot distinguish a dead
+        worker (EOF *is* readable) from one with a buffered reply, so
+        the scan drains the dead worker's pipe: a complete non-heartbeat
+        frame means it finished the command before dying (stashed for
+        its in-order turn); EOF or heartbeats-only means it died
+        mid-command — whole-pool failure.
+        """
+        from time import monotonic
+
+        conn = self._conns[k]
+        deadline = monotonic() + timeout
+        while True:
+            early = self._early.pop(k, None)
+            if early is not None:
+                return early
+            try:
+                if conn.poll(0.05):
+                    message = conn.recv()
+                    if message[0] == "hb":
+                        deadline = monotonic() + timeout
+                        continue
+                    return message
+            except (EOFError, OSError, InterruptedError) as exc:
+                raise WorkerFailure(
+                    f"shard worker {k} died mid-command: {exc!r}", shard=k
+                ) from exc
+            for j, proc in enumerate(self._procs):
+                if proc.is_alive() or j in self._early or j == k:
+                    continue
+                reply = None
+                try:
+                    while self._conns[j].poll(0):
+                        frame = self._conns[j].recv()
+                        if frame[0] != "hb":
+                            reply = frame
+                            break
+                except (EOFError, OSError):
+                    reply = None
+                if reply is None:
+                    raise WorkerFailure(
+                        f"shard worker {j} died "
+                        f"(exit code {proc.exitcode})",
+                        shard=j,
+                    )
+                self._early[j] = reply
+            if monotonic() > deadline:
+                raise WorkerFailure(
+                    f"shard worker {k} missed its deadline "
+                    f"({timeout:.0f}s without reply or heartbeat)",
+                    shard=k,
+                )
+
+    def terminate(self) -> None:
+        """Kill the pool without the polite close handshake.
+
+        Used when a worker is already dead or wedged: sending
+        ``("close",)`` and joining would block on broken pipes.
+        """
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+                if proc.is_alive():  # pragma: no cover - unkillable
+                    proc.kill()
+                    proc.join(timeout=5)
+        self._procs = []
+        self._conns = []
 
     def close(self) -> None:
         for conn in self._conns:
@@ -1293,7 +1580,9 @@ class _InprocPool:
             # make room *before* the worker opens its store, so even
             # the build phase respects the budget.
             self._make_room(self._sizes[k])
-            self.workers.append(_ShardWorker(str(path), k, spec))
+            self.workers.append(
+                _ShardWorker(str(path), k, spec, in_process=True)
+            )
             self._note_open(k)
 
     def _make_room(self, need: int) -> None:
@@ -1443,7 +1732,12 @@ class ShardedGrowingState:
         rescale: float = 0.0,
         iteration: int = 0,
     ) -> Tuple[int, int]:
+        from repro.mr.faults import get_fault_plan
+
         num_shards = self.executor.num_shards
+        ordinal = engine.counters.growing_steps + 1
+        plan = get_fault_plan()
+        fault_shards = set(plan.shard_kills(ordinal)) if plan else ()
         deliver, self._remote = self._remote, {}
         replicas, self._replica_updates = self._replica_updates, {}
         per_worker = []
@@ -1457,7 +1751,15 @@ class ShardedGrowingState:
                 for block in ghosts
             )
             per_worker.append(
-                (delta, force, rescale, iteration, incoming, ghosts)
+                (
+                    delta,
+                    force,
+                    rescale,
+                    iteration,
+                    incoming,
+                    ghosts,
+                    "kill" if k in fault_shards else None,
+                )
             )
         # Async exchange: candidates shipped worker-to-worker during
         # the previous step are delivered (merged) this step.
@@ -1469,7 +1771,12 @@ class ShardedGrowingState:
         from time import perf_counter
 
         step_start = perf_counter()
-        replies = self.executor._broadcast("step", per_worker=per_worker)
+        try:
+            replies = self.executor._broadcast("step", per_worker=per_worker)
+        except WorkerFailure as exc:
+            if exc.round is None:
+                exc.round = ordinal
+            raise
         step_wall = perf_counter() - step_start
         # Per-phase timers: the critical path (slowest shard) of each
         # worker-reported phase; everything else — pickling, pipe
@@ -1577,6 +1884,59 @@ class ShardedGrowingState:
             center[rows] = state.center
             dacc[rows] = state.dist_acc
         return center, dacc
+
+    # -- checkpoint support --------------------------------------------- #
+
+    def snapshot_arrays(self) -> Dict[str, np.ndarray]:
+        """Stitch the workers' state slices into the global checkpoint arrays.
+
+        Safe points only (the drivers guarantee no in-flight candidates
+        and empty replica queues) — the snapshot is then portable to
+        any backend, including resuming a sharded run under ``vector``.
+        """
+        n = self.num_nodes
+        arrays = {
+            "center": np.full(n, -1, dtype=np.int64),
+            "dist": np.full(n, np.inf),
+            "dist_acc": np.full(n, np.inf),
+            "frozen": np.zeros(n, dtype=bool),
+            "frozen_iter": np.zeros(n, dtype=np.int64),
+            "changed": np.zeros(n, dtype=bool),
+        }
+        parts = self.executor._broadcast("snapshot")
+        names = ("center", "dist", "dist_acc", "frozen", "frozen_iter", "changed")
+        for k, part in enumerate(parts):
+            rows = (
+                slice(self.plan.starts[k], self.plan.starts[k + 1])
+                if self.plan.mode == "range"
+                else self.plan.shard_rows(k)
+            )
+            for name, column in zip(names, part):
+                arrays[name][rows] = column
+        return arrays
+
+    def restore_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Rehydrate every worker from the global checkpoint arrays.
+
+        Each worker slices its own rows and rebuilds its frozen-replica
+        ghosts; the driver's in-flight routing state is cleared — at a
+        safe point an uninterrupted run holds none either.
+        """
+        args = (
+            arrays["center"],
+            arrays["dist"],
+            arrays["dist_acc"],
+            arrays["frozen"],
+            arrays["frozen_iter"],
+            arrays["changed"],
+        )
+        self.executor._broadcast(
+            "restore", per_worker=[args] * self.executor.num_shards
+        )
+        self._remote = {}
+        self._replica_updates = {}
+        self._emitted_last = 0
+        self._sent_prev = 0
 
 
 class ShardedExecutor:

@@ -13,21 +13,31 @@ not exercise.
 Like :func:`~repro.mrimpl.cluster_mr.mr_cluster`, the driver runs on
 either state backend: per-key pair rounds on the serial executors, batch
 array rounds on ``vector``/``parallel`` — same results either way.
+
+Fault tolerance mirrors the CLUSTER driver: the public entry wraps both
+phases in one :func:`~repro.runtime.checkpoint.recovery_loop` (phase 1
+runs through the internal, non-recovering ``_mr_cluster`` so a worker
+failure never nests two retry loops), and phase 2 adds its own safe
+point at the top of each iteration.  A phase-2 cursor carries the only
+facts phase 1 feeds forward — the base radius, τ, and stage list — so
+resuming a phase-2 checkpoint skips phase 1 entirely.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.core.cluster import Clustering
+from repro.core.cluster import Clustering, StageInfo
 from repro.core.config import ClusterConfig
 from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
 from repro.mr.engine import MREngine
-from repro.mrimpl.cluster_mr import mr_cluster
+from repro.mr.faults import maybe_kill_driver
+from repro.mrimpl.cluster_mr import _mr_cluster
 from repro.mrimpl.growing_mr import make_growing_state, owned_engine
 from repro.util import as_rng
 
@@ -40,12 +50,15 @@ def mr_cluster2(
     config: Optional[ClusterConfig] = None,
     *,
     engine: Optional[MREngine] = None,
+    checkpoint=None,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> Clustering:
     """Run Algorithm 2 on the MR engine (validation path).
 
     Returns a :class:`~repro.core.cluster.Clustering` equal to the
     vectorized :func:`repro.core.cluster2.cluster2` result for the same
-    seed.
+    seed.  ``checkpoint``/``resume`` as in
+    :func:`~repro.mrimpl.cluster_mr.mr_cluster`.
     """
     config = config or ClusterConfig()
     if tau is not None:
@@ -53,27 +66,82 @@ def mr_cluster2(
     if graph.num_nodes == 0:
         raise ConfigurationError("cannot cluster the empty graph")
 
+    from repro.runtime.checkpoint import recovery_loop
+
     with owned_engine(graph, config, engine) as eng:
-        return _mr_cluster2(graph, config, eng)
+        return recovery_loop(
+            eng,
+            checkpoint,
+            resume,
+            lambda payload: _mr_cluster2(
+                graph, config, eng, checkpoint=checkpoint, resume=payload
+            ),
+        )
 
 
 def _mr_cluster2(
-    graph: CSRGraph, config: ClusterConfig, engine: MREngine
+    graph: CSRGraph,
+    config: ClusterConfig,
+    engine: MREngine,
+    checkpoint=None,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> Clustering:
     n = graph.num_nodes
-    # Phase 1: base CLUSTER for R_CL (same engine, so rounds accumulate).
-    base = mr_cluster(graph, config=config, engine=engine)
-    r_cl = base.radius
-    if r_cl <= 0.0:
-        base.counters.extra["cluster2_iterations"] = 0
-        return base
+    resume_c2: Optional[Dict[str, Any]] = None
+    if resume is not None and resume["cursor"].get("phase") == "c2":
+        resume_c2, resume = resume, None
+
+    if resume_c2 is None:
+        # Phase 1: base CLUSTER for R_CL (same engine, so rounds
+        # accumulate; a "base"-phase resume payload replays into it).
+        base = _mr_cluster(
+            graph, config, engine, checkpoint=checkpoint, resume=resume
+        )
+        r_cl = base.radius
+        if r_cl <= 0.0:
+            base.counters.extra["cluster2_iterations"] = 0
+            return base
+        base_tau = base.tau
+        base_stages = base.stages
+    else:
+        cursor = resume_c2["cursor"]
+        r_cl = float(cursor["r_cl"])
+        base_tau = int(cursor["tau"])
+        base_stages = [StageInfo(**s) for s in cursor["stages"]]
 
     delta = 2.0 * r_cl
     rng = as_rng(None if config.seed is None else config.seed + 1)
     state = make_growing_state(graph, engine)
     num_iterations = max(1, math.ceil(math.log2(max(n, 2))))
 
-    for i in range(1, num_iterations + 1):
+    start_iteration = 1
+    if resume_c2 is not None:
+        from repro.runtime.checkpoint import restore_run_state
+
+        restore_run_state(state, engine, rng, resume_c2)
+        start_iteration = int(resume_c2["cursor"]["iteration"])
+        if checkpoint is not None:
+            checkpoint.note_restored(engine.counters.rounds)
+            checkpoint.resumed_round = int(resume_c2["round"])
+
+    c2_stages = [dataclasses.asdict(s) for s in base_stages]
+    for i in range(start_iteration, num_iterations + 1):
+        # ---- safe point: iteration top --------------------------------- #
+        if checkpoint is not None:
+            checkpoint.maybe_save(
+                state,
+                engine,
+                rng,
+                {
+                    "phase": "c2",
+                    "iteration": i,
+                    "r_cl": r_cl,
+                    "tau": base_tau,
+                    "stages": c2_stages,
+                    "delta": delta,
+                    "num_iterations": num_iterations,
+                },
+            )
         uncovered = state.uncovered()
         if len(uncovered) == 0:
             break
@@ -89,6 +157,7 @@ def _mr_cluster2(
         force = True
         steps = 0
         while True:
+            maybe_kill_driver(engine.counters.growing_steps + 1, checkpoint)
             updated, _newly = state.step(
                 engine, delta, force=force, rescale=delta, iteration=i
             )
@@ -118,9 +187,9 @@ def _mr_cluster2(
         centers=np.unique(center),
         radius=float(dacc.max()) if n else 0.0,
         delta_end=delta,
-        tau=base.tau,
+        tau=base_tau,
         counters=engine.counters,
-        stages=base.stages,
+        stages=base_stages,
         singleton_count=leftover,
     )
     clustering.validate()

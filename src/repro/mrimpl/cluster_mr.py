@@ -12,21 +12,35 @@ rounds (``vector``/``parallel``) run the array-valued hot path of
 :class:`~repro.mrimpl.growing_mr.ArrayGrowingState`, the per-key
 executors keep the literal pair simulation — with bit-identical results,
 which the backend-equivalence tests assert.
+
+Fault tolerance: the public entry wraps the driver in
+:func:`~repro.runtime.checkpoint.recovery_loop` — a
+:class:`~repro.errors.WorkerFailure` tears the executor down and replays
+from the last durable checkpoint (or round 0).  Checkpoints are taken at
+the driver's **safe points** — the top of each stage and the top of each
+Δ-growth phase — where no candidates are in flight, the ``changed`` mask
+is clear, and the previous round emitted nothing, so a snapshot is just
+the state arrays plus this driver's loop cursor and restores onto any
+backend.  The :mod:`~repro.mr.faults` kill schedule fires at growing-step
+ordinals inside the growth loops, which is what makes the recovery test
+matrix deterministic.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.core.cluster import Clustering, StageInfo
 from repro.core.config import ClusterConfig
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.graph.csr import CSRGraph
 from repro.graph.ops import total_weight
 from repro.mr.engine import MREngine
+from repro.mr.faults import maybe_kill_driver
 from repro.mrimpl.growing_mr import make_growing_state, owned_engine
 from repro.util import as_rng
 
@@ -39,6 +53,8 @@ def mr_cluster(
     config: Optional[ClusterConfig] = None,
     *,
     engine: Optional[MREngine] = None,
+    checkpoint=None,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> Clustering:
     """Run Algorithm 1 on the MR engine.
 
@@ -53,6 +69,13 @@ def mr_cluster(
         Optional pre-configured engine; defaults to
         :func:`~repro.mrimpl.growing_mr.default_engine` with enough local
         memory for the densest node's reducer group.
+    checkpoint:
+        Optional :class:`~repro.runtime.checkpoint.RunCheckpointer`;
+        enables safe-point snapshots and checkpointed worker recovery.
+    resume:
+        Optional checkpoint payload (from
+        :meth:`~repro.runtime.checkpoint.RunCheckpointer.load_latest`)
+        to restart from instead of round 0.
 
     Returns
     -------
@@ -65,12 +88,54 @@ def mr_cluster(
     if graph.num_nodes == 0:
         raise ConfigurationError("cannot cluster the empty graph")
 
+    from repro.runtime.checkpoint import recovery_loop
+
     with owned_engine(graph, config, engine) as eng:
-        return _mr_cluster(graph, config, eng)
+        return recovery_loop(
+            eng,
+            checkpoint,
+            resume,
+            lambda payload: _mr_cluster(
+                graph, config, eng, checkpoint=checkpoint, resume=payload
+            ),
+        )
+
+
+def _growth_cursor(
+    stage_index: int,
+    delta: float,
+    stages: List[StageInfo],
+    *,
+    delta_start: float,
+    steps_this_stage: int,
+    cover_target: int,
+    covered_so_far: int,
+    doublings: int,
+    num_uncovered: int,
+    num_picks: int,
+) -> Dict[str, Any]:
+    return {
+        "phase": "base",
+        "point": "growth",
+        "stage_index": stage_index,
+        "delta": delta,
+        "stages": [dataclasses.asdict(s) for s in stages],
+        "delta_start": delta_start,
+        "steps_this_stage": steps_this_stage,
+        "cover_target": cover_target,
+        "covered_so_far": covered_so_far,
+        "doublings": doublings,
+        "num_uncovered": num_uncovered,
+        "num_picks": num_picks,
+    }
 
 
 def _mr_cluster(
-    graph: CSRGraph, config: ClusterConfig, engine: MREngine
+    graph: CSRGraph,
+    config: ClusterConfig,
+    engine: MREngine,
+    checkpoint=None,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> Clustering:
     n = graph.num_nodes
     tau_val = config.resolve_tau(n)
@@ -97,29 +162,97 @@ def _mr_cluster(
 
     stages: List[StageInfo] = []
     stage_index = 0
+    growth_resume: Optional[Dict[str, Any]] = None
+
+    if resume is not None:
+        from repro.runtime.checkpoint import restore_run_state
+
+        cursor = resume["cursor"]
+        if cursor.get("phase") != "base":
+            raise CheckpointError(
+                f"checkpoint cursor phase {cursor.get('phase')!r} does not "
+                "belong to the CLUSTER driver"
+            )
+        restore_run_state(state, engine, rng, resume)
+        stage_index = int(cursor["stage_index"])
+        delta = float(cursor["delta"])
+        stages = [StageInfo(**s) for s in cursor["stages"]]
+        if cursor["point"] == "growth":
+            growth_resume = cursor
+        if checkpoint is not None:
+            checkpoint.note_restored(engine.counters.rounds)
+            checkpoint.resumed_round = int(resume["round"])
 
     while True:
-        uncovered = state.uncovered()
-        num_uncovered = len(uncovered)
-        if num_uncovered == 0 or num_uncovered < threshold:
-            break
-        stage_index += 1
-        probability = min(1.0, gamma_tau_log / num_uncovered)
-        picks = uncovered[rng.random(num_uncovered) < probability]
-        if len(picks) == 0:
-            picks = np.array(
-                [uncovered[int(rng.integers(num_uncovered))]], dtype=np.int64
-            )
+        if growth_resume is None:
+            # ---- safe point: stage top --------------------------------- #
+            if checkpoint is not None:
+                checkpoint.maybe_save(
+                    state,
+                    engine,
+                    rng,
+                    {
+                        "phase": "base",
+                        "point": "stage",
+                        "stage_index": stage_index,
+                        "delta": delta,
+                        "stages": [dataclasses.asdict(s) for s in stages],
+                    },
+                )
+            uncovered = state.uncovered()
+            num_uncovered = len(uncovered)
+            if num_uncovered == 0 or num_uncovered < threshold:
+                break
+            stage_index += 1
+            probability = min(1.0, gamma_tau_log / num_uncovered)
+            picks = uncovered[rng.random(num_uncovered) < probability]
+            if len(picks) == 0:
+                picks = np.array(
+                    [uncovered[int(rng.integers(num_uncovered))]],
+                    dtype=np.int64,
+                )
 
-        # Stage initialization: reset non-frozen nodes, install centers.
-        state.begin_stage(picks)
+            # Stage initialization: reset non-frozen nodes, install centers.
+            state.begin_stage(picks)
 
-        delta_start = delta
-        steps_this_stage = 0
-        cover_target = -(-num_uncovered // 2)
-        covered_so_far = len(picks)
-        doublings = 0
+            delta_start = delta
+            steps_this_stage = 0
+            cover_target = -(-num_uncovered // 2)
+            covered_so_far = len(picks)
+            doublings = 0
+            num_picks = len(picks)
+        else:
+            # Mid-stage resume: the arrays already hold the stage state
+            # (centers installed, earlier growths applied); rebuild only
+            # the loop counters and rejoin at the growth top below.
+            g, growth_resume = growth_resume, None
+            delta_start = float(g["delta_start"])
+            steps_this_stage = int(g["steps_this_stage"])
+            cover_target = int(g["cover_target"])
+            covered_so_far = int(g["covered_so_far"])
+            doublings = int(g["doublings"])
+            num_uncovered = int(g["num_uncovered"])
+            num_picks = int(g["num_picks"])
         while True:
+            # ---- safe point: growth top (stage start or post-doubling) - #
+            if checkpoint is not None:
+                checkpoint.maybe_save(
+                    state,
+                    engine,
+                    rng,
+                    _growth_cursor(
+                        stage_index,
+                        delta,
+                        stages,
+                        delta_start=delta_start,
+                        steps_this_stage=steps_this_stage,
+                        cover_target=cover_target,
+                        covered_so_far=covered_so_far,
+                        doublings=doublings,
+                        num_uncovered=num_uncovered,
+                        num_picks=num_picks,
+                    ),
+                )
             # PartialGrowth: forced first round (emit from all assigned),
             # then changed-only rounds.  Engine round r+1 merges the
             # candidates of vectorized growing step r, so termination
@@ -129,6 +262,9 @@ def _mr_cluster(
             newly_in_growth = 0
             rounds_in_growth = 0
             while True:
+                maybe_kill_driver(
+                    engine.counters.growing_steps + 1, checkpoint
+                )
                 updated, newly = state.step(engine, delta, force=force)
                 steps_this_stage += 1
                 rounds_in_growth += 1
@@ -172,7 +308,7 @@ def _mr_cluster(
             StageInfo(
                 stage=stage_index,
                 uncovered_before=num_uncovered,
-                new_centers=len(picks),
+                new_centers=num_picks,
                 delta_start=delta_start,
                 delta_end=delta,
                 growing_steps=steps_this_stage,

@@ -12,7 +12,7 @@ computation (§4.1).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.core.config import ClusterConfig
 from repro.core.diameter import DiameterEstimate, quotient_diameter
@@ -33,6 +33,8 @@ def mr_approximate_diameter(
     *,
     engine: Optional[MREngine] = None,
     num_workers: Optional[int] = None,
+    checkpoint=None,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> DiameterEstimate:
     """Estimate the weighted diameter with the MR-engine code path.
 
@@ -46,7 +48,10 @@ def mr_approximate_diameter(
     process pool).  ``num_workers`` sets the constructed engine's
     simulated machine count (and the ``parallel`` pool size; ``None``
     means the backend default — 1, or the CPU count for ``parallel``);
-    it is ignored when an ``engine`` is passed.
+    it is ignored when an ``engine`` is passed.  ``checkpoint``/``resume``
+    are forwarded to the decomposition driver (the only long-running
+    part of the pipeline) as in
+    :func:`~repro.mrimpl.cluster_mr.mr_cluster`.
     """
     config = config or ClusterConfig()
     if tau is not None:
@@ -54,7 +59,13 @@ def mr_approximate_diameter(
 
     with owned_engine(graph, config, engine, num_workers=num_workers) as eng:
         decompose = mr_cluster2 if config.use_cluster2 else mr_cluster
-        clustering = decompose(graph, config=config, engine=eng)
+        clustering = decompose(
+            graph,
+            config=config,
+            engine=eng,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
         g_c, _centers = mr_quotient_graph(eng, graph, clustering)
 
     value, exact = quotient_diameter(

@@ -476,6 +476,50 @@ class PairGrowingState:
         )
         return center, dacc
 
+    def snapshot_arrays(self) -> Dict[str, np.ndarray]:
+        """Checkpoint payload: the canonical array form of the pair states.
+
+        Only valid at safe points (no in-flight ``"C"`` pairs) — the
+        drivers guarantee that; the snapshot is then portable to any
+        backend.
+        """
+        n = self.num_nodes
+        states = extract_states(self.pairs, n)
+        out = {
+            "center": np.empty(n, dtype=np.int64),
+            "dist": np.empty(n, dtype=np.float64),
+            "dist_acc": np.empty(n, dtype=np.float64),
+            "frozen": np.empty(n, dtype=bool),
+            "frozen_iter": np.empty(n, dtype=np.int64),
+            "changed": np.empty(n, dtype=bool),
+        }
+        for u in range(n):
+            s = states[u]
+            out["center"][u] = s[1]
+            out["dist"][u] = s[2]
+            out["frozen"][u] = s[3]
+            out["dist_acc"][u] = s[4]
+            out["changed"][u] = s[5]
+            out["frozen_iter"][u] = s[6] if len(s) > 6 else 0
+        return out
+
+    def restore_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Rehydrate from a checkpoint payload, dropping in-flight pairs."""
+        updates: Dict[int, Tuple] = {}
+        for u in range(self.num_nodes):
+            updates[u] = (
+                "S",
+                int(arrays["center"][u]),
+                float(arrays["dist"][u]),
+                bool(arrays["frozen"][u]),
+                float(arrays["dist_acc"][u]),
+                bool(arrays["changed"][u]),
+                int(arrays["frozen_iter"][u]),
+            )
+        self.pairs = states_to_pairs(
+            [p for p in self.pairs if p[1][0] != "C"], updates
+        )
+
 
 class ArrayGrowingState:
     """Driver state over NumPy arrays (batch reducer path).
@@ -802,6 +846,35 @@ class ArrayGrowingState:
 
     def result(self) -> Tuple[np.ndarray, np.ndarray]:
         return self.center.copy(), self.dacc.copy()
+
+    def snapshot_arrays(self) -> Dict[str, np.ndarray]:
+        """Checkpoint payload (safe points only — ``_pending`` is empty)."""
+        return {
+            "center": self.center.copy(),
+            "dist": self.dist.copy(),
+            "dist_acc": self.dacc.copy(),
+            "frozen": self.frozen.copy(),
+            "frozen_iter": self.frozen_iter.copy(),
+            "changed": self.changed.copy(),
+        }
+
+    def restore_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Rehydrate from a checkpoint payload.
+
+        The active frontier is exactly the ``changed`` set at a safe
+        point (all-False in practice — the drivers only snapshot between
+        growths), and any pending emission or cached frozen replay is
+        invalid for the restored state, so scratch is reset.
+        """
+        np.copyto(self.center, arrays["center"])
+        np.copyto(self.dist, arrays["dist"])
+        np.copyto(self.dacc, arrays["dist_acc"])
+        np.copyto(self.frozen, arrays["frozen"])
+        np.copyto(self.frozen_iter, arrays["frozen_iter"])
+        np.copyto(self.changed, arrays["changed"])
+        self._pending = None
+        self._active = np.flatnonzero(self.changed).astype(np.int64)
+        self._emit_scratch.reset()
 
 
 def make_growing_state(graph: CSRGraph, engine: MREngine):

@@ -55,6 +55,11 @@ class AlgorithmSpec:
         Whether ``ctx.executor`` selects an MR-engine backend; specs
         without support reject a non-``None`` executor early instead of
         silently ignoring it.
+    supports_checkpoint:
+        Whether the spec forwards ``ctx.checkpoint``/``ctx.resume`` to a
+        driver with safe-point snapshots (the clustering family).  The
+        runner rejects explicit checkpoint arguments on other specs and
+        silently skips an env-armed cadence.
     option_names:
         Extra keyword options the algorithm understands (validated by
         the runner so typos fail fast).
@@ -64,6 +69,7 @@ class AlgorithmSpec:
     summary: str
     fn: Callable
     supports_executor: bool = False
+    supports_checkpoint: bool = False
     option_names: Tuple[str, ...] = ()
 
 
@@ -110,6 +116,7 @@ def register(
     summary: str,
     *,
     supports_executor: bool = False,
+    supports_checkpoint: bool = False,
     option_names: Tuple[str, ...] = (),
 ):
     """Decorator registering ``fn`` under ``name`` in :data:`REGISTRY`."""
@@ -121,6 +128,7 @@ def register(
                 summary=summary,
                 fn=fn,
                 supports_executor=supports_executor,
+                supports_checkpoint=supports_checkpoint,
                 option_names=option_names,
             )
         )
@@ -160,7 +168,13 @@ def _decompose(ctx, *, use_cluster2: bool):
         ctx.engine,
         num_workers=ctx.workers,
     ) as engine:
-        clustering = decompose(ctx.graph, config=config, engine=engine)
+        clustering = decompose(
+            ctx.graph,
+            config=config,
+            engine=engine,
+            checkpoint=ctx.checkpoint,
+            resume=ctx.resume,
+        )
     ctx.counters.merge(clustering.counters)
     return clustering
 
@@ -169,6 +183,7 @@ def _decompose(ctx, *, use_cluster2: bool):
     "diameter",
     "CL-DIAM weighted-diameter estimate (quotient diameter + 2R)",
     supports_executor=True,
+    supports_checkpoint=True,
     option_names=("exact", "use_cluster2"),
 )
 def _run_diameter(ctx):
@@ -191,6 +206,8 @@ def _run_diameter(ctx):
             ),
             engine=ctx.engine,
             num_workers=ctx.workers,
+            checkpoint=ctx.checkpoint,
+            resume=ctx.resume,
         )
     ctx.counters.merge(est.counters)
     metrics = {
@@ -230,6 +247,7 @@ def _clustering_result(ctx, *, use_cluster2: bool):
     "cluster",
     "CLUSTER (Algorithm 1) decomposition: centers, radius, quotient input",
     supports_executor=True,
+    supports_checkpoint=True,
 )
 def _run_cluster(ctx):
     return _clustering_result(ctx, use_cluster2=False)
@@ -239,6 +257,7 @@ def _run_cluster(ctx):
     "cluster2",
     "CLUSTER2 (Algorithm 2) decomposition with the analysed guarantees",
     supports_executor=True,
+    supports_checkpoint=True,
 )
 def _run_cluster2(ctx):
     return _clustering_result(ctx, use_cluster2=True)
@@ -276,6 +295,7 @@ def _run_sssp(ctx):
     "eccentricity",
     "certified per-node eccentricity intervals from one decomposition",
     supports_executor=True,
+    supports_checkpoint=True,
 )
 def _run_eccentricity(ctx):
     from repro.core.eccentricity import eccentricity_bounds

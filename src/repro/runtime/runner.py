@@ -66,6 +66,14 @@ class RunContext:
     #: survive across queries).  ``None`` builds a per-run engine whose
     #: executor is closed when the run ends.
     engine: Optional[Any] = None
+    #: :class:`~repro.runtime.checkpoint.RunCheckpointer` armed for this
+    #: run (``None`` = checkpointing off).  Built by :func:`run` from
+    #: ``checkpoint_every``/``REPRO_CHECKPOINT_EVERY``; specs forward it
+    #: to the MR drivers, which snapshot at their safe points.
+    checkpoint: Optional[Any] = None
+    #: Checkpoint payload to resume from (``run(resume=True)`` loads the
+    #: newest valid round), or ``None`` to start at round 0.
+    resume: Optional[Dict[str, Any]] = None
 
     @property
     def seed(self) -> Optional[int]:
@@ -175,6 +183,9 @@ def run(
     kernel_impl: Optional[str] = None,
     emit_threads: Optional[int] = None,
     engine: Optional[Any] = None,
+    checkpoint_every: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
     store: Optional[GraphStore] = None,
     registry: Optional[AlgorithmRegistry] = None,
     **options: Any,
@@ -214,6 +225,17 @@ def run(
         scratch buffers, growing state, and pooled executor stay warm —
         this is how ``repro serve`` amortizes engine start-up across
         queries.  Requires a non-``None`` ``executor``.
+    checkpoint_every, resume, checkpoint_dir:
+        Fault tolerance for specs with ``supports_checkpoint``:
+        ``checkpoint_every`` is the :class:`CheckpointPolicy` cadence
+        (``"5"`` rounds / ``"2.5s"``; default from
+        ``REPRO_CHECKPOINT_EVERY``), ``resume=True`` restarts from the
+        newest valid snapshot (fresh run when none exists), and
+        ``checkpoint_dir`` overrides the ``<store>.ckpt`` default
+        location.  Explicit values require an MR ``executor`` and a
+        checkpoint-capable spec; an env-armed cadence on other runs is
+        silently ignored.  The resolved resume round and saved rounds
+        are stamped on ``result.counters.impl``.
     store, registry:
         Override the process-wide defaults (mostly for tests).
     **options:
@@ -303,15 +325,78 @@ def run(
         engine.counters = Counters()
         engine.simulated_time = 0
 
+    resolved_config = _resolve_config(
+        config, seed, tau, shards, kernel_impl, emit_threads
+    )
+
+    explicit_ckpt = (
+        checkpoint_every is not None or resume or checkpoint_dir is not None
+    )
+    if explicit_ckpt and not spec.supports_checkpoint:
+        raise ConfigurationError(
+            f"algorithm {name!r} does not support checkpointing"
+        )
+    if explicit_ckpt and executor is None:
+        raise ConfigurationError(
+            "checkpointing runs on the MR drivers; pass an executor"
+        )
+    checkpointer = None
+    resume_payload = None
+    if spec.supports_checkpoint and executor is not None:
+        from repro.runtime.checkpoint import (
+            CheckpointPolicy,
+            RunCheckpointer,
+            checkpoint_dir_for,
+        )
+
+        policy = (
+            CheckpointPolicy.parse(str(checkpoint_every))
+            if checkpoint_every is not None
+            else CheckpointPolicy.from_env()
+        )
+        if policy.enabled or resume:
+            if isinstance(graph, CSRGraph):
+                signature = ("memory", graph.num_nodes, graph.num_edges)
+                store_path = None
+            else:
+                signature = (
+                    store if store is not None else default_store()
+                ).signature(graph)
+                store_path = signature[0]
+            ckpt_dir = checkpoint_dir_for(
+                name,
+                resolved_config,
+                store_path=store_path,
+                directory=checkpoint_dir,
+            )
+            if ckpt_dir is None:
+                if explicit_ckpt:
+                    raise ConfigurationError(
+                        "no checkpoint directory derivable for an "
+                        "in-memory graph; pass checkpoint_dir or set "
+                        "REPRO_CHECKPOINT_DIR"
+                    )
+                # Env-armed cadence with nowhere to write: skip.
+            else:
+                checkpointer = RunCheckpointer(
+                    ckpt_dir,
+                    algorithm=name,
+                    config=resolved_config,
+                    signature=signature,
+                    policy=policy,
+                )
+                if resume:
+                    resume_payload = checkpointer.load_latest()
+
     ctx = RunContext(
         graph=_resolve_graph(graph, store),
-        config=_resolve_config(
-            config, seed, tau, shards, kernel_impl, emit_threads
-        ),
+        config=resolved_config,
         executor=executor,
         workers=workers,
         options=dict(options),
         engine=engine,
+        checkpoint=checkpointer,
+        resume=resume_payload,
     )
     from repro.mr import native
 
@@ -323,6 +408,10 @@ def run(
     with native.impl_overrides(ctx.config.kernel_impl, ctx.config.emit_threads):
         result = spec.fn(ctx)
         ctx.counters.impl.update(native.resolved_info())
+    if checkpointer is not None:
+        ctx.counters.impl["checkpoint_rounds"] = list(checkpointer.saved_rounds)
+        if checkpointer.resumed_round is not None:
+            ctx.counters.impl["resume_round"] = int(checkpointer.resumed_round)
     result.elapsed = time.perf_counter() - start
     result.algorithm = name
     result.counters = ctx.counters

@@ -119,9 +119,15 @@ class ServeClient:
         workers: Optional[int] = None,
         shards: Optional[int] = None,
         options: Optional[Dict[str, Any]] = None,
+        deadline_s: Optional[float] = None,
         **config_kwargs: Any,
     ) -> Dict[str, Any]:
-        """Run ``algorithm`` on ``graph``; extra kwargs become config keys."""
+        """Run ``algorithm`` on ``graph``; extra kwargs become config keys.
+
+        ``deadline_s`` bounds this query's wall clock: past it the
+        server answers ``{"degraded": true, ...}`` with last-checkpoint
+        metadata instead of the result (see the daemon docs).
+        """
         merged = dict(config or {})
         merged.update(config_kwargs)
         request: Dict[str, Any] = {
@@ -139,6 +145,8 @@ class ServeClient:
             request["shards"] = shards
         if options:
             request["options"] = options
+        if deadline_s is not None:
+            request["deadline_s"] = deadline_s
         return self.request(request)
 
     # ------------------------------------------------------------------ #

@@ -35,6 +35,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -71,6 +72,7 @@ _HTTP_REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -92,12 +94,24 @@ class ServerConfig:
     ensure_reverse: bool = True
     allow_shutdown: bool = True
     preload: Tuple[str, ...] = field(default_factory=tuple)
+    #: Default per-query wall-clock budget in seconds (``None`` = no
+    #: deadline).  A request's own ``deadline_s`` overrides it.  On
+    #: expiry the query gets a ``degraded: true`` response carrying the
+    #: run's last-checkpoint metadata instead of an error.
+    query_deadline_s: Optional[float] = None
+    #: Seconds shutdown waits for in-flight queries before abandoning
+    #: them (queued queries are rejected immediately).
+    shutdown_grace_s: float = 5.0
 
     def __post_init__(self):
         if self.socket_path is None and self.port is None:
             raise ConfigurationError(
                 "repro serve needs --socket and/or --port"
             )
+        if self.query_deadline_s is not None and not self.query_deadline_s > 0:
+            raise ConfigurationError("query_deadline_s must be positive")
+        if not self.shutdown_grace_s >= 0:
+            raise ConfigurationError("shutdown_grace_s must be >= 0")
 
 
 class ReproServer:
@@ -127,6 +141,15 @@ class ReproServer:
         self._servers = []
         self._stop_event: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: Set the moment shutdown starts: new queries are rejected with
+        #: a clean 503 ``shutting-down`` error instead of racing the
+        #: closing scheduler.
+        self._closing = False
+        #: Open connection writers, closed explicitly at shutdown — a
+        #: handler cancelled by the dying event loop never finishes its
+        #: own close, which would leave clients blocked on a socket
+        #: nobody will ever write to.
+        self._writers: set = set()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -178,12 +201,43 @@ class ReproServer:
                 pass  # loop already closed — nothing left to stop
 
     async def _shutdown(self) -> None:
+        self._closing = True
+        # Unlink the unix socket path *before* touching the listener: a
+        # unix connection that only ever reaches the listen backlog gets
+        # no RST when the listening fd closes, so a client dialing into
+        # the shutdown race would block forever on a connected-but-
+        # never-accepted socket.  With the path gone, late dialers fail
+        # fast (ENOENT); dialers already queued are still accepted below
+        # — the listeners stay open through the drain — and answered
+        # with the structured 503 ``shutting-down`` by ``_dispatch``.
+        if self.config.socket_path is not None:
+            try:
+                os.unlink(self.config.socket_path)
+            except OSError:
+                pass
+        await self.scheduler.close(grace_s=self.config.shutdown_grace_s)
+        # One tick so connections accepted during the drain reach
+        # ``_dispatch`` and flush their rejection before the hang-up.
+        await asyncio.sleep(0)
         for server in self._servers:
             server.close()
         for server in self._servers:
             await server.wait_closed()
         self._servers.clear()
-        await self.scheduler.close()
+        # Hang up every surviving connection while the loop can still
+        # flush the FIN: connections accepted in the close race (or
+        # idle keep-alives) must see EOF, not block forever.
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - already torn down
+                pass
+        for writer in list(self._writers):
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+        self._writers.clear()
         self.graphs.close()
 
     # ------------------------------------------------------------------ #
@@ -192,6 +246,7 @@ class ReproServer:
 
     async def _handle_connection(self, reader, writer) -> None:
         self.connections += 1
+        self._writers.add(writer)
         try:
             first = await self._read_line(reader)
             if first is None or first == b"":
@@ -209,6 +264,7 @@ class ReproServer:
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass  # client went away; nothing to answer
         finally:
+            self._writers.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -296,6 +352,10 @@ class ReproServer:
 
     async def _dispatch(self, obj: Dict[str, Any]) -> Dict[str, Any]:
         op = obj.get("op", "query")
+        if self._closing and op in ("query", "open"):
+            raise ServeError.shutting_down(
+                "server is shutting down; not accepting new queries"
+            )
         if op == "ping":
             return {"pong": True, "version": __version__,
                     "protocol": PROTOCOL_VERSION}
@@ -362,9 +422,61 @@ class ReproServer:
             if cached is not None:
                 return self._attach_serve(cached, cache_hit=True, wait=0.0)
 
+        deadline = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.query_deadline_s
+        )
         job = functools.partial(self._execute_query, request)
-        (payload, was_hit), wait = await self.scheduler.submit(key, job)
+        try:
+            (payload, was_hit), wait = await self.scheduler.submit(
+                key, job, deadline_s=deadline
+            )
+        except asyncio.TimeoutError:
+            return self._degraded_response(request, deadline)
         return self._attach_serve(payload, cache_hit=was_hit, wait=wait)
+
+    def _degraded_response(
+        self, request: QueryRequest, deadline: Optional[float]
+    ) -> Dict[str, Any]:
+        """The deadline-expired answer: degraded metadata, not a 500.
+
+        Reports how far the (still-running or abandoned) computation
+        got via the run's last durable checkpoint — round reached,
+        frontier size — when the query's algorithm checkpoints to the
+        graph's ``<store>.ckpt`` tree; ``checkpoint`` is ``null``
+        otherwise.
+        """
+        checkpoint = None
+        try:
+            from repro.runtime.checkpoint import (
+                checkpoint_dir_for,
+                latest_metadata,
+            )
+
+            signature = self.graphs.peek_signature(request.graph)
+            if signature is None:
+                signature = self.store.signature(request.graph)
+            ckpt_dir = checkpoint_dir_for(
+                request.algorithm, request.config, store_path=signature[0]
+            )
+            if ckpt_dir is not None:
+                checkpoint = latest_metadata(ckpt_dir)
+        except Exception:
+            checkpoint = None  # metadata is best-effort, never an error
+        return {
+            "degraded": True,
+            "reason": "deadline",
+            "deadline_s": deadline,
+            "algorithm": request.algorithm,
+            "graph": request.graph,
+            "checkpoint": checkpoint,
+            "serve": {
+                "cache_hit": False,
+                "pending": self.scheduler.pending,
+                "running": self.scheduler.running,
+            },
+        }
 
     def _attach_serve(
         self, payload: Dict[str, Any], *, cache_hit: bool, wait: float
@@ -397,13 +509,16 @@ class ReproServer:
             # A twin query completed while this one waited in the queue.
             return cached, True
 
+        from repro.errors import WorkerFailure
+
         with entry.lock:
             entry.queries += 1
-            engine = entry.get_engine(
-                request.executor, request.workers, request.shards
-            )
-            try:
-                result = run(
+
+            def _run_once():
+                engine = entry.get_engine(
+                    request.executor, request.workers, request.shards
+                )
+                return run(
                     request.algorithm,
                     entry.graph,
                     config=request.config,
@@ -414,10 +529,28 @@ class ReproServer:
                     store=self.store,
                     **request.option_dict(),
                 )
+
+            try:
+                try:
+                    result = _run_once()
+                except WorkerFailure:
+                    # The driver's own recovery loop is exhausted, so
+                    # the warm engine's pool is poisoned: drop it and
+                    # retry exactly once on a fresh engine before
+                    # surfacing an error.
+                    entry.drop_engine(
+                        request.executor, request.workers, request.shards
+                    )
+                    result = _run_once()
             except KeyError as exc:
                 raise ServeError.not_found(str(exc.args[0]) if exc.args else str(exc))
             except ConfigurationError as exc:
                 raise ServeError.bad_request(str(exc))
+            except WorkerFailure as exc:
+                entry.drop_engine(
+                    request.executor, request.workers, request.shards
+                )
+                raise ServeError.internal(f"{type(exc).__name__}: {exc}")
             except ReproError as exc:
                 raise ServeError.bad_request(f"{type(exc).__name__}: {exc}")
             except Exception as exc:

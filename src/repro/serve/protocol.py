@@ -97,6 +97,10 @@ class ServeError(Exception):
         return cls("busy", message, 429)
 
     @classmethod
+    def shutting_down(cls, message: str) -> "ServeError":
+        return cls("shutting-down", message, 503)
+
+    @classmethod
     def internal(cls, message: str) -> "ServeError":
         return cls("internal", message, 500)
 
@@ -142,6 +146,12 @@ class QueryRequest:
     workers: Optional[int] = None
     shards: Optional[int] = None
     options: Tuple[Tuple[str, Any], ...] = ()
+    #: Per-query wall-clock budget (seconds); expiry gets a ``degraded``
+    #: response instead of an answer.  Deliberately NOT part of
+    #: :func:`cache_key` — the deadline changes when an answer arrives,
+    #: never what the answer is, so a patient twin query must hit the
+    #: cache entry an earlier run produced.
+    deadline_s: Optional[float] = None
 
     def option_dict(self) -> Dict[str, Any]:
         return dict(self.options)
@@ -188,6 +198,18 @@ def parse_query(obj: Mapping[str, Any]) -> QueryRequest:
     workers = _int_or_none("workers", obj.get("workers"))
     shards = _int_or_none("shards", obj.get("shards", raw_config.get("shards")))
 
+    deadline_s = obj.get("deadline_s")
+    if deadline_s is not None:
+        if (
+            isinstance(deadline_s, bool)
+            or not isinstance(deadline_s, (int, float))
+            or not deadline_s > 0
+        ):
+            raise ServeError.bad_request(
+                "'deadline_s' must be a positive number"
+            )
+        deadline_s = float(deadline_s)
+
     options = obj.get("options", {})
     if not isinstance(options, Mapping):
         raise ServeError.bad_request("'options' must be a JSON object")
@@ -226,6 +248,7 @@ def parse_query(obj: Mapping[str, Any]) -> QueryRequest:
         workers=workers,
         shards=shards,
         options=tuple(sorted(options.items())),
+        deadline_s=deadline_s,
     )
 
 

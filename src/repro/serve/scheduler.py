@@ -45,6 +45,7 @@ class SchedulerStats:
     completed: int = 0
     failed: int = 0
     rejected: int = 0
+    timed_out: int = 0
     peak_pending: int = 0
     queue_wait_s: float = 0.0
 
@@ -54,6 +55,7 @@ class SchedulerStats:
             "completed": self.completed,
             "failed": self.failed,
             "rejected": self.rejected,
+            "timed_out": self.timed_out,
             "peak_pending": self.peak_pending,
             "total_queue_wait_s": round(self.queue_wait_s, 6),
         }
@@ -118,15 +120,24 @@ class QueryScheduler:
         return self._running
 
     async def submit(
-        self, graph_key: str, fn: Callable[[], Any]
+        self,
+        graph_key: str,
+        fn: Callable[[], Any],
+        *,
+        deadline_s: Optional[float] = None,
     ) -> Tuple[Any, float]:
         """Admit ``fn`` to ``graph_key``'s FIFO queue and await its result.
 
         Returns ``(result, queue_wait_seconds)``.  Raises
-        :class:`ServeError` (``busy``) when either bound is hit, or
-        whatever ``fn`` raised once it ran.
+        :class:`ServeError` (``busy``) when either bound is hit,
+        ``asyncio.TimeoutError`` when ``deadline_s`` elapses first (the
+        job's future is cancelled: a still-queued job never runs; a job
+        already on a worker thread finishes there but its result is
+        discarded), or whatever ``fn`` raised once it ran.
         """
-        if self._closed or self._loop is None:
+        if self._closed:
+            raise ServeError.shutting_down("server is shutting down")
+        if self._loop is None:
             raise ServeError.internal("scheduler is not running")
         if self._pending >= self.max_pending:
             self.stats.rejected += 1
@@ -155,7 +166,17 @@ class QueryScheduler:
         self.stats.peak_pending = max(self.stats.peak_pending, self._pending)
         queue.put_nowait(job)
         try:
-            result, wait = await job.future
+            if deadline_s is not None:
+                # wait_for cancels the future on expiry, which also
+                # makes the drainer skip the job if it never started.
+                result, wait = await asyncio.wait_for(
+                    job.future, timeout=deadline_s
+                )
+            else:
+                result, wait = await job.future
+        except asyncio.TimeoutError:
+            self.stats.timed_out += 1
+            raise
         finally:
             self._pending -= 1
             remaining = self._active.get(graph_key, 1) - 1
@@ -194,8 +215,15 @@ class QueryScheduler:
 
     # ------------------------------------------------------------------ #
 
-    async def close(self) -> None:
-        """Stop the drainers, fail queued jobs, shut the pool down."""
+    async def close(self, grace_s: Optional[float] = None) -> None:
+        """Stop the drainers, fail queued jobs, shut the pool down.
+
+        Queued-but-unstarted jobs are failed immediately with a
+        ``shutting-down`` error; jobs already running get ``grace_s``
+        seconds to finish (``None`` = wait indefinitely).  A job that
+        outlives the grace is abandoned — its thread keeps running to
+        completion, but the daemon stops waiting for it.
+        """
         self._closed = True
         for key, queue in self._queues.items():
             # Fail everything still queued, then wake the drainer.
@@ -207,19 +235,34 @@ class QueryScheduler:
             for job in drained:
                 if not job.future.done():
                     job.future.set_exception(
-                        ServeError.internal("server shutting down")
+                        ServeError.shutting_down("server shutting down")
                     )
             queue.put_nowait(None)
         if self._drainers:
-            await asyncio.gather(
+            drainer_wait = asyncio.gather(
                 *self._drainers.values(), return_exceptions=True
             )
+            if grace_s is not None:
+                try:
+                    await asyncio.wait_for(
+                        asyncio.shield(drainer_wait), timeout=grace_s
+                    )
+                except asyncio.TimeoutError:
+                    # Grace expired with a job still on a worker
+                    # thread: abandon the drainers (the thread runs to
+                    # completion unobserved).
+                    drainer_wait.cancel()
+            else:
+                await drainer_wait
         self._queues.clear()
         self._drainers.clear()
-        # Let in-flight jobs finish; their threads hold graph pins.
-        await self._loop.run_in_executor(
-            None, lambda: self._pool.shutdown(wait=True)
-        )
+        if grace_s is None:
+            # Let in-flight jobs finish; their threads hold graph pins.
+            await self._loop.run_in_executor(
+                None, lambda: self._pool.shutdown(wait=True)
+            )
+        else:
+            self._pool.shutdown(wait=False, cancel_futures=True)
 
     def snapshot(self) -> Dict[str, Any]:
         return {

@@ -248,6 +248,180 @@ class TestStoreMutation:
             assert client.ping()["pong"] is True
 
 
+class TestDeadlineDegradation:
+    def test_expired_deadline_returns_degraded_not_500(
+        self, make_server, stored_graphs
+    ):
+        handle = make_server(max_workers=1)
+        with ServeClient(socket_path=handle.socket_path) as client:
+            response = client.query(
+                stored_graphs["big"], "cluster", tau=16, seed=31,
+                executor="vector", deadline_s=1e-6,
+            )
+            assert response.get("degraded") is True
+            assert response["reason"] == "deadline"
+            assert response["deadline_s"] == 1e-6
+            assert response["serve"]["cache_hit"] is False
+            # The daemon survived; the same query without a deadline
+            # completes and matches a direct run.
+            full = client.query(
+                stored_graphs["big"], "cluster", tau=16, seed=31,
+                executor="vector",
+            )
+            assert "degraded" not in full
+            direct = run(
+                "cluster", stored_graphs["big"], tau=16, seed=31,
+                executor="vector",
+            )
+            assert full["digest"] == result_digest(direct.raw)
+        handle.stop()
+
+    def test_server_default_deadline_applies(self, make_server, stored_graphs):
+        handle = make_server(query_deadline_s=1e-6)
+        with ServeClient(socket_path=handle.socket_path) as client:
+            response = client.query(
+                stored_graphs["gnm"], "cluster", tau=6, seed=41,
+                executor="vector",
+            )
+            assert response.get("degraded") is True
+            # A generous per-request deadline overrides the tiny default.
+            ok = client.query(
+                stored_graphs["gnm"], "cluster", tau=6, seed=41,
+                executor="vector", deadline_s=300.0,
+            )
+            assert "degraded" not in ok
+        handle.stop()
+
+    def test_degraded_response_reports_checkpoint_metadata(
+        self, make_server, stored_graphs
+    ):
+        """A degraded answer names the run's last durable round."""
+        # Populate <store>.ckpt with the exact (algorithm, config) the
+        # serve query will ask for; checkpoints every round.
+        direct = run(
+            "cluster", stored_graphs["big"], tau=16, seed=51,
+            executor="vector", checkpoint_every="1",
+        )
+        saved = direct.counters.impl.get("checkpoint_rounds")
+        assert saved, "precondition: the direct run wrote checkpoints"
+        handle = make_server()
+        with ServeClient(socket_path=handle.socket_path) as client:
+            response = client.query(
+                stored_graphs["big"], "cluster", tau=16, seed=51,
+                executor="vector", deadline_s=1e-6,
+            )
+            assert response.get("degraded") is True
+            assert response["checkpoint"] is not None
+            assert response["checkpoint"]["round"] == max(saved)
+            assert "uncovered" in response["checkpoint"]
+        handle.stop()
+
+    def test_deadline_is_not_part_of_the_cache_key(
+        self, make_server, stored_graphs
+    ):
+        """A patient twin of a deadlined query still hits the cache."""
+        handle = make_server()
+        with ServeClient(socket_path=handle.socket_path) as client:
+            first = client.query(
+                stored_graphs["mesh"], "diameter", tau=8, seed=61,
+                deadline_s=300.0,
+            )
+            assert "degraded" not in first
+            twin = client.query(stored_graphs["mesh"], "diameter", tau=8,
+                                seed=61)
+            assert twin["serve"]["cache_hit"] is True
+            assert twin["digest"] == first["digest"]
+        handle.stop()
+
+    def test_timed_out_counter_increments(self, make_server, stored_graphs):
+        handle = make_server()
+        with ServeClient(socket_path=handle.socket_path) as client:
+            client.query(
+                stored_graphs["gnm"], "cluster", tau=6, seed=71,
+                executor="vector", deadline_s=1e-6,
+            )
+            stats = client.stats()
+            assert stats["scheduler"]["timed_out"] >= 1
+        handle.stop()
+
+
+class TestShutdownDrain:
+    def test_new_queries_rejected_while_shutting_down(
+        self, make_server, stored_graphs
+    ):
+        """Post-shutdown queries get a 503 shutting-down, not a hang."""
+        handle = make_server(shutdown_grace_s=5.0)
+        with ServeClient(socket_path=handle.socket_path) as client:
+            assert client.ping()["pong"] is True
+            client.shutdown()
+            # The daemon is draining; a query racing the socket teardown
+            # sees either the structured 503 or a dropped/refused
+            # connection — never an accepted query, never a hang.
+            try:
+                with ServeClient(
+                    socket_path=handle.socket_path, timeout=30.0
+                ) as late:
+                    late.request({
+                        "op": "query",
+                        "graph": stored_graphs["mesh"],
+                        "algorithm": "diameter",
+                        "config": {"tau": 8},
+                    })
+                    raise AssertionError("query accepted during shutdown")
+            except ServeRemoteError as err:
+                assert err.status == 503
+                assert err.kind == "shutting-down"
+            except (ConnectionError, OSError):
+                pass
+        handle.stop()
+
+    def test_queued_jobs_fail_fast_on_shutdown(self, stored_graphs, tmp_path):
+        """Queued-but-unstarted queries drain with shutting-down errors
+        and the daemon stops within the bounded grace."""
+        from repro.serve import ServerConfig, start_server_thread
+
+        handle = start_server_thread(
+            ServerConfig(
+                socket_path=str(tmp_path / "drain.sock"),
+                max_workers=1,
+                shutdown_grace_s=2.0,
+            )
+        )
+        outcomes = []
+
+        def fire(seed):
+            try:
+                with ServeClient(socket_path=handle.socket_path) as c:
+                    outcomes.append(c.query(
+                        stored_graphs["big"], "cluster", tau=16, seed=seed,
+                        executor="vector",
+                    ))
+            except Exception as exc:  # noqa: BLE001 - recorded for asserts
+                outcomes.append(exc)
+
+        threads = [
+            threading.Thread(target=fire, args=(800 + i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.3)  # let them enqueue behind the single worker
+        t0 = time.time()
+        handle.stop()
+        stop_elapsed = time.time() - t0
+        for t in threads:
+            t.join(60)
+        assert not any(t.is_alive() for t in threads)
+        # Bounded: the 2s grace plus teardown slack, not an unbounded
+        # drain of every queued cold query.
+        assert stop_elapsed < 30
+        # Every query either completed or failed with the structured
+        # shutting-down error / a torn connection — none hung.
+        assert len(outcomes) == 3
+        for outcome in outcomes:
+            if isinstance(outcome, ServeRemoteError):
+                assert outcome.status in (500, 503)
+
+
 class TestLeakHygiene:
     def test_serve_lifecycle_leaks_nothing(self, tmp_path, stored_graphs):
         """Boot → mixed queries on every backend → stop: /dev/shm is
