@@ -246,6 +246,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--preload", action="append", default=[],
                          metavar="GRAPH",
                          help="make GRAPH resident at boot (repeatable)")
+    p_serve.add_argument("--memory-budget", default=None, metavar="BYTES",
+                         help="resident-memory budget ('512MB', '2GB', or "
+                              "bytes); over-budget queries get 503 + "
+                              "retry-after instead of an OOM")
+    p_serve.add_argument("--rate-limit", type=float, default=None,
+                         metavar="QPS",
+                         help="per-client query rate limit (token bucket); "
+                              "exhausted clients get 429 + retry-after")
+    p_serve.add_argument("--rate-burst", type=float, default=None,
+                         metavar="N",
+                         help="token-bucket burst capacity (default: "
+                              "max(rate-limit, 1))")
 
     p_shell = sub.add_parser(
         "shell", help="interactive client for a running serve daemon"
@@ -255,6 +267,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_shell.add_argument("--port", type=int, default=None,
                          help="TCP port of the daemon")
     p_shell.add_argument("--host", default="127.0.0.1")
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="check a graph's store, shard layouts, and checkpoints "
+             "against their recorded digests",
+    )
+    p_verify.add_argument("file")
+    p_verify.add_argument(
+        "--deep", action="store_true",
+        help="re-hash every payload byte (the 'full' verify tier); "
+             "default checks structure plus the O(1) digests",
+    )
+
+    p_ckpt = sub.add_parser(
+        "ckpt", help="inspect or garbage-collect checkpoint trees"
+    )
+    ckpt_sub = p_ckpt.add_subparsers(dest="ckpt_command", required=True)
+    p_clist = ckpt_sub.add_parser("list", help="list published rounds")
+    p_clist.add_argument("directory",
+                         help="a <store>.ckpt tree or one run directory")
+    p_cgc = ckpt_sub.add_parser(
+        "gc", help="delete rounds the retention policy no longer keeps"
+    )
+    p_cgc.add_argument("directory",
+                       help="a <store>.ckpt tree or one run directory")
+    p_cgc.add_argument(
+        "--retain", default=None, metavar="SPEC",
+        help="retention: round count ('5'), age ('36h', '7d'), or byte "
+             "budget ('500MB'); default: env REPRO_CKPT_RETAIN or keep 3",
+    )
+    p_cgc.add_argument("--dry-run", action="store_true",
+                       help="report what would be deleted, delete nothing")
     return parser
 
 
@@ -644,6 +688,29 @@ def _cmd_algorithms(args) -> int:
     return 0
 
 
+def _parse_bytes(text: Optional[str]) -> Optional[int]:
+    """'512MB' / '2GB' / plain byte counts for --memory-budget."""
+    if text is None:
+        return None
+    t = str(text).strip().lower()
+    for suffix, scale in (
+        ("tb", 1024**4), ("gb", 1024**3), ("mb", 1024**2), ("kb", 1024),
+        ("b", 1),
+    ):
+        if t.endswith(suffix):
+            try:
+                return int(float(t[: -len(suffix)]) * scale)
+            except ValueError:
+                break
+    try:
+        return int(t)
+    except ValueError:
+        raise ConfigurationError(
+            f"invalid byte size {text!r}: expected e.g. '512MB', '2GB', "
+            "or a plain byte count"
+        ) from None
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -663,6 +730,9 @@ def _cmd_serve(args) -> int:
             preload=tuple(args.preload),
             query_deadline_s=args.query_deadline,
             shutdown_grace_s=args.shutdown_grace,
+            memory_budget=_parse_bytes(args.memory_budget),
+            rate_limit=args.rate_limit,
+            rate_burst=args.rate_burst,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -704,6 +774,71 @@ def _cmd_shell(args) -> int:
         return 1
 
 
+def _cmd_verify(args) -> int:
+    from repro.runtime.verify import verify_tree
+
+    reports = verify_tree(args.file, deep=args.deep)
+    failures = 0
+    for report in reports:
+        mark = "ok  " if report["ok"] else "FAIL"
+        failures += not report["ok"]
+        line = f"{mark}  {report['kind']:<10} {report['artifact']}"
+        if report["detail"]:
+            line += f"  ({report['detail']})"
+        print(line)
+    depth = "deep" if args.deep else "header"
+    print(
+        f"{len(reports)} artifact(s) checked ({depth}), "
+        f"{failures} failure(s)"
+    )
+    return 1 if failures else 0
+
+
+def _cmd_ckpt(args) -> int:
+    from repro.runtime.checkpoint import (
+        RetentionPolicy,
+        collect_garbage,
+        list_checkpoints,
+    )
+
+    trees = list_checkpoints(args.directory)
+    if not trees:
+        print(f"no checkpoint rounds under {args.directory}")
+        return 0
+    if args.ckpt_command == "list":
+        for tree in trees:
+            total = sum(r["bytes"] for r in tree["rounds"])
+            print(f"{tree['run_key']}  ({tree['directory']}, {total} bytes)")
+            for row in tree["rounds"]:
+                import datetime
+
+                stamp = datetime.datetime.fromtimestamp(
+                    row["mtime"]
+                ).isoformat(timespec="seconds")
+                print(
+                    f"  round-{row['round']:<8} {row['bytes']:>12} bytes  "
+                    f"{stamp}"
+                )
+        return 0
+    # gc
+    policy = (
+        RetentionPolicy.parse(args.retain)
+        if args.retain is not None
+        else RetentionPolicy.from_env()
+    )
+    verb = "would delete" if args.dry_run else "deleted"
+    for tree in trees:
+        removed = collect_garbage(
+            tree["directory"], policy, dry_run=args.dry_run
+        )
+        if removed:
+            rounds = ", ".join(f"round-{r}" for r in removed)
+            print(f"{tree['run_key']}: {verb} {rounds}")
+        else:
+            print(f"{tree['run_key']}: nothing to collect")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "convert": _cmd_convert,
@@ -718,6 +853,8 @@ _COMMANDS = {
     "algorithms": _cmd_algorithms,
     "serve": _cmd_serve,
     "shell": _cmd_shell,
+    "verify": _cmd_verify,
+    "ckpt": _cmd_ckpt,
 }
 
 

@@ -11,6 +11,7 @@ __all__ = [
     "ReproError",
     "GraphFormatError",
     "GraphValidationError",
+    "CorruptArtifact",
     "MemoryLimitExceeded",
     "ConfigurationError",
     "ConvergenceError",
@@ -25,6 +26,39 @@ class ReproError(Exception):
 
 class GraphFormatError(ReproError):
     """Raised when parsing a graph file fails (bad header, bad record, ...)."""
+
+
+class CorruptArtifact(GraphFormatError):
+    """An on-disk artifact failed an integrity check.
+
+    Raised when a file that *identifies* as one of ours (store magic,
+    shard manifest, checkpoint round) fails structural validation or a
+    digest comparison — as opposed to :class:`GraphFormatError` proper,
+    which also covers "this is simply not our format".  Subclassing
+    keeps every existing ``except GraphFormatError`` recovery path
+    working while letting the quarantine layer react only to artifacts
+    it positively knows are damaged.
+
+    ``quarantined`` is filled in by the layer that moved the artifact
+    into its ``.quarantine/`` directory, when that happened.
+    """
+
+    def __init__(
+        self,
+        path: object,
+        *,
+        kind: str = "store",
+        detail: str = "",
+        quarantined: object = None,
+    ):
+        self.path = str(path)
+        self.kind = kind
+        self.detail = detail
+        self.quarantined = str(quarantined) if quarantined else None
+        message = f"corrupt {kind} {self.path}: {detail or 'integrity check failed'}"
+        if self.quarantined:
+            message += f" (quarantined to {self.quarantined})"
+        super().__init__(message)
 
 
 class GraphValidationError(ReproError):

@@ -129,12 +129,20 @@ class CSRGraph:
         ------
         GraphFormatError
             If ``path`` is not a valid GraphStore file.
+        CorruptArtifact
+            If the store fails the integrity checks selected by
+            ``REPRO_STORE_VERIFY`` (``header`` by default: O(1)
+            structural + header-digest checks; ``full`` streams and
+            re-hashes every section before mapping).
         """
         import mmap as _mmap
 
-        from repro.graph.serialize import read_store_header
+        from repro.graph.serialize import read_store_header, verify_store
+        from repro.integrity import verify_level
 
         header = read_store_header(path)
+        if verify_level() != "off":
+            verify_store(path, header=header)
         with open(path, "rb") as fh:
             if header.file_size:
                 buf = _mmap.mmap(fh.fileno(), 0, access=_mmap.ACCESS_READ)

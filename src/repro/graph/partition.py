@@ -62,9 +62,17 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.errors import GraphFormatError
+from repro.errors import CorruptArtifact, GraphFormatError
 from repro.graph.csr import CSRGraph
 from repro.graph.serialize import STORE_SUFFIX, open_store, write_store
+from repro.integrity import (
+    bytes_sha256,
+    file_sha256,
+    preflight_free_space,
+    quarantine_artifact,
+    sweep_orphan_tmps,
+    verify_level,
+)
 from repro.mr.partitioner import lp_assignment, range_partition_array
 
 __all__ = [
@@ -74,6 +82,7 @@ __all__ = [
     "write_partitioned_store",
     "ensure_partitioned",
     "load_partitioned",
+    "verify_partition",
     "shards_dir_for",
     "MANIFEST_NAME",
     "SHARDS_DIR_SUFFIX",
@@ -92,8 +101,11 @@ MANIFEST_NAME = "manifest.json"
 #: shared with the GraphStore cache's cleanup/budget accounting.
 SHARDS_DIR_SUFFIX = ".shards"
 #: Partitioned-layout format version (bump on incompatible changes).
-#: v2 added the partitioner field and the lp sidecar files.
-PARTITION_VERSION = 2
+#: v2 added the partitioner field and the lp sidecar files; v3 added
+#: the integrity digests (per-shard and per-sidecar sha256 plus the
+#: manifest self-digest).  A v2 layout is simply considered stale and
+#: rewritten on the next :func:`ensure_partitioned`.
+PARTITION_VERSION = 3
 #: Supported partitioner names.
 PARTITIONERS = ("range", "lp")
 #: Partitioner used when none is requested (kept as the library default
@@ -397,8 +409,10 @@ def write_partitioned_store(
         else shards_dir_for(store_path, num_shards, partitioner)
     )
     directory.mkdir(parents=True, exist_ok=True)
+    sweep_orphan_tmps(directory)
 
     shard_paths: List[Path] = []
+    shard_digests: List[str] = []
     for k in range(num_shards):
         path = directory / f"part-{k}{STORE_SUFFIX}"
         # Shard stores carry the reverse-CSR section up front: workers
@@ -410,9 +424,15 @@ def write_partitioned_store(
         else:
             shard = _shard_graph_rows(graph, plan.shard_rows(k))
         write_store(shard, path, reverse=True)
+        # Whole-file digest over the bytes just written (page cache is
+        # warm): lets a deep verify catch a shard file swapped for a
+        # different-but-self-consistent store, which the shard's own
+        # digest block cannot.
+        shard_digests.append(file_sha256(path))
         shard_paths.append(path)
 
     assignment = localidx = None
+    sidecar_digests = {}
     if plan.mode == "lp":
         assignment = np.ascontiguousarray(plan.assignment, dtype=np.int32)
         localidx = _localidx_of(assignment, num_shards)
@@ -420,9 +440,17 @@ def write_partitioned_store(
             (ASSIGNMENT_NAME, assignment),
             (LOCALIDX_NAME, localidx),
         ):
+            preflight_free_space(
+                directory, arr.nbytes, label=f"sidecar {name}"
+            )
             tmp = directory / (name + ".tmp")
-            arr.tofile(tmp)
-            os.replace(tmp, directory / name)
+            try:
+                arr.tofile(tmp)
+                os.replace(tmp, directory / name)
+            finally:
+                if tmp.exists():
+                    tmp.unlink()
+            sidecar_digests[name] = bytes_sha256(arr.tobytes())
 
     mtime_ns, size = _source_signature(store_path)
     manifest = {
@@ -439,7 +467,10 @@ def write_partitioned_store(
         "cut_arcs": [int(a) for a in plan.cut_arcs],
         "boundary_nodes": [int(b) for b in plan.boundary_nodes],
         "shards": [p.name for p in shard_paths],
+        "shard_sha256": shard_digests,
+        "sidecar_sha256": sidecar_digests,
     }
+    manifest["manifest_sha256"] = _manifest_digest(manifest)
     tmp = directory / (MANIFEST_NAME + ".tmp")
     tmp.write_text(json.dumps(manifest, indent=2) + "\n")
     os.replace(tmp, directory / MANIFEST_NAME)
@@ -451,6 +482,72 @@ def write_partitioned_store(
         assignment=assignment,
         localidx=localidx,
     )
+
+
+def _manifest_digest(manifest: dict) -> str:
+    """Self-digest of a manifest: sha256 over its canonical JSON, with
+    the digest field itself excluded."""
+    body = {k: v for k, v in manifest.items() if k != "manifest_sha256"}
+    return bytes_sha256(
+        json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+    )
+
+
+def verify_partition(
+    directory: PathLike, *, level: Optional[str] = None
+) -> dict:
+    """Check a partition layout's integrity at the requested verify tier.
+
+    ``header`` (default) is O(1): the manifest self-digest plus sidecar
+    length checks.  ``full`` re-hashes every shard file and sidecar
+    against the digests the manifest recorded.  Raises
+    :class:`~repro.errors.CorruptArtifact` on the first mismatch; the
+    report dict lists what was checked.
+    """
+    level = verify_level(level)
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise CorruptArtifact(
+            manifest_path, kind="manifest", detail=f"unreadable ({exc})"
+        ) from None
+    report = {"path": str(directory), "level": level, "checked": []}
+    if level == "off":
+        return report
+    recorded = manifest.get("manifest_sha256")
+    if recorded is not None and _manifest_digest(manifest) != recorded:
+        raise CorruptArtifact(
+            manifest_path, kind="manifest", detail="manifest digest mismatch"
+        )
+    report["checked"].append(MANIFEST_NAME)
+    if level != "full":
+        return report
+    for name, sha in zip(manifest.get("shards", ()),
+                         manifest.get("shard_sha256", ())):
+        path = directory / name
+        if not path.exists():
+            raise CorruptArtifact(
+                path, kind="store", detail="shard file missing"
+            )
+        if file_sha256(path) != sha:
+            raise CorruptArtifact(
+                path, kind="store", detail="shard digest mismatch"
+            )
+        report["checked"].append(name)
+    for name, sha in (manifest.get("sidecar_sha256") or {}).items():
+        path = directory / name
+        if not path.exists():
+            raise CorruptArtifact(
+                path, kind="sidecar", detail="sidecar missing"
+            )
+        if file_sha256(path) != sha:
+            raise CorruptArtifact(
+                path, kind="sidecar", detail="sidecar digest mismatch"
+            )
+        report["checked"].append(name)
+    return report
 
 
 def _plan_from_manifest(
@@ -477,8 +574,10 @@ def _mmap_sidecar(directory: Path, name: str, num_nodes: int) -> np.ndarray:
     except (OSError, ValueError) as exc:
         raise GraphFormatError(f"{path}: unreadable sidecar ({exc})") from None
     if len(arr) != num_nodes:
-        raise GraphFormatError(
-            f"{path}: sidecar has {len(arr)} entries, expected {num_nodes}"
+        raise CorruptArtifact(
+            path,
+            kind="sidecar",
+            detail=f"has {len(arr)} entries, expected {num_nodes}",
         )
     return arr
 
@@ -505,6 +604,10 @@ def load_partitioned(directory: PathLike) -> PartitionedStore:
             f"{directory}: partition version {manifest.get('version')!r} "
             f"not supported (expected {PARTITION_VERSION})"
         )
+    # The env-selected verify tier guards every load the same way store
+    # opens are guarded: ``header`` costs one manifest re-hash, ``full``
+    # re-hashes shards and sidecars too.
+    verify_partition(directory)
     shard_paths = [directory / name for name in manifest["shards"]]
     missing = [p for p in shard_paths if not p.exists()]
     if missing:
@@ -575,6 +678,12 @@ def ensure_partitioned(
     if _manifest_fresh(directory, store_path, num_shards, partitioner):
         try:
             return load_partitioned(directory)
+        except CorruptArtifact as exc:
+            # Positively-corrupt layout (failed a digest or length
+            # check): move the whole directory into quarantine so the
+            # damaged bytes stay inspectable, then rebuild below from
+            # the parent store — the self-heal path.
+            quarantine_artifact(directory, reason=str(exc))
         except GraphFormatError:
             pass  # torn/deleted shard files: fall through and rewrite
     if graph is None:

@@ -1,0 +1,244 @@
+"""Data-plane integrity primitives shared by every on-disk layout.
+
+Three concerns live here because they apply identically to stores
+(:mod:`repro.graph.serialize`), shard layouts
+(:mod:`repro.graph.partition`), and checkpoints
+(:mod:`repro.runtime.checkpoint`):
+
+* **Verify tiers** — ``REPRO_STORE_VERIFY=off|header|full`` selects how
+  much integrity checking an open pays.  ``header`` (the default) is
+  O(1): structural header checks plus the digest-block header digest,
+  which catches torn headers and any tail truncation.  ``full``
+  additionally streams every section and compares its sha256 — it
+  catches arbitrary payload bit flips at the cost of reading the file.
+  ``off`` restores the pre-digest behaviour.
+* **Quarantine** — a positively-corrupt artifact is atomically renamed
+  into a sibling ``<store>.quarantine/`` directory (same filesystem, so
+  ``os.rename`` is atomic) rather than deleted: the damaged bytes stay
+  available for forensics while every reader immediately stops seeing
+  them.  :func:`quarantine_artifact` derives the quarantine root from
+  the artifact's position inside a ``*.shards``/``*.ckpt`` layout.
+* **Crash-consistent writes** — :func:`preflight_free_space` turns an
+  inevitable mid-write ENOSPC into an up-front structured failure
+  before any bytes land, and :func:`sweep_orphan_tmps` removes the
+  ``*.tmp`` / ``tmp-*`` debris an interrupted atomic write leaves
+  behind, guarded by an mtime grace window so a concurrent writer's
+  live temp file is never yanked out from under it.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import time
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "VERIFY_ENV",
+    "VERIFY_LEVELS",
+    "TMP_GRACE_ENV",
+    "verify_level",
+    "file_sha256",
+    "bytes_sha256",
+    "quarantine_artifact",
+    "preflight_free_space",
+    "sweep_orphan_tmps",
+]
+
+PathLike = Union[str, Path]
+
+#: Environment knob selecting the verify tier applied when a store (or
+#: shard / checkpoint artifact) is opened.
+VERIFY_ENV = "REPRO_STORE_VERIFY"
+VERIFY_LEVELS = ("off", "header", "full")
+
+#: Environment knob (seconds) overriding the orphan-tmp grace window.
+TMP_GRACE_ENV = "REPRO_TMP_GRACE_S"
+_DEFAULT_TMP_GRACE_S = 3600.0
+
+#: Suffixes of layout directories whose parent owns the quarantine root.
+_LAYOUT_SUFFIXES = (".shards", ".ckpt")
+
+
+def verify_level(override: Optional[str] = None) -> str:
+    """Resolve the effective verify tier (explicit override > env > default)."""
+    raw = override if override is not None else os.environ.get(VERIFY_ENV)
+    if raw is None or raw == "":
+        return "header"
+    level = raw.strip().lower()
+    if level not in VERIFY_LEVELS:
+        raise ConfigurationError(
+            f"{VERIFY_ENV}={raw!r}: expected one of {', '.join(VERIFY_LEVELS)}"
+        )
+    return level
+
+
+def bytes_sha256(data: bytes) -> str:
+    """Hex sha256 of an in-memory buffer."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def file_sha256(
+    path: PathLike,
+    *,
+    offset: int = 0,
+    length: Optional[int] = None,
+    chunk_bytes: int = 8 << 20,
+) -> str:
+    """Hex sha256 of ``path[offset : offset+length]``, streamed in chunks.
+
+    ``length=None`` hashes to EOF.  Raises :class:`OSError` if the range
+    extends past the file (callers treat that as truncation).
+    """
+    digest = hashlib.sha256()
+    remaining = length
+    with open(path, "rb") as fh:
+        fh.seek(offset)
+        while remaining is None or remaining > 0:
+            want = chunk_bytes if remaining is None else min(chunk_bytes, remaining)
+            block = fh.read(want)
+            if not block:
+                if remaining is not None and remaining > 0:
+                    raise OSError(
+                        errno.EIO,
+                        f"{path}: short read hashing [{offset}, "
+                        f"{offset + length}) — file truncated",
+                    )
+                break
+            digest.update(block)
+            if remaining is not None:
+                remaining -= len(block)
+    return digest.hexdigest()
+
+
+def quarantine_root_for(path: PathLike) -> Path:
+    """The ``.quarantine/`` directory responsible for ``path``.
+
+    Artifacts inside a ``<store>.shards/`` or ``<store>.ckpt/`` layout
+    quarantine next to the owning store (``<store>.quarantine/``); a
+    bare store file quarantines into ``<file>.quarantine/``; anything
+    else (e.g. a relocated checkpoint root) falls back to a hidden
+    ``.quarantine/`` sibling.
+    """
+    path = Path(path)
+    for ancestor in path.parents:
+        for suffix in _LAYOUT_SUFFIXES:
+            if ancestor.name.endswith(suffix):
+                stem = ancestor.name[: -len(suffix)]
+                return ancestor.parent / (stem + ".quarantine")
+    if path.is_dir():
+        return path.parent / ".quarantine"
+    return path.parent / (path.name + ".quarantine")
+
+
+def quarantine_artifact(path: PathLike, *, reason: str = "") -> Optional[Path]:
+    """Atomically move a corrupt artifact into its quarantine directory.
+
+    Returns the new location, or ``None`` when the move could not be
+    performed (artifact already gone, permissions, cross-device rename)
+    — quarantine is best-effort; detection is what matters, and the
+    caller's :class:`~repro.errors.CorruptArtifact` carries the reason
+    either way.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    root = quarantine_root_for(path)
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        target = root / f"{path.name}-{time.time_ns()}"
+        os.rename(path, target)
+    except OSError:
+        return None
+    if reason:
+        try:
+            (target.parent / (target.name + ".reason")).write_text(reason + "\n")
+        except OSError:
+            pass  # forensic note only
+    return target
+
+
+def preflight_free_space(
+    directory: PathLike, nbytes: int, *, label: str = "write"
+) -> None:
+    """Fail fast with ENOSPC when ``directory`` cannot hold ``nbytes``.
+
+    A mid-write ENOSPC leaves a torn temp file and (worse) can starve
+    unrelated writers on the same filesystem; checking up front turns it
+    into a clean structured :class:`OSError` before any bytes land.
+    Filesystems without ``statvfs`` (or a zero-sized write) pass.
+    """
+    if nbytes <= 0:
+        return
+    try:
+        stats = os.statvfs(directory)
+    except (OSError, AttributeError):  # pragma: no cover - exotic fs
+        return
+    free = stats.f_bavail * stats.f_frsize
+    if free < nbytes:
+        raise OSError(
+            errno.ENOSPC,
+            f"{label}: need {nbytes} bytes in {directory} "
+            f"but only {free} are free",
+        )
+
+
+def _tmp_grace_s() -> float:
+    raw = os.environ.get(TMP_GRACE_ENV)
+    if raw is None or raw == "":
+        return _DEFAULT_TMP_GRACE_S
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return _DEFAULT_TMP_GRACE_S
+
+
+def sweep_orphan_tmps(
+    directory: PathLike,
+    patterns: Iterable[str] = ("*.tmp*",),
+    *,
+    dir_patterns: Iterable[str] = (),
+    grace_s: Optional[float] = None,
+) -> List[Path]:
+    """Remove interrupted-write debris from a layout directory.
+
+    ``patterns`` glob temp *files* (mkstemp names like
+    ``g.rcsr.tmpab12cd``), ``dir_patterns`` temp *directories*
+    (checkpoint ``tmp-<pid>-<round>``).  Only entries whose mtime is
+    older than the grace window (default 1h, ``REPRO_TMP_GRACE_S``) are
+    swept, so a concurrent writer's in-flight temp file survives.
+    Returns the removed paths; all errors are swallowed — the sweep is
+    housekeeping, never a reason to fail an open.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    grace = _tmp_grace_s() if grace_s is None else grace_s
+    cutoff = time.time() - grace
+    removed: List[Path] = []
+    try:
+        for pattern in patterns:
+            for candidate in directory.glob(pattern):
+                try:
+                    if candidate.is_file() and candidate.stat().st_mtime <= cutoff:
+                        candidate.unlink()
+                        removed.append(candidate)
+                except OSError:
+                    continue
+        for pattern in dir_patterns:
+            for candidate in directory.glob(pattern):
+                try:
+                    if candidate.is_dir() and candidate.stat().st_mtime <= cutoff:
+                        import shutil
+
+                        shutil.rmtree(candidate, ignore_errors=True)
+                        removed.append(candidate)
+                except OSError:
+                    continue
+    except OSError:
+        pass
+    return removed

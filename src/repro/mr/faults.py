@@ -1,19 +1,32 @@
-"""Deterministic fault injection for the sharded backend.
+"""Deterministic fault injection for the data and process planes.
 
-``REPRO_FAULT_PLAN`` names a schedule of worker kills that the driver
-executes at exact growing-step ordinals, so the crash/recovery test
-matrix is reproducible down to the round::
+``REPRO_FAULT_PLAN`` names a schedule of faults executed at exact
+ordinals, so the crash/recovery *and* corruption test matrices are
+reproducible down to the round::
 
     REPRO_FAULT_PLAN="kill:shard=2,round=5;kill:shard=driver,round=9"
+    REPRO_FAULT_PLAN="delay:shard=1,round=3,seconds=2.5"
+    REPRO_FAULT_PLAN="corrupt:target=ckpt,round=4;enospc:target=store,round=1"
 
-``shard=<k>`` kills shard worker *k* at the start of growing step
-``round`` (the worker calls ``os._exit(1)`` — indistinguishable from a
-SIGKILL as far as the driver's pipes are concerned; under the
-in-process pool a simulated :class:`~repro.errors.WorkerFailure` is
-raised instead, since ``os._exit`` would take the driver with it).
-``shard=driver`` makes the *driver* process ``os._exit(1)`` at that
-step, which is how the CLI ``--resume`` tests produce a SIGKILL-style
-death with a durable checkpoint behind it.
+Actions:
+
+``kill:shard=<k|driver>,round=<r>``
+    Kill shard worker *k* (``os._exit(1)`` — indistinguishable from a
+    SIGKILL as far as the driver's pipes are concerned; under the
+    in-process pool a simulated :class:`~repro.errors.WorkerFailure` is
+    raised instead) or the driver itself at growing-step ``r``.
+``delay:shard=<k>,round=<r>,seconds=<s>``
+    Make shard worker *k* sleep ``s`` seconds inside the step — the
+    deterministic way to trip the ``REPRO_WORKER_TIMEOUT_S`` deadline
+    supervision without an actual hang.
+``ioerror:target=<store|ckpt>,round=<r>`` / ``enospc:target=...``
+    Raise ``OSError(EIO)`` / ``OSError(ENOSPC)`` at the start of the
+    targeted write: checkpoint round ``r`` for ``ckpt``, the ``r``-th
+    ``write_store`` call of the process (1-based) for ``store``.
+``corrupt:target=<store|ckpt>,round=<r>``
+    Flip one payload byte in the artifact *after* it publishes — the
+    deterministic stand-in for silent media corruption that the verify
+    / quarantine machinery must catch.
 
 Each entry fires **once per process**: the plan is consumed as it
 triggers, so an in-process recovery replay passing through the same
@@ -25,7 +38,7 @@ keep the ordinal monotone, and the consumed set persists).  A resumed
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "FAULT_PLAN_ENV",
@@ -33,6 +46,7 @@ __all__ = [
     "get_fault_plan",
     "maybe_kill_driver",
     "reset_fault_plan",
+    "store_write_ordinal",
 ]
 
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -40,26 +54,33 @@ FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 #: Sentinel shard id meaning "kill the driver process itself".
 DRIVER = "driver"
 
+_ACTIONS = ("kill", "delay", "corrupt", "ioerror", "enospc")
+_TARGETS = ("store", "ckpt")
+
 
 class FaultPlan:
-    """Parsed, one-shot-per-entry kill schedule."""
+    """Parsed, one-shot-per-entry fault schedule."""
 
     def __init__(self, raw: str):
         self.raw = raw
-        #: round ordinal -> list of shard targets (ints or ``DRIVER``)
-        self._kills: Dict[int, List[object]] = {}
+        #: (action, subject, round) -> entry dict; subject is a shard id
+        #: (int or ``DRIVER``) for kill/delay, a target name otherwise.
+        self._entries: Dict[Tuple[str, object, int], dict] = {}
         self._consumed: set = set()
         for entry in raw.split(";"):
             entry = entry.strip()
             if not entry:
                 continue
             action, _, params = entry.partition(":")
-            if action.strip() != "kill":
+            action = action.strip()
+            if action not in _ACTIONS:
                 raise ValueError(
-                    f"unsupported fault action {action.strip()!r} in plan {raw!r}"
+                    f"unsupported fault action {action!r} in plan {raw!r}"
                 )
             shard: Optional[object] = None
             rnd: Optional[int] = None
+            target: Optional[str] = None
+            seconds: Optional[float] = None
             for field in params.split(","):
                 key, _, value = field.partition("=")
                 key = key.strip()
@@ -68,15 +89,50 @@ class FaultPlan:
                     shard = DRIVER if value == DRIVER else int(value)
                 elif key == "round":
                     rnd = int(value)
+                elif key == "target":
+                    if value not in _TARGETS:
+                        raise ValueError(
+                            f"unknown fault target {value!r} in plan {raw!r}"
+                        )
+                    target = value
+                elif key == "seconds":
+                    seconds = float(value)
                 else:
                     raise ValueError(
                         f"unknown fault field {key!r} in plan {raw!r}"
                     )
-            if shard is None or rnd is None:
-                raise ValueError(
-                    f"fault entry {entry!r} needs both shard= and round="
-                )
-            self._kills.setdefault(rnd, []).append(shard)
+            if rnd is None:
+                raise ValueError(f"fault entry {entry!r} needs round=")
+            if action in ("kill", "delay"):
+                if shard is None:
+                    raise ValueError(f"fault entry {entry!r} needs shard=")
+                if action == "delay" and seconds is None:
+                    raise ValueError(f"fault entry {entry!r} needs seconds=")
+                subject: object = shard
+            else:
+                if target is None:
+                    raise ValueError(f"fault entry {entry!r} needs target=")
+                subject = target
+            self._entries[(action, subject, rnd)] = {
+                "action": action,
+                "subject": subject,
+                "round": rnd,
+                "seconds": seconds,
+            }
+
+    def _consume(self, key: Tuple[str, object, int]) -> Optional[dict]:
+        entry = self._entries.get(key)
+        if entry is None or key in self._consumed:
+            return None
+        self._consumed.add(key)
+        return entry
+
+    def _subjects(self, action: str, ordinal: int) -> List[object]:
+        return [
+            subject
+            for (act, subject, rnd) in self._entries
+            if act == action and rnd == ordinal
+        ]
 
     def shard_kills(self, ordinal: int) -> List[int]:
         """Consume and return the shard ids to kill at this step ordinal.
@@ -84,26 +140,57 @@ class FaultPlan:
         Each (round, shard) entry fires at most once per plan instance.
         """
         shards: List[int] = []
-        for target in self._kills.get(ordinal, ()):
-            if target == DRIVER:
+        for subject in self._subjects("kill", ordinal):
+            if subject == DRIVER:
                 continue
-            key = (ordinal, target)
-            if key in self._consumed:
-                continue
-            self._consumed.add(key)
-            shards.append(target)
+            if self._consume(("kill", subject, ordinal)) is not None:
+                shards.append(subject)
         return shards
 
     def driver_kill(self, ordinal: int) -> bool:
         """Consume and return whether the driver dies at this ordinal."""
-        key = (ordinal, DRIVER)
-        if DRIVER in self._kills.get(ordinal, ()) and key not in self._consumed:
-            self._consumed.add(key)
-            return True
-        return False
+        return self._consume(("kill", DRIVER, ordinal)) is not None
+
+    def shard_delays(self, ordinal: int) -> Dict[int, float]:
+        """Consume and return ``{shard: seconds}`` delays at this ordinal."""
+        delays: Dict[int, float] = {}
+        for subject in self._subjects("delay", ordinal):
+            entry = self._consume(("delay", subject, ordinal))
+            if entry is not None:
+                delays[subject] = float(entry["seconds"])
+        return delays
+
+    def io_fault(self, target: str, ordinal: int) -> Optional[str]:
+        """Consume a scheduled I/O failure for ``target`` at this ordinal.
+
+        Returns ``"ioerror"`` or ``"enospc"`` (the caller raises the
+        matching ``OSError``), or ``None``.
+        """
+        for action in ("ioerror", "enospc"):
+            if self._consume((action, target, ordinal)) is not None:
+                return action
+        return None
+
+    def corrupt_fault(self, target: str, ordinal: int) -> bool:
+        """Consume and return whether to corrupt ``target`` at this ordinal."""
+        return self._consume(("corrupt", target, ordinal)) is not None
 
 
 _plan: Optional[FaultPlan] = None
+_store_writes: int = 0
+
+
+def store_write_ordinal(advance: bool = False) -> int:
+    """The process-wide ``write_store`` ordinal (1-based) fault targets use.
+
+    ``advance=True`` counts a new write and returns its ordinal; the
+    corrupting post-publish hook re-reads the same ordinal with
+    ``advance=False``.  Reset together with the plan.
+    """
+    global _store_writes
+    if advance:
+        _store_writes += 1
+    return _store_writes
 
 
 def get_fault_plan() -> Optional[FaultPlan]:
@@ -126,8 +213,9 @@ def get_fault_plan() -> Optional[FaultPlan]:
 
 def reset_fault_plan() -> None:
     """Forget consumption state so the plan can fire again (test helper)."""
-    global _plan
+    global _plan, _store_writes
     _plan = None
+    _store_writes = 0
 
 
 def maybe_kill_driver(ordinal: int, checkpoint=None) -> None:

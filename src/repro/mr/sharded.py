@@ -633,6 +633,13 @@ class _ShardWorker:
                     "injected fault", shard=self.shard_id, command="step"
                 )
             os._exit(1)
+        if isinstance(fault, tuple) and fault[0] == "delay":
+            # delay: injection — a deterministic stall inside the step,
+            # the controlled way to trip REPRO_WORKER_TIMEOUT_S deadline
+            # supervision without an actual hang.
+            import time as _time
+
+            _time.sleep(float(fault[1]))
         self._shipped_this_step = False
         for block in replicas:
             self.apply_replicas(*block)
@@ -1738,6 +1745,7 @@ class ShardedGrowingState:
         ordinal = engine.counters.growing_steps + 1
         plan = get_fault_plan()
         fault_shards = set(plan.shard_kills(ordinal)) if plan else ()
+        fault_delays = plan.shard_delays(ordinal) if plan else {}
         deliver, self._remote = self._remote, {}
         replicas, self._replica_updates = self._replica_updates, {}
         per_worker = []
@@ -1758,7 +1766,11 @@ class ShardedGrowingState:
                     iteration,
                     incoming,
                     ghosts,
-                    "kill" if k in fault_shards else None,
+                    "kill"
+                    if k in fault_shards
+                    else ("delay", fault_delays[k])
+                    if k in fault_delays
+                    else None,
                 )
             )
         # Async exchange: candidates shipped worker-to-worker during

@@ -59,15 +59,24 @@ from typing import Any, Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import CheckpointError, WorkerFailure
+from repro.integrity import (
+    preflight_free_space,
+    quarantine_artifact,
+    sweep_orphan_tmps,
+)
 
 __all__ = [
     "CHECKPOINT_EVERY_ENV",
     "CHECKPOINT_DIR_ENV",
+    "CKPT_RETAIN_ENV",
     "WORKER_RETRIES_ENV",
     "CheckpointPolicy",
+    "RetentionPolicy",
     "RunCheckpointer",
     "checkpoint_dir_for",
+    "collect_garbage",
     "latest_metadata",
+    "list_checkpoints",
     "recovery_loop",
     "run_key",
 ]
@@ -77,10 +86,14 @@ __all__ = [
 CHECKPOINT_EVERY_ENV = "REPRO_CHECKPOINT_EVERY"
 #: Directory override for checkpoint trees (default: ``<store>.ckpt``).
 CHECKPOINT_DIR_ENV = "REPRO_CHECKPOINT_DIR"
+#: Retention policy for published rounds: ``<count>`` newest rounds,
+#: ``<age>[smhd]`` by round mtime, or ``<bytes>[KMG]B`` total budget.
+CKPT_RETAIN_ENV = "REPRO_CKPT_RETAIN"
 #: Replay attempts after a WorkerFailure before giving up (default 2).
 WORKER_RETRIES_ENV = "REPRO_WORKER_RETRIES"
 
-#: Checkpoint rounds kept per run; older rounds are pruned after a save.
+#: Floor on retained rounds: whatever the policy says, the newest 3
+#: survive — recovery always has a durable round plus two fallbacks.
 _KEEP_ROUNDS = 3
 
 _ARRAY_FIELDS = ("center", "dist", "dist_acc", "frozen", "frozen_iter", "changed")
@@ -128,6 +141,90 @@ class CheckpointPolicy:
     @classmethod
     def from_env(cls) -> "CheckpointPolicy":
         return cls.parse(os.environ.get(CHECKPOINT_EVERY_ENV))
+
+
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+_BYTE_UNITS = {"kb": 1024, "mb": 1024**2, "gb": 1024**3, "tb": 1024**4}
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """How many published rounds to keep (``REPRO_CKPT_RETAIN``).
+
+    Exactly one of the three axes is set:
+
+    * ``count`` — keep the newest N rounds (``"5"``);
+    * ``max_age_s`` — keep rounds whose directory mtime is within the
+      window (``"36h"``, ``"90m"``, ``"7d"``);
+    * ``max_bytes`` — keep the newest rounds whose cumulative size fits
+      the budget (``"500MB"``, ``"2GB"``).
+
+    Whatever the policy, the newest :data:`_KEEP_ROUNDS` rounds are
+    never deleted — a recovery replay must always find a durable round
+    plus fallbacks, even under an aggressive age/byte budget.
+    """
+
+    count: Optional[int] = None
+    max_age_s: Optional[float] = None
+    max_bytes: Optional[int] = None
+
+    @classmethod
+    def parse(cls, raw: Optional[str]) -> "RetentionPolicy":
+        if raw is None or not str(raw).strip():
+            return cls(count=_KEEP_ROUNDS)
+        text = str(raw).strip().lower()
+        try:
+            for suffix, scale in _BYTE_UNITS.items():
+                if text.endswith(suffix):
+                    value = float(text[: -len(suffix)])
+                    if value <= 0:
+                        raise ValueError
+                    return cls(max_bytes=int(value * scale))
+            if text[-1] in _AGE_UNITS:
+                value = float(text[:-1])
+                if value <= 0:
+                    raise ValueError
+                return cls(max_age_s=value * _AGE_UNITS[text[-1]])
+            count = int(text)
+            if count < 1:
+                raise ValueError
+            return cls(count=max(count, _KEEP_ROUNDS))
+        except (ValueError, IndexError):
+            raise CheckpointError(
+                f"invalid {CKPT_RETAIN_ENV} value {raw!r}: expected a round "
+                "count ('5'), an age ('36h', '90m', '7d'), or a byte budget "
+                "('500MB', '2GB')"
+            ) from None
+
+    @classmethod
+    def from_env(cls) -> "RetentionPolicy":
+        return cls.parse(os.environ.get(CKPT_RETAIN_ENV))
+
+    def survivors(self, rounds_info) -> set:
+        """Which round numbers to keep, given ``(round, mtime, bytes)`` rows.
+
+        The newest :data:`_KEEP_ROUNDS` always survive; beyond those the
+        configured axis decides.
+        """
+        ordered = sorted(rounds_info, key=lambda row: row[0], reverse=True)
+        keep = {row[0] for row in ordered[:_KEEP_ROUNDS]}
+        if self.count is not None:
+            keep.update(row[0] for row in ordered[: self.count])
+            return keep
+        if self.max_age_s is not None:
+            cutoff = time.time() - self.max_age_s
+            keep.update(row[0] for row in ordered if row[1] >= cutoff)
+            return keep
+        if self.max_bytes is not None:
+            total = 0
+            for rnd, _, size in ordered:
+                total += size
+                if total <= self.max_bytes:
+                    keep.add(rnd)
+                else:
+                    break
+            return keep
+        return keep  # pragma: no cover - one axis is always set
 
 
 #: Config fields that select an execution platform, not a result.  All
@@ -212,12 +309,20 @@ class RunCheckpointer:
         self.config_key = _canonical_config(config)
         self.signature = list(signature)
         self.policy = policy or CheckpointPolicy()
+        self.retention = RetentionPolicy.from_env()
         self._last_save_rounds = 0
         self._last_save_time = time.monotonic()
         #: Round of the snapshot this run resumed from (reporting only).
         self.resumed_round: Optional[int] = None
         #: Rounds saved by this instance (tests / bench accounting).
         self.saved_rounds: list = []
+        #: Corrupt rounds this instance moved into quarantine.
+        self.quarantined_rounds: list = []
+        # Orphaned tmp- dirs from an earlier crash mid-publish; the
+        # grace window keeps a concurrently-publishing sibling safe.
+        sweep_orphan_tmps(
+            self.directory, ("*.tmp*",), dir_patterns=("tmp-*",)
+        )
         #: Write-behind state: at most one in-flight publish thread.
         #: ``maybe_save`` hands the (already copied) snapshot to it so
         #: the safe point pays only the array copy, not the bytes + digest
@@ -354,6 +459,7 @@ class RunCheckpointer:
             # the same state; the existing snapshot is already it.
             return final, False
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._checkpoint_fault("pre", rounds)
         tmp = self.directory / f"tmp-{os.getpid()}-{rounds}"
         if tmp.exists():  # pragma: no cover - stale orphan from a crash
             shutil.rmtree(tmp, ignore_errors=True)
@@ -370,6 +476,10 @@ class RunCheckpointer:
             ]
             payload = b"".join(b.tobytes() for b in blocks)
             digest = hashlib.sha256(payload).hexdigest()
+            preflight_free_space(
+                self.directory, len(payload) + 4096,
+                label=f"checkpoint round-{rounds}",
+            )
             with open(tmp / "state.bin", "wb") as fh:
                 fh.write(payload)
             manifest = {
@@ -400,15 +510,42 @@ class RunCheckpointer:
         except BaseException:
             shutil.rmtree(tmp, ignore_errors=True)
             raise
+        if self._checkpoint_fault("post", rounds):
+            _flip_round_byte(final)
         self._prune()
         return final, True
 
+    def _checkpoint_fault(self, kind: str, rounds: int) -> bool:
+        """Consult the fault plan for a scheduled checkpoint fault.
+
+        ``"pre"`` may raise the scheduled ``enospc``/``ioerror`` before
+        any byte lands; ``"post"`` reports whether a ``corrupt`` entry
+        should flip a byte in the just-published round.
+        """
+        from repro.mr.faults import get_fault_plan
+
+        plan = get_fault_plan()
+        if plan is None:
+            return False
+        if kind == "pre":
+            import errno
+
+            action = plan.io_fault("ckpt", rounds)
+            if action == "enospc":
+                raise OSError(
+                    errno.ENOSPC,
+                    f"fault plan: enospc publishing round-{rounds}",
+                )
+            if action == "ioerror":
+                raise OSError(
+                    errno.EIO, f"fault plan: ioerror publishing round-{rounds}"
+                )
+            return False
+        return plan.corrupt_fault("ckpt", rounds)
+
     def _prune(self) -> None:
-        rounds = sorted(self._round_dirs())
-        for r in rounds[:-_KEEP_ROUNDS]:
-            shutil.rmtree(
-                self.directory / f"round-{r}", ignore_errors=True
-            )
+        removed = collect_garbage(self.directory, self.retention)
+        del removed  # accounting lives on the CLI path
 
     def _round_dirs(self):
         if not self.directory.is_dir():
@@ -444,6 +581,17 @@ class RunCheckpointer:
                 return payload
         return None
 
+    def _quarantine_round(self, root: Path, rounds: int, detail: str) -> None:
+        """Move a corrupt round aside so no later scan re-reads it.
+
+        Stale rounds (config/signature drift) are *not* quarantined —
+        they are valid data for a different run.  Only structural damage
+        (unreadable manifest, digest/length mismatch) lands here.
+        """
+        moved = quarantine_artifact(root, reason=detail)
+        if moved is not None and int(rounds) not in self.quarantined_rounds:
+            self.quarantined_rounds.append(int(rounds))
+
     def _load_round(self, rounds: int) -> Optional[Dict[str, Any]]:
         try:
             self.flush()
@@ -453,7 +601,10 @@ class RunCheckpointer:
         try:
             with open(root / "manifest.json") as fh:
                 manifest = json.load(fh)
-        except (OSError, ValueError):
+        except (OSError, ValueError) as exc:
+            self._quarantine_round(
+                root, rounds, f"unreadable manifest: {exc}"
+            )
             return None
         if manifest.get("format") != 2:
             return None
@@ -468,6 +619,7 @@ class RunCheckpointer:
             if hashlib.sha256(payload).hexdigest() != manifest.get(
                 "state_sha256"
             ):
+                self._quarantine_round(root, rounds, "state digest mismatch")
                 return None
             arrays = {}
             offset = 0
@@ -484,8 +636,10 @@ class RunCheckpointer:
                 )
                 offset += nbytes
             if offset != len(payload):
+                self._quarantine_round(root, rounds, "state length mismatch")
                 return None
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self._quarantine_round(root, rounds, f"unreadable state: {exc}")
             return None
         return {
             "round": int(manifest["round"]),
@@ -496,6 +650,110 @@ class RunCheckpointer:
             "rng_state": manifest.get("rng_state"),
             "meta": manifest.get("meta", {}),
         }
+
+
+def _flip_round_byte(round_dir: Path) -> None:
+    """Flip one byte in the middle of a round's ``state.bin`` (fault plan).
+
+    The deterministic stand-in for silent media corruption: the manifest
+    digest no longer matches, so a later ``--resume`` must skip (and
+    quarantine) the round instead of restoring garbage state.
+    """
+    path = Path(round_dir) / "state.bin"
+    try:
+        size = path.stat().st_size
+    except OSError:  # pragma: no cover - round vanished underneath us
+        return
+    if size == 0:
+        return
+    offset = size // 2
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes((byte[0] ^ 0xFF,)))
+
+
+def _round_sizes(run_dir: Path):
+    """``(round, mtime, bytes)`` rows for every published round dir."""
+    rows = []
+    if not run_dir.is_dir():
+        return rows
+    for entry in run_dir.iterdir():
+        if not entry.name.startswith("round-") or not entry.is_dir():
+            continue
+        try:
+            rounds = int(entry.name[len("round-"):])
+        except ValueError:
+            continue
+        size = 0
+        try:
+            mtime = entry.stat().st_mtime
+            for child in entry.iterdir():
+                try:
+                    size += child.stat().st_size
+                except OSError:
+                    continue
+        except OSError:
+            continue
+        rows.append((rounds, mtime, size))
+    return rows
+
+
+def list_checkpoints(base_dir: os.PathLike):
+    """Inventory a checkpoint tree for ``repro ckpt list``.
+
+    ``base_dir`` may be a ``<store>.ckpt`` root (one subdirectory per
+    run key) or a single run directory; either way the result is a list
+    of ``{run_key, directory, rounds: [{round, mtime, bytes}]}`` dicts,
+    newest round first.
+    """
+    base = Path(base_dir)
+    if not base.is_dir():
+        return []
+    run_dirs = []
+    if any(child.name.startswith("round-") for child in base.iterdir()):
+        run_dirs.append(base)
+    else:
+        run_dirs.extend(sorted(d for d in base.iterdir() if d.is_dir()))
+    out = []
+    for run_dir in run_dirs:
+        rows = sorted(_round_sizes(run_dir), reverse=True)
+        if not rows and run_dir is not base:
+            continue
+        out.append(
+            {
+                "run_key": run_dir.name,
+                "directory": str(run_dir),
+                "rounds": [
+                    {"round": r, "mtime": m, "bytes": b} for r, m, b in rows
+                ],
+            }
+        )
+    return out
+
+
+def collect_garbage(
+    run_dir: os.PathLike,
+    policy: Optional[RetentionPolicy] = None,
+    *,
+    dry_run: bool = False,
+):
+    """Delete rounds the retention policy no longer keeps.
+
+    Returns the list of round numbers removed (or, under ``dry_run``,
+    the rounds that *would* be removed).  The newest ``_KEEP_ROUNDS``
+    always survive regardless of policy.
+    """
+    run_dir = Path(run_dir)
+    policy = policy or RetentionPolicy.from_env()
+    rows = _round_sizes(run_dir)
+    keep = policy.survivors(rows)
+    doomed = sorted(r for r, _, _ in rows if r not in keep)
+    if not dry_run:
+        for rounds in doomed:
+            shutil.rmtree(run_dir / f"round-{rounds}", ignore_errors=True)
+    return doomed
 
 
 def latest_metadata(directory: os.PathLike) -> Optional[Dict[str, Any]]:

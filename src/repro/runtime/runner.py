@@ -408,6 +408,9 @@ def run(
     with native.impl_overrides(ctx.config.kernel_impl, ctx.config.emit_threads):
         result = spec.fn(ctx)
         ctx.counters.impl.update(native.resolved_info())
+    from repro.integrity import verify_level
+
+    ctx.counters.impl["store_verify"] = verify_level()
     if checkpointer is not None:
         ctx.counters.impl["checkpoint_rounds"] = list(checkpointer.saved_rounds)
         if checkpointer.resumed_round is not None:

@@ -33,9 +33,10 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
 
-from repro.errors import GraphFormatError
+from repro.errors import CorruptArtifact, GraphFormatError
 from repro.graph.csr import CSRGraph
 from repro.graph.serialize import STORE_SUFFIX, is_store, write_store
+from repro.integrity import quarantine_artifact, sweep_orphan_tmps
 
 __all__ = ["GraphStore", "default_store", "get_graph"]
 
@@ -107,6 +108,12 @@ class GraphStore:
         self.hits = 0
         self.misses = 0
         self.conversions = 0
+        #: Corrupt stores moved into quarantine / rebuilt from source.
+        self.quarantined = 0
+        self.rebuilds = 0
+        #: Directories already swept for orphaned ``*.tmp`` debris this
+        #: process; each store directory pays the sweep glob once.
+        self._swept: set = set()
 
     # ------------------------------------------------------------------ #
 
@@ -140,24 +147,80 @@ class GraphStore:
 
     def _lookup(self, path: PathLike) -> Tuple[tuple, CSRGraph]:
         store_file = self._resolved_store(path)
-        stat = store_file.stat()
-        key = (str(store_file), stat.st_mtime_ns, stat.st_size)
+        self._sweep_dir(store_file.parent)
+        for attempt in (0, 1):
+            stat = store_file.stat()
+            key = (str(store_file), stat.st_mtime_ns, stat.st_size)
+            with self._lock:
+                cached = self._lru.get(key)
+                if cached is not None:
+                    self._lru.move_to_end(key)
+                    self.hits += 1
+                    return key, cached
+            # Mapping the file happens outside the lock (it touches the
+            # filesystem); a racing thread may map the same store twice,
+            # in which case the second mapping wins the slot — both
+            # views are read-only over the same bytes.
+            try:
+                graph = CSRGraph.open_mmap(store_file)
+            except CorruptArtifact as exc:
+                if attempt == 0 and self._heal(Path(path), store_file, exc):
+                    continue  # rebuilt from source: reopen under new key
+                raise
+            with self._lock:
+                self.misses += 1
+                self._lru[key] = graph
+                self._trim_lru()
+            return key, graph
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _sweep_dir(self, directory: Path) -> None:
+        """Once per directory: clear orphaned store temp files.
+
+        Interrupted ``write_store`` calls leave mkstemp files named
+        ``<store>.rcsr.tmpXXXXXX``; the mtime grace window inside
+        :func:`sweep_orphan_tmps` keeps a concurrent writer's live temp
+        safe.
+        """
+        key = str(directory)
         with self._lock:
-            cached = self._lru.get(key)
-            if cached is not None:
-                self._lru.move_to_end(key)
-                self.hits += 1
-                return key, cached
-        # Mapping the file happens outside the lock (it touches the
-        # filesystem); a racing thread may map the same store twice, in
-        # which case the second mapping wins the slot — both views are
-        # read-only over the same bytes.
-        graph = CSRGraph.open_mmap(store_file)
+            if key in self._swept:
+                return
+            self._swept.add(key)
+        sweep_orphan_tmps(directory, (f"*{STORE_SUFFIX}.tmp*",))
+
+    def _heal(self, source: Path, store_file: Path, exc: CorruptArtifact) -> bool:
+        """Quarantine a corrupt store; rebuild it when the source remains.
+
+        Returns True when the store was rebuilt (caller retries the
+        open).  A store that *is* the user's source file cannot be
+        rebuilt — it is quarantined and the error re-raised with the
+        quarantine location attached, so nothing downstream ever
+        computes on damaged bytes.
+        """
+        quarantined = quarantine_artifact(store_file, reason=str(exc))
         with self._lock:
-            self.misses += 1
-            self._lru[key] = graph
-            self._trim_lru()
-        return key, graph
+            self.quarantined += 1
+            # Any LRU entries for the damaged file are stale now.
+            for key in [k for k in self._lru if k[0] == str(store_file)]:
+                if not self._pins.get(key):
+                    del self._lru[key]
+        rebuildable = (
+            store_file != source
+            and source.exists()
+            and not is_store(source)
+        )
+        if not rebuildable:
+            raise CorruptArtifact(
+                store_file,
+                kind=exc.kind,
+                detail=exc.detail,
+                quarantined=quarantined,
+            ) from exc
+        self._convert(source, store_file)
+        with self._lock:
+            self.rebuilds += 1
+        return True
 
     def _trim_lru(self) -> None:
         """Evict oldest *unpinned* entries down to capacity (lock held)."""

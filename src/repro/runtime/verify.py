@@ -1,0 +1,168 @@
+"""Offline integrity verification: the ``repro verify`` machinery.
+
+:func:`verify_tree` walks every on-disk artifact derived from one graph
+— the binary store, its shard-partition layouts, its checkpoint rounds
+— and checks each against its recorded digests, *collecting* failures
+instead of stopping at the first one: the CLI's job is a damage report,
+not a stack trace.
+
+Two depths mirror the ``REPRO_STORE_VERIFY`` tiers: the default pass
+checks structure plus the O(1) digests (store header hash, partition
+manifest self-digest, checkpoint manifest shape); ``--deep`` re-hashes
+every payload byte — store sections, shard files, sidecars, and
+``state.bin`` blobs — exactly what open-time ``full`` verification
+would do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["verify_tree"]
+
+
+def _report(
+    artifact, kind: str, ok: bool, detail: str = ""
+) -> Dict[str, object]:
+    return {
+        "artifact": str(artifact),
+        "kind": kind,
+        "ok": bool(ok),
+        "detail": detail,
+    }
+
+
+def _resolve_store_file(path) -> Path:
+    """The binary store behind ``path`` (which may be a source graph)."""
+    from repro.graph.serialize import is_store
+
+    path = Path(path)
+    if path.exists() and is_store(path):
+        return path
+    from repro.runtime import default_store
+
+    return Path(default_store().store_path(path))
+
+
+def _verify_store_file(store_file: Path, level: str) -> Dict[str, object]:
+    from repro.graph.serialize import verify_store
+
+    try:
+        info = verify_store(store_file, level=level)
+    except ReproError as exc:
+        return _report(store_file, "store", False, str(exc))
+    checked = info.get("checked", [])
+    detail = (
+        f"v{info['version']}, verified {', '.join(checked)}"
+        if checked
+        else f"v{info['version']}, no digest block (legacy v1)"
+    )
+    return _report(store_file, "store", True, detail)
+
+
+def _verify_partitions(store_file: Path, level: str) -> List[Dict[str, object]]:
+    from repro.graph.partition import MANIFEST_NAME, verify_partition
+
+    shards_root = Path(str(store_file) + ".shards")
+    if not shards_root.is_dir():
+        return []
+    out = []
+    for directory in sorted(shards_root.iterdir()):
+        if not (directory / MANIFEST_NAME).is_file():
+            continue
+        try:
+            info = verify_partition(directory, level=level)
+        except ReproError as exc:
+            out.append(_report(directory, "partition", False, str(exc)))
+            continue
+        checked = info.get("checked", [])
+        out.append(
+            _report(
+                directory,
+                "partition",
+                True,
+                f"verified {', '.join(checked)}" if checked
+                else "structure only (verify level off)",
+            )
+        )
+    return out
+
+
+def _verify_checkpoints(store_file: Path, deep: bool) -> List[Dict[str, object]]:
+    base = os.environ.get("REPRO_CHECKPOINT_DIR")
+    ckpt_root = Path(base) if base else Path(str(store_file) + ".ckpt")
+    if not ckpt_root.is_dir():
+        return []
+    out = []
+    for run_dir in sorted(d for d in ckpt_root.iterdir() if d.is_dir()):
+        if run_dir.name.endswith(".quarantine"):
+            continue
+        for round_dir in sorted(run_dir.iterdir()):
+            if not round_dir.name.startswith("round-"):
+                continue
+            out.append(_verify_round(round_dir, deep))
+    return out
+
+
+def _verify_round(round_dir: Path, deep: bool) -> Dict[str, object]:
+    try:
+        with open(round_dir / "manifest.json") as fh:
+            manifest = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return _report(round_dir, "checkpoint", False, f"bad manifest: {exc}")
+    state = round_dir / "state.bin"
+    if not state.is_file():
+        return _report(round_dir, "checkpoint", False, "state.bin missing")
+    if deep:
+        try:
+            digest = hashlib.sha256(state.read_bytes()).hexdigest()
+        except OSError as exc:
+            return _report(
+                round_dir, "checkpoint", False, f"unreadable state: {exc}"
+            )
+        if digest != manifest.get("state_sha256"):
+            return _report(
+                round_dir, "checkpoint", False, "state digest mismatch"
+            )
+        return _report(round_dir, "checkpoint", True, "state digest verified")
+    return _report(
+        round_dir,
+        "checkpoint",
+        True,
+        f"round {manifest.get('round')}, manifest well-formed",
+    )
+
+
+def verify_tree(path, *, deep: bool = False) -> List[Dict[str, object]]:
+    """Verify every artifact derived from ``path``; never raises on
+    damage — each finding is one report row (``ok`` False on failure).
+
+    ``deep`` re-hashes all payload bytes (the open-time ``full`` tier);
+    the default checks structure plus the O(1) digests only.
+    """
+    level = "full" if deep else "header"
+    try:
+        store_file = _resolve_store_file(path)
+    except FileNotFoundError:
+        return [_report(path, "store", False, "graph file not found")]
+    reports: List[Dict[str, object]] = []
+    if store_file.exists():
+        reports.append(_verify_store_file(store_file, level))
+    else:
+        reports.append(
+            _report(
+                store_file,
+                "store",
+                True,
+                "no binary store yet (source graph never converted)",
+            )
+        )
+    reports.extend(_verify_partitions(store_file, level))
+    reports.extend(_verify_checkpoints(store_file, deep))
+    return reports

@@ -44,6 +44,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro._version import __version__
 from repro.errors import ConfigurationError, ReproError
 from repro.runtime.store import GraphStore
+from repro.serve.admission import AdmissionController, estimate_query_cost
 from repro.serve.cache import ResultCache
 from repro.serve.graphs import GraphPool
 from repro.serve.protocol import (
@@ -102,6 +103,15 @@ class ServerConfig:
     #: Seconds shutdown waits for in-flight queries before abandoning
     #: them (queued queries are rejected immediately).
     shutdown_grace_s: float = 5.0
+    #: Resident-memory budget in bytes (``None`` = unlimited).  A query
+    #: whose estimated cost does not fit alongside the resident graphs
+    #: is shed with a structured 503 ``over-budget`` + retry-after.
+    memory_budget: Optional[int] = None
+    #: Per-client query rate limit in requests/second (``None`` = off);
+    #: an exhausted token bucket answers 429 ``rate-limited``.
+    rate_limit: Optional[float] = None
+    #: Token-bucket burst capacity (default: max(rate_limit, 1)).
+    rate_burst: Optional[float] = None
 
     def __post_init__(self):
         if self.socket_path is None and self.port is None:
@@ -112,6 +122,10 @@ class ServerConfig:
             raise ConfigurationError("query_deadline_s must be positive")
         if not self.shutdown_grace_s >= 0:
             raise ConfigurationError("shutdown_grace_s must be >= 0")
+        if self.memory_budget is not None and not self.memory_budget > 0:
+            raise ConfigurationError("memory_budget must be positive")
+        if self.rate_limit is not None and not self.rate_limit > 0:
+            raise ConfigurationError("rate_limit must be positive")
 
 
 class ReproServer:
@@ -133,6 +147,11 @@ class ReproServer:
             max_workers=config.max_workers,
             max_queue_depth=config.max_queue_depth,
             max_pending=config.max_pending,
+        )
+        self.admission = AdmissionController(
+            memory_budget=config.memory_budget,
+            rate_limit=config.rate_limit,
+            rate_burst=config.rate_burst,
         )
         self.started_at: Optional[float] = None
         self.bound_port: Optional[int] = None
@@ -411,6 +430,8 @@ class ReproServer:
 
     async def _op_query(self, obj: Dict[str, Any]) -> Dict[str, Any]:
         request = parse_query(obj)
+        client = obj.get("client")
+        self.admission.check_rate(client if isinstance(client, str) else None)
         key = self.graphs.path_key(request.graph)
 
         # Admission-time cache probe: a hit is answered from the event
@@ -421,6 +442,23 @@ class ReproServer:
             cached = self.cache.get(cache_key(signature, request))
             if cached is not None:
                 return self._attach_serve(cached, cache_hit=True, wait=0.0)
+
+        # Memory admission: a cold query must fit the budget alongside
+        # what is already resident (cache hits above cost nothing, so
+        # they are never shed).
+        if self.admission.memory_budget is not None:
+            cost = estimate_query_cost(
+                key, ensure_reverse=self.config.ensure_reverse
+            )
+            if cost is None:
+                # No binary store yet: estimate from the source file
+                # the residency path would convert.
+                cost = estimate_query_cost(
+                    request.graph, ensure_reverse=self.config.ensure_reverse
+                )
+            self.admission.check_memory(
+                cost, self.graphs.resident_bytes(exclude=key)
+            )
 
         deadline = (
             request.deadline_s
@@ -666,10 +704,21 @@ class ReproServer:
     ) -> None:
         body = json.dumps(payload).encode()
         reason = _HTTP_REASONS.get(status, "OK")
+        retry_after = ""
+        retry_after_s = (payload.get("error") or {}).get("retry_after_s")
+        if retry_after_s is not None:
+            # HTTP Retry-After is integral seconds; round up so a
+            # compliant client never retries before the hint.
+            import math
+
+            retry_after = (
+                f"Retry-After: {max(1, math.ceil(retry_after_s))}\r\n"
+            )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{retry_after}"
             f"Connection: close\r\n\r\n"
         ).encode("latin-1")
         writer.write(head + body)
@@ -687,6 +736,7 @@ class ReproServer:
             "connections": self.connections,
             "requests": self.requests,
             "scheduler": self.scheduler.snapshot(),
+            "admission": self.admission.snapshot(),
             "cache": self.cache.snapshot(),
             "graphs": self.graphs.snapshot(),
         }

@@ -58,6 +58,16 @@ class ResidentGraph:
         #: lock keeps engine state safe if that policy ever loosens.
         self.lock = threading.Lock()
         self.queries = 0
+        #: Resident bytes this entry accounts for against the server's
+        #: memory budget: the mapped CSR arrays plus an rsrc-sized
+        #: headroom (the reverse section is ensured at residency time,
+        #: so it is resident whether or not this mapping loaded it yet).
+        self.resident_cost = int(
+            graph.indptr.nbytes
+            + graph.indices.nbytes
+            + graph.weights.nbytes
+            + 8 * len(graph.indices)
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -124,6 +134,7 @@ class ResidentGraph:
             "m": int(self.graph.num_edges),
             "signature": list(self.signature),
             "queries": self.queries,
+            "resident_bytes": self.resident_cost,
             "engines": [
                 {"executor": k[0], "workers": k[1], "shards": k[2]}
                 for k in self._engines
@@ -264,6 +275,17 @@ class GraphPool:
         with self._lock:
             return len(self._entries)
 
+    def resident_bytes(self, exclude: Optional[str] = None) -> int:
+        """Total resident cost of the pool, optionally excluding one
+        path key (a query against an already-resident graph adds no new
+        store bytes, only scratch)."""
+        with self._lock:
+            return sum(
+                entry.resident_cost
+                for key, entry in self._entries.items()
+                if key != exclude
+            )
+
     def infos(self) -> List[Dict[str, object]]:
         with self._lock:
             return [entry.info() for entry in self._entries.values()]
@@ -272,6 +294,9 @@ class GraphPool:
         with self._lock:
             return {
                 "resident": len(self._entries),
+                "resident_bytes": sum(
+                    e.resident_cost for e in self._entries.values()
+                ),
                 "capacity": self.capacity,
                 "admissions": self.admissions,
                 "refreshes": self.refreshes,

@@ -75,10 +75,19 @@ class ServeError(Exception):
     surface; the NDJSON surface carries both verbatim.
     """
 
-    def __init__(self, kind: str, message: str, status: int = 400):
+    def __init__(
+        self,
+        kind: str,
+        message: str,
+        status: int = 400,
+        retry_after_s: Optional[float] = None,
+    ):
         super().__init__(message)
         self.kind = kind
         self.status = status
+        #: When set, clients should retry after this many seconds; the
+        #: HTTP surface maps it onto a ``Retry-After`` header.
+        self.retry_after_s = retry_after_s
 
     @classmethod
     def bad_request(cls, message: str) -> "ServeError":
@@ -101,18 +110,31 @@ class ServeError(Exception):
         return cls("shutting-down", message, 503)
 
     @classmethod
+    def over_budget(
+        cls, message: str, retry_after_s: float = 2.0
+    ) -> "ServeError":
+        """Memory-admission shed: 503 with a retry hint, never an OOM."""
+        return cls("over-budget", message, 503, retry_after_s=retry_after_s)
+
+    @classmethod
+    def rate_limited(
+        cls, message: str, retry_after_s: float = 1.0
+    ) -> "ServeError":
+        return cls("rate-limited", message, 429, retry_after_s=retry_after_s)
+
+    @classmethod
     def internal(cls, message: str) -> "ServeError":
         return cls("internal", message, 500)
 
     def as_response(self, request_id=None) -> Dict[str, Any]:
-        resp: Dict[str, Any] = {
-            "ok": False,
-            "error": {
-                "kind": self.kind,
-                "status": self.status,
-                "message": str(self),
-            },
+        error: Dict[str, Any] = {
+            "kind": self.kind,
+            "status": self.status,
+            "message": str(self),
         }
+        if self.retry_after_s is not None:
+            error["retry_after_s"] = self.retry_after_s
+        resp: Dict[str, Any] = {"ok": False, "error": error}
         if request_id is not None:
             resp["id"] = request_id
         return resp

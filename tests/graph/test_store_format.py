@@ -9,6 +9,7 @@ from repro.graph.builder import from_edge_list
 from repro.graph.csr import CSRGraph
 from repro.graph.io import read_auto, write_auto
 from repro.graph.serialize import (
+    STORE_VERSION,
     is_store,
     open_store,
     read_store_header,
@@ -34,7 +35,7 @@ class TestStoreFormat:
         assert header.num_nodes == graph.num_nodes
         assert header.num_arcs == graph.num_arcs
         assert header.num_edges == graph.num_edges
-        assert header.version == 1
+        assert header.version == STORE_VERSION
         assert header.file_size == path.stat().st_size
 
     def test_sections_aligned(self, stored):

@@ -1,0 +1,249 @@
+"""Memory-aware admission and per-client rate limiting.
+
+The shedding contract: an over-budget query is refused with a
+structured 503 (``over-budget`` + ``retry_after_s``) *before* any
+loading happens, the daemon stays alive, and queries that do fit keep
+returning bit-identical results; an exhausted token bucket answers 429
+with the exact wait.  Units first, then the daemon end to end on both
+surfaces (NDJSON socket and HTTP, including the ``Retry-After`` header).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.graph.serialize import read_store_header
+from repro.serve import ServeClient
+from repro.serve.admission import (
+    SCRATCH_BYTES_PER_NODE,
+    TEXT_STORE_FACTOR,
+    AdmissionController,
+    TokenBucket,
+    estimate_query_cost,
+)
+from repro.serve.client import ServeRemoteError
+from repro.serve.protocol import ServeError
+
+
+# --------------------------------------------------------------------- #
+# units
+# --------------------------------------------------------------------- #
+
+
+class TestTokenBucket:
+    def test_burst_then_exhaustion(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        assert [bucket.acquire("c", now=0.0) for _ in range(3)] == [0.0] * 3
+        wait = bucket.acquire("c", now=0.0)
+        assert wait == pytest.approx(1.0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.acquire("c", now=0.0) == 0.0
+        assert bucket.acquire("c", now=0.0) == pytest.approx(0.5)
+        # Half a second later one token (rate 2/s) has come back.
+        assert bucket.acquire("c", now=0.5) == 0.0
+
+    def test_clients_are_independent(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        assert bucket.acquire("a", now=0.0) == 0.0
+        assert bucket.acquire("b", now=0.0) == 0.0
+        assert bucket.acquire("a", now=0.0) > 0.0
+        assert bucket.snapshot()["clients"] == 2
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+
+
+class TestCostModel:
+    def test_missing_file_is_unknowable(self, tmp_path):
+        assert estimate_query_cost(tmp_path / "nope.rcsr") is None
+
+    def test_store_cost_model(self, stored_graphs):
+        path = stored_graphs["gnm"]
+        header = read_store_header(path)
+        cost = estimate_query_cost(path)
+        expected = (
+            header.file_size
+            + (0 if header.has_reverse else 8 * header.num_arcs)
+            + SCRATCH_BYTES_PER_NODE * header.num_nodes
+        )
+        assert cost == expected
+        no_reverse = estimate_query_cost(path, ensure_reverse=False)
+        assert no_reverse == header.file_size + (
+            SCRATCH_BYTES_PER_NODE * header.num_nodes
+        )
+
+    def test_text_source_uses_size_factor(self, tmp_path):
+        source = tmp_path / "g.gr"
+        source.write_text("p sp 2 1\na 1 2 1\n")
+        cost = estimate_query_cost(source)
+        assert cost == int(source.stat().st_size * TEXT_STORE_FACTOR)
+
+
+class TestController:
+    def test_memory_paths(self):
+        ctl = AdmissionController(memory_budget=1000)
+        ctl.check_memory(None, 0)  # unknowable admits
+        ctl.check_memory(400, 500)  # fits
+        with pytest.raises(ServeError) as excinfo:
+            ctl.check_memory(2000, 0)  # never fits
+        assert excinfo.value.status == 503
+        assert excinfo.value.kind == "over-budget"
+        assert excinfo.value.retry_after_s > 0
+        with pytest.raises(ServeError):
+            ctl.check_memory(600, 500)  # resident crowd-out
+        assert ctl.snapshot()["shed_over_budget"] == 2
+
+    def test_rate_path(self):
+        ctl = AdmissionController(rate_limit=1000.0, rate_burst=1.0)
+        ctl.check_rate("a")
+        with pytest.raises(ServeError) as excinfo:
+            ctl.check_rate("a")
+        assert excinfo.value.status == 429
+        assert excinfo.value.kind == "rate-limited"
+        assert ctl.snapshot()["shed_rate_limited"] == 1
+
+    def test_disabled_is_free(self):
+        ctl = AdmissionController()
+        ctl.check_rate("a")
+        ctl.check_memory(10**12, 10**12)
+
+
+# --------------------------------------------------------------------- #
+# daemon end to end
+# --------------------------------------------------------------------- #
+
+
+def query_cost(path):
+    return estimate_query_cost(path)
+
+
+class TestMemoryShedding:
+    def test_over_budget_shed_small_admitted(
+        self, make_server, stored_graphs
+    ):
+        small, big = stored_graphs["mesh"], stored_graphs["big"]
+        # Budget fits the small mesh but not the big gnm graph.
+        budget = query_cost(small) + 1024
+        assert query_cost(big) > budget
+        handle = make_server(memory_budget=budget)
+        with ServeClient(socket_path=handle.socket_path) as client:
+            first = client.query(small, "cluster", tau=3, seed=1)
+            with pytest.raises(ServeRemoteError) as excinfo:
+                client.query(big, "cluster", tau=3, seed=1)
+            assert excinfo.value.kind == "over-budget"
+            assert excinfo.value.status == 503
+            # The daemon survived the shed: same query, same answer.
+            again = client.query(small, "cluster", tau=3, seed=1)
+            assert again["value"] == first["value"]
+            assert again["serve"]["cache_hit"] is True
+            stats = client.stats()["admission"]
+            assert stats["shed_over_budget"] == 1
+            assert stats["memory_budget"] == budget
+
+    def test_retry_after_in_error_payload(self, make_server, stored_graphs):
+        handle = make_server(memory_budget=4096)
+        with ServeClient(socket_path=handle.socket_path) as client:
+            with pytest.raises(ServeRemoteError):
+                client.query(stored_graphs["big"], "cluster", tau=3, seed=1)
+        # Re-issue raw to inspect the full error object.
+        with ServeClient(socket_path=handle.socket_path) as client:
+            response = client.send_raw(
+                json.dumps(
+                    {
+                        "op": "query",
+                        "graph": stored_graphs["big"],
+                        "algorithm": "cluster",
+                        "config": {"tau": 3, "seed": 1},
+                        "id": 1,
+                    }
+                ).encode()
+                + b"\n"
+            )
+        assert response["ok"] is False
+        error = response["error"]
+        assert error["kind"] == "over-budget"
+        assert error["status"] == 503
+        assert error["retry_after_s"] > 0
+
+    def test_cache_hits_bypass_memory_check(self, make_server, stored_graphs):
+        """A cached result costs nothing resident: admitted even when a
+        cold run of the same query would be shed."""
+        small = stored_graphs["mesh"]
+        handle = make_server(memory_budget=query_cost(small) + 1024)
+        with ServeClient(socket_path=handle.socket_path) as client:
+            warm = client.query(small, "cluster", tau=3, seed=1)
+            assert warm["serve"]["cache_hit"] is False
+        # Shrink the budget below the graph by booting a second daemon?
+        # No — the probe order is per-request: cache first, then cost.
+        # Exercise it on the same daemon: the resident graph now crowds
+        # the budget, yet the identical query still answers from cache.
+        with ServeClient(socket_path=handle.socket_path) as client:
+            again = client.query(small, "cluster", tau=3, seed=1)
+            assert again["serve"]["cache_hit"] is True
+            assert again["value"] == warm["value"]
+
+
+class TestRateLimiting:
+    def test_429_and_recovery_counterfactual(self, make_server, stored_graphs):
+        # Refill is negligible over the test's lifetime: shedding is
+        # purely the burst budget being spent.
+        handle = make_server(rate_limit=0.01, rate_burst=2.0)
+        small = stored_graphs["mesh"]
+        with ServeClient(socket_path=handle.socket_path) as client:
+            def ask(client_id):
+                return client.request(
+                    {
+                        "op": "query",
+                        "graph": small,
+                        "algorithm": "cluster",
+                        "config": {"tau": 3, "seed": 1},
+                        "client": client_id,
+                    }
+                )
+
+            ask("alice")
+            ask("alice")
+            with pytest.raises(ServeRemoteError) as excinfo:
+                ask("alice")
+            assert excinfo.value.kind == "rate-limited"
+            assert excinfo.value.status == 429
+            # Separate client id: separate bucket, still admitted.
+            result = ask("bob")
+            assert result["value"] > 0
+            stats = client.stats()["admission"]
+            assert stats["shed_rate_limited"] == 1
+            assert stats["rate"]["clients"] >= 2
+
+
+class TestHTTPSurface:
+    def test_retry_after_header(self, make_server, stored_graphs):
+        handle = make_server(memory_budget=4096)
+        conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=30)
+        try:
+            body = json.dumps(
+                {
+                    "op": "query",
+                    "graph": stored_graphs["big"],
+                    "algorithm": "cluster",
+                    "config": {"tau": 3, "seed": 1},
+                }
+            ).encode()
+            conn.request(
+                "POST",
+                "/query",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 503
+        assert int(response.getheader("Retry-After")) >= 1
+        assert payload["error"]["kind"] == "over-budget"

@@ -253,7 +253,9 @@ class TestInfoStore:
         capsys.readouterr()
         assert main(["info", str(store)]) == 0
         out = capsys.readouterr().out
-        assert "GraphStore v1" in out
+        from repro.graph.serialize import STORE_VERSION
+
+        assert f"GraphStore v{STORE_VERSION}" in out
         assert "nodes        : 64" in out
         assert "sections     :" in out
 
